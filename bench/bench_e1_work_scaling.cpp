@@ -1,0 +1,56 @@
+// E1 — Theorem 1.1 work scaling: total solve cost should grow
+// near-linearly in m (the paper's O(m log^3 n loglog n) with our practical
+// split constant). We sweep sizes on two sparse families, time
+// factor/solve separately, and fit the log-log slope of total time vs m;
+// a slope near 1 (mildly above, for the polylog) regenerates the claim.
+#include <vector>
+
+#include "common.hpp"
+#include "core/solver.hpp"
+
+using namespace parlap;
+using namespace parlap::bench;
+
+namespace {
+
+void run_family(const std::string& family, const std::vector<Vertex>& sizes) {
+  TextTable table("E1 work scaling — " + family +
+                  " (eps = 1e-8, defaults)");
+  table.set_header({"n", "m", "split_m", "depth", "factor_s", "solve_s",
+                    "iters", "total_s", "us_per_edge"},
+                   4);
+  std::vector<double> ms;
+  std::vector<double> totals;
+  for (const Vertex size : sizes) {
+    const Multigraph g = make_family(family, size, 3);
+    WallTimer timer;
+    LaplacianSolver solver(g);
+    const double factor_s = timer.seconds();
+    const Vector b = random_rhs(g.num_vertices(), 7);
+    Vector x(b.size(), 0.0);
+    timer.reset();
+    const SolveStats st = solver.solve(b, x, 1e-8);
+    const double solve_s = timer.seconds();
+    const double total = factor_s + solve_s;
+    ms.push_back(static_cast<double>(g.num_edges()));
+    totals.push_back(total);
+    table.add_row({static_cast<std::int64_t>(g.num_vertices()),
+                   static_cast<std::int64_t>(g.num_edges()),
+                   static_cast<std::int64_t>(solver.info().split_edges),
+                   static_cast<std::int64_t>(solver.info().depth), factor_s,
+                   solve_s, static_cast<std::int64_t>(st.iterations), total,
+                   1e6 * total / static_cast<double>(g.num_edges())});
+  }
+  print_table(table);
+  std::cout << "fitted log-log slope of total time vs m: "
+            << log_log_slope(ms, totals)
+            << "  (paper shape: ~1 + polylog drift)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  run_family("grid2d", {64, 96, 128, 192, 256});
+  run_family("regular4", {4096, 9216, 16384, 36864, 65536});
+  return 0;
+}

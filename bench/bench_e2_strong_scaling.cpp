@@ -1,0 +1,63 @@
+// E2 — depth/parallelism claim (Theorems 1.1, 3.10): the algorithm's
+// polylog depth means wall-clock should shrink with added cores. We
+// strong-scale factorization, one preconditioner application, and a full
+// solve over thread counts on a fixed graph. (PRAM depth itself is
+// architecture-free; speedup curves are the shared-memory substitution —
+// see DESIGN.md.)
+#include <omp.h>
+
+#include "common.hpp"
+#include "core/solver.hpp"
+
+using namespace parlap;
+using namespace parlap::bench;
+
+int main() {
+  const Multigraph g = make_family("grid2d", 384, 5);
+  const Vector b = random_rhs(g.num_vertices(), 9);
+
+  TextTable table(
+      "E2 strong scaling — grid2d 384x384 (n=147456), eps=1e-8, "
+      "boost_rounds=2 (shallower chain => larger per-level work)");
+  table.set_header({"threads", "factor_s", "apply_ms", "solve_s", "iters",
+                    "factor_speedup", "solve_speedup"},
+                   4);
+
+  const int max_threads = omp_get_max_threads();
+  double factor_base = 0.0;
+  double solve_base = 0.0;
+  for (int threads : {1, 2, 4, 8, 16, max_threads}) {
+    if (threads > max_threads) continue;
+    omp_set_num_threads(threads);
+
+    SolverOptions opts;
+    opts.chain.five_dd.boost_rounds = 2;
+    WallTimer timer;
+    LaplacianSolver solver(g, opts);
+    const double factor_s = timer.seconds();
+
+    // One preconditioner application, averaged over 10.
+    Vector y(b.size(), 0.0);
+    timer.reset();
+    for (int i = 0; i < 10; ++i) solver.apply_preconditioner(b, y);
+    const double apply_ms = timer.millis() / 10.0;
+
+    Vector x(b.size(), 0.0);
+    timer.reset();
+    const SolveStats st = solver.solve(b, x, 1e-8);
+    const double solve_s = timer.seconds();
+
+    if (threads == 1) {
+      factor_base = factor_s;
+      solve_base = solve_s;
+    }
+    table.add_row({static_cast<std::int64_t>(threads), factor_s, apply_ms,
+                   solve_s, static_cast<std::int64_t>(st.iterations),
+                   factor_base / factor_s, solve_base / solve_s});
+  }
+  omp_set_num_threads(max_threads);
+  print_table(table);
+  std::cout << "note: results are bit-identical across rows (deterministic "
+               "counter-based RNG); only time changes.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E9 — the alpha^-1 = Theta(log^2 n) concentration knob (Theorem 3.9's
+// matrix-Freedman argument). More copies => tighter W ~ L^+ => fewer
+// Richardson iterations, at linearly more factor work/memory. We sweep
+// the split scale, measure end-to-end costs, and measure the actual
+// spectral quality of W on a small instance.
+#include "common.hpp"
+#include "core/alpha_bound.hpp"
+#include "core/block_cholesky.hpp"
+#include "core/solver.hpp"
+#include "linalg/dense.hpp"
+
+using namespace parlap;
+using namespace parlap::bench;
+
+namespace {
+
+/// Spectral range of W vs L^+ on the ones-complement (dense, small n).
+SpectralBounds preconditioner_quality(const Multigraph& g, double scale) {
+  const Multigraph split =
+      split_edges_uniform(g, default_split_copies(g.num_vertices(), scale));
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 21);
+  const int n = g.num_vertices();
+  DenseMatrix w(n, n);
+  ApplyWorkspace ws;
+  Vector e(static_cast<std::size_t>(n), 0.0);
+  Vector col(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    e[static_cast<std::size_t>(j)] = 1.0;
+    chain.apply(e, col, ws);
+    for (int i = 0; i < n; ++i) w(i, j) = col[static_cast<std::size_t>(i)];
+    e[static_cast<std::size_t>(j)] = 0.0;
+  }
+  w.symmetrize();
+  DenseMatrix p(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      p(i, j) = (i == j ? 1.0 : 0.0) - 1.0 / static_cast<double>(n);
+  const DenseMatrix w_proj = p.multiply(w).multiply(p);
+  const DenseMatrix pinv =
+      p.multiply(pseudo_inverse(laplacian_dense(g))).multiply(p);
+  return relative_spectral_bounds(w_proj, pinv, 1e-7);
+}
+
+}  // namespace
+
+int main() {
+  {
+    const Multigraph g = make_family("grid2d", 128, 3);
+    const Vector b = random_rhs(g.num_vertices(), 11);
+    TextTable table(
+        "E9 split-scale ablation — grid2d 128x128, eps=1e-8, adaptive off");
+    table.set_header({"scale", "copies", "split_m", "factor_s", "iters",
+                      "solve_s", "total_s", "converged"},
+                     4);
+    for (const double scale : {0.01, 0.03, 0.1, 0.3, 1.0, 2.0}) {
+      SolverOptions opts;
+      opts.split_scale = scale;
+      opts.adaptive = false;
+      WallTimer timer;
+      LaplacianSolver solver(g, opts);
+      const double factor_s = timer.seconds();
+      Vector x(b.size(), 0.0);
+      timer.reset();
+      const SolveStats st = solver.solve(b, x, 1e-8);
+      const double solve_s = timer.seconds();
+      table.add_row({scale, static_cast<std::int64_t>(solver.info().copies),
+                     static_cast<std::int64_t>(solver.info().split_edges),
+                     factor_s, static_cast<std::int64_t>(st.iterations),
+                     solve_s, factor_s + solve_s,
+                     std::string(st.converged ? "yes" : "NO")});
+    }
+    print_table(table);
+    std::cout << "shape: iterations fall as copies rise (concentration), "
+                 "factor cost rises linearly; the sweet spot sits at small "
+                 "scales — theory's constant is pessimistic.\n\n";
+  }
+
+  {
+    const Multigraph g = make_family("gnm4", 120, 5);
+    TextTable table("E9b measured W vs L^+ spectrum (dense, gnm4 n=120)");
+    table.set_header({"scale", "copies", "lambda_min", "lambda_max",
+                      "implied_delta", "within_e^1"},
+                     4);
+    for (const double scale : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+      const SpectralBounds sb = preconditioner_quality(g, scale);
+      const double delta =
+          std::max(std::abs(std::log(sb.lo)), std::abs(std::log(sb.hi)));
+      table.add_row(
+          {scale,
+           static_cast<std::int64_t>(
+               default_split_copies(g.num_vertices(), scale)),
+           sb.lo, sb.hi, delta,
+           std::string(sb.lo > std::exp(-1.0) && sb.hi < std::exp(1.0)
+                           ? "yes"
+                           : "no")});
+    }
+    print_table(table);
+    std::cout << "claim check (Thm 3.10): with enough copies W ~1 L^+; "
+                 "delta shrinks as alpha^-1 grows.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment harness (one binary per experiment;
+// see DESIGN.md §3 and EXPERIMENTS.md).
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace parlap::bench {
+
+/// Named graph families used across experiments. `size` is a family-
+/// specific scale knob (side length, vertex count, or RMAT scale).
+inline Multigraph make_family(const std::string& name, Vertex size,
+                              std::uint64_t seed = 1) {
+  if (name == "grid2d") return make_grid2d(size, size);
+  if (name == "grid3d") return make_grid3d(size, size, size);
+  if (name == "path") return make_path(size);
+  if (name == "regular4") return make_random_regular(size, 4, seed);
+  if (name == "regular8") return make_random_regular(size, 8, seed);
+  if (name == "gnm4") {
+    return make_erdos_renyi(size, static_cast<EdgeId>(size) * 4, seed);
+  }
+  if (name == "rmat") {
+    Multigraph g = make_rmat(static_cast<int>(size),
+                             EdgeId{8} << static_cast<int>(size), seed);
+    apply_weights(g, WeightModel::power_law(0.1, 10.0, 2.2), seed + 1);
+    return g;
+  }
+  if (name == "barbell") return make_barbell(size, size / 2);
+  if (name == "wgrid2d") {
+    Multigraph g = make_grid2d(size, size);
+    apply_weights(g, WeightModel::power_law(0.01, 100.0, 2.5), seed + 2);
+    return g;
+  }
+  throw std::runtime_error("unknown family: " + name);
+}
+
+/// Deterministic mean-free right-hand side.
+inline Vector random_rhs(Vertex n, std::uint64_t seed) {
+  Vector b(static_cast<std::size_t>(n));
+  Rng rng(seed, RngTag::kTest, 0xBE7C4);
+  for (auto& v : b) v = rng.next_in(-1.0, 1.0);
+  project_out_ones(b);
+  return b;
+}
+
+inline void print_table(const TextTable& t) {
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace parlap::bench

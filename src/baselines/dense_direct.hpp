@@ -1,0 +1,30 @@
+// Exact dense pseudo-inverse solver — the ground-truth comparator for
+// small instances (tests and the accuracy columns of benches E3/E7).
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "graph/multigraph.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+
+class DenseDirectSolver {
+ public:
+  explicit DenseDirectSolver(const Multigraph& g)
+      : pinv_(pseudo_inverse(laplacian_dense(g))) {}
+
+  /// x = L^+ b (exact up to the eigensolve tolerance).
+  void solve(std::span<const double> b, std::span<double> x) const {
+    const Vector r = pinv_.apply(b);
+    std::copy(r.begin(), r.end(), x.begin());
+  }
+
+  [[nodiscard]] const DenseMatrix& pinv() const noexcept { return pinv_; }
+
+ private:
+  DenseMatrix pinv_;
+};
+
+}  // namespace parlap

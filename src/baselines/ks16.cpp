@@ -1,0 +1,145 @@
+#include "baselines/ks16.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/alpha_bound.hpp"
+#include "graph/connectivity.hpp"
+#include "parallel/alias_table.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+Ks16Solver::Ks16Solver(const Multigraph& g, Ks16Options opts)
+    : n_(g.num_vertices()), op_(g), opts_(opts) {
+  PARLAP_CHECK_MSG(is_connected(g), "Ks16Solver requires a connected graph");
+  const Multigraph split =
+      split_edges_uniform(g, default_split_copies(n_, opts.split_scale));
+
+  // Dynamic adjacency with lazy deletion of edges to eliminated vertices.
+  std::vector<std::vector<std::pair<Vertex, Weight>>> adj(
+      static_cast<std::size_t>(n_));
+  const EdgeId m = split.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    adj[static_cast<std::size_t>(split.edge_u(e))].emplace_back(
+        split.edge_v(e), split.edge_weight(e));
+    adj[static_cast<std::size_t>(split.edge_v(e))].emplace_back(
+        split.edge_u(e), split.edge_weight(e));
+  }
+
+  // Uniformly random elimination order (the KS16 requirement).
+  order_.resize(static_cast<std::size_t>(n_));
+  std::iota(order_.begin(), order_.end(), Vertex{0});
+  Rng perm_rng(opts.seed, RngTag::kBaseline, 0);
+  for (Vertex i = n_ - 1; i > 0; --i) {
+    const auto j = static_cast<Vertex>(
+        perm_rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order_[static_cast<std::size_t>(i)],
+              order_[static_cast<std::size_t>(j)]);
+  }
+
+  std::vector<std::uint8_t> eliminated(static_cast<std::size_t>(n_), 0);
+  columns_.resize(static_cast<std::size_t>(n_));
+  std::vector<double> weights_scratch;
+
+  for (std::size_t step = 0; step < order_.size(); ++step) {
+    const Vertex v = order_[step];
+    auto& list = adj[static_cast<std::size_t>(v)];
+    // Compact: drop stale entries (edges consumed by earlier eliminations).
+    std::erase_if(list, [&](const std::pair<Vertex, Weight>& p) {
+      return eliminated[static_cast<std::size_t>(p.first)] != 0;
+    });
+    eliminated[static_cast<std::size_t>(v)] = 1;
+
+    Column& col = columns_[static_cast<std::size_t>(v)];
+    if (list.empty()) {
+      adj[static_cast<std::size_t>(v)].clear();
+      adj[static_cast<std::size_t>(v)].shrink_to_fit();
+      continue;
+    }
+    double degree = 0.0;
+    for (const auto& [u, w] : list) degree += w;
+    col.degree = degree;
+    col.nz.assign(list.begin(), list.end());
+
+    // CliqueSample: per incident multi-edge (v,u), pick (v,z) w.p. w_z/d;
+    // add (u,z) with the harmonic weight; skip when z == u (self pair).
+    weights_scratch.resize(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      weights_scratch[i] = list[i].second;
+    }
+    const AliasTable table(weights_scratch);
+    Rng rng(opts_.seed, RngTag::kBaseline,
+            0x4B533136ull ^ static_cast<std::uint64_t>(v));
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const auto j = static_cast<std::size_t>(table.sample(rng));
+      const auto [u, wu] = list[i];
+      const auto [z, wz] = list[j];
+      if (u == z) continue;
+      const double w_new = wu * wz / (wu + wz);
+      adj[static_cast<std::size_t>(u)].emplace_back(z, w_new);
+      adj[static_cast<std::size_t>(z)].emplace_back(u, w_new);
+    }
+    adj[static_cast<std::size_t>(v)].clear();
+    adj[static_cast<std::size_t>(v)].shrink_to_fit();
+  }
+}
+
+void Ks16Solver::apply_preconditioner(std::span<const double> b,
+                                      std::span<double> x) const {
+  PARLAP_CHECK(b.size() == static_cast<std::size_t>(n_));
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(n_));
+  // Forward: y = L^-1 b with unit lower-triangular L, column v holding
+  // entries -w/d_v at its (then-)neighbors.
+  Vector y(b.begin(), b.end());
+  for (const Vertex v : order_) {
+    const Column& col = columns_[static_cast<std::size_t>(v)];
+    if (col.degree <= 0.0) continue;
+    const double yv = y[static_cast<std::size_t>(v)];
+    for (const auto& [u, w] : col.nz) {
+      y[static_cast<std::size_t>(u)] += (w / col.degree) * yv;
+    }
+  }
+  // Diagonal: z = D^+ y.
+  for (Vertex v = 0; v < n_; ++v) {
+    const double d = columns_[static_cast<std::size_t>(v)].degree;
+    y[static_cast<std::size_t>(v)] = d > 0.0 ? y[static_cast<std::size_t>(v)] / d : 0.0;
+  }
+  // Backward: x = L^-T z, reverse elimination order.
+  for (std::size_t step = order_.size(); step-- > 0;) {
+    const Vertex v = order_[step];
+    const Column& col = columns_[static_cast<std::size_t>(v)];
+    if (col.degree <= 0.0) continue;
+    double acc = y[static_cast<std::size_t>(v)];
+    for (const auto& [u, w] : col.nz) {
+      acc += (w / col.degree) * y[static_cast<std::size_t>(u)];
+    }
+    y[static_cast<std::size_t>(v)] = acc;
+  }
+  std::copy(y.begin(), y.end(), x.begin());
+  project_out_ones(x);
+}
+
+IterationStats Ks16Solver::solve(std::span<const double> b,
+                                 std::span<double> x, double eps) const {
+  Vector b_proj(b.begin(), b.end());
+  project_out_ones(b_proj);
+  const LinearMap precond = [this](std::span<const double> r,
+                                   std::span<double> y) {
+    apply_preconditioner(r, y);
+  };
+  CgOptions cg;
+  cg.max_iterations = opts_.cg_max_iterations;
+  return preconditioned_cg(op_, precond, b_proj, x, eps, cg);
+}
+
+EdgeId Ks16Solver::factor_entries() const noexcept {
+  EdgeId total = 0;
+  for (const Column& c : columns_) {
+    total += static_cast<EdgeId>(c.nz.size());
+  }
+  return total;
+}
+
+}  // namespace parlap

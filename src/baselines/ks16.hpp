@@ -1,0 +1,62 @@
+// Kyng-Sachdeva (FOCS 2016) sequential approximate Cholesky baseline.
+//
+// This is the solver the paper extends: eliminate vertices one at a time
+// in uniformly random order; instead of the full clique that exact
+// elimination adds, sample one edge per incident multi-edge — pick
+// neighbor z with probability w(v,z)/deg(v) and add (u, z) with weight
+// w(v,u) w(v,z) / (w(v,u) + w(v,z)), which reproduces the clique in
+// expectation. The resulting approximate LDL' factors precondition CG.
+//
+// Inherently sequential (each elimination depends on all previous ones) —
+// the contrast the paper's abstract draws, regenerated in bench E3.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/cg.hpp"
+#include "graph/multigraph.hpp"
+#include "linalg/laplacian_op.hpp"
+
+namespace parlap {
+
+struct Ks16Options {
+  std::uint64_t seed = 42;
+  /// Edge copies = max(1, ceil(split_scale * ceil(log2 n)^2)), matching
+  /// the main solver's knob for a like-for-like comparison.
+  double split_scale = 1.0;
+  int cg_max_iterations = 0;
+};
+
+class Ks16Solver {
+ public:
+  /// Factorizes immediately; requires a connected graph.
+  explicit Ks16Solver(const Multigraph& g, Ks16Options opts = {});
+
+  /// Solves L x = b to relative residual eps via PCG with the approximate
+  /// LDL' preconditioner.
+  IterationStats solve(std::span<const double> b, std::span<double> x,
+                       double eps) const;
+
+  /// x = (L D L')^+ b (forward solve, diagonal, backward solve).
+  void apply_preconditioner(std::span<const double> b,
+                            std::span<double> x) const;
+
+  [[nodiscard]] EdgeId factor_entries() const noexcept;
+  [[nodiscard]] Vertex dimension() const noexcept { return n_; }
+
+ private:
+  struct Column {
+    double degree = 0.0;                        ///< d_v at elimination
+    std::vector<std::pair<Vertex, Weight>> nz;  ///< surviving neighbors
+  };
+
+  Vertex n_ = 0;
+  std::vector<Vertex> order_;    ///< elimination order
+  std::vector<Column> columns_;  ///< indexed by vertex id
+  LaplacianOperator op_;
+  Ks16Options opts_;
+};
+
+}  // namespace parlap

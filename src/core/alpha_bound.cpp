@@ -1,0 +1,69 @@
+#include "core/alpha_bound.hpp"
+
+#include <cmath>
+
+#include "parallel/for_each.hpp"
+#include "parallel/scan.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+std::int64_t default_split_copies(Vertex n, double scale) {
+  PARLAP_CHECK(n >= 1);
+  PARLAP_CHECK(scale >= 0.0);
+  const double log_n = std::ceil(std::log2(static_cast<double>(std::max(n, Vertex{2}))));
+  const auto copies = static_cast<std::int64_t>(std::ceil(scale * log_n * log_n));
+  return std::max<std::int64_t>(1, copies);
+}
+
+double default_alpha(Vertex n, double scale) {
+  return 1.0 / static_cast<double>(default_split_copies(n, scale));
+}
+
+Multigraph split_edges_uniform(const Multigraph& g, std::int64_t copies) {
+  PARLAP_CHECK(copies >= 1);
+  const EdgeId m = g.num_edges();
+  Multigraph h(g.num_vertices());
+  h.resize_edges(m * copies);
+  const double inv = 1.0 / static_cast<double>(copies);
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    const Vertex u = g.edge_u(e);
+    const Vertex v = g.edge_v(e);
+    const Weight w = g.edge_weight(e) * inv;
+    for (std::int64_t c = 0; c < copies; ++c) {
+      h.set_edge(e * copies + c, u, v, w);
+    }
+  });
+  return h;
+}
+
+Multigraph split_edges_by_scores(const Multigraph& g,
+                                 std::span<const double> tau_hat,
+                                 double alpha) {
+  const EdgeId m = g.num_edges();
+  PARLAP_CHECK(tau_hat.size() == static_cast<std::size_t>(m));
+  PARLAP_CHECK(alpha > 0.0);
+
+  std::vector<EdgeId> offset(static_cast<std::size_t>(m) + 1, 0);
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    const double tau = tau_hat[static_cast<std::size_t>(e)];
+    PARLAP_DCHECK(tau >= 0.0);
+    offset[static_cast<std::size_t>(e)] =
+        std::max<EdgeId>(1, static_cast<EdgeId>(std::ceil(tau / alpha)));
+  });
+  const EdgeId total = exclusive_scan(std::span<EdgeId>(offset));
+
+  Multigraph h(g.num_vertices());
+  h.resize_edges(total);
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    const EdgeId lo = offset[static_cast<std::size_t>(e)];
+    const EdgeId hi = offset[static_cast<std::size_t>(e) + 1];
+    const Vertex u = g.edge_u(e);
+    const Vertex v = g.edge_v(e);
+    const Weight w = g.edge_weight(e) / static_cast<double>(hi - lo);
+    for (EdgeId c = lo; c < hi; ++c) h.set_edge(c, u, v, w);
+  });
+  return h;
+}
+
+}  // namespace parlap

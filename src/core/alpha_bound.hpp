@@ -1,0 +1,36 @@
+// alpha-boundedness via edge splitting (§3.2, Lemma 3.2).
+//
+// A multi-edge e is alpha-bounded w.r.t. L when its leverage score
+// tau(e) = w(e) b_e' L^+ b_e is at most alpha. Any simple-graph edge has
+// tau <= 1, so splitting it into ceil(1/alpha) parallel copies of 1/k-th
+// the weight makes every copy alpha-bounded while leaving L unchanged.
+// Theorem 3.9 needs alpha^-1 = Theta(log^2 n) for matrix-Freedman
+// concentration; the constant is exposed as a knob and ablated in E9.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// Number of copies ceil(1/alpha) implied by `default_alpha`-style scales:
+/// k = max(1, ceil(scale * ceil(log2 n)^2)).
+[[nodiscard]] std::int64_t default_split_copies(Vertex n, double scale);
+
+/// alpha = 1 / default_split_copies(n, scale).
+[[nodiscard]] double default_alpha(Vertex n, double scale);
+
+/// Lemma 3.2: splits every edge into `copies` equal parts. O(m * copies)
+/// work, O(log n) depth. LH == LG exactly.
+[[nodiscard]] Multigraph split_edges_uniform(const Multigraph& g,
+                                             std::int64_t copies);
+
+/// Lemma 3.3 step (3): splits edge e into max(1, ceil(tau_hat[e] / alpha))
+/// parts using leverage-score overestimates; O(m + sum of copies) work.
+[[nodiscard]] Multigraph split_edges_by_scores(const Multigraph& g,
+                                               std::span<const double> tau_hat,
+                                               double alpha);
+
+}  // namespace parlap

@@ -1,0 +1,115 @@
+#include "core/approx_schur.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/alpha_bound.hpp"
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+namespace {
+
+std::uint64_t schur_level_seed(std::uint64_t seed, int level) {
+  return splitmix64(seed ^ splitmix64(0x534348524Cull +
+                                      static_cast<std::uint64_t>(level)));
+}
+
+}  // namespace
+
+ApproxSchurResult approx_schur(const Multigraph& g,
+                               std::span<const Vertex> c_set,
+                               std::uint64_t seed,
+                               const ApproxSchurOptions& opts) {
+  const Vertex n = g.num_vertices();
+  const auto num_c = static_cast<Vertex>(c_set.size());
+  PARLAP_CHECK_MSG(num_c >= 1, "ApproxSchur needs a non-empty terminal set");
+  PARLAP_CHECK_MSG(num_c < n, "terminal set must be a proper subset of V");
+
+  // Relabel so terminals occupy ids [0, |C|) and non-terminals follow in
+  // ascending order; ascending-rank relabelling at every level then keeps
+  // terminal ids fixed, so U_k is always the suffix [|C|, n_k).
+  std::vector<Vertex> new_id(static_cast<std::size_t>(n), kInvalidVertex);
+  for (std::size_t i = 0; i < c_set.size(); ++i) {
+    const Vertex v = c_set[i];
+    PARLAP_CHECK(v >= 0 && v < n);
+    PARLAP_CHECK_MSG(new_id[static_cast<std::size_t>(v)] == kInvalidVertex,
+                     "duplicate terminal " << v);
+    new_id[static_cast<std::size_t>(v)] = static_cast<Vertex>(i);
+  }
+  {
+    Vertex next = num_c;
+    for (Vertex v = 0; v < n; ++v) {
+      if (new_id[static_cast<std::size_t>(v)] == kInvalidVertex) {
+        new_id[static_cast<std::size_t>(v)] = next++;
+      }
+    }
+  }
+  Multigraph cur(n);
+  cur.resize_edges(g.num_edges());
+  parallel_for(EdgeId{0}, g.num_edges(), [&](EdgeId e) {
+    cur.set_edge(e, new_id[static_cast<std::size_t>(g.edge_u(e))],
+                 new_id[static_cast<std::size_t>(g.edge_v(e))],
+                 g.edge_weight(e));
+  });
+
+  ApproxSchurResult result;
+  while (cur.num_vertices() > num_c) {
+    PARLAP_CHECK_MSG(result.levels < opts.max_levels,
+                     "ApproxSchur exceeded max_levels");
+    const std::uint64_t lseed = schur_level_seed(seed, result.levels);
+    const Vertex nk = cur.num_vertices();
+
+    // U_k = non-terminals = [num_c, nk); find a 5-DD subset of G[U_k].
+    std::vector<Vertex> candidates(static_cast<std::size_t>(nk - num_c));
+    std::iota(candidates.begin(), candidates.end(), num_c);
+    const FiveDdResult fdd =
+        five_dd_subset(cur, candidates, lseed, opts.five_dd);
+    PARLAP_CHECK(!fdd.f.empty());
+
+    // Keep set = everything except F_k; rank relabelling keeps terminals
+    // at [0, num_c) because F is disjoint from that prefix.
+    std::vector<Vertex> f_index(static_cast<std::size_t>(nk), kInvalidVertex);
+    for (std::size_t i = 0; i < fdd.f.size(); ++i) {
+      f_index[static_cast<std::size_t>(fdd.f[i])] = static_cast<Vertex>(i);
+    }
+    std::vector<Vertex> c_index(static_cast<std::size_t>(nk), kInvalidVertex);
+    Vertex kept = 0;
+    for (Vertex v = 0; v < nk; ++v) {
+      if (f_index[static_cast<std::size_t>(v)] == kInvalidVertex) {
+        c_index[static_cast<std::size_t>(v)] = kept++;
+      }
+    }
+
+    const WalkGraph wg = build_walk_graph(
+        cur, f_index, static_cast<Vertex>(fdd.f.size()));
+    WalkStats ws;
+    cur = terminal_walks(cur, wg, f_index, c_index, kept, seed,
+                         static_cast<std::uint64_t>(result.levels), &ws,
+                         opts.walks);
+    result.walk_stats.push_back(ws);
+    ++result.levels;
+  }
+  result.schur = std::move(cur);
+  return result;
+}
+
+ApproxSchurResult approx_schur_simple(const Multigraph& g,
+                                      std::span<const Vertex> c_set,
+                                      double eps, std::uint64_t seed,
+                                      double scale,
+                                      const ApproxSchurOptions& opts) {
+  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
+  const double log_n = std::ceil(
+      std::log2(static_cast<double>(std::max(g.num_vertices(), Vertex{2}))));
+  const auto copies = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(scale * log_n * log_n / (eps * eps))));
+  const Multigraph split = split_edges_uniform(g, copies);
+  return approx_schur(split, c_set, seed, opts);
+}
+
+}  // namespace parlap

@@ -1,0 +1,50 @@
+// Standalone sparse Schur complement approximation
+// (Algorithm 6, §7, Theorem 7.1).
+//
+// ApproxSchur eliminates the non-terminal set U = V\C in O(log |U|) rounds:
+// each round removes a 5-DD subset of the *induced* subgraph G[U] (a 5-DD
+// subset of an induced subgraph is 5-DD in the whole graph) and resamples
+// via TerminalWalks with terminal set "everything not yet eliminated".
+// With alpha^-1 = Theta(eps^-2 log^2 n) the result satisfies
+// L_GS ~eps SC(L_G, C) w.h.p. with at most m multi-edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/five_dd.hpp"
+#include "core/terminal_walks.hpp"
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+struct ApproxSchurOptions {
+  FiveDdOptions five_dd;
+  WalkOptions walks;
+  int max_levels = 100000;
+};
+
+struct ApproxSchurResult {
+  /// Vertex i of `schur` corresponds to c_set[i] of the input graph.
+  Multigraph schur;
+  int levels = 0;
+  std::vector<WalkStats> walk_stats;  ///< one entry per level
+};
+
+/// Runs Algorithm 6 on an already alpha-bounded multigraph. `c_set` must
+/// list distinct vertices, non-empty, and a proper subset of V.
+[[nodiscard]] ApproxSchurResult approx_schur(const Multigraph& g,
+                                             std::span<const Vertex> c_set,
+                                             std::uint64_t seed,
+                                             const ApproxSchurOptions& opts = {});
+
+/// Convenience for simple graphs: splits edges uniformly into
+/// ceil(scale * eps^-2 * ceil(log2 n)^2) copies (Theorem 7.1's alpha),
+/// then runs approx_schur.
+[[nodiscard]] ApproxSchurResult approx_schur_simple(
+    const Multigraph& g, std::span<const Vertex> c_set, double eps,
+    std::uint64_t seed, double scale = 0.05,
+    const ApproxSchurOptions& opts = {});
+
+}  // namespace parlap

@@ -1,0 +1,382 @@
+#include "core/block_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include <omp.h>
+
+#include "parallel/for_each.hpp"
+#include "parallel/scan.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// Independent per-level seed stream.
+std::uint64_t level_seed(std::uint64_t seed, int level) {
+  return splitmix64(seed ^ splitmix64(0x4C45564Cull + static_cast<std::uint64_t>(level)));
+}
+
+/// Builds one level's compact storage from the F-row adjacency. The walk
+/// graph rows list every edge incident to F, so Y (= F-F), L_FC and L_CF
+/// all derive from it without touching C-C edges.
+EliminationLevel extract_level(const WalkGraph& wg,
+                               std::span<const double> wdeg,
+                               const std::vector<Vertex>& f_index,
+                               const std::vector<Vertex>& c_index,
+                               std::vector<Vertex> f_list,
+                               std::vector<Vertex> c_list) {
+  EliminationLevel lvl;
+  lvl.n = static_cast<Vertex>(wdeg.size());
+  lvl.nf = static_cast<Vertex>(f_list.size());
+  lvl.nc = static_cast<Vertex>(c_list.size());
+  lvl.f_list = std::move(f_list);
+  lvl.c_list = std::move(c_list);
+  lvl.inv_x.resize(static_cast<std::size_t>(lvl.nf));
+  lvl.y_diag.resize(static_cast<std::size_t>(lvl.nf));
+
+  // Split each F row of the walk graph into F-F and F-C parts.
+  std::vector<EdgeId> ff_cnt(static_cast<std::size_t>(lvl.nf) + 1, 0);
+  std::vector<EdgeId> fc_cnt(static_cast<std::size_t>(lvl.nf) + 1, 0);
+  parallel_for(Vertex{0}, lvl.nf, [&](Vertex i) {
+    const auto lo = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(i)]);
+    const auto hi = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(i) + 1]);
+    EdgeId nff = 0;
+    for (std::size_t p = lo; p < hi; ++p) {
+      if (f_index[static_cast<std::size_t>(wg.nbr[p])] != kInvalidVertex) ++nff;
+    }
+    ff_cnt[static_cast<std::size_t>(i)] = nff;
+    fc_cnt[static_cast<std::size_t>(i)] = static_cast<EdgeId>(hi - lo) - nff;
+  });
+  const EdgeId ff_total = exclusive_scan(std::span<EdgeId>(ff_cnt));
+  const EdgeId fc_total = exclusive_scan(std::span<EdgeId>(fc_cnt));
+  lvl.ff.off = std::move(ff_cnt);
+  lvl.fc.off = std::move(fc_cnt);
+  lvl.ff.nbr.resize(static_cast<std::size_t>(ff_total));
+  lvl.ff.w.resize(static_cast<std::size_t>(ff_total));
+  lvl.fc.nbr.resize(static_cast<std::size_t>(fc_total));
+  lvl.fc.w.resize(static_cast<std::size_t>(fc_total));
+
+  parallel_for(Vertex{0}, lvl.nf, [&](Vertex i) {
+    const auto lo = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(i)]);
+    const auto hi = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(i) + 1]);
+    EdgeId pf = lvl.ff.off[static_cast<std::size_t>(i)];
+    EdgeId pc = lvl.fc.off[static_cast<std::size_t>(i)];
+    double induced = 0.0;
+    for (std::size_t p = lo; p < hi; ++p) {
+      const Vertex t = wg.nbr[p];
+      const Weight w = wg.w[p];
+      const Vertex ft = f_index[static_cast<std::size_t>(t)];
+      if (ft != kInvalidVertex) {
+        lvl.ff.nbr[static_cast<std::size_t>(pf)] = ft;
+        lvl.ff.w[static_cast<std::size_t>(pf)] = w;
+        ++pf;
+        induced += w;
+      } else {
+        lvl.fc.nbr[static_cast<std::size_t>(pc)] =
+            c_index[static_cast<std::size_t>(t)];
+        lvl.fc.w[static_cast<std::size_t>(pc)] = w;
+        ++pc;
+      }
+    }
+    const Vertex v = lvl.f_list[static_cast<std::size_t>(i)];
+    const double x = wdeg[static_cast<std::size_t>(v)] - induced;
+    lvl.y_diag[static_cast<std::size_t>(i)] = induced;
+    // X_ff >= (4/5) deg(f) > 0 for non-isolated f by 5-DD; isolated
+    // vertices get the pseudo-inverse convention 1/0 -> 0.
+    lvl.inv_x[static_cast<std::size_t>(i)] = x > 0.0 ? 1.0 / x : 0.0;
+  });
+
+  // L_CF = transpose of fc: stable chunked counting sort by C column.
+  const auto ncz = static_cast<std::size_t>(lvl.nc);
+  std::vector<EdgeId> cf_cnt(ncz + 1, 0);
+  {
+    const auto entries = static_cast<EdgeId>(lvl.fc.nbr.size());
+    const int chunks = std::max(
+        1, std::min<int>(thread_count(),
+                         static_cast<int>((std::int64_t{1} << 24) /
+                                          std::max<std::int64_t>(
+                                              static_cast<std::int64_t>(ncz), 1))));
+    const EdgeId chunk_len = (entries + chunks - 1) / std::max(chunks, 1);
+    std::vector<EdgeId> hist(static_cast<std::size_t>(chunks) * ncz, 0);
+#pragma omp parallel for schedule(static) num_threads(chunks)
+    for (int c = 0; c < chunks; ++c) {
+      EdgeId* local = hist.data() + static_cast<std::size_t>(c) * ncz;
+      const EdgeId lo = c * chunk_len;
+      const EdgeId hi = std::min(entries, lo + chunk_len);
+      for (EdgeId p = lo; p < hi; ++p) {
+        ++local[static_cast<std::size_t>(lvl.fc.nbr[static_cast<std::size_t>(p)])];
+      }
+    }
+    parallel_for(std::size_t{0}, ncz, [&](std::size_t j) {
+      EdgeId total = 0;
+      for (int c = 0; c < chunks; ++c)
+        total += hist[static_cast<std::size_t>(c) * ncz + j];
+      cf_cnt[j] = total;
+    });
+    cf_cnt[ncz] = 0;
+    exclusive_scan(std::span<EdgeId>(cf_cnt));
+    lvl.cf.off = cf_cnt;
+    lvl.cf.nbr.resize(static_cast<std::size_t>(lvl.cf.off[ncz]));
+    lvl.cf.w.resize(static_cast<std::size_t>(lvl.cf.off[ncz]));
+
+    std::vector<EdgeId> base(static_cast<std::size_t>(chunks) * ncz);
+    parallel_for(std::size_t{0}, ncz, [&](std::size_t j) {
+      EdgeId run = lvl.cf.off[j];
+      for (int c = 0; c < chunks; ++c) {
+        base[static_cast<std::size_t>(c) * ncz + j] = run;
+        run += hist[static_cast<std::size_t>(c) * ncz + j];
+      }
+    });
+    // Row index of each fc entry: recover via upper_bound on fc.off; to
+    // stay O(1) per entry we walk rows per chunk instead.
+#pragma omp parallel for schedule(static) num_threads(chunks)
+    for (int c = 0; c < chunks; ++c) {
+      EdgeId* local = base.data() + static_cast<std::size_t>(c) * ncz;
+      const EdgeId lo = c * chunk_len;
+      const EdgeId hi = std::min(entries, lo + chunk_len);
+      if (lo >= hi) continue;
+      // First row whose range intersects [lo, hi).
+      auto it = std::upper_bound(lvl.fc.off.begin(), lvl.fc.off.end(), lo);
+      auto row = static_cast<std::size_t>(it - lvl.fc.off.begin()) - 1;
+      for (EdgeId p = lo; p < hi; ++p) {
+        while (lvl.fc.off[row + 1] <= p) ++row;
+        const auto j = static_cast<std::size_t>(
+            lvl.fc.nbr[static_cast<std::size_t>(p)]);
+        const auto slot = static_cast<std::size_t>(local[j]++);
+        lvl.cf.nbr[slot] = static_cast<Vertex>(row);
+        lvl.cf.w[slot] = lvl.fc.w[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+  return lvl;
+}
+
+}  // namespace
+
+BlockCholeskyChain BlockCholeskyChain::build(const Multigraph& g,
+                                             std::uint64_t seed,
+                                             const BlockCholeskyOptions& opts) {
+  PARLAP_CHECK(g.num_vertices() >= 1);
+  BlockCholeskyChain chain;
+  chain.n0_ = g.num_vertices();
+
+  Multigraph cur = g;  // G^(0); successively replaced by G^(k)
+  int level = 0;
+  while (cur.num_vertices() > opts.base_size) {
+    PARLAP_CHECK_MSG(level < opts.max_levels,
+                     "BlockCholesky exceeded max_levels = " << opts.max_levels);
+    const std::uint64_t lseed = level_seed(seed, level);
+    const Vertex n = cur.num_vertices();
+    const std::vector<Weight> wdeg = cur.weighted_degrees();
+
+    // F_k <- 5DDSubset(G^(k-1))        (Algorithm 1, line 5)
+    const FiveDdResult fdd = five_dd_subset(cur, wdeg, lseed, opts.five_dd);
+    std::vector<Vertex> f_index(static_cast<std::size_t>(n), kInvalidVertex);
+    for (std::size_t i = 0; i < fdd.f.size(); ++i) {
+      f_index[static_cast<std::size_t>(fdd.f[i])] = static_cast<Vertex>(i);
+    }
+    std::vector<Vertex> c_list;
+    c_list.reserve(static_cast<std::size_t>(n) - fdd.f.size());
+    std::vector<Vertex> c_index(static_cast<std::size_t>(n), kInvalidVertex);
+    for (Vertex v = 0; v < n; ++v) {
+      if (f_index[static_cast<std::size_t>(v)] == kInvalidVertex) {
+        c_index[static_cast<std::size_t>(v)] = static_cast<Vertex>(c_list.size());
+        c_list.push_back(v);
+      }
+    }
+    PARLAP_CHECK_MSG(!c_list.empty(), "5-DD subset consumed every vertex");
+
+    LevelStats ls;
+    ls.n = n;
+    ls.multi_edges = cur.num_edges();
+    ls.f_size = static_cast<Vertex>(fdd.f.size());
+    ls.five_dd_rounds = fdd.rounds;
+
+    const Vertex nf = static_cast<Vertex>(fdd.f.size());
+    const WalkGraph wg = build_walk_graph(cur, f_index, nf);
+
+    // G^(k) <- TerminalWalks(G^(k-1), C_k)  (Algorithm 1, line 6)
+    const Vertex nc = static_cast<Vertex>(c_list.size());
+    Multigraph next =
+        terminal_walks(cur, wg, f_index, c_index, nc, seed,
+                       static_cast<std::uint64_t>(level), &ls.walks,
+                       opts.walks);
+
+    chain.levels_.push_back(extract_level(wg, wdeg, f_index, c_index, fdd.f,
+                                          std::move(c_list)));
+    chain.stats_.push_back(std::move(ls));
+    cur = std::move(next);
+    ++level;
+  }
+
+  // Dense base-case pseudo-inverse (Thm 3.9-(3): O(1)-size system).
+  chain.base_n_ = cur.num_vertices();
+  chain.base_pinv_ = pseudo_inverse(laplacian_dense(cur));
+
+  // l for eps = 1/2d (Algorithm 2 line 4 + Lemma 3.5).
+  if (opts.jacobi_terms > 0) {
+    chain.jacobi_terms_ = opts.jacobi_terms | 1;  // force odd
+  } else {
+    const double d = std::max(1, chain.depth());
+    int l = static_cast<int>(std::ceil(std::log2(6.0 * d)));
+    if (l % 2 == 0) ++l;
+    chain.jacobi_terms_ = std::max(1, l);
+  }
+  return chain;
+}
+
+EdgeId BlockCholeskyChain::stored_entries() const noexcept {
+  EdgeId total = 0;
+  for (const EliminationLevel& lvl : levels_) {
+    total += static_cast<EdgeId>(lvl.ff.nbr.size() + lvl.fc.nbr.size() +
+                                 lvl.cf.nbr.size());
+  }
+  return total;
+}
+
+void BlockCholeskyChain::prepare_workspace(ApplyWorkspace& ws) const {
+  const std::size_t d = levels_.size();
+  if (ws.level_vec.size() == d + 1 &&
+      (d == 0 || ws.level_vec[0].size() == static_cast<std::size_t>(n0_))) {
+    return;
+  }
+  ws.level_vec.assign(d + 1, {});
+  ws.level_yf.assign(d, {});
+  std::size_t max_nf = 1;
+  for (std::size_t k = 0; k < d; ++k) {
+    ws.level_vec[k].resize(static_cast<std::size_t>(levels_[k].n));
+    ws.level_yf[k].resize(static_cast<std::size_t>(levels_[k].nf));
+    max_nf = std::max(max_nf, static_cast<std::size_t>(levels_[k].nf));
+  }
+  ws.level_vec[d].resize(static_cast<std::size_t>(base_n_));
+  ws.jac_b.resize(max_nf);
+  ws.jac_cur.resize(max_nf);
+  ws.jac_tmp.resize(max_nf);
+  ws.scratch_f.resize(max_nf);
+  ws.scratch_f2.resize(max_nf);
+}
+
+void BlockCholeskyChain::jacobi_solve(const EliminationLevel& lvl,
+                                      std::span<const double> b_f,
+                                      std::span<double> out,
+                                      ApplyWorkspace& ws) const {
+  // Z b = sum_{i=0}^{l} X^-1 (-Y X^-1)^i b via the recurrence
+  // x^(i) = X^-1 b - X^-1 Y x^(i-1)   (Algorithm 2, Jacobi procedure).
+  const auto nf = static_cast<std::size_t>(lvl.nf);
+  std::span<double> xb(ws.jac_b.data(), nf);
+  std::span<double> cur(ws.jac_cur.data(), nf);
+  std::span<double> tmp(ws.jac_tmp.data(), nf);
+
+  parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+    xb[i] = lvl.inv_x[i] * b_f[i];
+    cur[i] = xb[i];
+  });
+  for (int it = 1; it <= jacobi_terms_; ++it) {
+    // tmp = xb - X^-1 (Y cur)
+    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+      const EdgeId lo = lvl.ff.off[i];
+      const EdgeId hi = lvl.ff.off[i + 1];
+      double acc = lvl.y_diag[i] * cur[i];
+      for (EdgeId p = lo; p < hi; ++p) {
+        acc -= lvl.ff.w[static_cast<std::size_t>(p)] *
+               cur[static_cast<std::size_t>(lvl.ff.nbr[static_cast<std::size_t>(p)])];
+      }
+      tmp[i] = xb[i] - lvl.inv_x[i] * acc;
+    });
+    std::swap_ranges(tmp.begin(), tmp.end(), cur.begin());
+  }
+  parallel_for(std::size_t{0}, nf, [&](std::size_t i) { out[i] = cur[i]; });
+}
+
+void BlockCholeskyChain::apply(std::span<const double> b,
+                               std::span<double> y) const {
+  ApplyWorkspace ws;
+  apply(b, y, ws);
+}
+
+void BlockCholeskyChain::apply(std::span<const double> b, std::span<double> y,
+                               ApplyWorkspace& ws) const {
+  PARLAP_CHECK(b.size() == static_cast<std::size_t>(n0_));
+  PARLAP_CHECK(y.size() == static_cast<std::size_t>(n0_));
+  prepare_workspace(ws);
+  const std::size_t d = levels_.size();
+
+  std::copy(b.begin(), b.end(), ws.level_vec[0].begin());
+
+  // Forward substitution (Algorithm 2, lines 3-5).
+  for (std::size_t k = 0; k < d; ++k) {
+    const EliminationLevel& lvl = levels_[k];
+    std::vector<double>& vec = ws.level_vec[k];
+    std::vector<double>& yf = ws.level_yf[k];
+    const auto nf = static_cast<std::size_t>(lvl.nf);
+
+    // y_F = Z^(k) b_F
+    std::span<double> bf(ws.scratch_f.data(), nf);
+    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+      bf[i] = vec[static_cast<std::size_t>(lvl.f_list[i])];
+    });
+    jacobi_solve(lvl, bf, yf, ws);
+
+    // b^(k+1) = y_C = b_C - L_CF y_F = b_C + sum_{c~f} w * y_F[f]
+    std::vector<double>& next = ws.level_vec[k + 1];
+    parallel_for(std::size_t{0}, static_cast<std::size_t>(lvl.nc),
+                 [&](std::size_t j) {
+                   double acc = vec[static_cast<std::size_t>(lvl.c_list[j])];
+                   const EdgeId lo = lvl.cf.off[j];
+                   const EdgeId hi = lvl.cf.off[j + 1];
+                   for (EdgeId p = lo; p < hi; ++p) {
+                     acc += lvl.cf.w[static_cast<std::size_t>(p)] *
+                            yf[static_cast<std::size_t>(
+                                lvl.cf.nbr[static_cast<std::size_t>(p)])];
+                   }
+                   next[j] = acc;
+                 });
+  }
+
+  // Base solve x^(d) = L_{G^(d)}^+ b^(d) (Algorithm 2, line 6).
+  {
+    std::vector<double>& base = ws.level_vec[d];
+    const Vector xd = base_pinv_.apply(base);
+    std::copy(xd.begin(), xd.end(), base.begin());
+  }
+
+  // Backward substitution (lines 7-8): x_F = y_F - Z^(k) (L_FC x_C).
+  for (std::size_t k = d; k-- > 0;) {
+    const EliminationLevel& lvl = levels_[k];
+    std::vector<double>& xc = ws.level_vec[k + 1];
+    std::vector<double>& out = ws.level_vec[k];
+    const std::vector<double>& yf = ws.level_yf[k];
+    const auto nf = static_cast<std::size_t>(lvl.nf);
+
+    std::span<double> tf(ws.scratch_f.data(), nf);
+    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+      const EdgeId lo = lvl.fc.off[i];
+      const EdgeId hi = lvl.fc.off[i + 1];
+      double acc = 0.0;
+      for (EdgeId p = lo; p < hi; ++p) {
+        acc -= lvl.fc.w[static_cast<std::size_t>(p)] *
+               xc[static_cast<std::size_t>(
+                   lvl.fc.nbr[static_cast<std::size_t>(p)])];
+      }
+      tf[i] = acc;  // (L_FC x_C)_f
+    });
+    std::span<double> zf(ws.scratch_f2.data(), nf);
+    jacobi_solve(lvl, tf, zf, ws);
+
+    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+      out[static_cast<std::size_t>(lvl.f_list[i])] = yf[i] - zf[i];
+    });
+    parallel_for(std::size_t{0}, static_cast<std::size_t>(lvl.nc),
+                 [&](std::size_t j) {
+                   out[static_cast<std::size_t>(lvl.c_list[j])] = xc[j];
+                 });
+  }
+
+  std::copy(ws.level_vec[0].begin(), ws.level_vec[0].end(), y.begin());
+}
+
+}  // namespace parlap

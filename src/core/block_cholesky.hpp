@@ -1,0 +1,130 @@
+// Block Cholesky factorization chain (Algorithms 1 and 2, Theorems 3.9
+// and 3.10).
+//
+// BlockCholesky::build repeatedly (a) finds a 5-DD subset F_k (Algorithm
+// 3), (b) replaces the Schur complement onto C_k by the TerminalWalks
+// sample (Algorithm 4), until the remaining graph has at most
+// `base_size` vertices (Thm 3.9-(3)); the base system is inverted densely.
+//
+// apply() realizes ApplyCholesky (Algorithm 2): forward substitution down
+// the chain with the F-blocks solved approximately by the truncated Jacobi
+// series Z = sum_i X^-1 (-Y X^-1)^i (Lemma 3.5, l = O(log d) terms for
+// eps = 1/2d), the dense base solve, and backward substitution up. The
+// resulting operator W is symmetric PSD and satisfies W^+ ~1 L_G w.h.p.
+// (Thm 3.10), making it a constant-quality preconditioner.
+//
+// Memory: only edges incident to the eliminated sets are retained (three
+// sub-CSRs per level: F-F for Y, F->C and C->F for the off-diagonal
+// blocks), totalling O(sum_k vol(F_k)) = O(m log n) in expectation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/five_dd.hpp"
+#include "core/terminal_walks.hpp"
+#include "graph/multigraph.hpp"
+#include "linalg/dense.hpp"
+#include "support/types.hpp"
+
+namespace parlap {
+
+struct BlockCholeskyOptions {
+  /// Recursion stops when the current graph has at most this many vertices
+  /// (the paper uses 100).
+  Vertex base_size = 100;
+  /// Safety cap on the number of elimination levels.
+  int max_levels = 10000;
+  /// Jacobi series length l; 0 = auto (smallest odd l >= log2(6 d), i.e.
+  /// eps = 1/2d per Lemma 3.5 / Algorithm 2 line 4).
+  int jacobi_terms = 0;
+  FiveDdOptions five_dd;
+  WalkOptions walks;
+};
+
+/// Compact per-level storage: everything ApplyCholesky needs and nothing
+/// else (C-C edges live on only transiently as the next level's graph).
+struct EliminationLevel {
+  Vertex n = 0;   ///< vertices of G^(k-1) at this level
+  Vertex nf = 0;  ///< |F_k|
+  Vertex nc = 0;  ///< |C_k|
+  std::vector<Vertex> f_list;  ///< level-local ids eliminated here
+  std::vector<Vertex> c_list;  ///< level-local ids kept (next level order)
+  std::vector<double> inv_x;   ///< 1/X_ff; 0 for isolated vertices
+  std::vector<double> y_diag;  ///< induced-F weighted degree (Y diagonal)
+
+  /// Row-compressed adjacency over local index spaces.
+  struct SubCsr {
+    std::vector<EdgeId> off;  ///< size rows+1
+    std::vector<Vertex> nbr;  ///< column indices (target space)
+    std::vector<Weight> w;
+  };
+  SubCsr ff;  ///< F-row -> F-col (Y off-diagonal entries, both directions)
+  SubCsr fc;  ///< F-row -> C-col (L_FC)
+  SubCsr cf;  ///< C-row -> F-col (L_CF)
+};
+
+/// Per-level diagnostics surfaced to benches (E4-E6) and tests.
+struct LevelStats {
+  Vertex n = 0;
+  EdgeId multi_edges = 0;
+  Vertex f_size = 0;
+  int five_dd_rounds = 0;
+  WalkStats walks;
+};
+
+/// Scratch buffers reused across apply() calls; one per calling thread.
+class ApplyWorkspace {
+ public:
+  std::vector<std::vector<double>> level_vec;  ///< size n_k per level, +base
+  std::vector<std::vector<double>> level_yf;   ///< size nf_k per level
+  std::vector<double> jac_b, jac_cur, jac_tmp; ///< Jacobi scratch (max nf)
+  std::vector<double> scratch_f, scratch_f2;   ///< gather/apply scratch
+};
+
+class BlockCholeskyChain {
+ public:
+  /// Runs Algorithm 1 on an (alpha-bounded) multigraph. The caller is
+  /// responsible for splitting edges first (split_edges_uniform /
+  /// split_edges_by_scores); the chain itself is oblivious to alpha.
+  static BlockCholeskyChain build(const Multigraph& g, std::uint64_t seed,
+                                  const BlockCholeskyOptions& opts = {});
+
+  [[nodiscard]] Vertex dimension() const noexcept { return n0_; }
+  /// d, the number of elimination levels (Thm 3.9-(4): O(log n)).
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+  /// l, the Jacobi series length used by apply().
+  [[nodiscard]] int jacobi_terms() const noexcept { return jacobi_terms_; }
+  [[nodiscard]] Vertex base_size() const noexcept { return base_n_; }
+  [[nodiscard]] const std::vector<LevelStats>& level_stats() const noexcept {
+    return stats_;
+  }
+  /// Total stored sub-CSR entries (memory proxy for E12).
+  [[nodiscard]] EdgeId stored_entries() const noexcept;
+
+  /// y = W b (Algorithm 2). Symmetric PSD linear operator with
+  /// W^+ ~1 L w.h.p.; O(m log n loglog n) work per application.
+  void apply(std::span<const double> b, std::span<double> y,
+             ApplyWorkspace& ws) const;
+
+  /// Convenience overload with a private workspace (allocates).
+  void apply(std::span<const double> b, std::span<double> y) const;
+
+ private:
+  void prepare_workspace(ApplyWorkspace& ws) const;
+  void jacobi_solve(const EliminationLevel& lvl,
+                    std::span<const double> b_f, std::span<double> out,
+                    ApplyWorkspace& ws) const;
+
+  Vertex n0_ = 0;
+  std::vector<EliminationLevel> levels_;
+  DenseMatrix base_pinv_;
+  Vertex base_n_ = 0;
+  int jacobi_terms_ = 1;
+  std::vector<LevelStats> stats_;
+};
+
+}  // namespace parlap

@@ -1,0 +1,217 @@
+#include "core/five_dd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <omp.h>
+
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// Draws `count` distinct elements of `pool` by partial Fisher-Yates on a
+/// scratch copy; result is sorted for determinism downstream.
+std::vector<Vertex> sample_without_replacement(std::span<const Vertex> pool,
+                                               std::size_t count, Rng& rng) {
+  std::vector<Vertex> scratch(pool.begin(), pool.end());
+  const std::size_t n = scratch.size();
+  PARLAP_CHECK(count <= n);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(n - i)));
+    std::swap(scratch[i], scratch[j]);
+  }
+  scratch.resize(count);
+  std::sort(scratch.begin(), scratch.end());
+  return scratch;
+}
+
+/// Weighted degree within G[s] for every member of `s`, via one edge scan
+/// into chunk-local partials folded in fixed chunk order (deterministic
+/// under any thread count). `pos[v]` maps members of s to [0, |s|) and is
+/// expected to be kInvalidVertex elsewhere.
+std::vector<double> induced_degrees(const Multigraph& g,
+                                    std::span<const Vertex> pos,
+                                    std::size_t s_size) {
+  const EdgeId m = g.num_edges();
+  // Fixed chunk layout (independent of the thread count!): these are
+  // float accumulations that feed the 5-DD comparison, so their rounding
+  // must not vary with the machine.
+  const int chunks = std::max(
+      1, std::min<int>(32, static_cast<int>(
+                               (std::int64_t{1} << 23) /
+                               std::max<std::int64_t>(
+                                   static_cast<std::int64_t>(s_size), 1))));
+  const EdgeId chunk_len = (m + chunks - 1) / std::max(chunks, 1);
+  std::vector<double> partial(static_cast<std::size_t>(chunks) * s_size, 0.0);
+#pragma omp parallel for schedule(static)
+  for (int c = 0; c < chunks; ++c) {
+    double* local = partial.data() + static_cast<std::size_t>(c) * s_size;
+    const EdgeId lo = c * chunk_len;
+    const EdgeId hi = std::min(m, lo + chunk_len);
+    for (EdgeId e = lo; e < hi; ++e) {
+      const Vertex pu = pos[static_cast<std::size_t>(g.edge_u(e))];
+      const Vertex pv = pos[static_cast<std::size_t>(g.edge_v(e))];
+      if (pu == kInvalidVertex || pv == kInvalidVertex) continue;
+      const Weight w = g.edge_weight(e);
+      local[static_cast<std::size_t>(pu)] += w;
+      local[static_cast<std::size_t>(pv)] += w;
+    }
+  }
+  std::vector<double> out(s_size, 0.0);
+  parallel_for(std::size_t{0}, s_size, [&](std::size_t i) {
+    double acc = 0.0;
+    for (int c = 0; c < chunks; ++c)
+      acc += partial[static_cast<std::size_t>(c) * s_size + i];
+    out[i] = acc;
+  });
+  return out;
+}
+
+/// filter(S) = { i in S : deg_{G[S]}(i) <= cand_deg(i) / 5 }. Any subset
+/// of a filtered set only loses induced degree, so the result is 5-DD.
+std::vector<Vertex> filter_five_dd(const Multigraph& g,
+                                   std::span<const Vertex> s,
+                                   std::span<const double> cand_deg,
+                                   std::vector<Vertex>& pos_scratch) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    pos_scratch[static_cast<std::size_t>(s[i])] = static_cast<Vertex>(i);
+  }
+  const std::vector<double> induced = induced_degrees(g, pos_scratch, s.size());
+  std::vector<Vertex> f;
+  f.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (induced[i] <= cand_deg[static_cast<std::size_t>(s[i])] / 5.0) {
+      f.push_back(s[i]);
+    }
+  }
+  for (const Vertex v : s) pos_scratch[static_cast<std::size_t>(v)] = kInvalidVertex;
+  return f;
+}
+
+FiveDdResult five_dd_impl(const Multigraph& g,
+                          std::span<const Vertex> candidates,
+                          std::span<const double> cand_deg,
+                          std::uint64_t seed, const FiveDdOptions& opts) {
+  const Vertex n = g.num_vertices();
+  const std::size_t nc = candidates.size();
+  PARLAP_CHECK_MSG(nc >= 1, "5DDSubset needs a non-empty candidate set");
+
+  const auto target = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(opts.accept_fraction *
+                                             static_cast<double>(nc))));
+  const auto sample_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(opts.sample_fraction *
+                                             static_cast<double>(nc))));
+
+  std::vector<Vertex> pos(static_cast<std::size_t>(n), kInvalidVertex);
+  FiveDdResult result;
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    result.rounds = round + 1;
+    Rng rng(seed, RngTag::kFiveDd, static_cast<std::uint64_t>(round));
+    const std::vector<Vertex> fprime =
+        sample_without_replacement(candidates, sample_size, rng);
+    result.f = filter_five_dd(g, fprime, cand_deg, pos);
+    if (result.f.size() >= target) break;
+    PARLAP_CHECK_MSG(round + 1 < opts.max_rounds,
+                     "5DDSubset failed to reach target size "
+                         << target << " in " << opts.max_rounds << " rounds");
+  }
+
+  // Optional growth: refilter (F union fresh sample) as a whole; keep the
+  // larger of the two (filter output is always 5-DD).
+  for (int b = 0; b < opts.boost_rounds; ++b) {
+    Rng rng(seed, RngTag::kFiveDd, 0xB0057000u + static_cast<std::uint64_t>(b));
+    std::vector<Vertex> pool;
+    pool.reserve(nc - result.f.size());
+    {
+      std::vector<std::uint8_t> in_f(static_cast<std::size_t>(n), 0);
+      for (const Vertex v : result.f) in_f[static_cast<std::size_t>(v)] = 1;
+      for (const Vertex v : candidates) {
+        if (in_f[static_cast<std::size_t>(v)] == 0) pool.push_back(v);
+      }
+    }
+    if (pool.empty()) break;
+    const std::size_t extra = std::min(pool.size(), sample_size);
+    std::vector<Vertex> s = sample_without_replacement(pool, extra, rng);
+    s.insert(s.end(), result.f.begin(), result.f.end());
+    std::sort(s.begin(), s.end());
+    std::vector<Vertex> grown = filter_five_dd(g, s, cand_deg, pos);
+    if (grown.size() > result.f.size()) result.f = std::move(grown);
+  }
+  return result;
+}
+
+}  // namespace
+
+FiveDdResult five_dd_subset(const Multigraph& g,
+                            std::span<const double> weighted_degree,
+                            std::uint64_t seed, const FiveDdOptions& opts) {
+  PARLAP_CHECK(weighted_degree.size() ==
+               static_cast<std::size_t>(g.num_vertices()));
+  std::vector<Vertex> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), Vertex{0});
+  return five_dd_impl(g, all, weighted_degree, seed, opts);
+}
+
+FiveDdResult five_dd_subset(const Multigraph& g,
+                            std::span<const Vertex> candidates,
+                            std::uint64_t seed, const FiveDdOptions& opts) {
+  const Vertex n = g.num_vertices();
+  // Degrees within G[candidates].
+  std::vector<Vertex> pos(static_cast<std::size_t>(n), kInvalidVertex);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    PARLAP_DCHECK(candidates[i] >= 0 && candidates[i] < n);
+    pos[static_cast<std::size_t>(candidates[i])] = static_cast<Vertex>(i);
+  }
+  const std::vector<double> within =
+      induced_degrees(g, pos, candidates.size());
+  std::vector<double> cand_deg(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    cand_deg[static_cast<std::size_t>(candidates[i])] = within[i];
+  }
+  return five_dd_impl(g, candidates, cand_deg, seed, opts);
+}
+
+bool is_five_dd(const Multigraph& g, std::span<const Vertex> f,
+                std::span<const Vertex> candidates) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint8_t> in_cand(static_cast<std::size_t>(n),
+                                    candidates.empty() ? 1 : 0);
+  for (const Vertex v : candidates) in_cand[static_cast<std::size_t>(v)] = 1;
+  std::vector<std::uint8_t> in_f(static_cast<std::size_t>(n), 0);
+  for (const Vertex v : f) in_f[static_cast<std::size_t>(v)] = 1;
+
+  std::vector<double> induced(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> cand_deg(static_cast<std::size_t>(n), 0.0);
+  const EdgeId m = g.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    const Vertex u = g.edge_u(e);
+    const Vertex v = g.edge_v(e);
+    const Weight w = g.edge_weight(e);
+    if (in_cand[static_cast<std::size_t>(u)] != 0 &&
+        in_cand[static_cast<std::size_t>(v)] != 0) {
+      cand_deg[static_cast<std::size_t>(u)] += w;
+      cand_deg[static_cast<std::size_t>(v)] += w;
+    }
+    if (in_f[static_cast<std::size_t>(u)] != 0 &&
+        in_f[static_cast<std::size_t>(v)] != 0) {
+      induced[static_cast<std::size_t>(u)] += w;
+      induced[static_cast<std::size_t>(v)] += w;
+    }
+  }
+  for (const Vertex v : f) {
+    const double cd = cand_deg[static_cast<std::size_t>(v)];
+    if (induced[static_cast<std::size_t>(v)] > cd / 5.0 + 1e-12 * cd) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parlap

@@ -1,0 +1,66 @@
+// 5DDSubset (Algorithm 3, Lemma 3.4, from [LPS15; KLPSS16]).
+//
+// A subset F is 5-DD when L_FF is 5-diagonally dominant, equivalently when
+// every i in F has induced degree within F at most deg(i)/5. The routine
+// repeatedly samples a uniform candidate subset of |cands|/20 vertices and
+// keeps those whose sampled induced degree stays under the threshold; each
+// round succeeds (|F| >= |cands|/40) with probability >= 1/2, so the
+// expected work is O(m) and the expected round count O(1).
+//
+// Implementation detail: induced degrees are accumulated by a single scan
+// over the edge list into chunk-local partials folded in fixed order, so
+// no adjacency structure is required and results are independent of the
+// thread count.
+//
+// The `candidates` overload implements the induced-subgraph call of
+// ApproxSchur (Algorithm 6): degrees are measured inside G[candidates],
+// which only strengthens the 5-DD property w.r.t. the full graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+struct FiveDdOptions {
+  /// |F'| = max(1, floor(sample_fraction * |candidates|)).
+  double sample_fraction = 1.0 / 20;
+  /// Round accepted when |F| >= max(1, floor(accept_fraction * |cands|)).
+  double accept_fraction = 1.0 / 40;
+  /// Hard cap on resampling rounds (Lemma 3.4 gives expected 2).
+  int max_rounds = 256;
+  /// Optional extension (0 = faithful to the paper): after acceptance, try
+  /// to grow F by re-filtering (F union a fresh sample) as a whole;
+  /// filter(S) is 5-DD for any S, so correctness is unconditional. Larger
+  /// F means fewer elimination levels (ablated in bench E4).
+  int boost_rounds = 0;
+};
+
+struct FiveDdResult {
+  std::vector<Vertex> f;  ///< the 5-DD subset, ascending vertex ids
+  int rounds = 0;         ///< sampling rounds used (excluding boosts)
+};
+
+/// Finds a 5-DD subset among all vertices of `g`; `weighted_degree` must
+/// be g's weighted degree array (callers typically already have it).
+[[nodiscard]] FiveDdResult five_dd_subset(
+    const Multigraph& g, std::span<const double> weighted_degree,
+    std::uint64_t seed, const FiveDdOptions& opts = {});
+
+/// Finds a 5-DD subset of the induced subgraph G[candidates]; degrees in
+/// the 1/5 test are taken within G[candidates].
+[[nodiscard]] FiveDdResult five_dd_subset(const Multigraph& g,
+                                          std::span<const Vertex> candidates,
+                                          std::uint64_t seed,
+                                          const FiveDdOptions& opts = {});
+
+/// Verification helper (serial, O(m)): true iff every i in F has weighted
+/// degree within G[F] at most deg_within_candidates(i)/5 (candidates = all
+/// vertices when empty).
+[[nodiscard]] bool is_five_dd(const Multigraph& g, std::span<const Vertex> f,
+                              std::span<const Vertex> candidates = {});
+
+}  // namespace parlap

@@ -1,0 +1,110 @@
+#include "core/leverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/resistance.hpp"
+#include "graph/connectivity.hpp"
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// One spanning tree of g (edge ids), by Kruskal-style DSU scan in edge
+/// order; deterministic.
+std::vector<EdgeId> spanning_tree_edges(const Multigraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> parent(static_cast<std::size_t>(n));
+  for (Vertex v = 0; v < n; ++v) parent[static_cast<std::size_t>(v)] = v;
+  auto find = [&](Vertex x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<std::size_t>(n) - 1);
+  const EdgeId m = g.num_edges();
+  for (EdgeId e = 0; e < m && static_cast<Vertex>(tree.size()) + 1 < n; ++e) {
+    const Vertex ru = find(g.edge_u(e));
+    const Vertex rv = find(g.edge_v(e));
+    if (ru == rv) continue;
+    parent[static_cast<std::size_t>(std::max(ru, rv))] = std::min(ru, rv);
+    tree.push_back(e);
+  }
+  return tree;
+}
+
+}  // namespace
+
+Vector leverage_overestimates(const Multigraph& g, std::uint64_t seed,
+                              const LeverageOptions& opts) {
+  const Vertex n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  PARLAP_CHECK(n >= 2);
+  PARLAP_CHECK(m >= 1);
+  PARLAP_CHECK_MSG(is_connected(g),
+                   "leverage_overestimates expects a connected graph "
+                   "(the solver splits components upstream)");
+
+  const double log_n =
+      std::log2(static_cast<double>(std::max(n, Vertex{2})));
+  EdgeId sample_divisor =
+      opts.sample_divisor > 0
+          ? opts.sample_divisor
+          : static_cast<EdgeId>(std::ceil(log_n * log_n * log_n));
+  // K must leave a sample dense enough to carry resistance information:
+  // with fewer than ~2n sampled edges G' degenerates to the spanning tree
+  // and every estimate saturates at 1. (Theorem 1.2 targets m >> nK, where
+  // this clamp is inactive.)
+  sample_divisor = std::clamp<EdgeId>(
+      sample_divisor, 1, std::max<EdgeId>(1, m / (2 * static_cast<EdgeId>(n))));
+  const int q = opts.jl_dimensions > 0
+                    ? opts.jl_dimensions
+                    : std::max(4, static_cast<int>(std::ceil(
+                                      6.0 * std::log(static_cast<double>(n)))));
+
+  // (1) G' = uniform 1/K edge sample, weights scaled by K, plus one
+  // spanning tree of G at original weight for connectivity (DESIGN.md
+  // substitution; compensated by `safety`).
+  const std::vector<EdgeId> tree = spanning_tree_edges(g);
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(m), 0);
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    Rng rng(seed, RngTag::kLeverage, 0x4B656570ull ^ static_cast<std::uint64_t>(e));
+    keep[static_cast<std::size_t>(e)] =
+        rng.next_below(static_cast<std::uint64_t>(sample_divisor)) == 0 ? 1 : 0;
+  });
+  Multigraph gp(n);
+  for (const EdgeId e : tree) {
+    gp.add_edge(g.edge_u(e), g.edge_v(e), g.edge_weight(e));
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    if (keep[static_cast<std::size_t>(e)] != 0) {
+      gp.add_edge(g.edge_u(e), g.edge_v(e),
+                  g.edge_weight(e) * static_cast<double>(sample_divisor));
+    }
+  }
+
+  // (2) JL sketch of effective resistances in G' (core/resistance).
+  ResistanceOptions res_opts;
+  res_opts.jl_dimensions = q;
+  res_opts.solve_eps = opts.solve_eps;
+  res_opts.split_scale = opts.inner_split_scale;
+  const ResistanceEstimator estimator(gp, splitmix64(seed ^ 0x494E4E4552ull),
+                                      res_opts);
+
+  // (3) tau_hat(e) = min(1, safety * w(e) * R_{G'}(e)).
+  Vector tau = estimator.leverage_scores(g);
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    tau[static_cast<std::size_t>(e)] =
+        std::min(1.0, opts.safety * tau[static_cast<std::size_t>(e)]);
+  });
+  return tau;
+}
+
+}  // namespace parlap

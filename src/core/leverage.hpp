@@ -1,0 +1,43 @@
+// Leverage-score overestimation for dense-graph splitting
+// (Lemma 3.3, §6; following [CLMMPS15; SS11; KLP15]).
+//
+// Pipeline: (1) uniformly sub-sample edges at rate 1/K (weights scaled by
+// K) to get a crude graph G'; (2) estimate effective resistances in G' by
+// Johnson-Lindenstrauss sketching — q = O(log n) random +-1 edge signings
+// solved against L_{G'} with this library's own solver (Theorem 1.1);
+// (3) tau_hat(e) = min(1, safety * w(e) * R_{G'}(e)). Splitting e into
+// ceil(tau_hat/alpha) copies yields O(m + nK/alpha) multi-edges versus
+// O(m/alpha) for naive splitting — the Theorem 1.2 work profile.
+//
+// Substitution note (DESIGN.md): to keep G' connected we overlay one
+// spanning tree of G at original weight; this only lowers resistances and
+// is compensated by `safety`. The theory's overestimation constant is
+// folded into `safety` rather than derived.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/multigraph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parlap {
+
+struct LeverageOptions {
+  /// K, the uniform sampling divisor; 0 = auto Theta(log^3 n) per Thm 1.2.
+  EdgeId sample_divisor = 0;
+  /// q, the number of JL sketch dimensions; 0 = auto ceil(6 ln n).
+  int jl_dimensions = 0;
+  /// Multiplier applied to the JL estimate before clamping to 1.
+  double safety = 4.0;
+  /// Accuracy of the inner L_{G'} solves.
+  double solve_eps = 0.1;
+  /// Split scale for the inner (uniform-split) solver.
+  double inner_split_scale = 0.2;
+};
+
+/// Returns tau_hat per edge of `g` (values in (0, 1]).
+[[nodiscard]] Vector leverage_overestimates(const Multigraph& g,
+                                            std::uint64_t seed,
+                                            const LeverageOptions& opts = {});
+
+}  // namespace parlap

@@ -1,0 +1,69 @@
+#include "core/resistance.hpp"
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+ResistanceEstimator::ResistanceEstimator(const Multigraph& g,
+                                         std::uint64_t seed,
+                                         const ResistanceOptions& opts) {
+  const Vertex n = g.num_vertices();
+  PARLAP_CHECK(n >= 2);
+  const int q = opts.jl_dimensions > 0
+                    ? opts.jl_dimensions
+                    : std::max(4, static_cast<int>(std::ceil(
+                                      6.0 * std::log(static_cast<double>(n)))));
+
+  SolverOptions solver_opts;
+  solver_opts.seed = splitmix64(seed ^ 0x5245534953ull);
+  solver_opts.split_scale = opts.split_scale;
+  LaplacianSolver solver(g, solver_opts);
+  PARLAP_CHECK_MSG(solver.info().components == 1,
+                   "ResistanceEstimator requires a connected graph");
+
+  const EdgeId m = g.num_edges();
+  const double inv_sqrt_q = 1.0 / std::sqrt(static_cast<double>(q));
+  sketch_.resize(static_cast<std::size_t>(q));
+  for (int i = 0; i < q; ++i) {
+    // y_i = B' W^{1/2} q_i: each edge contributes +-sqrt(w)/sqrt(q) to its
+    // endpoints with opposite signs, so y_i is automatically mean-free.
+    Vector y(static_cast<std::size_t>(n), 0.0);
+    Rng rng(seed, RngTag::kLeverage,
+            0x4A4C0000ull + static_cast<std::uint64_t>(i));
+    for (EdgeId e = 0; e < m; ++e) {
+      const double s = (rng.next_u64() & 1u) != 0 ? inv_sqrt_q : -inv_sqrt_q;
+      const double c = s * std::sqrt(g.edge_weight(e));
+      y[static_cast<std::size_t>(g.edge_u(e))] += c;
+      y[static_cast<std::size_t>(g.edge_v(e))] -= c;
+    }
+    Vector z(static_cast<std::size_t>(n), 0.0);
+    solver.solve(y, z, opts.solve_eps);
+    sketch_[static_cast<std::size_t>(i)] = std::move(z);
+  }
+}
+
+double ResistanceEstimator::resistance(Vertex u, Vertex v) const {
+  double r = 0.0;
+  for (const Vector& z : sketch_) {
+    const double d = z[static_cast<std::size_t>(u)] - z[static_cast<std::size_t>(v)];
+    r += d * d;
+  }
+  return r;
+}
+
+Vector ResistanceEstimator::leverage_scores(const Multigraph& edges) const {
+  const EdgeId m = edges.num_edges();
+  Vector tau(static_cast<std::size_t>(m));
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    tau[static_cast<std::size_t>(e)] =
+        edges.edge_weight(e) * resistance(edges.edge_u(e), edges.edge_v(e));
+  });
+  return tau;
+}
+
+}  // namespace parlap

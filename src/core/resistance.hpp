@@ -1,0 +1,55 @@
+// Effective-resistance oracle via Johnson-Lindenstrauss sketching
+// [SS11; KLP15], powered by this library's own solver (Theorem 1.1).
+//
+// Build: q = O(log n / eps^2) random +-1 edge signings y_i = B' W^{1/2} q_i
+// are each solved against L, storing the n-vector z_i = L^+ y_i. Query:
+// R(u, v) ~ sum_i (z_i[u] - z_i[v])^2, a (1 +- eps) approximation w.h.p.,
+// in O(q) time per pair.
+//
+// This is the estimation engine behind leverage-score splitting (Lemma
+// 3.3, §6) and a useful public primitive in its own right (spanning-tree
+// sampling, graph sparsification, network robustness all consume it).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/multigraph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parlap {
+
+struct SolverOptions;  // core/solver.hpp
+
+struct ResistanceOptions {
+  /// Sketch dimensions; 0 = auto ceil(6 ln n) (~±40% per-pair error,
+  /// plenty for overestimation with a safety factor; raise for tighter
+  /// point estimates).
+  int jl_dimensions = 0;
+  /// Accuracy of the underlying Laplacian solves.
+  double solve_eps = 0.1;
+  /// Split scale for the underlying solver.
+  double split_scale = 0.1;
+};
+
+class ResistanceEstimator {
+ public:
+  /// Factors `g` and performs q solves. Requires a connected graph.
+  ResistanceEstimator(const Multigraph& g, std::uint64_t seed,
+                      const ResistanceOptions& opts = {});
+
+  /// Approximate effective resistance between two vertices, O(q).
+  [[nodiscard]] double resistance(Vertex u, Vertex v) const;
+
+  /// Approximate leverage scores tau(e) = w(e) R(u_e, v_e) for every edge
+  /// of `edges` (typically the graph itself or a supergraph sharing ids).
+  [[nodiscard]] Vector leverage_scores(const Multigraph& edges) const;
+
+  [[nodiscard]] int dimensions() const noexcept {
+    return static_cast<int>(sketch_.size());
+  }
+
+ private:
+  std::vector<Vector> sketch_;  ///< q vectors of length n
+};
+
+}  // namespace parlap

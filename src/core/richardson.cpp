@@ -1,0 +1,98 @@
+#include "core/richardson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+double estimate_max_eigenvalue(const LaplacianOperator& a,
+                               const LinearMap& precond, int iterations) {
+  // Power iteration on B A (similar to the symmetric PSD matrix
+  // B^{1/2} A B^{1/2}, so the dominant eigenvalue is real positive and
+  // the Rayleigh quotient converges from below).
+  const auto n = static_cast<std::size_t>(a.dimension());
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic pseudo-random start, mean-free up to rounding.
+    v[i] = static_cast<double>((i * 2654435761u) % 1024) - 511.5;
+  }
+  Vector av(n);
+  Vector bav(n);
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    a.apply(v, av);
+    precond(av, bav);
+    const double nrm = norm2(bav);
+    if (nrm <= 0.0) break;
+    lambda = dot(v, bav) / std::max(dot(v, v), 1e-300);
+    scale(bav, 1.0 / nrm);
+    std::swap(v, bav);
+  }
+  return lambda;
+}
+
+IterationStats preconditioned_richardson(const LaplacianOperator& a,
+                                         const LinearMap& precond,
+                                         std::span<const double> b,
+                                         std::span<double> x, double eps,
+                                         const RichardsonOptions& opts) {
+  const std::size_t n = b.size();
+  PARLAP_CHECK(x.size() == n);
+  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
+
+  IterationStats stats;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) {
+    fill(x, 0.0);
+    stats.reached_target = true;
+    return stats;
+  }
+
+  double alpha = 2.0 / (std::exp(-opts.delta) + std::exp(opts.delta));
+  if (opts.fixed_alpha > 0.0) {
+    alpha = opts.fixed_alpha;
+  } else if (opts.auto_step) {
+    const double lambda =
+        estimate_max_eigenvalue(a, precond, opts.power_iterations);
+    if (lambda > 0.0) alpha = 0.95 / lambda;
+  }
+  const int cap =
+      opts.max_iterations > 0
+          ? opts.max_iterations
+          : std::max(1, static_cast<int>(std::ceil(
+                            std::exp(2.0 * opts.delta) * std::log(1.0 / eps))));
+  const double target =
+      opts.residual_target >= 0.0 ? opts.residual_target : eps;
+
+  // x^(0) = B b   (Algorithm 5, line 3)
+  precond(b, x);
+
+  Vector r(n);
+  Vector br(n);
+  for (int k = 0; k < cap; ++k) {
+    a.apply(x, r);
+    parallel_for(std::size_t{0}, n,
+                 [&](std::size_t i) { r[i] = b[i] - r[i]; });
+    stats.relative_residual = norm2(r) / b_norm;
+    stats.iterations = k;
+    if (stats.relative_residual <= target) {
+      stats.reached_target = true;
+      return stats;
+    }
+    // x^(k) = x^(k-1) + alpha B r   (equivalent to Algorithm 5, line 5)
+    precond(r, br);
+    axpy(alpha, br, x);
+  }
+
+  a.apply(x, r);
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) { r[i] = b[i] - r[i]; });
+  stats.relative_residual = norm2(r) / b_norm;
+  stats.iterations = cap;
+  stats.reached_target = stats.relative_residual <= target;
+  return stats;
+}
+
+}  // namespace parlap

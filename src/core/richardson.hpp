@@ -1,0 +1,63 @@
+// Preconditioned Richardson iteration (Algorithm 5, Theorem 3.8).
+//
+// Given B ~delta A^+, the iteration x_k = (I - alpha B A) x_{k-1} +
+// alpha B b with alpha = 2/(e^-delta + e^delta) converges to an
+// eps-approximate solution in ceil(e^{2 delta} log(1/eps)) steps, each one
+// A-apply plus one B-apply. We compute the equivalent residual form
+// x += alpha B (b - A x), which exposes ||r||/||b|| for free and enables
+// early exit.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "linalg/laplacian_op.hpp"
+
+namespace parlap {
+
+/// y = M x for a fixed linear operator M.
+using LinearMap =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+struct RichardsonOptions {
+  /// delta with B ~delta A^+. Thm 3.10 gives delta = 1 for the block
+  /// Cholesky preconditioner. Used only when auto_step is false.
+  double delta = 1.0;
+  /// Iteration cap; 0 = the paper's ceil(e^{2 delta} ln(1/eps)).
+  int max_iterations = 0;
+  /// Early exit when ||b - Ax|| / ||b|| <= residual_target; negative =
+  /// use eps (the caller's accuracy goal) as the target.
+  double residual_target = -1.0;
+  /// Estimate lambda_max(B A) by a short power iteration and use
+  /// alpha = 0.95 / lambda_max instead of the paper's 2/(e^-d + e^d).
+  /// This never diverges, whatever the actual preconditioner quality;
+  /// the paper's fixed alpha assumes spec(BA) within [e^-d, e^d] and
+  /// diverges beyond it. Costs `power_iterations` extra A/B applies.
+  bool auto_step = true;
+  int power_iterations = 8;
+  /// > 0: use exactly this step size (callers that cache the power
+  /// iteration across solves of one factorization, e.g. LaplacianSolver).
+  double fixed_alpha = 0.0;
+};
+
+/// lambda_max of precond∘a (a symmetric-similar PSD product) by power
+/// iteration from a deterministic start vector.
+[[nodiscard]] double estimate_max_eigenvalue(const LaplacianOperator& a,
+                                             const LinearMap& precond,
+                                             int iterations = 8);
+
+struct IterationStats {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool reached_target = false;
+};
+
+/// Solves A x = b to eps using preconditioner `precond` (= B above).
+/// `x` is the output (overwritten).
+IterationStats preconditioned_richardson(const LaplacianOperator& a,
+                                         const LinearMap& precond,
+                                         std::span<const double> b,
+                                         std::span<double> x, double eps,
+                                         const RichardsonOptions& opts = {});
+
+}  // namespace parlap

@@ -1,0 +1,146 @@
+#include "core/sddm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// Grounded graph: g plus one extra vertex attached to every vertex with
+/// positive excess.
+Multigraph ground(const Multigraph& g, std::span<const double> excess,
+                  bool* any_excess) {
+  const Vertex n = g.num_vertices();
+  PARLAP_CHECK(excess.size() == static_cast<std::size_t>(n));
+  Multigraph out(n + 1);
+  out.reserve_edges(g.num_edges() + n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out.add_edge(g.edge_u(e), g.edge_v(e), g.edge_weight(e));
+  }
+  *any_excess = false;
+  for (Vertex v = 0; v < n; ++v) {
+    const double s = excess[static_cast<std::size_t>(v)];
+    PARLAP_CHECK_MSG(s >= 0.0, "negative SDDM excess at vertex " << v);
+    if (s > 0.0) {
+      out.add_edge(v, n, s);
+      *any_excess = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SddmSolver::SddmSolver(const Multigraph& g, std::span<const double> excess,
+                       SolverOptions opts)
+    : n_(g.num_vertices()),
+      solver_(ground(g, excess, &grounded_), std::move(opts)),
+      b_ext_(static_cast<std::size_t>(g.num_vertices()) + 1, 0.0),
+      x_ext_(static_cast<std::size_t>(g.num_vertices()) + 1, 0.0) {}
+
+SolveStats SddmSolver::solve(std::span<const double> b, std::span<double> x,
+                             double eps) {
+  PARLAP_CHECK(b.size() == static_cast<std::size_t>(n_));
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(n_));
+  // Extend b with the balancing entry at the ground: L'[x; 0] = [Mx; r]
+  // with r = -1' M x, so the extension keeps b' in range(L') exactly when
+  // the ground carries minus the total injection.
+  double total = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b_ext_[i] = b[i];
+    total += b[i];
+  }
+  b_ext_[static_cast<std::size_t>(n_)] = -total;
+  const SolveStats stats = solver_.solve(b_ext_, x_ext_, eps);
+  // x_i = y_i - y_ground picks the representative with x_ground = 0,
+  // which is the exact solution of the nonsingular SDDM system.
+  const double shift = x_ext_[static_cast<std::size_t>(n_)];
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = x_ext_[i] - shift;
+  return stats;
+}
+
+SolveStats solve_dirichlet(const Multigraph& g,
+                           std::span<const Vertex> boundary,
+                           std::span<const double> boundary_values,
+                           std::span<const double> interior_rhs,
+                           std::span<double> x, double eps,
+                           const SolverOptions& opts) {
+  const Vertex n = g.num_vertices();
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(n));
+  PARLAP_CHECK(boundary.size() == boundary_values.size());
+  PARLAP_CHECK_MSG(!boundary.empty(), "Dirichlet problem needs a boundary");
+
+  // Interior index map.
+  std::vector<double> bvalue(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::uint8_t> is_boundary(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < boundary.size(); ++i) {
+    const Vertex v = boundary[i];
+    PARLAP_CHECK(v >= 0 && v < n);
+    PARLAP_CHECK_MSG(is_boundary[static_cast<std::size_t>(v)] == 0,
+                     "duplicate boundary vertex " << v);
+    is_boundary[static_cast<std::size_t>(v)] = 1;
+    bvalue[static_cast<std::size_t>(v)] = boundary_values[i];
+  }
+  std::vector<Vertex> interior_id(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Vertex> interior;
+  for (Vertex v = 0; v < n; ++v) {
+    if (is_boundary[static_cast<std::size_t>(v)] == 0) {
+      interior_id[static_cast<std::size_t>(v)] =
+          static_cast<Vertex>(interior.size());
+      interior.push_back(v);
+    }
+  }
+  PARLAP_CHECK(interior_rhs.empty() ||
+               interior_rhs.size() == interior.size());
+
+  // Interior system: L_II x_I = b_I + W_IB x_B, where L_II is SDDM with
+  // excess = weight to the boundary.
+  const auto ni = static_cast<Vertex>(interior.size());
+  Multigraph gi(ni);
+  Vector excess(static_cast<std::size_t>(ni), 0.0);
+  Vector rhs(static_cast<std::size_t>(ni), 0.0);
+  if (!interior_rhs.empty()) {
+    std::copy(interior_rhs.begin(), interior_rhs.end(), rhs.begin());
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Vertex u = g.edge_u(e);
+    const Vertex v = g.edge_v(e);
+    const Weight w = g.edge_weight(e);
+    const Vertex iu = interior_id[static_cast<std::size_t>(u)];
+    const Vertex iv = interior_id[static_cast<std::size_t>(v)];
+    if (iu != kInvalidVertex && iv != kInvalidVertex) {
+      gi.add_edge(iu, iv, w);
+    } else if (iu != kInvalidVertex) {
+      excess[static_cast<std::size_t>(iu)] += w;
+      rhs[static_cast<std::size_t>(iu)] += w * bvalue[static_cast<std::size_t>(v)];
+    } else if (iv != kInvalidVertex) {
+      excess[static_cast<std::size_t>(iv)] += w;
+      rhs[static_cast<std::size_t>(iv)] += w * bvalue[static_cast<std::size_t>(u)];
+    }
+  }
+
+  SolveStats stats;
+  if (ni > 0) {
+    SddmSolver solver(gi, excess, opts);
+    Vector xi(static_cast<std::size_t>(ni), 0.0);
+    stats = solver.solve(rhs, xi, eps);
+    for (Vertex i = 0; i < ni; ++i) {
+      x[static_cast<std::size_t>(interior[static_cast<std::size_t>(i)])] =
+          xi[static_cast<std::size_t>(i)];
+    }
+  } else {
+    stats.converged = true;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (is_boundary[static_cast<std::size_t>(v)] != 0) {
+      x[static_cast<std::size_t>(v)] = bvalue[static_cast<std::size_t>(v)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace parlap

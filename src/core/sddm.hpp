@@ -1,0 +1,64 @@
+// SDDM systems and Dirichlet (boundary-value) problems via grounding.
+//
+// An SDDM matrix M = L_G + diag(excess) with excess >= 0 (equivalently: a
+// symmetric diagonally dominant M-matrix) reduces to a pure Laplacian by
+// *grounding*: add one ground vertex g with an edge (i, g) of weight
+// excess_i; then L' restricted to the original rows is exactly M, and
+// M x = b is solved by one singular solve on L' (Gremban's reduction).
+// This is the standard route by which Laplacian solvers (this paper
+// included, via [ST04]) handle the wider SDD class.
+//
+// solve_dirichlet fixes prescribed values on a boundary set and solves
+// the harmonic extension for the interior — the primitive behind
+// semi-supervised label propagation [ZGL03] and finite-difference
+// boundary-value problems [BHV08].
+#pragma once
+
+#include <span>
+
+#include "core/solver.hpp"
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// Solver for M x = b with M = L_G + diag(excess), excess >= 0.
+///
+/// When excess is identically zero on some connected component, that block
+/// of M is singular (a pure Laplacian); the solve then returns the
+/// least-squares solution on that component, as LaplacianSolver does.
+class SddmSolver {
+ public:
+  SddmSolver(const Multigraph& g, std::span<const double> excess,
+             SolverOptions opts = {});
+
+  /// Solves M x = b to relative residual eps.
+  SolveStats solve(std::span<const double> b, std::span<double> x,
+                   double eps);
+
+  [[nodiscard]] Vertex dimension() const noexcept { return n_; }
+  [[nodiscard]] const FactorizationInfo& info() const noexcept {
+    return solver_.info();
+  }
+
+ private:
+  Vertex n_ = 0;
+  bool grounded_ = false;  ///< true iff any excess > 0
+  LaplacianSolver solver_;  ///< over the grounded graph
+  Vector b_ext_, x_ext_;    ///< scratch of size n+1
+};
+
+/// Solves the Dirichlet problem on `g`: find x with x = boundary_values on
+/// `boundary` and (L x)_i = interior_rhs_i for interior vertices i
+/// (interior_rhs = 0 gives the harmonic extension). `x` must have size n;
+/// boundary entries are overwritten with the prescribed values.
+///
+/// `interior_rhs` has one entry per *interior* vertex, ordered by
+/// ascending vertex id (pass {} for all-zero).
+SolveStats solve_dirichlet(const Multigraph& g,
+                           std::span<const Vertex> boundary,
+                           std::span<const double> boundary_values,
+                           std::span<const double> interior_rhs,
+                           std::span<double> x, double eps,
+                           const SolverOptions& opts = {});
+
+}  // namespace parlap

@@ -1,0 +1,229 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/alpha_bound.hpp"
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// Splits the global graph into per-component local multigraphs.
+std::vector<std::pair<std::vector<Vertex>, Multigraph>> split_components(
+    const Multigraph& g, const Components& comps) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::vector<Vertex>> members(
+      static_cast<std::size_t>(comps.count));
+  for (Vertex v = 0; v < n; ++v) {
+    members[static_cast<std::size_t>(comps.label[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  std::vector<Vertex> local(static_cast<std::size_t>(n));
+  for (const auto& vs : members) {
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      local[static_cast<std::size_t>(vs[i])] = static_cast<Vertex>(i);
+    }
+  }
+  std::vector<std::pair<std::vector<Vertex>, Multigraph>> out;
+  out.reserve(members.size());
+  for (auto& vs : members) {
+    const auto nl = static_cast<Vertex>(vs.size());
+    out.emplace_back(std::move(vs), Multigraph(nl));
+  }
+  const EdgeId m = g.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    const Vertex u = g.edge_u(e);
+    const auto c = static_cast<std::size_t>(
+        comps.label[static_cast<std::size_t>(u)]);
+    out[c].second.add_edge(local[static_cast<std::size_t>(u)],
+                           local[static_cast<std::size_t>(g.edge_v(e))],
+                           g.edge_weight(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+LaplacianSolver::LaplacianSolver(const Multigraph& g, SolverOptions opts)
+    : opts_(opts) {
+  g.validate();
+  info_.n = g.num_vertices();
+  info_.m = g.num_edges();
+
+  const Components comps = connected_components(g);
+  info_.components = comps.count;
+  auto pieces = split_components(g, comps);
+
+  comps_.resize(pieces.size());
+  for (std::size_t c = 0; c < pieces.size(); ++c) {
+    ComponentSolver& cs = comps_[c];
+    cs.vertices = std::move(pieces[c].first);
+    cs.graph = std::move(pieces[c].second);
+    cs.op = LaplacianOperator(cs.graph);
+    cs.b_local.resize(cs.vertices.size());
+    cs.x_local.resize(cs.vertices.size());
+    build_component(cs, /*copies_override=*/0);
+  }
+}
+
+void LaplacianSolver::build_component(ComponentSolver& comp,
+                                      std::int64_t copies_override) {
+  const Vertex n = comp.graph.num_vertices();
+  Multigraph split;
+  std::int64_t copies = 0;
+  if (opts_.split == SplitStrategy::kUniform ||
+      comp.graph.num_edges() == 0) {
+    copies = copies_override > 0 ? copies_override
+                                 : default_split_copies(n, opts_.split_scale);
+    split = split_edges_uniform(comp.graph, copies);
+  } else {
+    const Vector tau =
+        leverage_overestimates(comp.graph, opts_.seed, opts_.leverage);
+    double alpha = default_alpha(n, opts_.split_scale);
+    if (copies_override > 0) {
+      alpha = 1.0 / static_cast<double>(copies_override);
+    }
+    split = split_edges_by_scores(comp.graph, tau, alpha);
+    copies = copies_override > 0
+                 ? copies_override
+                 : default_split_copies(n, opts_.split_scale);
+  }
+  comp.copies = copies;
+  comp.split_edges = split.num_edges();
+  comp.chain = BlockCholeskyChain::build(split, opts_.seed, opts_.chain);
+  comp.workspace = ApplyWorkspace{};
+
+  // Refresh aggregate info.
+  info_.split_edges = 0;
+  info_.depth = 0;
+  info_.jacobi_terms = 0;
+  info_.stored_entries = 0;
+  info_.copies =
+      opts_.split == SplitStrategy::kUniform ? comps_.front().copies : 0;
+  for (const ComponentSolver& cs : comps_) {
+    if (cs.chain.dimension() == 0) continue;
+    info_.depth = std::max(info_.depth, cs.chain.depth());
+    info_.jacobi_terms = std::max(info_.jacobi_terms, cs.chain.jacobi_terms());
+    info_.stored_entries += cs.chain.stored_entries();
+  }
+  for (const ComponentSolver& cs : comps_) {
+    info_.split_edges += cs.split_edges;
+  }
+}
+
+void LaplacianSolver::apply_laplacian(std::span<const double> x,
+                                      std::span<double> y) const {
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(info_.n));
+  PARLAP_CHECK(y.size() == static_cast<std::size_t>(info_.n));
+  for (const ComponentSolver& cs : comps_) {
+    Vector xl(cs.vertices.size());
+    Vector yl(cs.vertices.size());
+    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+      xl[i] = x[static_cast<std::size_t>(cs.vertices[i])];
+    }
+    cs.op.apply(xl, yl);
+    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+      y[static_cast<std::size_t>(cs.vertices[i])] = yl[i];
+    }
+  }
+}
+
+void LaplacianSolver::apply_preconditioner(std::span<const double> r,
+                                           std::span<double> y) {
+  PARLAP_CHECK(r.size() == static_cast<std::size_t>(info_.n));
+  PARLAP_CHECK(y.size() == static_cast<std::size_t>(info_.n));
+  for (ComponentSolver& cs : comps_) {
+    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+      cs.b_local[i] = r[static_cast<std::size_t>(cs.vertices[i])];
+    }
+    project_out_ones(cs.b_local);
+    cs.chain.apply(cs.b_local, cs.x_local, cs.workspace);
+    project_out_ones(cs.x_local);
+    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+      y[static_cast<std::size_t>(cs.vertices[i])] = cs.x_local[i];
+    }
+  }
+}
+
+std::vector<SolveStats> LaplacianSolver::solve_many(
+    std::span<const Vector> bs, std::span<Vector> xs, double eps) {
+  PARLAP_CHECK(bs.size() == xs.size());
+  std::vector<SolveStats> stats;
+  stats.reserve(bs.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    stats.push_back(solve(bs[i], xs[i], eps));
+  }
+  return stats;
+}
+
+SolveStats LaplacianSolver::solve(std::span<const double> b,
+                                  std::span<double> x, double eps) {
+  PARLAP_CHECK(b.size() == static_cast<std::size_t>(info_.n));
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(info_.n));
+  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
+
+  SolveStats total;
+  total.converged = true;
+  for (ComponentSolver& cs : comps_) {
+    Vector bl(cs.vertices.size());
+    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+      bl[i] = b[static_cast<std::size_t>(cs.vertices[i])];
+    }
+    // Least-squares convention: drop the kernel component of b.
+    project_out_ones(bl);
+    Vector xl(cs.vertices.size(), 0.0);
+
+    IterationStats it;
+    int rebuilds = 0;
+    while (true) {
+      BlockCholeskyChain& chain = cs.chain;
+      ApplyWorkspace& ws = cs.workspace;
+      const LinearMap precond = [&chain, &ws](std::span<const double> rr,
+                                              std::span<double> yy) {
+        chain.apply(rr, yy, ws);
+      };
+      RichardsonOptions rich = opts_.richardson;
+      if (rich.auto_step && rich.fixed_alpha <= 0.0) {
+        // The step estimate depends only on the factorization: compute it
+        // once per chain and reuse across solves (factor-once/solve-many).
+        if (cs.alpha_cache <= 0.0) {
+          const double lambda = estimate_max_eigenvalue(
+              cs.op, precond, rich.power_iterations);
+          cs.alpha_cache = lambda > 0.0
+                               ? 0.95 / lambda
+                               : 2.0 / (std::exp(-rich.delta) +
+                                        std::exp(rich.delta));
+        }
+        rich.fixed_alpha = cs.alpha_cache;
+      }
+      it = preconditioned_richardson(cs.op, precond, bl, xl, eps, rich);
+      if (it.reached_target || !opts_.adaptive ||
+          rebuilds >= opts_.max_rebuilds) {
+        break;
+      }
+      // Stalled: refactor with doubled split copies and a shifted seed.
+      ++rebuilds;
+      const std::int64_t doubled = std::max<std::int64_t>(2, cs.copies * 2);
+      opts_.seed = splitmix64(opts_.seed ^ 0x5245425549ull);
+      build_component(cs, doubled);
+      cs.alpha_cache = 0.0;  // new chain, new spectrum
+      fill(std::span<double>(xl), 0.0);
+    }
+    project_out_ones(xl);
+    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
+      x[static_cast<std::size_t>(cs.vertices[i])] = xl[i];
+    }
+    total.iterations = std::max(total.iterations, it.iterations);
+    total.relative_residual =
+        std::max(total.relative_residual, it.relative_residual);
+    total.converged = total.converged && it.reached_target;
+    total.rebuilds += rebuilds;
+  }
+  return total;
+}
+
+}  // namespace parlap

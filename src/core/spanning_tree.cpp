@@ -1,0 +1,90 @@
+#include "core/spanning_tree.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "core/terminal_walks.hpp"  // WalkGraph: per-vertex alias sampling
+#include "parallel/alias_table.hpp"
+#include "graph/connectivity.hpp"
+#include "linalg/dense.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+Multigraph sample_spanning_tree(const Multigraph& g, std::uint64_t seed,
+                                SpanningTreeStats* stats) {
+  const Vertex n = g.num_vertices();
+  PARLAP_CHECK(n >= 1);
+  PARLAP_CHECK_MSG(is_connected(g), "spanning tree of a disconnected graph");
+
+  // Full-adjacency alias tables: a WalkGraph with every vertex in "F".
+  std::vector<Vertex> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), Vertex{0});
+  const WalkGraph wg = build_walk_graph(g, all, n);
+
+  // Wilson's algorithm, rooted at vertex 0.
+  std::vector<std::uint8_t> in_tree(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> next_v(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Weight> next_w(static_cast<std::size_t>(n), 0.0);
+  in_tree[0] = 1;
+
+  Multigraph tree(n);
+  tree.reserve_edges(n - 1);
+  SpanningTreeStats local;
+
+  for (Vertex start = 1; start < n; ++start) {
+    if (in_tree[static_cast<std::size_t>(start)] != 0) continue;
+    Rng rng(seed, RngTag::kTerminalWalk,
+            0x57494C53ull ^ static_cast<std::uint64_t>(start));
+    // Random walk until the tree is hit; next_v implements loop erasure
+    // (revisiting a vertex overwrites its exit, erasing the loop).
+    Vertex u = start;
+    while (in_tree[static_cast<std::size_t>(u)] == 0) {
+      const auto lo = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(u)]);
+      const auto deg = static_cast<std::size_t>(
+                           wg.off[static_cast<std::size_t>(u) + 1]) -
+                       lo;
+      PARLAP_DCHECK(deg > 0);
+      const std::int32_t k = sample_alias(
+          std::span<const double>(wg.prob.data() + lo, deg),
+          std::span<const std::int32_t>(wg.alias.data() + lo, deg), rng);
+      next_v[static_cast<std::size_t>(u)] = wg.nbr[lo + static_cast<std::size_t>(k)];
+      next_w[static_cast<std::size_t>(u)] = wg.w[lo + static_cast<std::size_t>(k)];
+      u = next_v[static_cast<std::size_t>(u)];
+      ++local.walk_steps;
+    }
+    // Commit the loop-erased path.
+    u = start;
+    while (in_tree[static_cast<std::size_t>(u)] == 0) {
+      in_tree[static_cast<std::size_t>(u)] = 1;
+      tree.add_edge(u, next_v[static_cast<std::size_t>(u)],
+                    next_w[static_cast<std::size_t>(u)]);
+      u = next_v[static_cast<std::size_t>(u)];
+      ++local.erased_steps;  // provisional: corrected below
+    }
+  }
+  // erased = total steps - committed path steps.
+  local.erased_steps = local.walk_steps - (n - 1);
+  if (stats != nullptr) *stats = local;
+  PARLAP_CHECK(tree.num_edges() == n - 1);
+  return tree;
+}
+
+double spanning_tree_weight_dense(const Multigraph& g) {
+  const int n = g.num_vertices();
+  PARLAP_CHECK(n >= 2);
+  // Matrix-tree theorem: the number (weight) of spanning trees equals any
+  // cofactor of L; delete row/col 0 and take the determinant via
+  // Cholesky (the reduced Laplacian of a connected graph is PD).
+  const DenseMatrix l = laplacian_dense(g);
+  DenseMatrix reduced(n - 1, n - 1);
+  for (int i = 1; i < n; ++i)
+    for (int j = 1; j < n; ++j) reduced(i - 1, j - 1) = l(i, j);
+  const DenseMatrix chol = cholesky_factor(reduced);
+  double det = 1.0;
+  for (int i = 0; i + 1 < n; ++i) det *= chol(i, i) * chol(i, i);
+  return det;
+}
+
+}  // namespace parlap

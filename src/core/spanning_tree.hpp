@@ -1,0 +1,36 @@
+// Random spanning tree sampling via Wilson's algorithm [Wil96].
+//
+// The paper's §1 traces a long line of work connecting random walks,
+// Schur complements, and spanning-tree sampling [Bro89; Ald90; Wil96;
+// KM09; MST14; DPPR17; DKPRS17; Sch18] — TerminalWalks is the same
+// walk-to-terminals primitive that powers those samplers. This module
+// provides the exact classic: loop-erased random walks give a tree T with
+// probability proportional to prod_{e in T} w(e) (the weighted uniform
+// spanning tree distribution), verifiable against the matrix-tree
+// theorem.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+struct SpanningTreeStats {
+  std::int64_t walk_steps = 0;    ///< total steps including erased loops
+  std::int64_t erased_steps = 0;  ///< steps discarded by loop erasure
+};
+
+/// Samples one weighted-uniform spanning tree of connected `g`. Returns a
+/// multigraph with the same vertex set and exactly n-1 edges (with the
+/// sampled multi-edge weights). Deterministic per (graph, seed).
+[[nodiscard]] Multigraph sample_spanning_tree(const Multigraph& g,
+                                              std::uint64_t seed,
+                                              SpanningTreeStats* stats = nullptr);
+
+/// Total spanning-tree weight sum_T prod_{e in T} w(e), computed densely
+/// by the matrix-tree theorem (any cofactor of L). Test/benchmark oracle;
+/// O(n^3), intended for small graphs.
+[[nodiscard]] double spanning_tree_weight_dense(const Multigraph& g);
+
+}  // namespace parlap

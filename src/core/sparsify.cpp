@@ -1,0 +1,65 @@
+#include "core/sparsify.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "parallel/alias_table.hpp"
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+SparsifyResult spectral_sparsify(const Multigraph& g, double eps,
+                                 std::uint64_t seed,
+                                 const SparsifyOptions& opts) {
+  const Vertex n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
+  PARLAP_CHECK(n >= 2);
+
+  SparsifyResult result;
+  result.eps_target = eps;
+  const auto q = static_cast<EdgeId>(
+      std::ceil(opts.oversample * static_cast<double>(n) *
+                std::log(static_cast<double>(n)) / (eps * eps)));
+  result.samples = q;
+  if (q >= m) {
+    result.graph = g;  // already sparse enough
+    result.samples = m;
+    return result;
+  }
+
+  // Sampling probabilities ~ leverage scores (floored slightly away from
+  // zero so no edge is unreachable; the floor only raises sampling rates,
+  // which never hurts the concentration bound).
+  const ResistanceEstimator estimator(g, splitmix64(seed ^ 0x53504152ull),
+                                      opts.resistance);
+  Vector tau = estimator.leverage_scores(g);
+  double total = 0.0;
+  for (double& t : tau) {
+    t = std::max(t, 1e-12);
+    total += t;
+  }
+  const AliasTable table(tau);
+
+  // q independent draws; coincident multi-edge draws merge by summing
+  // weights (sampling with replacement).
+  std::map<EdgeId, EdgeId> counts;
+  Rng rng(seed, RngTag::kLeverage, 0x53504152ull);
+  for (EdgeId s = 0; s < q; ++s) {
+    counts[static_cast<EdgeId>(table.sample(rng))]++;
+  }
+  Multigraph h(n);
+  h.reserve_edges(static_cast<EdgeId>(counts.size()));
+  for (const auto& [e, c] : counts) {
+    const double p = tau[static_cast<std::size_t>(e)] / total;
+    const double w = g.edge_weight(e) * static_cast<double>(c) /
+                     (static_cast<double>(q) * p);
+    h.add_edge(g.edge_u(e), g.edge_v(e), w);
+  }
+  result.graph = std::move(h);
+  return result;
+}
+
+}  // namespace parlap

@@ -1,0 +1,41 @@
+// Spectral graph sparsification by effective resistances [SS11].
+//
+// Sample q = O(n log n / eps^2) edges with replacement, edge e drawn with
+// probability p_e ~ w(e) R(e) (its leverage score) and added at weight
+// w(e) / (q p_e); the result H satisfies L_H ~eps L_G w.h.p. The sampling
+// probabilities come from this library's ResistanceEstimator, i.e. from
+// the paper's own solver (the same JL machinery as Lemma 3.3 / §6).
+//
+// The paper's solver deliberately *bypasses* sparsification — this module
+// is the complementary application: once you have fast solves you get
+// sparsifiers nearly for free.
+#pragma once
+
+#include <cstdint>
+
+#include "core/resistance.hpp"
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+struct SparsifyOptions {
+  /// Sample count multiplier: q = ceil(oversample * n * ln(n) / eps^2).
+  double oversample = 2.0;
+  /// Options for the resistance sketch used to compute probabilities.
+  ResistanceOptions resistance;
+};
+
+struct SparsifyResult {
+  Multigraph graph;       ///< the sparsifier H (multi-edges possible)
+  EdgeId samples = 0;     ///< q
+  double eps_target = 0;  ///< requested accuracy
+};
+
+/// Sparsifies connected `g` to target accuracy eps. Returns H with at most
+/// q multi-edges (coincident samples merge). No-op (copy) when q >= m.
+[[nodiscard]] SparsifyResult spectral_sparsify(const Multigraph& g,
+                                               double eps,
+                                               std::uint64_t seed,
+                                               const SparsifyOptions& opts = {});
+
+}  // namespace parlap

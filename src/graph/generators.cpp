@@ -1,0 +1,261 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+namespace {
+
+double draw_weight(const WeightModel& model, Rng& rng) {
+  switch (model.kind) {
+    case WeightModel::Kind::kUnit:
+      return 1.0;
+    case WeightModel::Kind::kUniform:
+      return rng.next_in(model.lo, model.hi);
+    case WeightModel::Kind::kPowerLaw: {
+      // Inverse-CDF sampling of density ~ x^-a truncated to [lo, hi].
+      const double a = model.exponent;
+      const double u = rng.next_double();
+      if (std::abs(a - 1.0) < 1e-12) {
+        return model.lo * std::pow(model.hi / model.lo, u);
+      }
+      const double p = 1.0 - a;
+      const double lo_p = std::pow(model.lo, p);
+      const double hi_p = std::pow(model.hi, p);
+      return std::pow(lo_p + u * (hi_p - lo_p), 1.0 / p);
+    }
+  }
+  return 1.0;
+}
+
+/// Fisher-Yates permutation of 0..n-1 from a dedicated stream.
+std::vector<Vertex> random_permutation(Vertex n, std::uint64_t seed,
+                                       std::uint64_t stream) {
+  std::vector<Vertex> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), Vertex{0});
+  Rng rng(seed, RngTag::kGraphGen, stream);
+  for (Vertex i = n - 1; i > 0; --i) {
+    const auto j = static_cast<Vertex>(
+        rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+void apply_weights(Multigraph& g, const WeightModel& model,
+                   std::uint64_t seed) {
+  const EdgeId m = g.num_edges();
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    Rng rng(seed, RngTag::kGraphGen, 0x77656967 ^ static_cast<std::uint64_t>(e));
+    g.set_edge(e, g.edge_u(e), g.edge_v(e), draw_weight(model, rng));
+  });
+}
+
+Multigraph make_path(Vertex n) {
+  PARLAP_CHECK(n >= 1);
+  Multigraph g(n);
+  g.reserve_edges(n - 1);
+  for (Vertex i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1.0);
+  return g;
+}
+
+Multigraph make_cycle(Vertex n) {
+  PARLAP_CHECK(n >= 3);
+  Multigraph g = make_path(n);
+  g.add_edge(n - 1, 0, 1.0);
+  return g;
+}
+
+Multigraph make_grid2d(Vertex nx, Vertex ny) {
+  PARLAP_CHECK(nx >= 1 && ny >= 1);
+  const Vertex n = nx * ny;
+  Multigraph g(n);
+  const EdgeId m = static_cast<EdgeId>(nx - 1) * ny + static_cast<EdgeId>(ny - 1) * nx;
+  g.resize_edges(m);
+  // Horizontal edges first, then vertical; both blocks filled in parallel.
+  const EdgeId horizontal = static_cast<EdgeId>(nx - 1) * ny;
+  parallel_for(EdgeId{0}, horizontal, [&](EdgeId e) {
+    const Vertex row = static_cast<Vertex>(e / (nx - 1));
+    const Vertex col = static_cast<Vertex>(e % (nx - 1));
+    const Vertex a = row * nx + col;
+    g.set_edge(e, a, a + 1, 1.0);
+  });
+  parallel_for(EdgeId{0}, m - horizontal, [&](EdgeId e) {
+    const Vertex row = static_cast<Vertex>(e / nx);
+    const Vertex col = static_cast<Vertex>(e % nx);
+    const Vertex a = row * nx + col;
+    g.set_edge(horizontal + e, a, a + nx, 1.0);
+  });
+  return g;
+}
+
+Multigraph make_grid3d(Vertex nx, Vertex ny, Vertex nz) {
+  PARLAP_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  const Vertex n = nx * ny * nz;
+  Multigraph g(n);
+  auto id = [&](Vertex x, Vertex y, Vertex z) { return (z * ny + y) * nx + x; };
+  for (Vertex z = 0; z < nz; ++z)
+    for (Vertex y = 0; y < ny; ++y)
+      for (Vertex x = 0; x < nx; ++x) {
+        if (x + 1 < nx) g.add_edge(id(x, y, z), id(x + 1, y, z), 1.0);
+        if (y + 1 < ny) g.add_edge(id(x, y, z), id(x, y + 1, z), 1.0);
+        if (z + 1 < nz) g.add_edge(id(x, y, z), id(x, y, z + 1), 1.0);
+      }
+  return g;
+}
+
+Multigraph make_complete(Vertex n) {
+  PARLAP_CHECK(n >= 2);
+  Multigraph g(n);
+  g.reserve_edges(static_cast<EdgeId>(n) * (n - 1) / 2);
+  for (Vertex i = 0; i < n; ++i)
+    for (Vertex j = i + 1; j < n; ++j) g.add_edge(i, j, 1.0);
+  return g;
+}
+
+Multigraph make_star(Vertex n) {
+  PARLAP_CHECK(n >= 2);
+  Multigraph g(n);
+  for (Vertex i = 1; i < n; ++i) g.add_edge(0, i, 1.0);
+  return g;
+}
+
+Multigraph make_binary_tree(Vertex n) {
+  PARLAP_CHECK(n >= 1);
+  Multigraph g(n);
+  for (Vertex i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2, 1.0);
+  return g;
+}
+
+Multigraph make_barbell(Vertex clique_size, Vertex path_len) {
+  PARLAP_CHECK(clique_size >= 2);
+  PARLAP_CHECK(path_len >= 0);
+  const Vertex n = 2 * clique_size + path_len;
+  Multigraph g(n);
+  auto add_clique = [&](Vertex base) {
+    for (Vertex i = 0; i < clique_size; ++i)
+      for (Vertex j = i + 1; j < clique_size; ++j)
+        g.add_edge(base + i, base + j, 1.0);
+  };
+  add_clique(0);
+  add_clique(clique_size + path_len);
+  // Path from vertex clique_size-1 through the bridge to the second clique.
+  Vertex prev = clique_size - 1;
+  for (Vertex i = 0; i < path_len; ++i) {
+    g.add_edge(prev, clique_size + i, 1.0);
+    prev = clique_size + i;
+  }
+  g.add_edge(prev, clique_size + path_len, 1.0);
+  return g;
+}
+
+Multigraph make_erdos_renyi(Vertex n, EdgeId m, std::uint64_t seed,
+                            bool ensure_connected) {
+  PARLAP_CHECK(n >= 2);
+  PARLAP_CHECK(m >= (ensure_connected ? n - 1 : 0));
+  Multigraph g(n);
+  g.resize_edges(m);
+  EdgeId base = 0;
+  if (ensure_connected) {
+    const std::vector<Vertex> perm = random_permutation(n, seed, /*stream=*/1);
+    base = n - 1;
+    parallel_for(EdgeId{0}, base, [&](EdgeId e) {
+      g.set_edge(e, perm[static_cast<std::size_t>(e)],
+                 perm[static_cast<std::size_t>(e) + 1], 1.0);
+    });
+  }
+  parallel_for(base, m, [&](EdgeId e) {
+    Rng rng(seed, RngTag::kGraphGen, 0x676E6D00 ^ static_cast<std::uint64_t>(e));
+    while (true) {
+      const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      if (u == v) continue;
+      g.set_edge(e, u, v, 1.0);
+      return;
+    }
+  });
+  return g;
+}
+
+Multigraph make_random_regular(Vertex n, int d, std::uint64_t seed) {
+  PARLAP_CHECK(n >= 3);
+  PARLAP_CHECK(d >= 1);
+  PARLAP_CHECK_MSG(d % 2 == 0 || n % 2 == 0,
+                   "odd degree requires an even vertex count");
+  Multigraph g(n);
+  g.reserve_edges(static_cast<EdgeId>(n) * d / 2);
+  // Even part: d/2 random Hamiltonian cycles (no self-loops possible).
+  for (int c = 0; c < d / 2; ++c) {
+    const std::vector<Vertex> perm =
+        random_permutation(n, seed, 0x63796300u + static_cast<std::uint64_t>(c));
+    for (Vertex i = 0; i < n; ++i) {
+      g.add_edge(perm[static_cast<std::size_t>(i)],
+                 perm[static_cast<std::size_t>((i + 1) % n)], 1.0);
+    }
+  }
+  // Odd part: one random perfect matching.
+  if (d % 2 == 1) {
+    const std::vector<Vertex> perm = random_permutation(n, seed, 0x6D617463u);
+    for (Vertex i = 0; i < n; i += 2) {
+      g.add_edge(perm[static_cast<std::size_t>(i)],
+                 perm[static_cast<std::size_t>(i) + 1], 1.0);
+    }
+  }
+  return g;
+}
+
+Multigraph make_rmat(int scale, EdgeId m, std::uint64_t seed, double a,
+                     double b, double c, bool ensure_connected) {
+  PARLAP_CHECK(scale >= 1 && scale < 31);
+  PARLAP_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  const Vertex n = Vertex{1} << scale;
+  PARLAP_CHECK(m >= (ensure_connected ? n - 1 : 0));
+  Multigraph g(n);
+  g.resize_edges(m);
+  EdgeId base = 0;
+  if (ensure_connected) {
+    const std::vector<Vertex> perm = random_permutation(n, seed, /*stream=*/2);
+    base = n - 1;
+    parallel_for(EdgeId{0}, base, [&](EdgeId e) {
+      g.set_edge(e, perm[static_cast<std::size_t>(e)],
+                 perm[static_cast<std::size_t>(e) + 1], 1.0);
+    });
+  }
+  parallel_for(base, m, [&](EdgeId e) {
+    Rng rng(seed, RngTag::kGraphGen, 0x726D6174u ^ static_cast<std::uint64_t>(e));
+    while (true) {
+      Vertex u = 0;
+      Vertex v = 0;
+      for (int level = 0; level < scale; ++level) {
+        const double r = rng.next_double();
+        u <<= 1;
+        v <<= 1;
+        if (r < a) {
+          // top-left quadrant
+        } else if (r < a + b) {
+          v |= 1;
+        } else if (r < a + b + c) {
+          u |= 1;
+        } else {
+          u |= 1;
+          v |= 1;
+        }
+      }
+      if (u == v) continue;
+      g.set_edge(e, u, v, 1.0);
+      return;
+    }
+  });
+  return g;
+}
+
+}  // namespace parlap

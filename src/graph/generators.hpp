@@ -1,0 +1,66 @@
+// Deterministic graph generators for tests, examples, and the bench harness.
+//
+// Families cover the regimes the paper's analysis distinguishes: sparse
+// bounded-degree (grids, regular), dense (complete, dense Gnm — where
+// Theorem 1.2's leverage splitting should win), heavy-tailed (RMAT), and
+// adversarial conductance (barbell — slow-mixing walks).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// Edge-weight distribution applied deterministically per edge index.
+struct WeightModel {
+  enum class Kind { kUnit, kUniform, kPowerLaw };
+
+  Kind kind = Kind::kUnit;
+  double lo = 1.0;
+  double hi = 1.0;
+  double exponent = 2.5;  // density ~ w^-exponent on [lo, hi]
+
+  static WeightModel unit() { return {}; }
+  static WeightModel uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi, 0.0};
+  }
+  static WeightModel power_law(double lo, double hi, double exponent) {
+    return {Kind::kPowerLaw, lo, hi, exponent};
+  }
+};
+
+/// Re-draws every edge weight from `model`; keyed by (seed, edge index).
+void apply_weights(Multigraph& g, const WeightModel& model,
+                   std::uint64_t seed);
+
+Multigraph make_path(Vertex n);
+Multigraph make_cycle(Vertex n);
+Multigraph make_grid2d(Vertex nx, Vertex ny);
+Multigraph make_grid3d(Vertex nx, Vertex ny, Vertex nz);
+Multigraph make_complete(Vertex n);
+Multigraph make_star(Vertex n);
+/// Complete binary tree on n vertices (vertex 0 the root).
+Multigraph make_binary_tree(Vertex n);
+/// Two k-cliques joined by a path with `path_len` interior vertices.
+Multigraph make_barbell(Vertex clique_size, Vertex path_len);
+
+/// G(n, m): m edges drawn uniformly (multi-edges collapse is NOT applied;
+/// duplicates are legal multi-edges). If `ensure_connected`, a random
+/// Hamiltonian path is overlaid first and m-(n-1) random edges follow.
+Multigraph make_erdos_renyi(Vertex n, EdgeId m, std::uint64_t seed,
+                            bool ensure_connected = true);
+
+/// Random d-regular multigraph as a superposition of random Hamiltonian
+/// cycles (d even) plus one random perfect matching (d odd; n must be
+/// even). Connected with overwhelming probability for d >= 3.
+Multigraph make_random_regular(Vertex n, int d, std::uint64_t seed);
+
+/// RMAT power-law generator (Chakrabarti et al.): n = 2^scale vertices,
+/// m edges, quadrant probabilities (a, b, c, 1-a-b-c). Self-loops are
+/// rejected and resampled. If `ensure_connected`, overlays a random path.
+Multigraph make_rmat(int scale, EdgeId m, std::uint64_t seed, double a = 0.57,
+                     double b = 0.19, double c = 0.19,
+                     bool ensure_connected = true);
+
+}  // namespace parlap

@@ -1,0 +1,79 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace parlap {
+
+void write_edge_list(std::ostream& os, const Multigraph& g) {
+  os << "# parlap-graph " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  const EdgeId m = g.num_edges();
+  for (EdgeId e = 0; e < m; ++e) {
+    os << g.edge_u(e) << ' ' << g.edge_v(e) << ' ' << g.edge_weight(e) << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Multigraph& g) {
+  std::ofstream os(path);
+  PARLAP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_edge_list(os, g);
+}
+
+Multigraph read_edge_list(std::istream& is) {
+  Vertex n = -1;
+  struct Edge {
+    Vertex u, v;
+    Weight w;
+  };
+  std::vector<Edge> edges;
+  Vertex max_vertex = -1;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash;
+      std::string tag;
+      header >> hash >> tag;
+      if (tag == "parlap-graph") {
+        Vertex header_n = -1;
+        EdgeId header_m = 0;
+        header >> header_n >> header_m;
+        // Tolerate malformed headers (treat as plain comments).
+        if (!header.fail() && header_n >= 0) {
+          n = header_n;
+          edges.reserve(static_cast<std::size_t>(header_m));
+        }
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    Edge e{};
+    e.w = 1.0;
+    row >> e.u >> e.v;
+    PARLAP_CHECK_MSG(!row.fail(), "malformed edge line: " << line);
+    row >> e.w;  // optional third column
+    max_vertex = std::max({max_vertex, e.u, e.v});
+    edges.push_back(e);
+  }
+  if (n < 0) n = max_vertex + 1;
+  PARLAP_CHECK_MSG(max_vertex < n, "edge endpoint exceeds declared n");
+  Multigraph g(n);
+  g.reserve_edges(static_cast<EdgeId>(edges.size()));
+  for (const Edge& e : edges) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+Multigraph read_edge_list_file(const std::string& path) {
+  std::ifstream is(path);
+  PARLAP_CHECK_MSG(is.good(), "cannot open " << path << " for reading");
+  return read_edge_list(is);
+}
+
+}  // namespace parlap

@@ -1,0 +1,21 @@
+// Plain-text edge-list serialization ("u v w" lines, '#' comments).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// Writes `g` as a header line `# parlap-graph <n> <m>` followed by one
+/// `u v w` line per multi-edge.
+void write_edge_list(std::ostream& os, const Multigraph& g);
+void write_edge_list_file(const std::string& path, const Multigraph& g);
+
+/// Reads the format produced by write_edge_list. Also accepts headerless
+/// files (vertex count inferred as max id + 1, weights default to 1).
+[[nodiscard]] Multigraph read_edge_list(std::istream& is);
+[[nodiscard]] Multigraph read_edge_list_file(const std::string& path);
+
+}  // namespace parlap

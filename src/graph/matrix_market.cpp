@@ -1,0 +1,106 @@
+#include "graph/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace parlap {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Multigraph read_matrix_market(std::istream& is, MatrixMarketKind kind) {
+  std::string line;
+  PARLAP_CHECK_MSG(std::getline(is, line), "empty MatrixMarket stream");
+  std::istringstream banner(to_lower(line));
+  std::string magic, object, format, field, symmetry;
+  banner >> magic >> object >> format >> field >> symmetry;
+  PARLAP_CHECK_MSG(magic == "%%matrixmarket", "missing %%MatrixMarket banner");
+  PARLAP_CHECK_MSG(object == "matrix" && format == "coordinate",
+                   "only 'matrix coordinate' files are supported");
+  PARLAP_CHECK_MSG(field == "real" || field == "integer" || field == "pattern",
+                   "unsupported field type: " << field);
+  PARLAP_CHECK_MSG(symmetry == "symmetric" || symmetry == "general",
+                   "unsupported symmetry: " << symmetry);
+  const bool pattern = field == "pattern";
+
+  // Skip comments, read the size line.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long rows = 0, cols = 0;
+  long long entries = 0;
+  size_line >> rows >> cols >> entries;
+  PARLAP_CHECK_MSG(!size_line.fail(), "malformed size line: " << line);
+  PARLAP_CHECK_MSG(rows == cols, "graph matrices must be square");
+  PARLAP_CHECK_MSG(rows <= std::numeric_limits<Vertex>::max(),
+                   "matrix too large for 32-bit vertex ids");
+
+  Multigraph g(static_cast<Vertex>(rows));
+  g.reserve_edges(entries);
+  for (long long k = 0; k < entries; ++k) {
+    PARLAP_CHECK_MSG(std::getline(is, line), "unexpected EOF at entry " << k);
+    if (line.empty() || line[0] == '%') {
+      --k;
+      continue;
+    }
+    std::istringstream row(line);
+    long i = 0, j = 0;
+    double w = 1.0;
+    row >> i >> j;
+    if (!pattern) row >> w;
+    PARLAP_CHECK_MSG(!row.fail(), "malformed entry: " << line);
+    PARLAP_CHECK(i >= 1 && i <= rows && j >= 1 && j <= rows);
+    if (i == j) continue;  // diagonal carries no graph edge
+    if (kind == MatrixMarketKind::kLaplacian) {
+      PARLAP_CHECK_MSG(w <= 0.0,
+                       "Laplacian off-diagonal must be <= 0, got " << w);
+      w = -w;
+    }
+    if (w == 0.0) continue;
+    PARLAP_CHECK_MSG(w > 0.0, "adjacency weights must be positive, got " << w);
+    g.add_edge(static_cast<Vertex>(i - 1), static_cast<Vertex>(j - 1), w);
+  }
+  return g;
+}
+
+Multigraph read_matrix_market_file(const std::string& path,
+                                   MatrixMarketKind kind) {
+  std::ifstream is(path);
+  PARLAP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_matrix_market(is, kind);
+}
+
+void write_matrix_market(std::ostream& os, const Multigraph& g) {
+  os << "%%MatrixMarket matrix coordinate real symmetric\n";
+  os << "% written by parlap\n";
+  os << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+     << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    // Lower triangle: row >= col, 1-based.
+    const Vertex u = std::max(g.edge_u(e), g.edge_v(e));
+    const Vertex v = std::min(g.edge_u(e), g.edge_v(e));
+    os << u + 1 << ' ' << v + 1 << ' ' << g.edge_weight(e) << '\n';
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Multigraph& g) {
+  std::ofstream os(path);
+  PARLAP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_matrix_market(os, g);
+}
+
+}  // namespace parlap

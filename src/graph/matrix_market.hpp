@@ -1,0 +1,35 @@
+// Matrix Market (.mtx) interop — the exchange format of the sparse-matrix
+// world (SuiteSparse collection, SDD solver benchmarks).
+//
+// Graphs are read from `matrix coordinate real/integer/pattern symmetric`
+// files: each off-diagonal entry (i, j, w) becomes an edge; diagonal
+// entries are ignored for adjacency input and checked-and-dropped for
+// Laplacian input (where off-diagonals carry -w). Duplicate entries are
+// kept as multi-edges; `general` symmetry is accepted when both triangles
+// agree (each unordered pair read once).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+enum class MatrixMarketKind {
+  kAdjacency,  ///< entries are edge weights (must be positive)
+  kLaplacian,  ///< entries are Laplacian values (off-diagonal <= 0)
+};
+
+[[nodiscard]] Multigraph read_matrix_market(
+    std::istream& is, MatrixMarketKind kind = MatrixMarketKind::kAdjacency);
+[[nodiscard]] Multigraph read_matrix_market_file(
+    const std::string& path,
+    MatrixMarketKind kind = MatrixMarketKind::kAdjacency);
+
+/// Writes the adjacency of `g` as `matrix coordinate real symmetric`
+/// (1-based, lower triangle), one entry per multi-edge.
+void write_matrix_market(std::ostream& os, const Multigraph& g);
+void write_matrix_market_file(const std::string& path, const Multigraph& g);
+
+}  // namespace parlap

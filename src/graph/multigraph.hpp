@@ -1,0 +1,94 @@
+// Weighted undirected multi-graph, the object the paper's algorithms are
+// written against (§2: "we have written our algorithms completely with
+// respect to the multi-graphs instead of matrices").
+//
+// Storage is struct-of-arrays over multi-edges; parallel producers size the
+// edge arrays up front and write disjoint slots.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace parlap {
+
+class Multigraph {
+ public:
+  Multigraph() = default;
+  explicit Multigraph(Vertex num_vertices) : n_(num_vertices) {
+    PARLAP_CHECK(num_vertices >= 0);
+  }
+
+  [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(u_.size());
+  }
+
+  /// Appends one multi-edge. Self-loops are rejected: they contribute
+  /// nothing to a Laplacian and the walk algorithms assume their absence.
+  void add_edge(Vertex u, Vertex v, Weight w) {
+    PARLAP_DCHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+    PARLAP_CHECK_MSG(u != v, "self-loop at vertex " << u);
+    PARLAP_CHECK_MSG(w > 0.0, "non-positive edge weight " << w);
+    u_.push_back(u);
+    v_.push_back(v);
+    w_.push_back(w);
+  }
+
+  void reserve_edges(EdgeId m) {
+    u_.reserve(static_cast<std::size_t>(m));
+    v_.reserve(static_cast<std::size_t>(m));
+    w_.reserve(static_cast<std::size_t>(m));
+  }
+
+  /// Resizes the edge arrays so parallel producers can fill disjoint slots
+  /// through set_edge(). Slots must all be written before use.
+  void resize_edges(EdgeId m) {
+    u_.resize(static_cast<std::size_t>(m));
+    v_.resize(static_cast<std::size_t>(m));
+    w_.resize(static_cast<std::size_t>(m));
+  }
+
+  void set_edge(EdgeId e, Vertex u, Vertex v, Weight w) {
+    PARLAP_DCHECK(e >= 0 && e < num_edges());
+    PARLAP_DCHECK(u != v);
+    const auto i = static_cast<std::size_t>(e);
+    u_[i] = u;
+    v_[i] = v;
+    w_[i] = w;
+  }
+
+  [[nodiscard]] Vertex edge_u(EdgeId e) const {
+    return u_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Vertex edge_v(EdgeId e) const {
+    return v_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Weight edge_weight(EdgeId e) const {
+    return w_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] std::span<const Vertex> us() const noexcept { return u_; }
+  [[nodiscard]] std::span<const Vertex> vs() const noexcept { return v_; }
+  [[nodiscard]] std::span<const Weight> ws() const noexcept { return w_; }
+
+  /// Weighted degree w(u) = sum of incident multi-edge weights (parallel).
+  [[nodiscard]] std::vector<Weight> weighted_degrees() const;
+
+  /// Sum of all multi-edge weights (parallel reduction).
+  [[nodiscard]] Weight total_weight() const;
+
+  /// Throws unless all endpoints are in range, weights positive and finite,
+  /// and no self-loops are present. Intended for API boundaries.
+  void validate() const;
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Vertex> u_;
+  std::vector<Vertex> v_;
+  std::vector<Weight> w_;
+};
+
+}  // namespace parlap

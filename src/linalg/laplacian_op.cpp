@@ -1,0 +1,49 @@
+#include "linalg/laplacian_op.hpp"
+
+#include <cmath>
+
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+void LaplacianOperator::apply(std::span<const double> x,
+                              std::span<double> y) const {
+  const Vertex n = dimension();
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(n));
+  PARLAP_CHECK(y.size() == static_cast<std::size_t>(n));
+  parallel_for(Vertex{0}, n, [&](Vertex u) {
+    const auto nbrs = csr_.neighbors(u);
+    const auto ws = csr_.weights(u);
+    double acc = csr_.weighted_degree(u) * x[static_cast<std::size_t>(u)];
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      acc -= ws[k] * x[static_cast<std::size_t>(nbrs[k])];
+    }
+    y[static_cast<std::size_t>(u)] = acc;
+  });
+}
+
+double LaplacianOperator::quadratic_form(std::span<const double> x) const {
+  // Summed edge-wise: exactly non-negative, unlike x' (Lx) which can go
+  // negative by rounding near the kernel.
+  const Vertex n = dimension();
+  PARLAP_CHECK(x.size() == static_cast<std::size_t>(n));
+  return 0.5 * deterministic_sum(n, [&](std::int64_t ui) {
+           const auto u = static_cast<Vertex>(ui);
+           const auto nbrs = csr_.neighbors(u);
+           const auto ws = csr_.weights(u);
+           double acc = 0.0;
+           for (std::size_t k = 0; k < nbrs.size(); ++k) {
+             const double d = x[static_cast<std::size_t>(u)] -
+                              x[static_cast<std::size_t>(nbrs[k])];
+             acc += ws[k] * d * d;
+           }
+           return acc;
+         });
+}
+
+double LaplacianOperator::laplacian_norm(std::span<const double> x) const {
+  return std::sqrt(quadratic_form(x));
+}
+
+}  // namespace parlap

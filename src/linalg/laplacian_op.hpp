@@ -1,0 +1,46 @@
+// Matrix-free application of a graph Laplacian.
+//
+// (L x)_u = w(u) x_u - sum_{e=(u,v)} w(e) x_v, computed row-wise over the
+// CSR adjacency: O(m) work, O(log m) depth (each row's sum is an
+// independent reduction), matching the remark in the proof of Thm 3.10.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parlap {
+
+class LaplacianOperator {
+ public:
+  /// Empty operator (dimension 0); assign before use.
+  LaplacianOperator() = default;
+  explicit LaplacianOperator(const Multigraph& g) : csr_(g) {}
+  explicit LaplacianOperator(CsrGraph csr) : csr_(std::move(csr)) {}
+
+  [[nodiscard]] Vertex dimension() const noexcept { return csr_.num_vertices(); }
+  [[nodiscard]] EdgeId num_multi_edges() const noexcept { return csr_.num_edges(); }
+  [[nodiscard]] const CsrGraph& csr() const noexcept { return csr_; }
+
+  /// y = L x (parallel over rows).
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Returns L x.
+  [[nodiscard]] Vector apply(std::span<const double> x) const {
+    Vector y(static_cast<std::size_t>(dimension()));
+    apply(x, y);
+    return y;
+  }
+
+  /// Quadratic form x' L x = sum_e w(e) (x_u - x_v)^2 >= 0.
+  [[nodiscard]] double quadratic_form(std::span<const double> x) const;
+
+  /// Energy norm ||x||_L.
+  [[nodiscard]] double laplacian_norm(std::span<const double> x) const;
+
+ private:
+  CsrGraph csr_;
+};
+
+}  // namespace parlap

@@ -1,0 +1,109 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// Deterministic parallel reduction over [0, n): fixed chunks, partials
+/// folded in chunk order.
+template <typename Map>
+double chunked_sum(std::int64_t n, Map&& map) {
+  constexpr std::int64_t kChunk = 1 << 14;
+  if (n < kChunk) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) s += map(i);
+    return s;
+  }
+  const std::int64_t chunks = (n + kChunk - 1) / kChunk;
+  std::vector<double> partial(static_cast<std::size_t>(chunks));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = c * kChunk;
+    const std::int64_t hi = std::min(n, lo + kChunk);
+    double s = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) s += map(i);
+    partial[static_cast<std::size_t>(c)] = s;
+  }
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  return total;
+}
+
+}  // namespace
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  PARLAP_CHECK(x.size() == y.size());
+  return chunked_sum(static_cast<std::int64_t>(x.size()), [&](std::int64_t i) {
+    return x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  });
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double sum(std::span<const double> x) {
+  return chunked_sum(static_cast<std::int64_t>(x.size()),
+                     [&](std::int64_t i) { return x[static_cast<std::size_t>(i)]; });
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  PARLAP_CHECK(x.size() == y.size());
+  parallel_for(std::size_t{0}, x.size(),
+               [&](std::size_t i) { y[i] += a * x[i]; });
+}
+
+void scale(std::span<double> x, double a) {
+  parallel_for(std::size_t{0}, x.size(), [&](std::size_t i) { x[i] *= a; });
+}
+
+void assign(std::span<double> dst, std::span<const double> src) {
+  PARLAP_CHECK(dst.size() == src.size());
+  parallel_for(std::size_t{0}, dst.size(),
+               [&](std::size_t i) { dst[i] = src[i]; });
+}
+
+void fill(std::span<double> x, double value) {
+  parallel_for(std::size_t{0}, x.size(), [&](std::size_t i) { x[i] = value; });
+}
+
+void project_out_ones(std::span<double> x) {
+  if (x.empty()) return;
+  const double mean = sum(x) / static_cast<double>(x.size());
+  parallel_for(std::size_t{0}, x.size(), [&](std::size_t i) { x[i] -= mean; });
+}
+
+void project_out_ones_per_component(std::span<double> x,
+                                    std::span<const Vertex> label,
+                                    Vertex num_components) {
+  PARLAP_CHECK(x.size() == label.size());
+  std::vector<double> comp_sum(static_cast<std::size_t>(num_components), 0.0);
+  std::vector<std::int64_t> comp_size(static_cast<std::size_t>(num_components), 0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    comp_sum[static_cast<std::size_t>(label[i])] += x[i];
+    ++comp_size[static_cast<std::size_t>(label[i])];
+  }
+  parallel_for(std::size_t{0}, x.size(), [&](std::size_t i) {
+    const auto c = static_cast<std::size_t>(label[i]);
+    x[i] -= comp_sum[c] / static_cast<double>(comp_size[c]);
+  });
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  PARLAP_CHECK(x.size() == y.size());
+  return parallel_reduce(
+      std::size_t{0}, x.size(), 0.0,
+      [&](std::size_t i) { return std::abs(x[i] - y[i]); },
+      [](double a, double b) { return std::max(a, b); });
+}
+
+double deterministic_sum(std::int64_t n,
+                         const std::function<double(std::int64_t)>& map) {
+  return chunked_sum(n, [&](std::int64_t i) { return map(i); });
+}
+
+}  // namespace parlap

@@ -1,0 +1,50 @@
+// Parallel dense vector kernels.
+//
+// Reductions use fixed-chunk per-thread partials folded in thread order, so
+// results are bit-identical across runs at a given thread count and
+// numerically stable across thread counts.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace parlap {
+
+using Vector = std::vector<double>;
+
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+[[nodiscard]] double norm2(std::span<const double> x);
+[[nodiscard]] double sum(std::span<const double> x);
+
+/// y += a * x
+void axpy(double a, std::span<const double> x, std::span<double> y);
+/// x *= a
+void scale(std::span<double> x, double a);
+/// dst = src
+void assign(std::span<double> dst, std::span<const double> src);
+void fill(std::span<double> x, double value);
+
+/// Projects out the all-ones kernel direction: x -= mean(x). For connected
+/// Laplacians this maps x to the range of L.
+void project_out_ones(std::span<double> x);
+
+/// Projects out ones per component: x_i -= mean over component(label_i).
+void project_out_ones_per_component(std::span<double> x,
+                                    std::span<const Vertex> label,
+                                    Vertex num_components);
+
+/// max_i |x_i - y_i|
+[[nodiscard]] double max_abs_diff(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Deterministic parallel sum of map(i) over [0, n): fixed-size chunks
+/// accumulated independently and folded in chunk order, so the result is
+/// bit-identical for every thread count. Use this (never an ad-hoc OpenMP
+/// reduction) whenever a float sum can influence control flow.
+double deterministic_sum(std::int64_t n,
+                         const std::function<double(std::int64_t)>& map);
+
+}  // namespace parlap

@@ -1,0 +1,66 @@
+#include "parallel/alias_table.hpp"
+
+#include "support/check.hpp"
+
+namespace parlap {
+
+double build_alias(std::span<const double> weights, std::span<double> prob,
+                   std::span<std::int32_t> alias) {
+  const auto n = static_cast<std::int32_t>(weights.size());
+  PARLAP_CHECK(n >= 1);
+  PARLAP_CHECK(prob.size() == weights.size());
+  PARLAP_CHECK(alias.size() == weights.size());
+
+  double total = 0.0;
+  for (const double w : weights) {
+    PARLAP_CHECK_MSG(w >= 0.0, "negative sampling weight " << w);
+    total += w;
+  }
+  PARLAP_CHECK_MSG(total > 0.0, "alias table requires positive total weight");
+
+  // Vose's method: scale to mean 1, split into under-/over-full buckets,
+  // pair each under-full bucket with an over-full donor.
+  std::vector<double> scaled(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i)
+    scaled[static_cast<std::size_t>(i)] =
+        weights[static_cast<std::size_t>(i)] * static_cast<double>(n) / total;
+
+  std::vector<std::int32_t> small;
+  std::vector<std::int32_t> large;
+  small.reserve(static_cast<std::size_t>(n));
+  large.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    (scaled[static_cast<std::size_t>(i)] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::int32_t s = small.back();
+    small.pop_back();
+    const std::int32_t l = large.back();
+    prob[static_cast<std::size_t>(s)] = scaled[static_cast<std::size_t>(s)];
+    alias[static_cast<std::size_t>(s)] = l;
+    scaled[static_cast<std::size_t>(l)] -=
+        1.0 - scaled[static_cast<std::size_t>(s)];
+    if (scaled[static_cast<std::size_t>(l)] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly full up to rounding.
+  for (const std::int32_t l : large) {
+    prob[static_cast<std::size_t>(l)] = 1.0;
+    alias[static_cast<std::size_t>(l)] = l;
+  }
+  for (const std::int32_t s : small) {
+    prob[static_cast<std::size_t>(s)] = 1.0;
+    alias[static_cast<std::size_t>(s)] = s;
+  }
+  return total;
+}
+
+AliasTable::AliasTable(std::span<const double> weights)
+    : prob_(weights.size()), alias_(weights.size()) {
+  total_ = build_alias(weights, prob_, alias_);
+}
+
+}  // namespace parlap

@@ -1,0 +1,84 @@
+// Thin, typed wrappers over OpenMP worksharing.
+//
+// The paper's model is CREW PRAM; every primitive it uses (independent
+// per-edge walks, per-vertex filters, representation conversions) is a
+// flat data-parallel loop, which these wrappers express. All call sites
+// write to disjoint locations or use explicit reductions, so scheduling
+// never affects results.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include <omp.h>
+
+namespace parlap {
+
+/// Number of threads OpenMP will use for the next parallel region.
+[[nodiscard]] inline int thread_count() { return omp_get_max_threads(); }
+
+/// Runs `fn(i)` for i in [begin, end). Parallel when the range is at least
+/// `grain`; serial otherwise (avoids fork overhead on tiny inner loops).
+template <typename Index, typename Fn>
+void parallel_for(Index begin, Index end, Fn&& fn,
+                  std::int64_t grain = 2048) {
+  const auto lo = static_cast<std::int64_t>(begin);
+  const auto hi = static_cast<std::int64_t>(end);
+  if (hi - lo < grain) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(static_cast<Index>(i));
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = lo; i < hi; ++i) fn(static_cast<Index>(i));
+}
+
+/// Like parallel_for but with dynamic scheduling, for irregular work such
+/// as random walks whose length varies per iteration.
+template <typename Index, typename Fn>
+void parallel_for_dynamic(Index begin, Index end, Fn&& fn,
+                          std::int64_t grain = 256) {
+  const auto lo = static_cast<std::int64_t>(begin);
+  const auto hi = static_cast<std::int64_t>(end);
+  if (hi - lo < grain) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(static_cast<Index>(i));
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = lo; i < hi; ++i) fn(static_cast<Index>(i));
+}
+
+/// Map-reduce over [begin, end): accumulates `map(i)` into per-thread
+/// accumulators with `combine`, then folds them into `init`.
+template <typename T, typename Index, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(Index begin, Index end, T init, Map&& map,
+                                Combine&& combine) {
+  const auto lo = static_cast<std::int64_t>(begin);
+  const auto hi = static_cast<std::int64_t>(end);
+  T result = std::move(init);
+  if (hi - lo < 2048) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      result = combine(std::move(result), map(static_cast<Index>(i)));
+    return result;
+  }
+#pragma omp parallel
+  {
+    T local{};
+    bool has_local = false;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (!has_local) {
+        local = map(static_cast<Index>(i));
+        has_local = true;
+      } else {
+        local = combine(std::move(local), map(static_cast<Index>(i)));
+      }
+    }
+#pragma omp critical(parlap_reduce)
+    {
+      if (has_local) result = combine(std::move(result), std::move(local));
+    }
+  }
+  return result;
+}
+
+}  // namespace parlap

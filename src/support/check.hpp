@@ -1,0 +1,48 @@
+// Lightweight runtime contract checking.
+//
+// PARLAP_CHECK stays enabled in all build types: the algorithms in this
+// library are randomized and their preconditions (connectivity, positive
+// weights, 5-DD structure) are cheap to state and expensive to debug when
+// silently violated. PARLAP_DCHECK compiles away under NDEBUG and is meant
+// for hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parlap::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& message) {
+  std::ostringstream os;
+  os << "parlap check failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace parlap::detail
+
+#define PARLAP_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]]                                           \
+      ::parlap::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define PARLAP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      std::ostringstream parlap_check_os;                               \
+      parlap_check_os << msg;                                           \
+      ::parlap::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                     parlap_check_os.str());            \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define PARLAP_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define PARLAP_DCHECK(cond) PARLAP_CHECK(cond)
+#endif

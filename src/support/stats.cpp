@@ -1,0 +1,88 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace parlap {
+
+void OnlineStats::add(double x) noexcept {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  PARLAP_CHECK(!values.empty());
+  PARLAP_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double log_log_slope(std::span<const double> x, std::span<const double> y) {
+  PARLAP_CHECK(x.size() == y.size());
+  PARLAP_CHECK(x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PARLAP_CHECK(x[i] > 0.0 && y[i] > 0.0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  PARLAP_CHECK(hi > lo);
+  PARLAP_CHECK(bins > 0);
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto b = static_cast<std::int64_t>(std::floor(t));
+  b = std::clamp<std::int64_t>(b, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bin_lo(int b) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(int b) const noexcept { return bin_lo(b + 1); }
+
+}  // namespace parlap

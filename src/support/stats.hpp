@@ -1,0 +1,62 @@
+// Online and batch summary statistics used by tests and the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace parlap {
+
+/// Welford online accumulator: count / mean / variance / min / max in O(1)
+/// space. Mergeable, so per-thread accumulators can be reduced.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch percentile (nearest-rank). `q` in [0, 1]. Copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+
+/// Least-squares slope of log(y) against log(x); the empirical scaling
+/// exponent used by the work-scaling experiments (E1, E6).
+[[nodiscard]] double log_log_slope(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins. Used for walk-length distributions (E5).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::int64_t bin_count(int b) const { return counts_.at(static_cast<std::size_t>(b)); }
+  [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(int b) const noexcept;
+  [[nodiscard]] double bin_hi(int b) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace parlap

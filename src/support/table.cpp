@@ -1,0 +1,82 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace parlap {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> names, int precision) {
+  header_ = std::move(names);
+  precision_ = precision;
+}
+
+void TextTable::add_row(std::vector<Cell> cells) {
+  PARLAP_CHECK_MSG(cells.size() == header_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision_) << std::defaultfloat << std::get<double>(c);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t j = 0; j < header_.size(); ++j) width[j] = header_[j].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      r.push_back(render(row[j]));
+      width[j] = std::max(width[j], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      os << (j == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[j]))
+         << cells[j];
+    }
+    os << " |\n";
+  };
+  line(header_);
+  os << '|';
+  for (std::size_t j = 0; j < header_.size(); ++j) {
+    os << std::string(width[j] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& r : rendered) line(r);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (j > 0) os << ',';
+      os << cells[j];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(render(c));
+    emit(r);
+  }
+}
+
+}  // namespace parlap

@@ -1,0 +1,46 @@
+// Aligned console tables + CSV output for the benchmark harness.
+//
+// Every bench binary prints its experiment as one or more of these tables so
+// EXPERIMENTS.md rows can be regenerated verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace parlap {
+
+/// A single table cell: text, integer, or floating point (with per-column
+/// precision applied at render time).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {});
+
+  /// Defines the column layout. `precision` applies to double cells.
+  void set_header(std::vector<std::string> names, int precision = 4);
+
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  /// numeric content; strings are passed through).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::string render(const Cell& c) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace parlap

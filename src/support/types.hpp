@@ -1,0 +1,21 @@
+// Fundamental scalar types shared across all parlap subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace parlap {
+
+/// Vertex identifier. Graphs are limited to ~2.1e9 vertices.
+using Vertex = std::int32_t;
+
+/// Edge identifier / edge count. Multi-graphs produced by edge splitting can
+/// exceed 2^31 multi-edges, so edge indices are 64-bit.
+using EdgeId = std::int64_t;
+
+/// Edge weight / matrix entry.
+using Weight = double;
+
+/// Sentinel for "no vertex".
+inline constexpr Vertex kInvalidVertex = -1;
+
+}  // namespace parlap

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cg.hpp"
+#include "baselines/dense_direct.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector random_rhs(Vertex n, std::uint64_t seed) {
+  Vector b(static_cast<std::size_t>(n));
+  Rng rng(seed, RngTag::kTest, 2);
+  for (auto& v : b) v = rng.next_in(-1.0, 1.0);
+  project_out_ones(b);
+  return b;
+}
+
+TEST(Cg, SolvesGridSystem) {
+  const Multigraph g = make_grid2d(10, 10);
+  const LaplacianOperator op(g);
+  const Vector b = random_rhs(100, 1);
+  Vector x(100, 0.0);
+  const IterationStats st = conjugate_gradient(op, b, x, 1e-10);
+  EXPECT_TRUE(st.reached_target);
+  const Vector lx = op.apply(x);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_NEAR(lx[i], b[i], 1e-7);
+}
+
+TEST(Cg, MatchesDenseOracle) {
+  Multigraph g = make_erdos_renyi(60, 200, 2);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 3);
+  const LaplacianOperator op(g);
+  const Vector b = random_rhs(60, 4);
+  Vector x(60, 0.0);
+  conjugate_gradient(op, b, x, 1e-12);
+  const DenseDirectSolver oracle(g);
+  Vector want(60);
+  oracle.solve(b, want);
+  project_out_ones(want);
+  for (std::size_t i = 0; i < 60; ++i) EXPECT_NEAR(x[i], want[i], 1e-6);
+}
+
+TEST(Cg, IterationsGrowWithPathLength) {
+  // kappa(path_n) ~ n^2 so CG needs ~n iterations: the behaviour the
+  // block Cholesky preconditioner eliminates (bench E3).
+  Vector iters;
+  for (const Vertex n : {64, 256}) {
+    const Multigraph g = make_path(n);
+    const LaplacianOperator op(g);
+    const Vector b = random_rhs(n, 5);
+    Vector x(static_cast<std::size_t>(n), 0.0);
+    const IterationStats st = conjugate_gradient(op, b, x, 1e-8);
+    iters.push_back(st.iterations);
+  }
+  EXPECT_GT(iters[1], 2.0 * iters[0]);
+}
+
+TEST(Pcg, JacobiPreconditionerHelpsOnSkewedDegrees) {
+  Multigraph g = make_star(400);
+  apply_weights(g, WeightModel::power_law(0.01, 100.0, 2.0), 6);
+  const LaplacianOperator op(g);
+  const Vector b = random_rhs(400, 7);
+  Vector x_plain(400, 0.0);
+  Vector x_pc(400, 0.0);
+  const IterationStats plain = conjugate_gradient(op, b, x_plain, 1e-10);
+  const IterationStats pc = preconditioned_cg(
+      op, jacobi_diagonal_preconditioner(op), b, x_pc, 1e-10);
+  EXPECT_TRUE(pc.reached_target);
+  EXPECT_LE(pc.iterations, plain.iterations);
+}
+
+TEST(Cg, ZeroRhs) {
+  const Multigraph g = make_path(8);
+  const LaplacianOperator op(g);
+  const Vector b(8, 0.0);
+  Vector x(8, 3.0);
+  const IterationStats st = conjugate_gradient(op, b, x, 1e-8);
+  EXPECT_TRUE(st.reached_target);
+  for (const double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cg, RespectsIterationCap) {
+  const Multigraph g = make_path(500);
+  const LaplacianOperator op(g);
+  const Vector b = random_rhs(500, 8);
+  Vector x(500, 0.0);
+  CgOptions opts;
+  opts.max_iterations = 5;
+  const IterationStats st = conjugate_gradient(op, b, x, 1e-14, opts);
+  EXPECT_FALSE(st.reached_target);
+  EXPECT_LE(st.iterations, 5);
+}
+
+}  // namespace
+}  // namespace parlap

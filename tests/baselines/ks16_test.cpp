@@ -1,0 +1,104 @@
+// KS16 baseline tests: the approximate LDL' factors form a working
+// preconditioner, solve to accuracy across families, and stay sparse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/dense_direct.hpp"
+#include "baselines/ks16.hpp"
+#include "core/alpha_bound.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector random_rhs(Vertex n, std::uint64_t seed) {
+  Vector b(static_cast<std::size_t>(n));
+  Rng rng(seed, RngTag::kTest, 3);
+  for (auto& v : b) v = rng.next_in(-1.0, 1.0);
+  project_out_ones(b);
+  return b;
+}
+
+class Ks16FamilyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Multigraph graph() const {
+    switch (GetParam()) {
+      case 0:
+        return make_grid2d(12, 12);
+      case 1: {
+        Multigraph g = make_erdos_renyi(200, 900, 1);
+        apply_weights(g, WeightModel::uniform(0.5, 2.0), 2);
+        return g;
+      }
+      case 2:
+        return make_binary_tree(127);
+      default:
+        return make_barbell(40, 20);
+    }
+  }
+};
+
+TEST_P(Ks16FamilyTest, SolvesToAccuracy) {
+  const Multigraph g = graph();
+  const Ks16Solver solver(g);
+  const Vector b = random_rhs(g.num_vertices(), 5);
+  Vector x(b.size(), 0.0);
+  const IterationStats st = solver.solve(b, x, 1e-8);
+  EXPECT_TRUE(st.reached_target);
+  const LaplacianOperator op(g);
+  const Vector lx = op.apply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(lx[i], b[i], 1e-5);
+}
+
+TEST_P(Ks16FamilyTest, PreconditionerBeatsPlainCg) {
+  const Multigraph g = graph();
+  const Ks16Solver solver(g);
+  const LaplacianOperator op(g);
+  const Vector b = random_rhs(g.num_vertices(), 7);
+  Vector x1(b.size(), 0.0);
+  Vector x2(b.size(), 0.0);
+  const IterationStats pcg = solver.solve(b, x1, 1e-8);
+  const IterationStats plain = conjugate_gradient(op, b, x2, 1e-8);
+  EXPECT_LE(pcg.iterations, plain.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Ks16FamilyTest, ::testing::Range(0, 4));
+
+TEST(Ks16, FactorFillIsLogLinear) {
+  // CliqueSample spawns <= 1 edge per consumed edge, but an edge's
+  // descendants chain through later eliminations: expected total fill is
+  // O(m log n) (the KS16 analysis), not O(m).
+  const Multigraph g = make_erdos_renyi(500, 2500, 9);
+  Ks16Options opts;
+  opts.split_scale = 0.1;
+  const Ks16Solver solver(g, opts);
+  const EdgeId split_edges =
+      g.num_edges() * default_split_copies(g.num_vertices(), 0.1);
+  const double log_n = std::log(static_cast<double>(g.num_vertices()));
+  EXPECT_LE(solver.factor_entries(),
+            static_cast<EdgeId>(3.0 * log_n * static_cast<double>(split_edges)));
+  EXPECT_GE(solver.factor_entries(), split_edges / 2);  // sanity floor
+}
+
+TEST(Ks16, DeterministicGivenSeed) {
+  const Multigraph g = make_grid2d(10, 10);
+  const Ks16Solver a(g);
+  const Ks16Solver b(g);
+  const Vector r = random_rhs(100, 11);
+  Vector ya(100), yb(100);
+  a.apply_preconditioner(r, ya);
+  b.apply_preconditioner(r, yb);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Ks16, RequiresConnectedGraph) {
+  Multigraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW(Ks16Solver s(g), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

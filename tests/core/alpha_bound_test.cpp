@@ -1,0 +1,89 @@
+// Lemma 3.2 / Lemma 3.3 step (3): edge splitting preserves the Laplacian
+// exactly and bounds every multi-edge's leverage score by alpha.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha_bound.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(DefaultSplitCopies, ScalesWithLogSquared) {
+  EXPECT_EQ(default_split_copies(2, 1.0), 1);
+  EXPECT_EQ(default_split_copies(1024, 1.0), 100);  // ceil(log2)=10 -> 100
+  EXPECT_EQ(default_split_copies(1024, 0.1), 10);
+  EXPECT_EQ(default_split_copies(1 << 20, 1.0), 400);
+  // Never below one copy.
+  EXPECT_EQ(default_split_copies(1 << 20, 1e-9), 1);
+  EXPECT_DOUBLE_EQ(default_alpha(1024, 1.0), 0.01);
+}
+
+TEST(SplitUniform, LaplacianUnchanged) {
+  Multigraph g = make_erdos_renyi(20, 60, 1);
+  apply_weights(g, WeightModel::uniform(0.3, 2.0), 2);
+  const Multigraph h = split_edges_uniform(g, 7);
+  EXPECT_EQ(h.num_edges(), 7 * g.num_edges());
+  EXPECT_LT(laplacian_dense(h).max_abs_diff(laplacian_dense(g)), 1e-12);
+}
+
+TEST(SplitUniform, OneCopyIsIdentity) {
+  const Multigraph g = make_grid2d(3, 3);
+  const Multigraph h = split_edges_uniform(g, 1);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_u(e), g.edge_u(e));
+    EXPECT_DOUBLE_EQ(h.edge_weight(e), g.edge_weight(e));
+  }
+}
+
+TEST(SplitUniform, CopiesAreAlphaBounded) {
+  // Simple-graph edges have tau <= 1, so k copies are 1/k-bounded
+  // (Lemma 3.2). Verify against exact leverage scores.
+  Multigraph g = make_erdos_renyi(15, 40, 3);
+  apply_weights(g, WeightModel::power_law(0.1, 10.0, 2.0), 4);
+  const std::int64_t copies = 5;
+  const Multigraph h = split_edges_uniform(g, copies);
+  const Vector tau = leverage_scores_dense(h);
+  const double alpha = 1.0 / static_cast<double>(copies);
+  for (const double t : tau) EXPECT_LE(t, alpha + 1e-9);
+}
+
+TEST(SplitByScores, LaplacianUnchangedAndBounded) {
+  Multigraph g = make_erdos_renyi(15, 50, 5);
+  apply_weights(g, WeightModel::uniform(0.5, 5.0), 6);
+  const Vector tau_exact = leverage_scores_dense(g);
+  const double alpha = 0.2;
+  const Multigraph h = split_edges_by_scores(g, tau_exact, alpha);
+  EXPECT_LT(laplacian_dense(h).max_abs_diff(laplacian_dense(g)), 1e-12);
+  // With exact scores every copy is alpha-bounded.
+  const Vector tau_h = leverage_scores_dense(h);
+  for (const double t : tau_h) EXPECT_LE(t, alpha + 1e-9);
+}
+
+TEST(SplitByScores, LowScoreEdgesNotSplit) {
+  const Multigraph g = make_complete(10);  // tau = 2/10 per edge
+  const Vector tau(static_cast<std::size_t>(g.num_edges()), 0.2);
+  const Multigraph h = split_edges_by_scores(g, tau, 0.25);
+  EXPECT_EQ(h.num_edges(), g.num_edges());  // ceil(0.2/0.25) = 1
+}
+
+TEST(SplitByScores, CopyCountFollowsScores) {
+  Multigraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const Vector tau{1.0, 0.1};
+  const Multigraph h = split_edges_by_scores(g, tau, 0.25);
+  // Edge 0: ceil(1/0.25) = 4 copies; edge 1: 1 copy.
+  EXPECT_EQ(h.num_edges(), 5);
+}
+
+TEST(SplitUniform, RejectsBadArguments) {
+  const Multigraph g = make_path(4);
+  EXPECT_THROW((void)split_edges_uniform(g, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

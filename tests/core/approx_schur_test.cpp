@@ -1,0 +1,129 @@
+// ApproxSchur tests (Algorithm 6, Theorem 7.1): spectral closeness to the
+// exact Schur complement, the edge-count bound, level count, and terminal
+// index mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/alpha_bound.hpp"
+#include "core/approx_schur.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(ApproxSchur, EdgeCountNeverExceedsInput) {
+  const Multigraph g = make_erdos_renyi(400, 2000, 1);
+  const Multigraph split = split_edges_uniform(g, 4);
+  std::vector<Vertex> c(40);
+  std::iota(c.begin(), c.end(), Vertex{0});
+  const ApproxSchurResult r = approx_schur(split, c, 2);
+  EXPECT_EQ(r.schur.num_vertices(), 40);
+  EXPECT_LE(r.schur.num_edges(), split.num_edges());
+  for (const WalkStats& ws : r.walk_stats) {
+    EXPECT_LE(ws.edges_out, ws.edges_in);
+  }
+}
+
+TEST(ApproxSchur, LevelsLogarithmicInNonTerminals) {
+  const Multigraph g = make_grid2d(40, 40);
+  const Multigraph split = split_edges_uniform(g, 2);
+  std::vector<Vertex> c{0, 1599};
+  const ApproxSchurResult r = approx_schur(split, c, 3);
+  const double s = static_cast<double>(g.num_vertices() - 2);
+  // Practical bound ~20 ln s + slack (paper: O(log s)).
+  EXPECT_LE(r.levels, static_cast<int>(25.0 * std::log(s)) + 5);
+}
+
+TEST(ApproxSchur, SpectrallyApproximatesExactSchur) {
+  // Theorem 7.1-(1) on a small weighted graph, with the eps folded into
+  // the split factor via approx_schur_simple.
+  Multigraph g = make_erdos_renyi(60, 300, 5);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 6);
+  std::vector<Vertex> c(12);
+  std::iota(c.begin(), c.end(), Vertex{0});
+
+  const double eps = 0.5;
+  const ApproxSchurResult r =
+      approx_schur_simple(g, c, eps, 7, /*scale=*/1.0);
+  const DenseMatrix approx = laplacian_dense(r.schur);
+  const DenseMatrix exact = schur_complement_dense(laplacian_dense(g), c);
+  const SpectralBounds sb = relative_spectral_bounds(approx, exact, 1e-8);
+  EXPECT_GT(sb.lo, std::exp(-eps));
+  EXPECT_LT(sb.hi, std::exp(eps));
+  EXPECT_LT(sb.kernel_leakage, 1e-8);
+}
+
+TEST(ApproxSchur, TerminalIndexingMatchesInputOrder) {
+  // Eliminate the middle of a path; the result must connect terminal 0
+  // (= input vertex 0) to terminal 1 (= input vertex n-1) with the series
+  // weight 1/(n-1), regardless of c_set order.
+  const Vertex n = 30;
+  const Multigraph g = make_path(n);
+  const std::vector<Vertex> c{n - 1, 0};  // reversed on purpose
+  const ApproxSchurResult r = approx_schur(split_edges_uniform(g, 8), c, 9);
+  ASSERT_EQ(r.schur.num_vertices(), 2);
+  const DenseMatrix l = laplacian_dense(r.schur);
+  EXPECT_NEAR(l(0, 1), -1.0 / static_cast<double>(n - 1), 0.15);
+  // Laplacian structure intact.
+  EXPECT_NEAR(l(0, 0) + l(0, 1), 0.0, 1e-12);
+}
+
+TEST(ApproxSchur, ExpectationOverSeedsMatchesExact) {
+  // Average over seeds -> exact SC entrywise (unbiasedness through the
+  // whole multi-level pipeline; each level is unbiased by Lemma 5.1).
+  const Multigraph g = make_grid2d(5, 4);
+  std::vector<Vertex> c{0, 3, 16, 19};
+  const Multigraph split = split_edges_uniform(g, 3);
+  const int trials = 400;
+  DenseMatrix mean(4, 4);
+  for (int t = 0; t < trials; ++t) {
+    const ApproxSchurResult r =
+        approx_schur(split, c, 1000 + static_cast<std::uint64_t>(t));
+    const DenseMatrix l = laplacian_dense(r.schur);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) mean(i, j) += l(i, j) / trials;
+  }
+  const DenseMatrix exact = schur_complement_dense(laplacian_dense(g), c);
+  EXPECT_LT(mean.max_abs_diff(exact), 0.15);
+}
+
+TEST(ApproxSchur, ResultStaysConnectedWhp) {
+  const Multigraph g = make_random_regular(300, 4, 11);
+  std::vector<Vertex> c(30);
+  std::iota(c.begin(), c.end(), Vertex{0});
+  const ApproxSchurResult r =
+      approx_schur_simple(g, c, 0.5, 13, /*scale=*/0.5);
+  EXPECT_TRUE(is_connected(r.schur));
+}
+
+TEST(ApproxSchur, RejectsBadTerminalSets) {
+  const Multigraph g = make_path(10);
+  const std::vector<Vertex> empty;
+  EXPECT_THROW((void)approx_schur(g, empty, 1), std::runtime_error);
+  std::vector<Vertex> everything(10);
+  std::iota(everything.begin(), everything.end(), Vertex{0});
+  EXPECT_THROW((void)approx_schur(g, everything, 1), std::runtime_error);
+  const std::vector<Vertex> duplicate{1, 1};
+  EXPECT_THROW((void)approx_schur(g, duplicate, 1), std::runtime_error);
+}
+
+TEST(ApproxSchur, Deterministic) {
+  const Multigraph g = make_erdos_renyi(100, 500, 15);
+  std::vector<Vertex> c(10);
+  std::iota(c.begin(), c.end(), Vertex{0});
+  const Multigraph split = split_edges_uniform(g, 3);
+  const ApproxSchurResult a = approx_schur(split, c, 17);
+  const ApproxSchurResult b = approx_schur(split, c, 17);
+  ASSERT_EQ(a.schur.num_edges(), b.schur.num_edges());
+  for (EdgeId e = 0; e < a.schur.num_edges(); ++e) {
+    EXPECT_EQ(a.schur.edge_u(e), b.schur.edge_u(e));
+    EXPECT_DOUBLE_EQ(a.schur.edge_weight(e), b.schur.edge_weight(e));
+  }
+}
+
+}  // namespace
+}  // namespace parlap

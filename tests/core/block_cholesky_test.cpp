@@ -1,0 +1,189 @@
+// BlockCholesky chain tests (Theorems 3.9 and 3.10): structural invariants
+// of the chain, linearity/symmetry/PSD-ness of the ApplyCholesky operator,
+// and the W ~1 L^+ approximation measured densely on small graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha_bound.hpp"
+#include "core/block_cholesky.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Vector x(n);
+  Rng rng(seed, RngTag::kTest, 99);
+  for (auto& v : x) v = rng.next_in(-1.0, 1.0);
+  return x;
+}
+
+/// Materializes W as a dense matrix by applying to basis vectors.
+DenseMatrix materialize(const BlockCholeskyChain& chain) {
+  const int n = chain.dimension();
+  DenseMatrix w(n, n);
+  ApplyWorkspace ws;
+  Vector e(static_cast<std::size_t>(n), 0.0);
+  Vector col(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    e[static_cast<std::size_t>(j)] = 1.0;
+    chain.apply(e, col, ws);
+    for (int i = 0; i < n; ++i) w(i, j) = col[static_cast<std::size_t>(i)];
+    e[static_cast<std::size_t>(j)] = 0.0;
+  }
+  return w;
+}
+
+/// P A P with P = I - 11'/n (restrict to the ones-complement).
+DenseMatrix project_ones(const DenseMatrix& a) {
+  const int n = a.rows();
+  DenseMatrix p(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      p(i, j) = (i == j ? 1.0 : 0.0) - 1.0 / static_cast<double>(n);
+  return p.multiply(a).multiply(p);
+}
+
+TEST(BlockCholesky, ChainStructureInvariants) {
+  // Thm 3.9: every level has at most m multi-edges (1), F_k is 5-DD (2,
+  // enforced by construction), the base is small (3), d = O(log n) (4).
+  const Multigraph g = make_grid2d(25, 25);
+  const Multigraph split = split_edges_uniform(g, 8);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 5);
+
+  EXPECT_LE(chain.base_size(), 100);
+  EXPECT_GE(chain.depth(), 1);
+  const EdgeId m0 = split.num_edges();
+  Vertex prev_n = split.num_vertices() + 1;
+  for (const LevelStats& ls : chain.level_stats()) {
+    EXPECT_LE(ls.multi_edges, m0);          // Thm 3.9-(1)
+    EXPECT_LT(ls.n, prev_n);                // strictly shrinking
+    EXPECT_GE(ls.f_size, ls.n / 40);        // Lemma 3.4 acceptance
+    EXPECT_EQ(ls.walks.retries, 0);
+    prev_n = ls.n;
+  }
+  // d = O(log n): the paper's bound is log_{40/39}; with 1/20 sampling the
+  // practical bound is ~20 ln(n/100). Assert a generous multiple.
+  const double bound = 25.0 * std::log(static_cast<double>(g.num_vertices()));
+  EXPECT_LE(chain.depth(), static_cast<int>(bound));
+}
+
+TEST(BlockCholesky, TinyGraphSkipsElimination) {
+  const Multigraph g = make_path(50);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(g, 1);
+  EXPECT_EQ(chain.depth(), 0);
+  EXPECT_EQ(chain.base_size(), 50);
+  // Apply == dense pinv.
+  const Vector b = random_vector(50, 1);
+  Vector got(50);
+  chain.apply(b, got);
+  const DenseMatrix pinv = pseudo_inverse(laplacian_dense(g));
+  const Vector want = pinv.apply(b);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST(BlockCholesky, ApplyIsLinear) {
+  const Multigraph g = make_erdos_renyi(300, 1200, 3);
+  const Multigraph split = split_edges_uniform(g, 6);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 7);
+  ApplyWorkspace ws;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const Vector x = random_vector(n, 2);
+  const Vector y = random_vector(n, 3);
+  Vector combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = 2.0 * x[i] - 0.5 * y[i];
+  Vector wx(n), wy(n), wcombo(n);
+  chain.apply(x, wx, ws);
+  chain.apply(y, wy, ws);
+  chain.apply(combo, wcombo, ws);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(wcombo[i], 2.0 * wx[i] - 0.5 * wy[i], 1e-9);
+  }
+}
+
+TEST(BlockCholesky, ApplyIsSymmetric) {
+  const Multigraph g = make_grid2d(15, 15);
+  const Multigraph split = split_edges_uniform(g, 6);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 9);
+  ApplyWorkspace ws;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  const Vector x = random_vector(n, 4);
+  const Vector y = random_vector(n, 5);
+  Vector wx(n), wy(n);
+  chain.apply(x, wx, ws);
+  chain.apply(y, wy, ws);
+  // <Wx, y> == <x, Wy>
+  EXPECT_NEAR(dot(wx, y), dot(x, wy), 1e-7 * norm2(x) * norm2(y));
+}
+
+TEST(BlockCholesky, ApplyIsPsd) {
+  const Multigraph g = make_random_regular(200, 4, 6);
+  const Multigraph split = split_edges_uniform(g, 6);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 11);
+  ApplyWorkspace ws;
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const Vector x = random_vector(n, 100 + s);
+    Vector wx(n);
+    chain.apply(x, wx, ws);
+    EXPECT_GE(dot(x, wx), -1e-9);
+  }
+}
+
+TEST(BlockCholesky, OperatorApproximatesPinvWithinE1) {
+  // Thm 3.10: W^+ ~1 L, i.e. the spectrum of W against L^+ (off the
+  // kernel) lies within [e^-1, e^1]. Use a generous split factor so the
+  // w.h.p. bound holds comfortably at this size.
+  Multigraph g = make_erdos_renyi(150, 600, 7);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 8);
+  const Multigraph split = split_edges_uniform(g, 40);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 13);
+
+  DenseMatrix w = materialize(chain);
+  w.symmetrize();
+  const DenseMatrix w_proj = project_ones(w);
+  const DenseMatrix pinv = project_ones(pseudo_inverse(laplacian_dense(g)));
+  const SpectralBounds sb = relative_spectral_bounds(w_proj, pinv, 1e-7);
+  EXPECT_GT(sb.lo, std::exp(-1.0));
+  EXPECT_LT(sb.hi, std::exp(1.0));
+}
+
+TEST(BlockCholesky, DeterministicAcrossRuns) {
+  const Multigraph g = make_grid2d(20, 20);
+  const Multigraph split = split_edges_uniform(g, 4);
+  const BlockCholeskyChain a = BlockCholeskyChain::build(split, 17);
+  const BlockCholeskyChain b = BlockCholeskyChain::build(split, 17);
+  EXPECT_EQ(a.depth(), b.depth());
+  const Vector x = random_vector(400, 6);
+  Vector ya(400), yb(400);
+  a.apply(x, ya);
+  b.apply(x, yb);
+  for (std::size_t i = 0; i < 400; ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(BlockCholesky, JacobiTermsAreOddAndLogInDepth) {
+  const Multigraph g = make_grid2d(25, 25);
+  const Multigraph split = split_edges_uniform(g, 4);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 19);
+  EXPECT_EQ(chain.jacobi_terms() % 2, 1);
+  // l = ceil(log2(6 d)) (+1 if even) stays small.
+  EXPECT_LE(chain.jacobi_terms(), 2 + static_cast<int>(std::ceil(
+                                          std::log2(6.0 * chain.depth()))));
+}
+
+TEST(BlockCholesky, StoredEntriesAreWellBelowNaiveChain) {
+  // Memory claim: only F-incident edges are retained, so stored entries
+  // are a small multiple of m, not m * depth.
+  const Multigraph g = make_grid2d(30, 30);
+  const Multigraph split = split_edges_uniform(g, 4);
+  const BlockCholeskyChain chain = BlockCholeskyChain::build(split, 23);
+  const EdgeId naive =
+      2 * split.num_edges() * static_cast<EdgeId>(chain.depth());
+  EXPECT_LT(chain.stored_entries(), naive / 4);
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,93 @@
+// Leverage-score overestimation tests (Lemma 3.3, §6): estimates stay in
+// (0,1], overestimate the exact scores on small graphs (statistically,
+// with the default safety factor), and drive splitting correctly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/alpha_bound.hpp"
+#include "core/leverage.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Leverage, EstimatesInUnitInterval) {
+  Multigraph g = make_erdos_renyi(200, 2000, 1);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 2);
+  const Vector tau = leverage_overestimates(g, 3);
+  ASSERT_EQ(tau.size(), static_cast<std::size_t>(g.num_edges()));
+  for (const double t : tau) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(Leverage, OverestimatesExactScores) {
+  // On a small graph the JL+subsample estimate with safety 4 should
+  // dominate the exact leverage for essentially all edges; allow a tiny
+  // slack fraction for JL fluctuation.
+  Multigraph g = make_erdos_renyi(80, 800, 5);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 6);
+  const Vector exact = leverage_scores_dense(g);
+  const Vector est = leverage_overestimates(g, 7);
+  int underestimated = 0;
+  for (std::size_t e = 0; e < exact.size(); ++e) {
+    if (est[e] < exact[e] - 1e-9) ++underestimated;
+    // Never catastrophically low.
+    EXPECT_GT(est[e], 0.2 * exact[e]);
+  }
+  EXPECT_LE(underestimated, static_cast<int>(exact.size() / 20));
+}
+
+TEST(Leverage, TreeEdgesGetScoreNearOne) {
+  // Bridges have exact leverage 1; the clamped overestimate must be ~1.
+  const Multigraph g = make_binary_tree(63);
+  const Vector est = leverage_overestimates(g, 9);
+  for (const double t : est) EXPECT_GT(t, 0.8);
+}
+
+TEST(Leverage, DenseGraphMostEdgesUnsplit) {
+  // K_60: exact tau = 2/60 per edge; the estimate keeps totals near n.
+  const Multigraph g = make_complete(60);
+  const Vector est = leverage_overestimates(g, 11);
+  double total = 0.0;
+  for (const double t : est) total += t;
+  // Sum of exact scores is n-1 = 59; safety 4 allows ~4x plus JL noise.
+  EXPECT_LT(total, 59.0 * 8.0);
+  // Splitting with alpha = 0.1 must stay well below uniform splitting.
+  const Multigraph split = split_edges_by_scores(g, est, 0.1);
+  const Multigraph uniform = split_edges_uniform(g, 10);
+  EXPECT_LT(split.num_edges(), uniform.num_edges() / 2);
+}
+
+TEST(Leverage, Deterministic) {
+  const Multigraph g = make_erdos_renyi(100, 600, 13);
+  const Vector a = leverage_overestimates(g, 15);
+  const Vector b = leverage_overestimates(g, 15);
+  for (std::size_t e = 0; e < a.size(); ++e) EXPECT_EQ(a[e], b[e]);
+}
+
+TEST(Leverage, CustomOptionsRespected) {
+  const Multigraph g = make_erdos_renyi(120, 900, 17);
+  LeverageOptions opts;
+  opts.sample_divisor = 4;
+  opts.jl_dimensions = 10;
+  opts.safety = 2.0;
+  const Vector tau = leverage_overestimates(g, 19, opts);
+  for (const double t : tau) {
+    EXPECT_GT(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(Leverage, RequiresConnectedGraph) {
+  Multigraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW((void)leverage_overestimates(g, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,95 @@
+// ResistanceEstimator tests: JL sketch accuracy against exact effective
+// resistances, leverage-score queries, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/resistance.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Resistance, PathIsSumOfInverseWeights) {
+  // Series circuit: R(0, k) = sum 1/w exactly.
+  Multigraph g = make_path(20);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 1);
+  ResistanceOptions opts;
+  opts.jl_dimensions = 400;  // tight sketch for a precise check
+  opts.solve_eps = 1e-8;
+  const ResistanceEstimator est(g, 2, opts);
+  double expected = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    expected += 1.0 / g.edge_weight(e);
+  }
+  EXPECT_NEAR(est.resistance(0, 19), expected, 0.15 * expected);
+}
+
+TEST(Resistance, MatchesDensePinvWithinJlError) {
+  // JL noise is ~sqrt(2/q) per pair but shared across pairs (one sketch),
+  // so the tolerance must cover a correlated multi-sigma excursion.
+  Multigraph g = make_erdos_renyi(60, 240, 3);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 4);
+  ResistanceOptions opts;
+  opts.jl_dimensions = 1200;
+  opts.solve_eps = 1e-8;
+  const ResistanceEstimator est(g, 5, opts);
+  const DenseMatrix pinv = pseudo_inverse(laplacian_dense(g));
+  for (Vertex u = 0; u < 10; ++u) {
+    for (Vertex v = u + 1; v < 10; ++v) {
+      const double exact = pinv(u, u) + pinv(v, v) - 2.0 * pinv(u, v);
+      EXPECT_NEAR(est.resistance(u, v), exact, 0.25 * exact + 1e-9);
+    }
+  }
+}
+
+TEST(Resistance, LeverageScoresMatchDense) {
+  Multigraph g = make_erdos_renyi(50, 200, 7);
+  ResistanceOptions opts;
+  opts.jl_dimensions = 600;
+  opts.solve_eps = 1e-8;
+  const ResistanceEstimator est(g, 8, opts);
+  const Vector approx = est.leverage_scores(g);
+  const Vector exact = leverage_scores_dense(g);
+  for (std::size_t e = 0; e < exact.size(); ++e) {
+    EXPECT_NEAR(approx[e], exact[e], 0.25 * exact[e] + 1e-6);
+  }
+}
+
+TEST(Resistance, SymmetricAndZeroOnSelf) {
+  const Multigraph g = make_grid2d(6, 6);
+  const ResistanceEstimator est(g, 9);
+  EXPECT_DOUBLE_EQ(est.resistance(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(est.resistance(2, 7), est.resistance(7, 2));
+}
+
+TEST(Resistance, TriangleInequality) {
+  // Lemma 5.3: effective resistance is a metric; the sketch preserves it
+  // approximately, so allow 20% slack.
+  const Multigraph g = make_grid2d(8, 8);
+  ResistanceOptions opts;
+  opts.jl_dimensions = 300;
+  const ResistanceEstimator est(g, 11, opts);
+  for (const auto [a, b, c] :
+       {std::tuple<Vertex, Vertex, Vertex>{0, 30, 63}, {5, 20, 50}}) {
+    EXPECT_LE(est.resistance(a, c),
+              1.2 * (est.resistance(a, b) + est.resistance(b, c)));
+  }
+}
+
+TEST(Resistance, Deterministic) {
+  const Multigraph g = make_cycle(40);
+  const ResistanceEstimator a(g, 13);
+  const ResistanceEstimator b(g, 13);
+  EXPECT_EQ(a.resistance(0, 20), b.resistance(0, 20));
+}
+
+TEST(Resistance, AutoDimensionsScaleWithLogN) {
+  const Multigraph g = make_cycle(1000);
+  const ResistanceEstimator est(g, 15);
+  EXPECT_GE(est.dimensions(), static_cast<int>(6.0 * std::log(1000.0)));
+}
+
+}  // namespace
+}  // namespace parlap

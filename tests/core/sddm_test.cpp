@@ -1,0 +1,154 @@
+// SddmSolver and solve_dirichlet tests: exactness against dense solves of
+// the nonsingular system, harmonic-extension properties (maximum
+// principle, interpolation), and edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sddm.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Vector v(n);
+  Rng rng(seed, RngTag::kTest, 4);
+  for (auto& x : v) x = rng.next_in(-1.0, 1.0);
+  return v;
+}
+
+/// Dense M = L + diag(excess).
+DenseMatrix sddm_dense(const Multigraph& g, std::span<const double> excess) {
+  DenseMatrix m = laplacian_dense(g);
+  for (int i = 0; i < m.rows(); ++i) m(i, i) += excess[static_cast<std::size_t>(i)];
+  return m;
+}
+
+TEST(Sddm, MatchesDenseSolve) {
+  Multigraph g = make_erdos_renyi(80, 320, 1);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 2);
+  Vector excess(80, 0.0);
+  Rng rng(3, RngTag::kTest, 5);
+  for (auto& s : excess) s = rng.next_double() < 0.3 ? rng.next_in(0.1, 2.0) : 0.0;
+  excess[0] = 1.0;  // ensure nonsingular
+
+  SddmSolver solver(g, excess);
+  const Vector b = random_vector(80, 4);
+  Vector x(80, 0.0);
+  const SolveStats st = solver.solve(b, x, 1e-10);
+  EXPECT_TRUE(st.converged);
+
+  const DenseMatrix m = sddm_dense(g, excess);
+  const DenseMatrix minv = pseudo_inverse(m);
+  const Vector want = minv.apply(b);
+  for (std::size_t i = 0; i < 80; ++i) EXPECT_NEAR(x[i], want[i], 1e-6);
+}
+
+TEST(Sddm, IdentityShiftActsLikeRegularization) {
+  // (L + c I) x = b for large c approaches x = b / c.
+  const Multigraph g = make_grid2d(6, 6);
+  const double c = 1e6;
+  const Vector excess(36, c);
+  SddmSolver solver(g, excess);
+  const Vector b = random_vector(36, 7);
+  Vector x(36, 0.0);
+  solver.solve(b, x, 1e-10);
+  for (std::size_t i = 0; i < 36; ++i) EXPECT_NEAR(x[i], b[i] / c, 1e-9);
+}
+
+TEST(Sddm, ZeroExcessFallsBackToLaplacian) {
+  const Multigraph g = make_cycle(30);
+  const Vector excess(30, 0.0);
+  SddmSolver solver(g, excess);
+  Vector b = random_vector(30, 9);
+  project_out_ones(b);
+  Vector x(30, 0.0);
+  const SolveStats st = solver.solve(b, x, 1e-8);
+  EXPECT_TRUE(st.converged);
+  const LaplacianOperator op(g);
+  const Vector lx = op.apply(x);
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_NEAR(lx[i], b[i], 1e-6);
+}
+
+TEST(Sddm, RejectsNegativeExcess) {
+  const Multigraph g = make_path(4);
+  const Vector excess{0.0, -0.1, 0.0, 0.0};
+  EXPECT_THROW(SddmSolver(g, excess), std::runtime_error);
+}
+
+TEST(Dirichlet, HarmonicExtensionInterpolatesLinearFunction) {
+  // On a path with ends fixed at 0 and 1, the harmonic extension is the
+  // linear interpolation.
+  const Vertex n = 21;
+  const Multigraph g = make_path(n);
+  const std::vector<Vertex> boundary{0, n - 1};
+  const Vector values{0.0, 1.0};
+  Vector x(static_cast<std::size_t>(n), 0.0);
+  const SolveStats st = solve_dirichlet(g, boundary, values, {}, x, 1e-10);
+  EXPECT_TRUE(st.converged);
+  for (Vertex v = 0; v < n; ++v) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(v)],
+                static_cast<double>(v) / (n - 1), 1e-7);
+  }
+}
+
+TEST(Dirichlet, MaximumPrinciple) {
+  // Harmonic functions attain extrema on the boundary.
+  Multigraph g = make_erdos_renyi(100, 400, 11);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 12);
+  const std::vector<Vertex> boundary{3, 47, 90};
+  const Vector values{-2.0, 0.5, 3.0};
+  Vector x(100, 0.0);
+  solve_dirichlet(g, boundary, values, {}, x, 1e-10);
+  for (const double v : x) {
+    EXPECT_GE(v, -2.0 - 1e-7);
+    EXPECT_LE(v, 3.0 + 1e-7);
+  }
+  EXPECT_DOUBLE_EQ(x[3], -2.0);
+  EXPECT_DOUBLE_EQ(x[47], 0.5);
+  EXPECT_DOUBLE_EQ(x[90], 3.0);
+}
+
+TEST(Dirichlet, MatchesDenseBlockSolve) {
+  Multigraph g = make_grid2d(7, 7);
+  const std::vector<Vertex> boundary{0, 6, 42, 48};
+  const Vector values{1.0, -1.0, 2.0, 0.0};
+  const Vector rhs = random_vector(45, 13);  // 49 - 4 interior vertices
+  Vector x(49, 0.0);
+  solve_dirichlet(g, boundary, values, rhs, x, 1e-10);
+
+  // Dense check: L x restricted to interior equals rhs.
+  const DenseMatrix l = laplacian_dense(g);
+  const Vector lx = l.apply(x);
+  std::size_t ri = 0;
+  for (Vertex v = 0; v < 49; ++v) {
+    if (v == 0 || v == 6 || v == 42 || v == 48) continue;
+    EXPECT_NEAR(lx[static_cast<std::size_t>(v)], rhs[ri], 1e-6);
+    ++ri;
+  }
+}
+
+TEST(Dirichlet, AllBoundaryIsCopy) {
+  const Multigraph g = make_path(3);
+  const std::vector<Vertex> boundary{0, 1, 2};
+  const Vector values{5.0, 6.0, 7.0};
+  Vector x(3, 0.0);
+  const SolveStats st = solve_dirichlet(g, boundary, values, {}, x, 1e-8);
+  EXPECT_TRUE(st.converged);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+  EXPECT_DOUBLE_EQ(x[2], 7.0);
+}
+
+TEST(Dirichlet, EmptyBoundaryThrows) {
+  const Multigraph g = make_path(4);
+  Vector x(4, 0.0);
+  EXPECT_THROW((void)solve_dirichlet(g, {}, {}, {}, x, 0.5),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

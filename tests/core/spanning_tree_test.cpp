@@ -1,0 +1,126 @@
+// Wilson's UST sampler tests: structural validity, the exact weighted-UST
+// distribution against the matrix-tree theorem, and weighted bias.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/spanning_tree.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(SpanningTree, IsSpanningAndAcyclic) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Multigraph g = make_erdos_renyi(200, 800, seed);
+    const Multigraph tree = sample_spanning_tree(g, seed);
+    EXPECT_EQ(tree.num_vertices(), 200);
+    EXPECT_EQ(tree.num_edges(), 199);
+    EXPECT_TRUE(is_connected(tree));  // n-1 edges + connected => tree
+  }
+}
+
+TEST(SpanningTree, TreeInputReturnsItself) {
+  const Multigraph g = make_binary_tree(63);
+  const Multigraph tree = sample_spanning_tree(g, 7);
+  EXPECT_EQ(tree.num_edges(), 62);
+  // Same edge multiset (order may differ).
+  auto canon = [](const Multigraph& t) {
+    std::multiset<std::pair<Vertex, Vertex>> s;
+    for (EdgeId e = 0; e < t.num_edges(); ++e) {
+      s.insert({std::min(t.edge_u(e), t.edge_v(e)),
+                std::max(t.edge_u(e), t.edge_v(e))});
+    }
+    return s;
+  };
+  EXPECT_EQ(canon(g), canon(tree));
+}
+
+TEST(SpanningTree, MatrixTreeTheoremOnCycle) {
+  // C_4 has exactly 4 spanning trees, each omitting one edge; the sampler
+  // must hit each with probability 1/4.
+  const Multigraph g = make_cycle(4);
+  EXPECT_NEAR(spanning_tree_weight_dense(g), 4.0, 1e-9);
+  std::map<EdgeId, int> omitted_counts;
+  const int trials = 8000;
+  for (int t = 0; t < trials; ++t) {
+    const Multigraph tree =
+        sample_spanning_tree(g, 100 + static_cast<std::uint64_t>(t));
+    // Identify the omitted cycle edge.
+    std::vector<bool> present(4, false);
+    for (EdgeId e = 0; e < tree.num_edges(); ++e) {
+      const Vertex u = std::min(tree.edge_u(e), tree.edge_v(e));
+      const Vertex v = std::max(tree.edge_u(e), tree.edge_v(e));
+      for (EdgeId ge = 0; ge < 4; ++ge) {
+        const Vertex gu = std::min(g.edge_u(ge), g.edge_v(ge));
+        const Vertex gv = std::max(g.edge_u(ge), g.edge_v(ge));
+        if (gu == u && gv == v) present[static_cast<std::size_t>(ge)] = true;
+      }
+    }
+    for (EdgeId ge = 0; ge < 4; ++ge) {
+      if (!present[static_cast<std::size_t>(ge)]) ++omitted_counts[ge];
+    }
+  }
+  for (EdgeId ge = 0; ge < 4; ++ge) {
+    EXPECT_NEAR(static_cast<double>(omitted_counts[ge]) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(SpanningTree, WeightedDistributionMatchesMatrixTree) {
+  // Triangle with weights 1, 2, 3: trees are edge pairs with weights
+  // {1*2, 1*3, 2*3} = {2, 3, 6}, total 11 (= matrix-tree cofactor).
+  Multigraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  EXPECT_NEAR(spanning_tree_weight_dense(g), 11.0, 1e-9);
+
+  std::map<EdgeId, int> omitted;
+  const int trials = 22000;
+  for (int t = 0; t < trials; ++t) {
+    const Multigraph tree =
+        sample_spanning_tree(g, 500 + static_cast<std::uint64_t>(t));
+    double tree_weight_product = 1.0;
+    for (EdgeId e = 0; e < tree.num_edges(); ++e) {
+      tree_weight_product *= tree.edge_weight(e);
+    }
+    // Identify tree by its weight product (distinct per tree here).
+    if (tree_weight_product == 2.0) ++omitted[2];       // omitted edge 0-2
+    else if (tree_weight_product == 3.0) ++omitted[1];  // omitted edge 1-2
+    else ++omitted[0];                                  // product 6
+  }
+  EXPECT_NEAR(static_cast<double>(omitted[2]) / trials, 2.0 / 11.0, 0.015);
+  EXPECT_NEAR(static_cast<double>(omitted[1]) / trials, 3.0 / 11.0, 0.015);
+  EXPECT_NEAR(static_cast<double>(omitted[0]) / trials, 6.0 / 11.0, 0.015);
+}
+
+TEST(SpanningTree, Deterministic) {
+  const Multigraph g = make_grid2d(10, 10);
+  const Multigraph a = sample_spanning_tree(g, 42);
+  const Multigraph b = sample_spanning_tree(g, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e));
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e));
+  }
+}
+
+TEST(SpanningTree, StatsAccountForErasure) {
+  const Multigraph g = make_grid2d(15, 15);
+  SpanningTreeStats stats;
+  (void)sample_spanning_tree(g, 3, &stats);
+  EXPECT_EQ(stats.walk_steps - stats.erased_steps, 224);  // n-1 kept steps
+  EXPECT_GE(stats.erased_steps, 0);
+}
+
+TEST(SpanningTree, RejectsDisconnected) {
+  Multigraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_THROW((void)sample_spanning_tree(g, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,84 @@
+// Spectral sparsifier tests: size bounds, spectral closeness on small
+// graphs (dense oracle), weight preservation in expectation, and the
+// degenerate no-op path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sparsify.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Sparsify, SampleBudgetRespected) {
+  const Multigraph g = make_complete(200);  // m = 19900
+  const SparsifyResult r = spectral_sparsify(g, 0.5, 1);
+  EXPECT_LE(r.graph.num_edges(), r.samples);
+  EXPECT_LT(r.graph.num_edges(), g.num_edges() / 2);
+  EXPECT_EQ(r.graph.num_vertices(), g.num_vertices());
+}
+
+TEST(Sparsify, SparseInputIsCopied) {
+  const Multigraph g = make_path(50);  // q >> m
+  const SparsifyResult r = spectral_sparsify(g, 0.3, 2);
+  EXPECT_EQ(r.graph.num_edges(), g.num_edges());
+}
+
+TEST(Sparsify, SpectralApproximationOnCompleteGraph) {
+  // K_n sparsifies well (all leverage scores equal); verify Loewner
+  // closeness densely with slack over the requested eps.
+  const Multigraph g = make_complete(80);
+  const double eps = 0.4;
+  SparsifyOptions opts;
+  opts.oversample = 4.0;
+  const SparsifyResult r = spectral_sparsify(g, eps, 3, opts);
+  ASSERT_TRUE(is_connected(r.graph));
+  const SpectralBounds sb = relative_spectral_bounds(
+      laplacian_dense(r.graph), laplacian_dense(g), 1e-8);
+  EXPECT_GT(sb.lo, std::exp(-2.0 * eps));
+  EXPECT_LT(sb.hi, std::exp(2.0 * eps));
+}
+
+TEST(Sparsify, SpectralApproximationOnWeightedGnm) {
+  Multigraph g = make_erdos_renyi(100, 3000, 5);
+  apply_weights(g, WeightModel::uniform(0.5, 2.0), 6);
+  const double eps = 0.5;
+  SparsifyOptions opts;
+  opts.oversample = 4.0;
+  const SparsifyResult r = spectral_sparsify(g, eps, 7, opts);
+  const SpectralBounds sb = relative_spectral_bounds(
+      laplacian_dense(r.graph), laplacian_dense(g), 1e-8);
+  EXPECT_GT(sb.lo, std::exp(-2.0 * eps));
+  EXPECT_LT(sb.hi, std::exp(2.0 * eps));
+}
+
+TEST(Sparsify, TotalWeightRoughlyPreserved) {
+  // E[L_H] = L_G, so total edge weight concentrates near the original.
+  const Multigraph g = make_complete(60);
+  const SparsifyResult r = spectral_sparsify(g, 0.3, 9);
+  EXPECT_NEAR(r.graph.total_weight(), g.total_weight(),
+              0.2 * g.total_weight());
+}
+
+TEST(Sparsify, Deterministic) {
+  const Multigraph g = make_complete(50);
+  const SparsifyResult a = spectral_sparsify(g, 0.5, 11);
+  const SparsifyResult b = spectral_sparsify(g, 0.5, 11);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge_u(e), b.graph.edge_u(e));
+    EXPECT_DOUBLE_EQ(a.graph.edge_weight(e), b.graph.edge_weight(e));
+  }
+}
+
+TEST(Sparsify, RejectsBadEps) {
+  const Multigraph g = make_complete(10);
+  EXPECT_THROW((void)spectral_sparsify(g, 0.0, 1), std::runtime_error);
+  EXPECT_THROW((void)spectral_sparsify(g, 1.0, 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

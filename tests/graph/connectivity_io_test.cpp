@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Connectivity, SingleVertex) {
+  const Multigraph g(1);
+  EXPECT_TRUE(is_connected(g));
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+}
+
+TEST(Connectivity, EdgelessGraphAllSingletons) {
+  const Multigraph g(4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4);
+  for (Vertex v = 0; v < 4; ++v) EXPECT_EQ(c.label[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Connectivity, TwoComponentsLabeledBySmallestVertex) {
+  Multigraph g(6);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 4, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(3, 5, 1.0);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2);
+  EXPECT_EQ(c.label[0], 0);
+  EXPECT_EQ(c.label[2], 0);
+  EXPECT_EQ(c.label[4], 0);
+  EXPECT_EQ(c.label[1], 1);
+  EXPECT_EQ(c.label[3], 1);
+  EXPECT_EQ(c.label[5], 1);
+}
+
+TEST(Connectivity, ConnectedGenerators) {
+  EXPECT_TRUE(is_connected(make_grid2d(10, 10)));
+  EXPECT_TRUE(is_connected(make_random_regular(100, 3, 1)));
+  EXPECT_TRUE(is_connected(make_barbell(5, 3)));
+}
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  Multigraph g = make_erdos_renyi(40, 100, 5);
+  apply_weights(g, WeightModel::uniform(0.1, 9.0), 6);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Multigraph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_u(e), g.edge_u(e));
+    EXPECT_EQ(h.edge_v(e), g.edge_v(e));
+    EXPECT_DOUBLE_EQ(h.edge_weight(e), g.edge_weight(e));
+  }
+}
+
+TEST(GraphIo, HeaderlessDefaultsToUnitWeights) {
+  std::stringstream ss("0 1\n1 2\n");
+  const Multigraph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 1.0);
+}
+
+TEST(GraphIo, CommentsIgnored) {
+  std::stringstream ss("# a comment\n0 1 2.5\n# another\n1 2 0.5\n");
+  const Multigraph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.5);
+}
+
+TEST(GraphIo, MalformedHeaderTreatedAsComment) {
+  std::stringstream ss("# parlap-graph oops\n0 1 2.0\n");
+  const Multigraph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.0);
+}
+
+TEST(GraphIo, MalformedLineThrows) {
+  std::stringstream ss("nonsense here\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

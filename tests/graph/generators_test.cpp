@@ -1,0 +1,175 @@
+// Generator tests: sizes, degrees, connectivity, determinism, weight
+// models. Parameterized across families where the property is shared.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Generators, PathSizes) {
+  const Multigraph g = make_path(10);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.num_edges(), 9);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CycleDegrees) {
+  const Multigraph g = make_cycle(8);
+  EXPECT_EQ(g.num_edges(), 8);
+  for (const double d : g.weighted_degrees()) EXPECT_DOUBLE_EQ(d, 2.0);
+}
+
+TEST(Generators, Grid2dSizes) {
+  const Multigraph g = make_grid2d(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(g.num_edges(), 3 * 6 + 5 * 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid3dSizes) {
+  const Multigraph g = make_grid3d(3, 4, 5);
+  EXPECT_EQ(g.num_vertices(), 60);
+  EXPECT_EQ(g.num_edges(), 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteGraph) {
+  const Multigraph g = make_complete(7);
+  EXPECT_EQ(g.num_edges(), 21);
+  for (const double d : g.weighted_degrees()) EXPECT_DOUBLE_EQ(d, 6.0);
+}
+
+TEST(Generators, StarDegrees) {
+  const Multigraph g = make_star(9);
+  const auto deg = g.weighted_degrees();
+  EXPECT_DOUBLE_EQ(deg[0], 8.0);
+  for (Vertex v = 1; v < 9; ++v) EXPECT_DOUBLE_EQ(deg[static_cast<std::size_t>(v)], 1.0);
+}
+
+TEST(Generators, BinaryTreeIsTree) {
+  const Multigraph g = make_binary_tree(31);
+  EXPECT_EQ(g.num_edges(), 30);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarbellStructure) {
+  const Multigraph g = make_barbell(10, 5);
+  EXPECT_EQ(g.num_vertices(), 25);
+  EXPECT_EQ(g.num_edges(), 2 * 45 + 6);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, ErdosRenyiConnectedBySpine) {
+  const Multigraph g = make_erdos_renyi(500, 600, 7);
+  EXPECT_EQ(g.num_vertices(), 500);
+  EXPECT_EQ(g.num_edges(), 600);
+  EXPECT_TRUE(is_connected(g));
+  g.validate();
+}
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const Multigraph a = make_erdos_renyi(100, 300, 11);
+  const Multigraph b = make_erdos_renyi(100, 300, 11);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e));
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e));
+  }
+}
+
+TEST(Generators, ErdosRenyiSeedsDiffer) {
+  const Multigraph a = make_erdos_renyi(100, 300, 11);
+  const Multigraph b = make_erdos_renyi(100, 300, 12);
+  int diff = 0;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    diff += (a.edge_u(e) != b.edge_u(e) || a.edge_v(e) != b.edge_v(e)) ? 1 : 0;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+class RegularDegreeTest
+    : public ::testing::TestWithParam<std::pair<Vertex, int>> {};
+
+TEST_P(RegularDegreeTest, ExactDegrees) {
+  const auto [n, d] = GetParam();
+  const Multigraph g = make_random_regular(n, d, 13);
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(n) * d / 2);
+  for (const double deg : g.weighted_degrees()) {
+    EXPECT_DOUBLE_EQ(deg, static_cast<double>(d));
+  }
+  g.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RegularDegreeTest,
+                         ::testing::Values(std::pair<Vertex, int>{50, 2},
+                                           std::pair<Vertex, int>{100, 3},
+                                           std::pair<Vertex, int>{64, 4},
+                                           std::pair<Vertex, int>{200, 5},
+                                           std::pair<Vertex, int>{128, 8}));
+
+TEST(Generators, RandomRegularOddDegreeNeedsEvenN) {
+  EXPECT_THROW(make_random_regular(51, 3, 1), std::runtime_error);
+}
+
+TEST(Generators, RmatShape) {
+  const Multigraph g = make_rmat(10, 4096, 17);
+  EXPECT_EQ(g.num_vertices(), 1024);
+  EXPECT_EQ(g.num_edges(), 4096);
+  EXPECT_TRUE(is_connected(g));
+  g.validate();
+}
+
+TEST(Generators, RmatSkewedDegrees) {
+  const Multigraph g = make_rmat(12, 8 * 4096, 19);
+  const auto deg = g.weighted_degrees();
+  double max_deg = 0.0;
+  double total = 0.0;
+  for (const double d : deg) {
+    max_deg = std::max(max_deg, d);
+    total += d;
+  }
+  const double avg = total / static_cast<double>(deg.size());
+  EXPECT_GT(max_deg, 8.0 * avg);  // heavy tail
+}
+
+TEST(WeightModels, UniformRange) {
+  Multigraph g = make_cycle(1000);
+  apply_weights(g, WeightModel::uniform(2.0, 5.0), 23);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_GE(g.edge_weight(e), 2.0);
+    EXPECT_LT(g.edge_weight(e), 5.0);
+  }
+}
+
+TEST(WeightModels, PowerLawRangeAndSkew) {
+  Multigraph g = make_cycle(5000);
+  apply_weights(g, WeightModel::power_law(1.0, 1000.0, 2.0), 29);
+  double max_w = 0.0;
+  double sum = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double w = g.edge_weight(e);
+    EXPECT_GE(w, 1.0);
+    EXPECT_LE(w, 1000.0);
+    max_w = std::max(max_w, w);
+    sum += w;
+  }
+  EXPECT_GT(max_w, 20.0 * sum / static_cast<double>(g.num_edges()));
+}
+
+TEST(WeightModels, DeterministicPerSeed) {
+  Multigraph a = make_path(100);
+  Multigraph b = make_path(100);
+  apply_weights(a, WeightModel::uniform(0.0, 1.0), 31);
+  apply_weights(b, WeightModel::uniform(0.0, 1.0), 31);
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(a.edge_weight(e), b.edge_weight(e));
+  }
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+#include "linalg/dense.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(MatrixMarket, RoundTrip) {
+  Multigraph g = make_erdos_renyi(30, 90, 1);
+  apply_weights(g, WeightModel::uniform(0.1, 5.0), 2);
+  std::stringstream ss;
+  write_matrix_market(ss, g);
+  const Multigraph h = read_matrix_market(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  // Same Laplacian (edge orientation may normalize to lower triangle).
+  EXPECT_LT(laplacian_dense(h).max_abs_diff(laplacian_dense(g)), 1e-12);
+}
+
+TEST(MatrixMarket, ReadsPatternFiles) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 3\n"
+      "2 1\n"
+      "3 1\n"
+      "3 2\n");
+  const Multigraph g = read_matrix_market(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 1.0);
+}
+
+TEST(MatrixMarket, ReadsLaplacianConvention) {
+  // L of a path 0-1-2 with weights 2 and 3.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% a Laplacian\n"
+      "3 3 5\n"
+      "1 1 2.0\n"
+      "2 1 -2.0\n"
+      "2 2 5.0\n"
+      "3 2 -3.0\n"
+      "3 3 3.0\n");
+  const Multigraph g = read_matrix_market(ss, MatrixMarketKind::kLaplacian);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1), 3.0);
+}
+
+TEST(MatrixMarket, SkipsCommentsAndDiagonal) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "2 2 2\n"
+      "1 1 7.0\n"
+      "2 1 1.5\n");
+  const Multigraph g = read_matrix_market(ss);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 1.5);
+}
+
+TEST(MatrixMarket, RejectsMalformed) {
+  {
+    std::stringstream ss("not a banner\n1 1 0\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);  // not square
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix array real general\n2 2\n");
+    EXPECT_THROW((void)read_matrix_market(ss), std::runtime_error);  // dense
+  }
+  {
+    // Positive off-diagonal in Laplacian convention.
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 3.0\n");
+    EXPECT_THROW((void)read_matrix_market(ss, MatrixMarketKind::kLaplacian),
+                 std::runtime_error);
+  }
+}
+
+TEST(MatrixMarket, DuplicateEntriesBecomeMultiEdges) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "2 1 1.0\n"
+      "2 1 2.5\n");
+  const Multigraph g = read_matrix_market(ss);
+  EXPECT_EQ(g.num_edges(), 2);
+  const auto deg = g.weighted_degrees();
+  EXPECT_DOUBLE_EQ(deg[0], 3.5);
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,158 @@
+// Cross-module property tests: algebraic invariances the whole pipeline
+// must satisfy regardless of its internal randomness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "linalg/laplacian_op.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector random_rhs(Vertex n, std::uint64_t seed) {
+  Vector b(static_cast<std::size_t>(n));
+  Rng rng(seed, RngTag::kTest, 21);
+  for (auto& v : b) v = rng.next_in(-1.0, 1.0);
+  project_out_ones(b);
+  return b;
+}
+
+TEST(PipelineProperty, SolveIsLinearInRhs) {
+  const Multigraph g = make_grid2d(12, 12);
+  LaplacianSolver solver(g);
+  const Vector b1 = random_rhs(144, 1);
+  const Vector b2 = random_rhs(144, 2);
+  Vector combo(144);
+  for (std::size_t i = 0; i < 144; ++i) combo[i] = 3.0 * b1[i] - 0.5 * b2[i];
+
+  Vector x1(144, 0.0), x2(144, 0.0), xc(144, 0.0);
+  solver.solve(b1, x1, 1e-11);
+  solver.solve(b2, x2, 1e-11);
+  solver.solve(combo, xc, 1e-11);
+  for (std::size_t i = 0; i < 144; ++i) {
+    EXPECT_NEAR(xc[i], 3.0 * x1[i] - 0.5 * x2[i], 1e-6);
+  }
+}
+
+TEST(PipelineProperty, RhsScalingScalesSolution) {
+  const Multigraph g = make_random_regular(200, 4, 3);
+  LaplacianSolver solver(g);
+  const Vector b = random_rhs(200, 4);
+  Vector b10(200);
+  for (std::size_t i = 0; i < 200; ++i) b10[i] = 10.0 * b[i];
+  Vector x(200, 0.0), x10(200, 0.0);
+  solver.solve(b, x, 1e-11);
+  solver.solve(b10, x10, 1e-11);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_NEAR(x10[i], 10.0 * x[i], 1e-6);
+}
+
+TEST(PipelineProperty, WeightScalingInvertsScalesSolution) {
+  // L(c * w) = c L(w), so x(c*w) = x(w) / c.
+  Multigraph g = make_erdos_renyi(150, 600, 5);
+  Multigraph g5(150);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    g5.add_edge(g.edge_u(e), g.edge_v(e), 5.0 * g.edge_weight(e));
+  }
+  LaplacianSolver s1(g);
+  LaplacianSolver s5(g5);
+  const Vector b = random_rhs(150, 6);
+  Vector x1(150, 0.0), x5(150, 0.0);
+  s1.solve(b, x1, 1e-11);
+  s5.solve(b, x5, 1e-11);
+  for (std::size_t i = 0; i < 150; ++i) EXPECT_NEAR(x5[i], x1[i] / 5.0, 1e-6);
+}
+
+TEST(PipelineProperty, RepeatedSolvesAreIdentical) {
+  // The factorization is immutable; repeated solves of the same system
+  // must agree bit-for-bit.
+  const Multigraph g = make_barbell(30, 15);
+  LaplacianSolver solver(g);
+  const Vector b = random_rhs(g.num_vertices(), 7);
+  Vector xa(b.size(), 0.0), xb(b.size(), 0.0);
+  solver.solve(b, xa, 1e-9);
+  solver.solve(b, xb, 1e-9);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(xa[i], xb[i]);
+}
+
+TEST(PipelineProperty, SolutionInvariantUnderEdgeOrderPermutation) {
+  // Same graph, edges listed in a different order: solutions agree to
+  // solver accuracy (the sampling differs, the linear system does not).
+  const Multigraph g = make_erdos_renyi(120, 500, 8);
+  Multigraph shuffled(120);
+  for (EdgeId e = g.num_edges(); e-- > 0;) {
+    shuffled.add_edge(g.edge_u(e), g.edge_v(e), g.edge_weight(e));
+  }
+  const Vector b = random_rhs(120, 9);
+  Vector x1(120, 0.0), x2(120, 0.0);
+  LaplacianSolver s1(g);
+  LaplacianSolver s2(shuffled);
+  s1.solve(b, x1, 1e-11);
+  s2.solve(b, x2, 1e-11);
+  for (std::size_t i = 0; i < 120; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-6);
+}
+
+TEST(PipelineProperty, MultiEdgesEquivalentToSummedWeights) {
+  // Three parallel multi-edges == one edge with the summed weight.
+  Multigraph multi(50);
+  Multigraph simple(50);
+  const Multigraph base = make_cycle(50);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    multi.add_edge(base.edge_u(e), base.edge_v(e), 0.5);
+    multi.add_edge(base.edge_u(e), base.edge_v(e), 0.25);
+    multi.add_edge(base.edge_u(e), base.edge_v(e), 0.25);
+    simple.add_edge(base.edge_u(e), base.edge_v(e), 1.0);
+  }
+  const Vector b = random_rhs(50, 10);
+  Vector xm(50, 0.0), xs(50, 0.0);
+  LaplacianSolver sm(multi);
+  LaplacianSolver ss(simple);
+  sm.solve(b, xm, 1e-11);
+  ss.solve(b, xs, 1e-11);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_NEAR(xm[i], xs[i], 1e-6);
+}
+
+TEST(PipelineProperty, ExtremeWeightRatios) {
+  // 1e8 dynamic range in weights must not break convergence.
+  Multigraph g = make_grid2d(10, 10);
+  apply_weights(g, WeightModel::power_law(1e-4, 1e4, 2.0), 11);
+  LaplacianSolver solver(g);
+  const Vector b = random_rhs(100, 12);
+  Vector x(100, 0.0);
+  const SolveStats st = solver.solve(b, x, 1e-8);
+  EXPECT_TRUE(st.converged);
+  const LaplacianOperator op(g);
+  const Vector lx = op.apply(x);
+  double num = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) num += (lx[i] - b[i]) * (lx[i] - b[i]);
+  EXPECT_LE(std::sqrt(num) / norm2(b), 1e-7);
+}
+
+TEST(PipelineProperty, StarGraphHighDegreeHub) {
+  // Degree n-1 hub: stresses the 5-DD filter and walk sampling.
+  const Multigraph g = make_star(2000);
+  LaplacianSolver solver(g);
+  const Vector b = random_rhs(2000, 13);
+  Vector x(2000, 0.0);
+  const SolveStats st = solver.solve(b, x, 1e-8);
+  EXPECT_TRUE(st.converged);
+}
+
+TEST(PipelineProperty, TinyGraphs) {
+  for (Vertex n : {2, 3, 5}) {
+    Multigraph g(n);
+    for (Vertex v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 1.0 + v);
+    LaplacianSolver solver(g);
+    Vector b(static_cast<std::size_t>(n), 0.0);
+    b[0] = 1.0;
+    b[static_cast<std::size_t>(n - 1)] = -1.0;
+    Vector x(static_cast<std::size_t>(n), 0.0);
+    const SolveStats st = solver.solve(b, x, 1e-10);
+    EXPECT_TRUE(st.converged);
+  }
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,94 @@
+// LaplacianOperator vs the dense Laplacian, plus the quadratic-form and
+// kernel identities that the solver's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/laplacian_op.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Vector x(n);
+  Rng rng(seed, RngTag::kTest, 0);
+  for (auto& v : x) v = rng.next_in(-1.0, 1.0);
+  return x;
+}
+
+class LaplacianOpFamilyTest : public ::testing::TestWithParam<int> {
+ protected:
+  Multigraph graph() const {
+    switch (GetParam()) {
+      case 0:
+        return make_path(40);
+      case 1:
+        return make_grid2d(6, 7);
+      case 2:
+        return make_complete(12);
+      case 3: {
+        Multigraph g = make_erdos_renyi(30, 120, 5);
+        apply_weights(g, WeightModel::power_law(0.1, 10.0, 2.0), 6);
+        return g;
+      }
+      default:
+        return make_barbell(8, 4);
+    }
+  }
+};
+
+TEST_P(LaplacianOpFamilyTest, MatchesDenseApply) {
+  const Multigraph g = graph();
+  const LaplacianOperator op(g);
+  const DenseMatrix l = laplacian_dense(g);
+  const Vector x = random_vector(static_cast<std::size_t>(g.num_vertices()), 1);
+  const Vector sparse = op.apply(x);
+  const Vector dense = l.apply(x);
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_NEAR(sparse[i], dense[i], 1e-10);
+  }
+}
+
+TEST_P(LaplacianOpFamilyTest, KernelIsOnes) {
+  const Multigraph g = graph();
+  const LaplacianOperator op(g);
+  const Vector ones(static_cast<std::size_t>(g.num_vertices()), 3.7);
+  const Vector y = op.apply(ones);
+  for (const double v : y) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST_P(LaplacianOpFamilyTest, QuadraticFormMatchesXtLx) {
+  const Multigraph g = graph();
+  const LaplacianOperator op(g);
+  const Vector x = random_vector(static_cast<std::size_t>(g.num_vertices()), 2);
+  const Vector lx = op.apply(x);
+  EXPECT_NEAR(op.quadratic_form(x), dot(x, lx), 1e-8);
+  EXPECT_GE(op.quadratic_form(x), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LaplacianOpFamilyTest,
+                         ::testing::Range(0, 5));
+
+TEST(LaplacianOp, MultiEdgesSumWeights) {
+  Multigraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.5);
+  const LaplacianOperator op(g);
+  const Vector x{1.0, 0.0};
+  const Vector y = op.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  EXPECT_DOUBLE_EQ(y[1], -3.5);
+}
+
+TEST(LaplacianOp, LaplacianNormIsSqrtQuadraticForm) {
+  const Multigraph g = make_cycle(10);
+  const LaplacianOperator op(g);
+  const Vector x = random_vector(10, 3);
+  EXPECT_NEAR(op.laplacian_norm(x), std::sqrt(op.quadratic_form(x)), 1e-12);
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(VectorOps, DotSmallAndLarge) {
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+
+  // Large: exercise the chunked parallel path against a closed form.
+  const std::size_t n = 1 << 20;
+  Vector ones(n, 1.0);
+  EXPECT_DOUBLE_EQ(dot(ones, ones), static_cast<double>(n));
+}
+
+TEST(VectorOps, DotDeterministicAcrossCalls) {
+  const std::size_t n = (1 << 18) + 3;
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::sin(static_cast<double>(i));
+  const double a = dot(x, x);
+  const double b = dot(x, x);
+  EXPECT_EQ(a, b);  // bit-identical
+}
+
+TEST(VectorOps, Norm2) {
+  const Vector x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, AxpyScaleAssignFill) {
+  Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  assign(x, y);
+  EXPECT_DOUBLE_EQ(x[1], 12.0);
+  fill(x, -1.0);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+}
+
+TEST(VectorOps, ProjectOutOnes) {
+  Vector x{1.0, 2.0, 3.0, 6.0};
+  project_out_ones(x);
+  EXPECT_NEAR(sum(x), 0.0, 1e-14);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+}
+
+TEST(VectorOps, ProjectOutOnesPerComponent) {
+  Vector x{1.0, 3.0, 10.0, 20.0};
+  const std::vector<Vertex> label{0, 0, 1, 1};
+  project_out_ones_per_component(x, label, 2);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -5.0);
+  EXPECT_DOUBLE_EQ(x[3], 5.0);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  const Vector x{1.0, 5.0, -2.0};
+  const Vector y{1.5, 5.0, -4.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 2.0);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  const Vector x{1.0};
+  const Vector y{1.0, 2.0};
+  EXPECT_THROW((void)dot(x, y), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

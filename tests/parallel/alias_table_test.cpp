@@ -1,0 +1,118 @@
+// Alias-table tests: exact distribution recovery (chi-squared), zero
+// weights, degenerate sizes — the correctness of every random walk step
+// rests on this sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "parallel/alias_table.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+std::vector<double> empirical_distribution(const AliasTable& table,
+                                           std::size_t k, int draws,
+                                           std::uint64_t seed) {
+  std::vector<double> freq(k, 0.0);
+  Rng rng(seed, RngTag::kTest, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++freq[static_cast<std::size_t>(table.sample(rng))];
+  }
+  for (auto& f : freq) f /= draws;
+  return freq;
+}
+
+TEST(AliasTable, SingleItem) {
+  const std::vector<double> w{2.5};
+  AliasTable t(w);
+  Rng rng(1, RngTag::kTest, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.sample(rng), 0);
+  EXPECT_DOUBLE_EQ(t.total_weight(), 2.5);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> w(8, 1.0);
+  AliasTable t(w);
+  const auto freq = empirical_distribution(t, 8, 80000, 2);
+  for (const double f : freq) EXPECT_NEAR(f, 0.125, 0.01);
+}
+
+TEST(AliasTable, SkewedWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  const auto freq = empirical_distribution(t, 4, 200000, 3);
+  EXPECT_NEAR(freq[0], 0.1, 0.01);
+  EXPECT_NEAR(freq[1], 0.2, 0.01);
+  EXPECT_NEAR(freq[2], 0.3, 0.01);
+  EXPECT_NEAR(freq[3], 0.4, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> w{0.0, 1.0, 0.0, 1.0};
+  AliasTable t(w);
+  Rng rng(4, RngTag::kTest, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int32_t s = t.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTable, ExtremeWeightRatio) {
+  const std::vector<double> w{1e-12, 1.0};
+  AliasTable t(w);
+  Rng rng(5, RngTag::kTest, 0);
+  int zero_count = 0;
+  for (int i = 0; i < 100000; ++i) zero_count += t.sample(rng) == 0 ? 1 : 0;
+  EXPECT_LE(zero_count, 2);  // p ~ 1e-12
+}
+
+TEST(AliasTable, RejectsNegativeWeight) {
+  const std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(AliasTable t(w), std::runtime_error);
+}
+
+TEST(AliasTable, RejectsAllZero) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(AliasTable t(w), std::runtime_error);
+}
+
+TEST(AliasTable, ChiSquaredLargeTable) {
+  std::vector<double> w(100);
+  Rng wrng(6, RngTag::kTest, 1);
+  double total = 0.0;
+  for (auto& x : w) {
+    x = wrng.next_in(0.1, 10.0);
+    total += x;
+  }
+  AliasTable t(w);
+  constexpr int kDraws = 1000000;
+  std::vector<int> counts(w.size(), 0);
+  Rng rng(6, RngTag::kTest, 2);
+  for (int i = 0; i < kDraws; ++i) ++counts[static_cast<std::size_t>(t.sample(rng))];
+  double chi2 = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expected = kDraws * w[i] / total;
+    chi2 += (counts[i] - expected) * (counts[i] - expected) / expected;
+  }
+  // 99 dof; 99.9th percentile ~ 148.
+  EXPECT_LT(chi2, 160.0);
+}
+
+TEST(BuildAlias, FlatBuildMatchesOwningWrapper) {
+  const std::vector<double> w{3.0, 1.0, 2.0};
+  std::vector<double> prob(3);
+  std::vector<std::int32_t> alias(3);
+  const double total = build_alias(w, prob, alias);
+  EXPECT_DOUBLE_EQ(total, 6.0);
+  AliasTable t(w);
+  Rng a(7, RngTag::kTest, 0);
+  Rng b(7, RngTag::kTest, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sample_alias(prob, alias, a), t.sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parallel/for_each.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  constexpr std::int64_t kN = 1 << 18;
+  std::vector<std::int32_t> hits(kN, 0);
+  parallel_for(std::int64_t{0}, kN, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ParallelFor, SerialPathSmallRange) {
+  std::vector<int> order;
+  parallel_for(0, 10, [&](int i) { order.push_back(i); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // below grain => sequential in order
+}
+
+TEST(ParallelFor, EmptyRange) {
+  bool ran = false;
+  parallel_for(5, 5, [&](int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForDynamic, CoversRange) {
+  constexpr std::int64_t kN = 100000;
+  std::atomic<std::int64_t> sum{0};
+  parallel_for_dynamic(std::int64_t{0}, kN,
+                       [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, SumLarge) {
+  constexpr std::int64_t kN = 1 << 20;
+  const std::int64_t total = parallel_reduce(
+      std::int64_t{0}, kN, std::int64_t{0},
+      [](std::int64_t i) { return i; },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, MaxSmall) {
+  const int result = parallel_reduce(
+      0, 100, -1, [](int i) { return (i * 37) % 101; },
+      [](int a, int b) { return a > b ? a : b; });
+  EXPECT_EQ(result, 100);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  const int result = parallel_reduce(
+      0, 0, 42, [](int) { return 0; }, [](int a, int b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ThreadCount, Positive) { EXPECT_GE(thread_count(), 1); }
+
+}  // namespace
+}  // namespace parlap

@@ -1,0 +1,73 @@
+// Prefix-scan tests including the parallel path (large inputs) against the
+// trivially correct serial computation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parallel/scan.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Scan, SmallSerialPath) {
+  std::vector<std::int64_t> v{3, 1, 4, 1, 5};
+  const std::int64_t total = exclusive_scan(std::span<std::int64_t>(v));
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Scan, WithInit) {
+  std::vector<std::int64_t> v{1, 1, 1};
+  const std::int64_t total =
+      exclusive_scan(std::span<std::int64_t>(v), std::int64_t{10});
+  EXPECT_EQ(total, 13);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{10, 11, 12}));
+}
+
+TEST(Scan, Empty) {
+  std::vector<std::int64_t> v;
+  EXPECT_EQ(exclusive_scan(std::span<std::int64_t>(v)), 0);
+}
+
+class ScanSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizeTest, MatchesSerialReference) {
+  const std::size_t n = GetParam();
+  std::vector<std::int64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::int64_t>((i * 2654435761u) % 97);
+  }
+  std::vector<std::int64_t> expected(n);
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = run;
+    run += v[i];
+  }
+  const std::int64_t total = exclusive_scan(std::span<std::int64_t>(v));
+  EXPECT_EQ(total, run);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizeTest,
+                         ::testing::Values(1, 2, 1000, (1 << 14) - 1,
+                                           1 << 14, (1 << 14) + 1, 1 << 17,
+                                           (1 << 20) + 13));
+
+TEST(OffsetsFromCounts, BuildsCsrOffsets) {
+  const std::vector<std::int64_t> counts{2, 0, 3, 1};
+  const std::vector<std::int64_t> offsets =
+      offsets_from_counts(std::span<const std::int64_t>(counts));
+  EXPECT_EQ(offsets, (std::vector<std::int64_t>{0, 2, 2, 5, 6}));
+}
+
+TEST(OffsetsFromCounts, LargeMatchesSum) {
+  std::vector<std::int64_t> counts(1 << 18, 3);
+  const auto offsets = offsets_from_counts(std::span<const std::int64_t>(counts));
+  EXPECT_EQ(offsets.front(), 0);
+  EXPECT_EQ(offsets.back(), 3ll << 18);
+}
+
+}  // namespace
+}  // namespace parlap

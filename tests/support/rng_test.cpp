@@ -1,0 +1,113 @@
+// Tests for the Philox counter-based RNG: determinism, stream
+// independence, and distribution sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(Philox, BlockIsDeterministic) {
+  const auto a = Philox::block(1, 2, 3, 4);
+  const auto b = Philox::block(1, 2, 3, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Philox, BlockChangesWithEveryInput) {
+  const auto base = Philox::block(1, 2, 3, 4);
+  EXPECT_NE(base, Philox::block(2, 2, 3, 4));
+  EXPECT_NE(base, Philox::block(1, 3, 3, 4));
+  EXPECT_NE(base, Philox::block(1, 2, 4, 4));
+  EXPECT_NE(base, Philox::block(1, 2, 3, 5));
+}
+
+TEST(Rng, SameKeySameStream) {
+  Rng a(7, RngTag::kTest, 9);
+  Rng b(7, RngTag::kTest, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentIndexDifferentStream) {
+  Rng a(7, RngTag::kTest, 9);
+  Rng b(7, RngTag::kTest, 10);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DifferentTagDifferentStream) {
+  Rng a(7, RngTag::kTest, 9);
+  Rng b(7, RngTag::kFiveDd, 9);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(1, RngTag::kTest, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(2, RngTag::kTest, 0);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3, RngTag::kTest, 0);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowUniformChiSquared) {
+  Rng rng(4, RngTag::kTest, 0);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 9 dof; 99.9th percentile ~ 27.9.
+  EXPECT_LT(chi2, 30.0);
+}
+
+TEST(Rng, BitBalance) {
+  Rng rng(5, RngTag::kTest, 0);
+  int ones = 0;
+  constexpr int kWords = 10000;
+  for (int i = 0; i < kWords; ++i) ones += __builtin_popcountll(rng.next_u64());
+  const double frac = static_cast<double>(ones) / (64.0 * kWords);
+  EXPECT_NEAR(frac, 0.5, 0.005);
+}
+
+TEST(Rng, NoShortCycle) {
+  Rng rng(6, RngTag::kTest, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SplitMix, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace parlap

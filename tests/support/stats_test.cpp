@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i));
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Percentile, NearestRank) {
+  const std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 10; ++i) {
+    x.push_back(static_cast<double>(i) * 100.0);
+    y.push_back(3.0 * std::pow(x.back(), 1.7));
+  }
+  EXPECT_NEAR(log_log_slope(x, y), 1.7, 1e-9);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-3.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(9), 2);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+}  // namespace
+}  // namespace parlap

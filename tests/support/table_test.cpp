@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace parlap {
+namespace {
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t("demo");
+  t.set_header({"name", "n", "value"});
+  t.add_row({std::string("grid"), std::int64_t{100}, 1.5});
+  t.add_row({std::string("rmat"), std::int64_t{2048}, 0.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("grid"), std::string::npos);
+  EXPECT_NE(out.find("2048"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({std::int64_t{1}, 2.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::runtime_error);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    PARLAP_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace parlap

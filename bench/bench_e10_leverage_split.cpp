@@ -10,15 +10,18 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
-  const Vertex n = 4000;
-  TextTable table("E10 naive vs leverage splitting — gnm, n=4000, "
-                  "eps=1e-8");
+  reporter().set_experiment("E10");
+  const Vertex n = smoke() ? Vertex{800} : Vertex{4000};
+  TextTable table("E10 naive vs leverage splitting — gnm, n=" +
+                  std::to_string(n) + ", eps=1e-8");
   table.set_header({"m", "avg_deg", "uni_split_m", "lev_split_m",
                     "uni_total_s", "lev_total_s", "lev_wins"},
                    4);
   for (const EdgeId m :
-       {EdgeId{8000}, EdgeId{20000}, EdgeId{60000}, EdgeId{200000},
-        EdgeId{600000}}) {
+       smoke() ? std::vector<EdgeId>{EdgeId{1600}, EdgeId{4000}}
+               : std::vector<EdgeId>{EdgeId{8000}, EdgeId{20000},
+                                     EdgeId{60000}, EdgeId{200000},
+                                     EdgeId{600000}}) {
     const Multigraph g = make_erdos_renyi(n, m, 3);
     const Vector b = random_rhs(n, 11);
 
@@ -50,6 +53,16 @@ int main() {
                    static_cast<std::int64_t>(lev_edges), uni_total,
                    lev_total,
                    std::string(lev_total < uni_total ? "yes" : "no")});
+    reporter().record_time("gnm/m=" + std::to_string(m) + "/uniform",
+                           {{"n", static_cast<double>(n)},
+                            {"m", static_cast<double>(m)},
+                            {"split_m", static_cast<double>(uni_edges)}},
+                           uni_total);
+    reporter().record_time("gnm/m=" + std::to_string(m) + "/leverage",
+                           {{"n", static_cast<double>(n)},
+                            {"m", static_cast<double>(m)},
+                            {"split_m", static_cast<double>(lev_edges)}},
+                           lev_total);
   }
   print_table(table);
   std::cout

@@ -13,6 +13,7 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
+  reporter().set_experiment("E11");
   {
     Multigraph g = make_erdos_renyi(80, 400, 3);
     apply_weights(g, WeightModel::uniform(0.5, 2.0), 4);
@@ -25,7 +26,7 @@ int main() {
     table.set_header({"eps_requested", "split_m", "out_edges",
                       "measured_eps", "within"},
                      4);
-    for (const double eps : {0.8, 0.4, 0.2, 0.1}) {
+    for (const double eps : sweep<double>({0.8, 0.4, 0.2, 0.1}, 2)) {
       const ApproxSchurResult r =
           approx_schur_simple(g, c, eps, 7, /*scale=*/1.0);
       const SpectralBounds sb = relative_spectral_bounds(
@@ -50,7 +51,7 @@ int main() {
     table.set_header({"n", "s=|V\\C|", "m_split", "levels",
                       "levels/ln(s)", "out_edges", "seconds"},
                      4);
-    for (const Vertex side : {32, 64, 128, 256}) {
+    for (const Vertex side : sweep<Vertex>({32, 64, 128, 256}, 2)) {
       const Multigraph g = make_family("grid2d", side, 5);
       const Multigraph split = split_edges_uniform(g, 4);
       const std::vector<Vertex> c{0, side - 1, side * (side - 1),
@@ -66,6 +67,13 @@ int main() {
                      r.levels / std::log(s),
                      static_cast<std::int64_t>(r.schur.num_edges()),
                      seconds});
+      reporter().record_time(
+          "grid2d/n=" + std::to_string(g.num_vertices()),
+          {{"n", static_cast<double>(g.num_vertices())},
+           {"m_split", static_cast<double>(split.num_edges())},
+           {"levels", static_cast<double>(r.levels)},
+           {"out_edges", static_cast<double>(r.schur.num_edges())}},
+          seconds);
     }
     print_table(table);
     std::cout << "claim check: levels/ln(s) ~ constant (O(log s) rounds); "

@@ -18,8 +18,12 @@ using namespace parlap::bench;
 
 namespace {
 
+// Under --smoke the fixture shrinks so google-benchmark's auto-timing
+// loop finishes quickly; JSON output comes from benchmark's own
+// --benchmark_out, not the parlap reporter (see scripts/run_benches.sh).
 const Multigraph& fixture_graph() {
-  static const Multigraph g = make_family("grid2d", 128, 3);
+  static const Multigraph g =
+      make_family("grid2d", smoke() ? Vertex{48} : Vertex{128}, 3);
   return g;
 }
 

@@ -13,17 +13,19 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
+  reporter().set_experiment("E13");
   {
     TextTable table("E13 Wilson's algorithm — cost per tree");
     table.set_header({"family", "n", "m", "walk_steps", "erased_frac",
                       "steps_per_vertex", "ms_per_tree"},
                      4);
     for (const auto& [family, size] :
-         std::vector<std::pair<std::string, Vertex>>{{"grid2d", 100},
-                                                     {"regular4", 20000},
-                                                     {"gnm4", 20000},
-                                                     {"rmat", 13},
-                                                     {"barbell", 200}}) {
+         sweep<std::pair<std::string, Vertex>>({{"grid2d", 100},
+                                                {"regular4", 20000},
+                                                {"gnm4", 20000},
+                                                {"rmat", 13},
+                                                {"barbell", 200}},
+                                               2)) {
       const Multigraph g = make_family(family, size, 3);
       WallTimer timer;
       SpanningTreeStats total;
@@ -35,6 +37,14 @@ int main() {
         total.erased_steps += s.erased_steps;
       }
       const double ms = timer.millis() / trees;
+      reporter().record_time(
+          family + "/n=" + std::to_string(g.num_vertices()),
+          {{"n", static_cast<double>(g.num_vertices())},
+           {"m", static_cast<double>(g.num_edges())},
+           {"walk_steps_per_tree",
+            static_cast<double>(total.walk_steps / trees)},
+           {"ms_per_tree", ms}},
+          ms / 1e3);
       table.add_row(
           {family, static_cast<std::int64_t>(g.num_vertices()),
            static_cast<std::int64_t>(g.num_edges()),

@@ -12,12 +12,13 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
+  reporter().set_experiment("E14");
   {
     TextTable table("E14 sparsifier size & quality vs eps — K_150 (dense "
                     "oracle)");
     table.set_header({"eps", "m_in", "m_out", "measured_eps", "ratio"}, 4);
     const Multigraph g = make_complete(150);
-    for (const double eps : {0.8, 0.4, 0.2}) {
+    for (const double eps : sweep<double>({0.8, 0.4, 0.2}, 2)) {
       SparsifyOptions opts;
       opts.oversample = 4.0;
       const SparsifyResult r = spectral_sparsify(g, eps, 3, opts);
@@ -35,13 +36,16 @@ int main() {
   }
 
   {
-    TextTable table("E14b solve-on-sparsifier — dense gnm n=2000, m=400000, "
-                    "eps_sparsify=0.5");
+    const Vertex n = smoke() ? Vertex{500} : Vertex{2000};
+    const EdgeId m = smoke() ? EdgeId{25000} : EdgeId{400000};
+    TextTable table("E14b solve-on-sparsifier — dense gnm n=" +
+                    std::to_string(n) + ", m=" + std::to_string(m) +
+                    ", eps_sparsify=0.5");
     table.set_header({"graph", "m", "factor_s", "solve_s", "iters",
                       "residual_vs_original"},
                      4);
-    const Multigraph g = make_erdos_renyi(2000, 400000, 5);
-    const Vector b = random_rhs(2000, 7);
+    const Multigraph g = make_erdos_renyi(n, m, 5);
+    const Vector b = random_rhs(n, 7);
     const LaplacianOperator original_op(g);
 
     auto run = [&](const std::string& name, const Multigraph& graph) {
@@ -64,6 +68,13 @@ int main() {
                      factor_s, solve_s,
                      static_cast<std::int64_t>(st.iterations),
                      std::sqrt(num) / norm2(b)});
+      reporter().record_time(
+          "solve_on_sparsifier/" + name,
+          {{"n", static_cast<double>(graph.num_vertices())},
+           {"m", static_cast<double>(graph.num_edges())},
+           {"factor_s", factor_s},
+           {"iters", static_cast<double>(st.iterations)}},
+          solve_s);
     };
     run("original", g);
     SparsifyOptions sopts;

@@ -34,6 +34,14 @@ void run_family(const std::string& family, const std::vector<Vertex>& sizes) {
     const double total = factor_s + solve_s;
     ms.push_back(static_cast<double>(g.num_edges()));
     totals.push_back(total);
+    reporter().record_time(
+        family + "/n=" + std::to_string(g.num_vertices()),
+        {{"n", static_cast<double>(g.num_vertices())},
+         {"m", static_cast<double>(g.num_edges())},
+         {"factor_s", factor_s},
+         {"solve_s", solve_s},
+         {"iters", static_cast<double>(st.iterations)}},
+        total);
     table.add_row({static_cast<std::int64_t>(g.num_vertices()),
                    static_cast<std::int64_t>(g.num_edges()),
                    static_cast<std::int64_t>(solver.info().split_edges),
@@ -50,7 +58,8 @@ void run_family(const std::string& family, const std::vector<Vertex>& sizes) {
 }  // namespace
 
 int main() {
-  run_family("grid2d", {64, 96, 128, 192, 256});
-  run_family("regular4", {4096, 9216, 16384, 36864, 65536});
+  reporter().set_experiment("E1");
+  run_family("grid2d", sweep<Vertex>({64, 96, 128, 192, 256}, 2));
+  run_family("regular4", sweep<Vertex>({4096, 9216, 16384, 36864, 65536}, 2));
   return 0;
 }

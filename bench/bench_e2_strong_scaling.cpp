@@ -3,7 +3,7 @@
 // strong-scale factorization, one preconditioner application, and a full
 // solve over thread counts on a fixed graph. (PRAM depth itself is
 // architecture-free; speedup curves are the shared-memory substitution —
-// see DESIGN.md.)
+// see EXPERIMENTS.md.)
 #include <omp.h>
 
 #include "common.hpp"
@@ -13,12 +13,16 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
-  const Multigraph g = make_family("grid2d", 384, 5);
+  reporter().set_experiment("E2");
+  const Vertex side = smoke() ? Vertex{96} : Vertex{384};
+  const Multigraph g = make_family("grid2d", side, 5);
   const Vector b = random_rhs(g.num_vertices(), 9);
 
   TextTable table(
-      "E2 strong scaling — grid2d 384x384 (n=147456), eps=1e-8, "
-      "boost_rounds=2 (shallower chain => larger per-level work)");
+      "E2 strong scaling — grid2d " + std::to_string(side) + "x" +
+      std::to_string(side) + " (n=" + std::to_string(g.num_vertices()) +
+      "), eps=1e-8, boost_rounds=2 (shallower chain => larger per-level "
+      "work)");
   table.set_header({"threads", "factor_s", "apply_ms", "solve_s", "iters",
                     "factor_speedup", "solve_speedup"},
                    4);
@@ -54,6 +58,13 @@ int main() {
     table.add_row({static_cast<std::int64_t>(threads), factor_s, apply_ms,
                    solve_s, static_cast<std::int64_t>(st.iterations),
                    factor_base / factor_s, solve_base / solve_s});
+    reporter().record_time("grid2d/threads=" + std::to_string(threads),
+                           {{"n", static_cast<double>(g.num_vertices())},
+                            {"threads", static_cast<double>(threads)},
+                            {"factor_s", factor_s},
+                            {"apply_ms", apply_ms},
+                            {"iters", static_cast<double>(st.iterations)}},
+                           solve_s);
   }
   omp_set_num_threads(max_threads);
   print_table(table);

@@ -109,6 +109,13 @@ void run_family(const std::string& family, Vertex size) {
     table.add_row({r.solver, r.setup_s, r.solve_s, r.setup_s + r.solve_s,
                    static_cast<std::int64_t>(r.iterations),
                    std::string(r.converged ? "yes" : "NO (cap)")});
+    reporter().record_time(family + "/" + r.solver,
+                           {{"n", static_cast<double>(g.num_vertices())},
+                            {"m", static_cast<double>(g.num_edges())},
+                            {"setup_s", r.setup_s},
+                            {"iters", static_cast<double>(r.iterations)},
+                            {"converged", r.converged ? 1.0 : 0.0}},
+                           r.solve_s);
   }
   print_table(table);
 }
@@ -116,6 +123,12 @@ void run_family(const std::string& family, Vertex size) {
 }  // namespace
 
 int main() {
+  reporter().set_experiment("E3");
+  if (smoke()) {
+    run_family("grid2d", 48);
+    run_family("path", 4000);
+    return 0;
+  }
   run_family("grid2d", 128);     // moderate kappa
   run_family("path", 30000);     // kappa ~ n^2: CG's worst case
   run_family("barbell", 300);    // low conductance, clique-dominated m

@@ -38,6 +38,7 @@ WalkStats first_level_stats(const Multigraph& g, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  reporter().set_experiment("E5");
   {
     TextTable table("E5 walk lengths at level 0 (mean per walk, max, "
                     "retries) vs graph size");
@@ -45,12 +46,23 @@ int main() {
                       "log2(m)", "retries", "drop_frac"},
                      4);
     for (const auto& [family, size] :
-         std::vector<std::pair<std::string, Vertex>>{
-             {"grid2d", 64}, {"grid2d", 128}, {"grid2d", 256},
-             {"regular4", 10000}, {"regular4", 80000}, {"rmat", 12},
-             {"rmat", 15}, {"wgrid2d", 128}}) {
+         sweep<std::pair<std::string, Vertex>>(
+             {{"grid2d", 64}, {"grid2d", 128}, {"grid2d", 256},
+              {"regular4", 10000}, {"regular4", 80000}, {"rmat", 12},
+              {"rmat", 15}, {"wgrid2d", 128}},
+             2)) {
       const Multigraph g = make_family(family, size, 3);
+      WallTimer timer;
       const WalkStats s = first_level_stats(g, 5);
+      const double seconds = timer.seconds();
+      reporter().record_time(
+          family + "/n=" + std::to_string(g.num_vertices()),
+          {{"n", static_cast<double>(g.num_vertices())},
+           {"m", static_cast<double>(s.edges_in)},
+           {"mean_len", static_cast<double>(s.total_steps) /
+                            (2.0 * static_cast<double>(s.edges_in))},
+           {"max_len", static_cast<double>(s.max_walk_len)}},
+          seconds);
       table.add_row(
           {family, static_cast<std::int64_t>(g.num_vertices()),
            static_cast<std::int64_t>(s.edges_in),
@@ -69,8 +81,11 @@ int main() {
 
   {
     // Edge-count invariant over a whole chain (Thm 3.9-(1)).
-    const Multigraph g = make_family("regular4", 50000, 7);
+    const Multigraph g =
+        make_family("regular4", smoke() ? Vertex{8000} : Vertex{50000}, 7);
+    WallTimer timer;
     const BlockCholeskyChain chain = BlockCholeskyChain::build(g, 9);
+    const double factor_s = timer.seconds();
     EdgeId m0 = 0;
     EdgeId worst = 0;
     OnlineStats mean_len;
@@ -84,7 +99,16 @@ int main() {
       }
       max_len = std::max(max_len, ls.walks.max_walk_len);
     }
-    TextTable table("E5b chain-wide invariants — regular4 n=50000");
+    reporter().record_time(
+        "chain_invariant/n=" + std::to_string(g.num_vertices()),
+        {{"n", static_cast<double>(g.num_vertices())},
+         {"levels", static_cast<double>(chain.depth())},
+         {"max_mk_over_m0",
+          static_cast<double>(worst) / static_cast<double>(m0)},
+         {"max_len", static_cast<double>(max_len)}},
+        factor_s);
+    TextTable table("E5b chain-wide invariants — regular4 n=" +
+                    std::to_string(g.num_vertices()));
     table.set_header({"levels", "m_level0", "max_m_k", "max_mk_over_m0",
                       "mean_len_all_levels", "max_len_all_levels"},
                      4);

@@ -8,6 +8,7 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
+  reporter().set_experiment("E6");
   {
     TextTable table("E6 chain depth & factor cost vs n (grid2d)");
     table.set_header({"n", "m", "depth", "depth/ln(n)", "factor_s",
@@ -15,7 +16,7 @@ int main() {
                      4);
     std::vector<double> ns;
     std::vector<double> ds;
-    for (const Vertex side : {32, 64, 128, 256, 384}) {
+    for (const Vertex side : sweep<Vertex>({32, 64, 128, 256, 384}, 3)) {
       const Multigraph g = make_family("grid2d", side, 3);
       WallTimer timer;
       const BlockCholeskyChain chain = BlockCholeskyChain::build(g, 5);
@@ -23,6 +24,13 @@ int main() {
       const double n = static_cast<double>(g.num_vertices());
       ns.push_back(n);
       ds.push_back(chain.depth());
+      reporter().record_time(
+          "grid2d/n=" + std::to_string(g.num_vertices()),
+          {{"n", n},
+           {"m", static_cast<double>(g.num_edges())},
+           {"depth", static_cast<double>(chain.depth())},
+           {"stored_entries", static_cast<double>(chain.stored_entries())}},
+          factor_s);
       table.add_row({static_cast<std::int64_t>(g.num_vertices()),
                      static_cast<std::int64_t>(g.num_edges()),
                      static_cast<std::int64_t>(chain.depth()),
@@ -38,10 +46,11 @@ int main() {
 
   {
     // Per-level profile: geometric vertex decay, bounded edge count.
-    const Multigraph g = make_family("regular4", 40000, 7);
+    const Multigraph g =
+        make_family("regular4", smoke() ? Vertex{8000} : Vertex{40000}, 7);
     const BlockCholeskyChain chain = BlockCholeskyChain::build(g, 9);
-    TextTable table("E6b per-level profile — regular4 n=40000 (every 10th "
-                    "level)");
+    TextTable table("E6b per-level profile — regular4 n=" +
+                    std::to_string(g.num_vertices()) + " (every 10th level)");
     table.set_header({"level", "n_k", "m_k", "|F_k|", "F_frac",
                       "5dd_rounds"},
                      4);

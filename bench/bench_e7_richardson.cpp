@@ -12,24 +12,37 @@ using namespace parlap;
 using namespace parlap::bench;
 
 int main() {
+  reporter().set_experiment("E7");
   {
-    const Multigraph g = make_family("grid2d", 128, 3);
+    const Vertex side = smoke() ? Vertex{48} : Vertex{128};
+    const Multigraph g = make_family("grid2d", side, 3);
     LaplacianSolver solver(g);
     const Vector b = random_rhs(g.num_vertices(), 11);
 
-    TextTable table("E7 Richardson iterations vs eps — grid2d 128x128");
+    TextTable table("E7 Richardson iterations vs eps — grid2d " +
+                    std::to_string(side) + "x" + std::to_string(side));
     table.set_header({"eps", "iterations", "relative_residual",
                       "iters/ln(1/eps)", "solve_s"},
                      4);
     std::vector<double> logs;
     std::vector<double> iters;
-    for (const double eps : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12}) {
+    for (const double eps :
+         sweep<double>({1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12}, 3)) {
       Vector x(b.size(), 0.0);
       WallTimer timer;
       const SolveStats st = solver.solve(b, x, eps);
       const double seconds = timer.seconds();
       logs.push_back(std::log(1.0 / eps));
       iters.push_back(st.iterations);
+      char eps_str[16];
+      std::snprintf(eps_str, sizeof(eps_str), "%g", eps);
+      reporter().record_time(
+          std::string("grid2d/eps=") + eps_str,
+          {{"n", static_cast<double>(g.num_vertices())},
+           {"eps", eps},
+           {"iters", static_cast<double>(st.iterations)},
+           {"relative_residual", st.relative_residual}},
+          seconds);
       table.add_row({eps, static_cast<std::int64_t>(st.iterations),
                      st.relative_residual,
                      st.iterations / std::log(1.0 / eps), seconds});

@@ -43,6 +43,7 @@ DenseMatrix jacobi_series(const FiveDdMatrix& fd, int l) {
 }  // namespace
 
 int main() {
+  reporter().set_experiment("E8");
   {
     const FiveDdMatrix fd = make_matrix(60, 7);
     TextTable table("E8 Jacobi sandwich M <= Z^-1 <= M + eps Y (dense, "
@@ -50,7 +51,7 @@ int main() {
     table.set_header({"l", "eps=3/2^l", "min_eig(Zinv-M)",
                       "measured_eps", "within_bound"},
                      4);
-    for (const int l : {1, 3, 5, 7, 9, 11}) {
+    for (const int l : sweep<int>({1, 3, 5, 7, 9, 11}, 3)) {
       const DenseMatrix z = jacobi_series(fd, l);
       const DenseMatrix z_inv = pseudo_inverse(z);
       DenseMatrix lower = z_inv.add(fd.m, -1.0);
@@ -72,13 +73,16 @@ int main() {
   {
     // End-to-end: the chain picks l = ceil(log2 6d); forcing it lower
     // degrades the preconditioner, forcing it higher buys nothing.
-    const Multigraph g = make_family("grid2d", 128, 3);
+    const Vertex side = smoke() ? Vertex{48} : Vertex{128};
+    const Multigraph g = make_family("grid2d", side, 3);
     const Vector b = random_rhs(g.num_vertices(), 11);
-    TextTable table("E8b jacobi_terms ablation — grid2d 128x128, eps=1e-8");
+    TextTable table("E8b jacobi_terms ablation — grid2d " +
+                    std::to_string(side) + "x" + std::to_string(side) +
+                    ", eps=1e-8");
     table.set_header({"jacobi_terms", "apply_cost_rel", "iterations",
                       "solve_s", "converged"},
                      4);
-    for (const int l : {1, 3, 5, 9, 13, 0 /*auto*/}) {
+    for (const int l : sweep<int>({1, 3, 5, 9, 13, 0 /*auto*/}, 2)) {
       SolverOptions opts;
       opts.chain.jacobi_terms = l;
       LaplacianSolver solver(g, opts);
@@ -86,12 +90,17 @@ int main() {
       WallTimer timer;
       const SolveStats st = solver.solve(b, x, 1e-8);
       const double seconds = timer.seconds();
-      table.add_row({static_cast<std::int64_t>(
-                         l == 0 ? solver.info().jacobi_terms : l),
-                     static_cast<double>(l == 0 ? solver.info().jacobi_terms
-                                                : l),
+      const int used = l == 0 ? solver.info().jacobi_terms : l;
+      table.add_row({static_cast<std::int64_t>(used),
+                     static_cast<double>(used),
                      static_cast<std::int64_t>(st.iterations), seconds,
                      std::string(st.converged ? "yes" : "NO")});
+      reporter().record_time(
+          "jacobi_terms_ablation/l=" + std::to_string(used),
+          {{"n", static_cast<double>(g.num_vertices())},
+           {"jacobi_terms", static_cast<double>(used)},
+           {"iters", static_cast<double>(st.iterations)}},
+          seconds);
     }
     print_table(table);
     std::cout << "shape: too few terms => more outer iterations; beyond "

@@ -44,15 +44,19 @@ SpectralBounds preconditioner_quality(const Multigraph& g, double scale) {
 }  // namespace
 
 int main() {
+  reporter().set_experiment("E9");
   {
-    const Multigraph g = make_family("grid2d", 128, 3);
+    const Vertex side = smoke() ? Vertex{48} : Vertex{128};
+    const Multigraph g = make_family("grid2d", side, 3);
     const Vector b = random_rhs(g.num_vertices(), 11);
-    TextTable table(
-        "E9 split-scale ablation — grid2d 128x128, eps=1e-8, adaptive off");
+    TextTable table("E9 split-scale ablation — grid2d " +
+                    std::to_string(side) + "x" + std::to_string(side) +
+                    ", eps=1e-8, adaptive off");
     table.set_header({"scale", "copies", "split_m", "factor_s", "iters",
                       "solve_s", "total_s", "converged"},
                      4);
-    for (const double scale : {0.01, 0.03, 0.1, 0.3, 1.0, 2.0}) {
+    for (const double scale :
+         sweep<double>({0.01, 0.03, 0.1, 0.3, 1.0, 2.0}, 2)) {
       SolverOptions opts;
       opts.split_scale = scale;
       opts.adaptive = false;
@@ -68,6 +72,15 @@ int main() {
                      factor_s, static_cast<std::int64_t>(st.iterations),
                      solve_s, factor_s + solve_s,
                      std::string(st.converged ? "yes" : "NO")});
+      reporter().record_time(
+          "split_scale/scale=" + std::to_string(scale),
+          {{"n", static_cast<double>(g.num_vertices())},
+           {"scale", scale},
+           {"copies", static_cast<double>(solver.info().copies)},
+           {"split_m", static_cast<double>(solver.info().split_edges)},
+           {"factor_s", factor_s},
+           {"iters", static_cast<double>(st.iterations)}},
+          solve_s);
     }
     print_table(table);
     std::cout << "shape: iterations fall as copies rise (concentration), "
@@ -81,7 +94,7 @@ int main() {
     table.set_header({"scale", "copies", "lambda_min", "lambda_max",
                       "implied_delta", "within_e^1"},
                      4);
-    for (const double scale : {0.01, 0.1, 0.5, 1.0, 3.0}) {
+    for (const double scale : sweep<double>({0.01, 0.1, 0.5, 1.0, 3.0}, 2)) {
       const SpectralBounds sb = preconditioner_quality(g, scale);
       const double delta =
           std::max(std::abs(std::log(sb.lo)), std::abs(std::log(sb.hi)));

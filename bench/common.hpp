@@ -1,12 +1,15 @@
 // Shared helpers for the experiment harness (one binary per experiment;
-// see DESIGN.md §3 and EXPERIMENTS.md).
+// see EXPERIMENTS.md for the E1-E14 catalogue and the JSON reporting
+// contract implemented by harness/json_writer.hpp).
 #pragma once
 
 #include <cmath>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
+#include "harness/json_writer.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -54,6 +57,20 @@ inline Vector random_rhs(Vertex n, std::uint64_t seed) {
 inline void print_table(const TextTable& t) {
   t.print(std::cout);
   std::cout << '\n';
+}
+
+/// The process-wide JSON reporter (see harness/json_writer.hpp). Each
+/// experiment main() calls `reporter().set_experiment("E<k>")` once and
+/// records its headline timings; the report is written on exit when
+/// $PARLAP_BENCH_JSON is set (scripts/run_benches.sh does this).
+inline BenchReporter& reporter() { return BenchReporter::instance(); }
+
+/// Picks the sweep for the current mode: the first `keep` entries of
+/// `full` under --smoke/$PARLAP_SMOKE, the whole list otherwise.
+template <typename T>
+std::vector<T> sweep(std::vector<T> full, std::size_t keep) {
+  if (smoke() && full.size() > keep) full.resize(keep);
+  return full;
 }
 
 }  // namespace parlap::bench

@@ -1,0 +1,302 @@
+#include "harness/json_writer.hpp"
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#ifndef PARLAP_GIT_COMMIT
+#define PARLAP_GIT_COMMIT "unknown"
+#endif
+#ifndef PARLAP_BUILD_TYPE
+#define PARLAP_BUILD_TYPE "unknown"
+#endif
+
+namespace parlap::bench {
+
+namespace {
+
+const char* getenv_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : fallback;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::begin_value() {
+  if (!after_key_ && needs_comma_.back()) out_ << ',';
+  if (!after_key_) needs_comma_.back() = true;
+  after_key_ = false;
+}
+
+void JsonWriter::begin_object() {
+  begin_value();
+  out_ << '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  begin_value();
+  out_ << '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (needs_comma_.back()) out_ << ',';
+  needs_comma_.back() = true;
+  out_ << escape(k) << ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  begin_value();
+  out_ << escape(s);
+}
+
+void JsonWriter::value(double d) {
+  begin_value();
+  out_ << format_number(d);
+}
+
+void JsonWriter::value(std::int64_t i) {
+  begin_value();
+  out_ << i;
+}
+
+void JsonWriter::value(bool b) {
+  begin_value();
+  out_ << (b ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  begin_value();
+  out_ << "null";
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonWriter::format_number(double d) {
+  if (!std::isfinite(d)) return "null";
+  constexpr double kExactInt = 9007199254740992.0;  // 2^53
+  if (d == std::floor(d) && std::fabs(d) < kExactInt) {
+    return std::to_string(static_cast<std::int64_t>(d));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Timing aggregation
+// ---------------------------------------------------------------------------
+
+TimingSummary summarize(std::span<const double> samples_s) {
+  TimingSummary s;
+  s.reps = static_cast<std::int64_t>(samples_s.size());
+  if (samples_s.empty()) return s;
+
+  std::vector<double> sorted(samples_s.begin(), samples_s.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+
+  double sum = 0.0;
+  for (const double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(n);
+  if (n >= 2) {
+    double ss = 0.0;
+    for (const double x : sorted) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Run metadata
+// ---------------------------------------------------------------------------
+
+bool smoke() {
+  const char* v = std::getenv("PARLAP_SMOKE");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+RunMetadata collect_metadata() {
+  RunMetadata md;
+  md.commit = getenv_or("PARLAP_GIT_COMMIT", PARLAP_GIT_COMMIT);
+
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  md.timestamp_utc = ts;
+
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) {
+    std::snprintf(host, sizeof(host), "unknown");
+  }
+  md.hostname = host;
+
+#if defined(__clang__)
+  md.compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+  md.compiler = "gcc " __VERSION__;
+#else
+  md.compiler = "unknown";
+#endif
+  md.build_type = PARLAP_BUILD_TYPE;
+  md.threads = omp_get_max_threads();
+  md.smoke = smoke();
+  return md;
+}
+
+// ---------------------------------------------------------------------------
+// BenchReporter
+// ---------------------------------------------------------------------------
+
+BenchReporter& BenchReporter::instance() {
+  static BenchReporter reporter;
+  return reporter;
+}
+
+BenchReporter::~BenchReporter() {
+  try {
+    write_to_env_path();
+  } catch (...) {
+    // Never throw out of a destructor at process exit.
+  }
+}
+
+void BenchReporter::record(
+    std::string name,
+    std::initializer_list<std::pair<const char*, double>> metrics,
+    std::span<const double> times_s) {
+  BenchCase c;
+  c.name = std::move(name);
+  c.metrics.reserve(metrics.size());
+  for (const auto& [k, v] : metrics) c.metrics.emplace_back(k, v);
+  c.times_s.assign(times_s.begin(), times_s.end());
+  record(std::move(c));
+}
+
+void BenchReporter::record_time(
+    std::string name,
+    std::initializer_list<std::pair<const char*, double>> metrics,
+    double seconds) {
+  record(std::move(name), metrics, std::span<const double>(&seconds, 1));
+}
+
+void BenchReporter::write(std::ostream& out) const {
+  const RunMetadata md = collect_metadata();
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("schema_version", std::int64_t{1});
+  w.member("experiment", experiment_);
+
+  w.key("meta");
+  w.begin_object();
+  w.member("commit", md.commit);
+  w.member("timestamp_utc", md.timestamp_utc);
+  w.member("hostname", md.hostname);
+  w.member("compiler", md.compiler);
+  w.member("build_type", md.build_type);
+  w.member("threads", md.threads);
+  w.member("smoke", md.smoke);
+  w.end_object();
+
+  w.key("cases");
+  w.begin_array();
+  for (const BenchCase& c : cases_) {
+    w.begin_object();
+    w.member("name", c.name);
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [k, v] : c.metrics) w.member(k, v);
+    w.end_object();
+    if (!c.times_s.empty()) {
+      const TimingSummary t = summarize(c.times_s);
+      w.key("timing_s");
+      w.begin_object();
+      w.member("reps", t.reps);
+      w.member("median", t.median);
+      w.member("mean", t.mean);
+      w.member("stddev", t.stddev);
+      w.member("min", t.min);
+      w.member("max", t.max);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  out << '\n';
+}
+
+bool BenchReporter::write_to_env_path() {
+  if (written_ || cases_.empty()) return false;
+  const char* path = std::getenv("PARLAP_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return false;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "parlap bench: cannot open " << path << " for writing\n";
+    return false;
+  }
+  write(out);
+  written_ = true;
+  std::cerr << "parlap bench: wrote " << cases_.size() << " case(s) to "
+            << path << "\n";
+  return true;
+}
+
+}  // namespace parlap::bench

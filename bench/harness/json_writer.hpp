@@ -1,0 +1,186 @@
+// Benchmark-harness reporting: a minimal JSON emitter plus the shared
+// run-metadata / warmup / repetition / aggregation logic used by every
+// experiment binary (see EXPERIMENTS.md).
+//
+// Experiments keep printing their human-readable tables to stdout; when
+// the environment variable PARLAP_BENCH_JSON names a file, the process
+// additionally writes one machine-readable JSON document there on exit
+// (via the BenchReporter singleton). scripts/run_benches.sh drives this
+// to record a per-commit performance trajectory as BENCH_E*.json files.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace parlap::bench {
+
+// ---------------------------------------------------------------------------
+// JsonWriter — a tiny streaming JSON emitter.
+// ---------------------------------------------------------------------------
+
+/// Streams syntactically valid JSON to an ostream: nested objects/arrays
+/// with automatic comma placement, full string escaping, and non-finite
+/// doubles mapped to null (JSON has no NaN/Inf). The caller is
+/// responsible for balanced begin/end calls.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next member; must be inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(bool b);
+  void null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void member(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  /// Escapes `s` per RFC 8259 and returns it wrapped in double quotes.
+  static std::string escape(std::string_view s);
+
+  /// Shortest round-trippable decimal form; integral values within the
+  /// exactly-representable range print without a fraction.
+  static std::string format_number(double d);
+
+ private:
+  void begin_value();
+
+  std::ostream& out_;
+  // One frame per open container: whether a comma is pending before the
+  // next element at that depth.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Timing aggregation
+// ---------------------------------------------------------------------------
+
+/// Summary of repeated timing samples (seconds). `median` averages the
+/// middle pair for even counts; `stddev` is the sample (n-1) deviation,
+/// zero for fewer than two samples.
+struct TimingSummary {
+  std::int64_t reps = 0;
+  double median = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] TimingSummary summarize(std::span<const double> samples_s);
+
+/// Runs `fn` `warmup` times untimed, then `reps` times timed, returning
+/// the per-repetition wall-clock seconds.
+template <typename Fn>
+[[nodiscard]] std::vector<double> measure(int reps, int warmup, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps > 0 ? reps : 0));
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    fn();
+    samples.push_back(t.seconds());
+  }
+  return samples;
+}
+
+// ---------------------------------------------------------------------------
+// Run metadata
+// ---------------------------------------------------------------------------
+
+/// Per-process facts recorded with every report so a JSON file is
+/// attributable to a commit, machine, and thread count.
+struct RunMetadata {
+  std::string commit;         // $PARLAP_GIT_COMMIT, else build-time value
+  std::string timestamp_utc;  // ISO 8601, e.g. "2026-07-27T12:00:00Z"
+  std::string hostname;
+  std::string compiler;
+  std::string build_type;
+  int threads = 1;  // omp_get_max_threads() at collection time
+  bool smoke = false;
+};
+
+[[nodiscard]] RunMetadata collect_metadata();
+
+/// True when PARLAP_SMOKE is set to a non-empty, non-"0" value; benches
+/// shrink their sweeps so the whole suite finishes in seconds.
+[[nodiscard]] bool smoke();
+
+// ---------------------------------------------------------------------------
+// BenchReporter
+// ---------------------------------------------------------------------------
+
+/// One recorded configuration of an experiment: a name, flat numeric
+/// metrics, and optional raw timing samples (summarized on write).
+struct BenchCase {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::vector<double> times_s;
+};
+
+/// Accumulates BenchCases and writes the JSON document. Experiments use
+/// the process-wide instance(); on exit it auto-writes to the path in
+/// $PARLAP_BENCH_JSON when that variable is set.
+class BenchReporter {
+ public:
+  BenchReporter() = default;
+  ~BenchReporter();
+
+  static BenchReporter& instance();
+
+  void set_experiment(std::string id) { experiment_ = std::move(id); }
+
+  void record(BenchCase c) { cases_.push_back(std::move(c)); }
+
+  /// Convenience: record named metrics plus timing samples in one call.
+  void record(std::string name,
+              std::initializer_list<std::pair<const char*, double>> metrics,
+              std::span<const double> times_s = {});
+
+  /// Convenience for single-shot timings (reps = 1).
+  void record_time(
+      std::string name,
+      std::initializer_list<std::pair<const char*, double>> metrics,
+      double seconds);
+
+  [[nodiscard]] std::size_t case_count() const { return cases_.size(); }
+
+  void write(std::ostream& out) const;
+
+  /// Writes to the $PARLAP_BENCH_JSON path if set and cases were
+  /// recorded; returns true when a file was written.
+  bool write_to_env_path();
+
+ private:
+  std::string experiment_ = "unnamed";
+  std::vector<BenchCase> cases_;
+  bool written_ = false;
+};
+
+}  // namespace parlap::bench

@@ -1,0 +1,54 @@
+# Resolve GoogleTest, in order of preference:
+#   1. an installed GTest package (config or find-module),
+#   2. the distribution-vendored sources (/usr/src/googletest),
+#   3. FetchContent from the pinned upstream release (needs network).
+# Defines the GTest::gtest and GTest::gtest_main targets.
+
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+find_package(GTest QUIET)
+if(TARGET GTest::gtest_main)
+  message(STATUS "parlap: using installed GoogleTest")
+  return()
+endif()
+
+# Offline fallback: Debian/Ubuntu ship the sources in /usr/src.
+foreach(_gt_src /usr/src/googletest /usr/src/gtest)
+  if(EXISTS "${_gt_src}/CMakeLists.txt")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    add_subdirectory("${_gt_src}" "${CMAKE_BINARY_DIR}/_vendored_gtest"
+                     EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+    message(STATUS "parlap: using vendored GoogleTest from ${_gt_src}")
+    return()
+  endif()
+endforeach()
+
+# Last resort: fetch the pinned release (requires network access).
+include(FetchContent)
+set(FETCHCONTENT_QUIET ON)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+  URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)
+if(NOT TARGET GTest::gtest_main)
+  if(TARGET gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  else()
+    message(FATAL_ERROR
+      "parlap: GoogleTest not found (no install, no /usr/src sources, and "
+      "FetchContent failed). Install libgtest-dev or configure with "
+      "-DPARLAP_BUILD_TESTS=OFF.")
+  endif()
+endif()
+message(STATUS "parlap: using FetchContent GoogleTest")

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   std::cout << "pair  R_full      R_sketch    ratio\n";
-  for (const auto [i, j] : {std::pair<int, int>{0, 7}, {0, 3}, {1, 6}}) {
+  for (const auto& [i, j] : {std::pair<int, int>{0, 7}, {0, 3}, {1, 6}}) {
     const double r_full = effective_resistance(
         g, terminals[static_cast<std::size_t>(i)],
         terminals[static_cast<std::size_t>(j)]);

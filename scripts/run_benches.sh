@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Runs the E1-E14 experiment binaries and collects one machine-readable
+# BENCH_E<k>.json per experiment (schema: bench/harness/json_writer.hpp),
+# tagged with the current commit, so perf changes can be proven against a
+# recorded trajectory.
+#
+# Usage:
+#   scripts/run_benches.sh [--smoke] [--build-dir DIR] [--out DIR]
+#                          [--only E1,E5,...] [--keep-going]
+#
+#   --smoke       tiny sweeps (PARLAP_SMOKE=1): finishes in ~a minute,
+#                 meant for CI and quick before/after comparisons
+#   --build-dir   CMake build tree holding bench/ binaries (default: build)
+#   --out         output directory for the JSON files
+#                 (default: bench-results/<commit>[-smoke])
+#   --only        comma-separated experiment ids, e.g. E1,E3,E12
+#   --keep-going  continue past a failing experiment (default: stop)
+set -u
+
+usage() { sed -n '2,17p' "$0"; exit "${1:-0}"; }
+
+SMOKE=0
+BUILD_DIR=build
+OUT_DIR=""
+ONLY=""
+KEEP_GOING=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --out) OUT_DIR="$2"; shift ;;
+    --only) ONLY="$2"; shift ;;
+    --keep-going) KEEP_GOING=1 ;;
+    -h|--help) usage 0 ;;
+    *) echo "unknown argument: $1" >&2; usage 1 ;;
+  esac
+  shift
+done
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BENCH_BIN_DIR="$BUILD_DIR/bench"
+if [[ ! -d "$BENCH_BIN_DIR" ]]; then
+  echo "error: $BENCH_BIN_DIR not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+COMMIT="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if [[ -n "$(git status --porcelain 2>/dev/null)" ]]; then
+  COMMIT="${COMMIT}-dirty"
+fi
+
+if [[ -z "$OUT_DIR" ]]; then
+  OUT_DIR="bench-results/${COMMIT}"
+  [[ "$SMOKE" == 1 ]] && OUT_DIR="${OUT_DIR}-smoke"
+fi
+mkdir -p "$OUT_DIR"
+
+export PARLAP_GIT_COMMIT="$COMMIT"
+[[ "$SMOKE" == 1 ]] && export PARLAP_SMOKE=1
+
+# Experiment id -> binary stem.
+EXPERIMENTS=(
+  "E1 bench_e1_work_scaling"
+  "E2 bench_e2_strong_scaling"
+  "E3 bench_e3_baselines"
+  "E4 bench_e4_five_dd"
+  "E5 bench_e5_walks"
+  "E6 bench_e6_chain"
+  "E7 bench_e7_richardson"
+  "E8 bench_e8_jacobi"
+  "E9 bench_e9_split_ablation"
+  "E10 bench_e10_leverage_split"
+  "E11 bench_e11_schur"
+  "E12 bench_e12_breakdown"
+  "E13 bench_e13_spanning_tree"
+  "E14 bench_e14_sparsify"
+)
+
+wants() {  # wants E5 -> 0 iff selected by --only (or no filter)
+  [[ -z "$ONLY" ]] && return 0
+  [[ ",$ONLY," == *",$1,"* ]]
+}
+
+ran=0
+failed=0
+for entry in "${EXPERIMENTS[@]}"; do
+  id="${entry%% *}"
+  stem="${entry#* }"
+  wants "$id" || continue
+  bin="$BENCH_BIN_DIR/$stem"
+  json="$OUT_DIR/BENCH_${id}.json"
+  if [[ ! -x "$bin" ]]; then
+    echo "-- $id: $bin missing, skipped" >&2
+    continue
+  fi
+  echo "== $id ($stem) -> $json"
+  if [[ "$id" == "E12" ]]; then
+    # google-benchmark has its own JSON reporter.
+    "$bin" --benchmark_out="$json" --benchmark_out_format=json \
+        > "$OUT_DIR/${id}.log" 2>&1
+  else
+    PARLAP_BENCH_JSON="$json" "$bin" > "$OUT_DIR/${id}.log" 2>&1
+  fi
+  status=$?
+  if [[ $status -ne 0 ]]; then
+    echo "-- $id FAILED (exit $status); log: $OUT_DIR/${id}.log" >&2
+    failed=$((failed + 1))
+    [[ "$KEEP_GOING" == 1 ]] || exit 1
+    continue
+  fi
+  if [[ ! -f "$json" ]]; then
+    echo "-- $id exited 0 but wrote no JSON: $json" >&2
+    failed=$((failed + 1))
+    [[ "$KEEP_GOING" == 1 ]] || exit 1
+    continue
+  fi
+  if command -v python3 > /dev/null; then
+    if ! python3 -m json.tool "$json" > /dev/null 2>&1; then
+      echo "-- $id produced malformed JSON: $json" >&2
+      failed=$((failed + 1))
+      [[ "$KEEP_GOING" == 1 ]] || exit 1
+      continue
+    fi
+  fi
+  ran=$((ran + 1))
+done
+
+echo
+echo "done: $ran experiment(s) OK, $failed failed; results in $OUT_DIR/"
+ls -1 "$OUT_DIR"/BENCH_E*.json 2>/dev/null || true
+[[ $failed -eq 0 ]] || exit 1

@@ -70,8 +70,8 @@ Vector leverage_overestimates(const Multigraph& g, std::uint64_t seed,
                                       6.0 * std::log(static_cast<double>(n)))));
 
   // (1) G' = uniform 1/K edge sample, weights scaled by K, plus one
-  // spanning tree of G at original weight for connectivity (DESIGN.md
-  // substitution; compensated by `safety`).
+  // spanning tree of G at original weight for connectivity (substitution
+  // note in leverage.hpp; compensated by `safety`).
   const std::vector<EdgeId> tree = spanning_tree_edges(g);
   std::vector<std::uint8_t> keep(static_cast<std::size_t>(m), 0);
   parallel_for(EdgeId{0}, m, [&](EdgeId e) {

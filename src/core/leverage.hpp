@@ -9,7 +9,7 @@
 // ceil(tau_hat/alpha) copies yields O(m + nK/alpha) multi-edges versus
 // O(m/alpha) for naive splitting — the Theorem 1.2 work profile.
 //
-// Substitution note (DESIGN.md): to keep G' connected we overlay one
+// Substitution note: to keep G' connected we overlay one
 // spanning tree of G at original weight; this only lowers resistances and
 // is compensated by `safety`. The theory's overestimation constant is
 // folded into `safety` rather than derived.

@@ -30,7 +30,8 @@ enum class RngTag : std::uint64_t {
 };
 
 /// Philox4x32-10 counter-based PRNG. Stateless core: a (key, counter) pair
-/// maps to 128 random bits. See DESIGN.md "Determinism".
+/// maps to 128 random bits, so results are reproducible for a fixed seed
+/// regardless of thread count or iteration order.
 class Philox {
  public:
   using Block = std::array<std::uint32_t, 4>;

@@ -71,7 +71,7 @@ TEST(Resistance, TriangleInequality) {
   ResistanceOptions opts;
   opts.jl_dimensions = 300;
   const ResistanceEstimator est(g, 11, opts);
-  for (const auto [a, b, c] :
+  for (const auto& [a, b, c] :
        {std::tuple<Vertex, Vertex, Vertex>{0, 30, 63}, {5, 20, 50}}) {
     EXPECT_LE(est.resistance(a, c),
               1.2 * (est.resistance(a, b) + est.resistance(b, c)));

@@ -132,7 +132,9 @@ TEST(SchurDense, IsLaplacianOfConnectedGraph) {
     double row = 0.0;
     for (int j = 0; j < sc.cols(); ++j) {
       row += sc(i, j);
-      if (i != j) EXPECT_LE(sc(i, j), 1e-10);
+      if (i != j) {
+        EXPECT_LE(sc(i, j), 1e-10);
+      }
     }
     EXPECT_NEAR(row, 0.0, 1e-9);
   }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown files.
+
+Scans every tracked *.md (skipping build trees) for inline links and
+checks that relative targets exist on disk. External links (http/https/
+mailto) and pure anchors are ignored; `path#anchor` is checked for the
+path only. Exit code 0 = all good, 1 = broken links listed on stderr.
+
+Usage: scripts/check_markdown_links.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {"build", ".git", "bench-results"}
+# Inline markdown links [text](target); images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def check_file(md: Path, root: Path):
+    broken = []
+    text = md.read_text(encoding="utf-8", errors="replace")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (root / path_part[1:]) if path_part.startswith("/") \
+                else (md.parent / path_part)
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    total_files = 0
+    total_broken = 0
+    for md in markdown_files(root):
+        total_files += 1
+        for lineno, target in check_file(md, root):
+            total_broken += 1
+            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+    print(f"checked {total_files} markdown file(s): "
+          f"{'OK' if total_broken == 0 else f'{total_broken} broken link(s)'}")
+    return 0 if total_broken == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

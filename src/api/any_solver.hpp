@@ -1,0 +1,61 @@
+// AnySolver — the one interface every solve path in the repo sits behind.
+//
+// The facade of the api layer: LaplacianSolver (Theorems 1.1/1.2), the
+// KS16 and CG baselines, and the dense ground truth all present the same
+// factor-once / solve-many surface. Instances are created by name through
+// SolverRegistry (solver_registry.hpp); each solve() returns a RunReport
+// with uniformly-defined timings and residuals. Tools and future
+// subsystems (batching, sharding, services) program against this header
+// instead of the concrete solver classes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "api/run_report.hpp"
+#include "support/types.hpp"
+
+namespace parlap {
+
+/// Method-agnostic tuning knobs forwarded to SolverRegistry factories.
+/// A method ignores the fields it has no use for; zero-valued knobs mean
+/// "use the method's own default".
+struct SolverConfig {
+  std::uint64_t seed = 42;  ///< randomized methods (parlap*, ks16, cg-tree)
+  /// Edge-split scale (LaplacianSolver / KS16 alpha knob); 0 = default.
+  double split_scale = 0.0;
+  int max_iterations = 0;  ///< outer-iteration cap; 0 = method default
+};
+
+/// Type-erased Laplacian solver: factorized at construction (by a
+/// SolverRegistry factory), then solves any number of right-hand sides.
+/// Implementations must accept any b; the component of b in the kernel of
+/// L is projected out first (the least-squares convention), and reported
+/// residuals are relative to the projected b.
+class AnySolver {
+ public:
+  virtual ~AnySolver() = default;
+
+  AnySolver(const AnySolver&) = delete;
+  AnySolver& operator=(const AnySolver&) = delete;
+
+  /// Solves L x = b to relative residual eps. `x` is overwritten (no
+  /// warm start); `b.size()` and `x.size()` must equal dimension().
+  [[nodiscard]] virtual RunReport solve(std::span<const double> b,
+                                        std::span<double> x, double eps) = 0;
+
+  /// The registry key this instance was created under.
+  [[nodiscard]] virtual const std::string& method() const noexcept = 0;
+
+  /// Wall-clock seconds spent factorizing at construction.
+  [[nodiscard]] virtual double setup_seconds() const noexcept = 0;
+
+  /// Problem dimension = vertex count of the input graph.
+  [[nodiscard]] virtual Vertex dimension() const noexcept = 0;
+
+ protected:
+  AnySolver() = default;
+};
+
+}  // namespace parlap

@@ -1,0 +1,235 @@
+#include "api/graph_source.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/io.hpp"
+
+namespace parlap {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Splits "family:a,b,c" into the family name and numeric arguments.
+struct ParsedSpec {
+  std::string family;
+  std::vector<double> args;
+};
+
+ParsedSpec parse_spec(const std::string& spec, const char* what) {
+  ParsedSpec out;
+  const std::size_t colon = spec.find(':');
+  out.family = spec.substr(0, colon);
+  if (out.family.empty()) {
+    throw std::invalid_argument(std::string(what) + " spec '" + spec +
+                                "' has no family name");
+  }
+  if (colon == std::string::npos) return out;
+  for (const std::string& tok : split_list(spec.substr(colon + 1))) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == nullptr || *end != '\0') {
+      throw std::invalid_argument(std::string(what) + " spec '" + spec +
+                                  "': bad numeric argument '" + tok + "'");
+    }
+    out.args.push_back(v);
+  }
+  return out;
+}
+
+/// args[i] as a non-negative integer argument. The range check precedes
+/// the float->int cast (casting an out-of-range double is UB).
+std::int64_t int_arg(const ParsedSpec& p, std::size_t i, const char* name) {
+  const double v = p.args.at(i);
+  if (!std::isfinite(v) || v < 0.0 ||
+      v >= static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    throw std::invalid_argument("generator '" + p.family + "': argument " +
+                                name + " must be a non-negative integer");
+  }
+  const auto iv = static_cast<std::int64_t>(v);
+  if (v != static_cast<double>(iv)) {
+    throw std::invalid_argument("generator '" + p.family + "': argument " +
+                                name + " must be a non-negative integer");
+  }
+  return iv;
+}
+
+/// args[i] as a vertex count, rejecting values beyond the Vertex type.
+Vertex vertex_arg(const ParsedSpec& p, std::size_t i, const char* name) {
+  const std::int64_t iv = int_arg(p, i, name);
+  if (iv > std::numeric_limits<Vertex>::max()) {
+    throw std::invalid_argument(
+        "generator '" + p.family + "': argument " + name + " = " +
+        std::to_string(iv) + " exceeds the 32-bit vertex-id limit");
+  }
+  return static_cast<Vertex>(iv);
+}
+
+void expect_args(const ParsedSpec& p, std::size_t lo, std::size_t hi,
+                 const char* usage) {
+  if (p.args.size() < lo || p.args.size() > hi) {
+    throw std::invalid_argument("generator '" + p.family +
+                                "': expected arguments " + usage + ", got " +
+                                std::to_string(p.args.size()));
+  }
+}
+
+}  // namespace
+
+Multigraph load_graph_file(const std::string& path, GraphFileFormat format,
+                           MatrixMarketKind kind) {
+  if (format == GraphFileFormat::kAuto) {
+    format = ends_with(path, ".mtx") ? GraphFileFormat::kMatrixMarket
+                                     : GraphFileFormat::kEdgeList;
+  }
+  return format == GraphFileFormat::kMatrixMarket
+             ? read_matrix_market_file(path, kind)
+             : read_edge_list_file(path);
+}
+
+std::vector<std::string> split_list(const std::string& list, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t next = list.find(sep, pos);
+    out.push_back(
+        list.substr(pos, next == std::string::npos ? next : next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+Multigraph make_generated_graph(const std::string& spec, std::uint64_t seed) {
+  const ParsedSpec p = parse_spec(spec, "generator");
+  const auto n = [&](std::size_t i = 0) { return vertex_arg(p, i, "n"); };
+  if (p.family == "path") {
+    expect_args(p, 1, 1, "path:n");
+    return make_path(n());
+  }
+  if (p.family == "cycle") {
+    expect_args(p, 1, 1, "cycle:n");
+    return make_cycle(n());
+  }
+  if (p.family == "complete") {
+    expect_args(p, 1, 1, "complete:n");
+    return make_complete(n());
+  }
+  if (p.family == "star") {
+    expect_args(p, 1, 1, "star:n");
+    return make_star(n());
+  }
+  if (p.family == "btree") {
+    expect_args(p, 1, 1, "btree:n");
+    return make_binary_tree(n());
+  }
+  if (p.family == "grid2d") {
+    expect_args(p, 1, 2, "grid2d:nx[,ny]");
+    const Vertex nx = n(0);
+    const Vertex ny = p.args.size() > 1 ? n(1) : nx;
+    return make_grid2d(nx, ny);
+  }
+  if (p.family == "grid3d") {
+    expect_args(p, 1, 3, "grid3d:nx[,ny,nz]");
+    const Vertex nx = n(0);
+    const Vertex ny = p.args.size() > 1 ? n(1) : nx;
+    const Vertex nz = p.args.size() > 2 ? n(2) : nx;
+    return make_grid3d(nx, ny, nz);
+  }
+  if (p.family == "barbell") {
+    expect_args(p, 1, 2, "barbell:clique[,path_len]");
+    const Vertex k = n(0);
+    const Vertex len = p.args.size() > 1 ? n(1) : k / 2;
+    return make_barbell(k, len);
+  }
+  if (p.family == "gnm") {
+    expect_args(p, 2, 2, "gnm:n,m");
+    return make_erdos_renyi(n(0), static_cast<EdgeId>(int_arg(p, 1, "m")),
+                            seed);
+  }
+  if (p.family == "regular") {
+    expect_args(p, 2, 2, "regular:n,d");
+    // d > n is legal for multigraphs (superposed Hamiltonian cycles);
+    // the bound only guards the narrowing to int.
+    const std::int64_t d = int_arg(p, 1, "d");
+    if (d > std::numeric_limits<int>::max()) {
+      throw std::invalid_argument("generator 'regular': degree d = " +
+                                  std::to_string(d) + " is out of range");
+    }
+    return make_random_regular(n(0), static_cast<int>(d), seed);
+  }
+  if (p.family == "rmat") {
+    expect_args(p, 1, 2, "rmat:scale[,m]");
+    // Validate before the default-m shift: 8 << scale overflows int64
+    // from scale 60, and make_rmat itself requires scale < 31.
+    const std::int64_t scale = int_arg(p, 0, "scale");
+    if (scale > 30) {
+      throw std::invalid_argument(
+          "generator 'rmat': scale = " + std::to_string(scale) +
+          " exceeds the 2^30-vertex limit");
+    }
+    const EdgeId m = p.args.size() > 1
+                         ? static_cast<EdgeId>(int_arg(p, 1, "m"))
+                         : EdgeId{8} << scale;
+    return make_rmat(static_cast<int>(scale), m, seed);
+  }
+  throw std::invalid_argument("unknown generator family '" + p.family +
+                              "'; accepted specs:\n" + generator_spec_help());
+}
+
+std::string generator_spec_help() {
+  return "  path:n               path graph on n vertices\n"
+         "  cycle:n              cycle on n vertices\n"
+         "  complete:n           complete graph K_n\n"
+         "  star:n               star on n vertices\n"
+         "  btree:n              complete binary tree on n vertices\n"
+         "  grid2d:nx[,ny]       2D grid (ny defaults to nx)\n"
+         "  grid3d:nx[,ny,nz]    3D grid (ny,nz default to nx)\n"
+         "  barbell:k[,len]      two k-cliques joined by a len-vertex path\n"
+         "  gnm:n,m              Erdos-Renyi G(n,m), connected overlay\n"
+         "  regular:n,d          random d-regular multigraph\n"
+         "  rmat:scale[,m]       RMAT, 2^scale vertices (m defaults 8*2^scale)";
+}
+
+WeightModel parse_weight_model(const std::string& spec) {
+  const ParsedSpec p = parse_spec(spec, "weight-model");
+  if (p.family == "unit") {
+    expect_args(p, 0, 0, "unit");
+    return WeightModel::unit();
+  }
+  // NaN fails every ordered comparison, so bounds are checked through
+  // the affirmative form (is finite AND in range), never its negation.
+  const auto valid_bounds = [&p] {
+    return std::isfinite(p.args[0]) && std::isfinite(p.args[1]) &&
+           p.args[0] > 0.0 && p.args[1] >= p.args[0];
+  };
+  if (p.family == "uniform") {
+    expect_args(p, 2, 2, "uniform:lo,hi");
+    if (!valid_bounds()) {
+      throw std::invalid_argument(
+          "weight-model 'uniform': need finite 0 < lo <= hi");
+    }
+    return WeightModel::uniform(p.args[0], p.args[1]);
+  }
+  if (p.family == "powerlaw") {
+    expect_args(p, 3, 3, "powerlaw:lo,hi,exponent");
+    if (!valid_bounds() || !std::isfinite(p.args[2])) {
+      throw std::invalid_argument(
+          "weight-model 'powerlaw': need finite 0 < lo <= hi and a "
+          "finite exponent");
+    }
+    return WeightModel::power_law(p.args[0], p.args[1], p.args[2]);
+  }
+  throw std::invalid_argument(
+      "unknown weight model '" + p.family +
+      "'; accepted: unit, uniform:lo,hi, powerlaw:lo,hi,exponent");
+}
+
+}  // namespace parlap

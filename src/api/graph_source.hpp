@@ -1,0 +1,54 @@
+// Where a graph comes from — the input half of the api facade.
+//
+// Every tool and test funnels graph acquisition through these helpers:
+// files (plain edge lists or Matrix Market, dispatched on extension) and
+// generator specs ("grid2d:64", "rmat:12") that map onto
+// graph/generators.hpp. Parse errors throw std::invalid_argument /
+// std::runtime_error with messages meant to be shown to end users.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/matrix_market.hpp"
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// On-disk formats load_graph_file() understands.
+enum class GraphFileFormat {
+  kAuto,          ///< by extension: ".mtx" = Matrix Market, else edge list
+  kEdgeList,      ///< "u v w" lines per graph/io.hpp
+  kMatrixMarket,  ///< coordinate .mtx per graph/matrix_market.hpp
+};
+
+/// Reads a graph from `path`. `kind` selects how Matrix Market entries
+/// are interpreted (adjacency weights vs Laplacian values); it is ignored
+/// for edge lists. Throws on unreadable or malformed input.
+[[nodiscard]] Multigraph load_graph_file(
+    const std::string& path, GraphFileFormat format = GraphFileFormat::kAuto,
+    MatrixMarketKind kind = MatrixMarketKind::kAdjacency);
+
+/// Builds a graph from a generator spec "family:arg[,arg...]" — e.g.
+/// "grid2d:64", "gnm:10000,40000", "rmat:12". generator_spec_help() lists
+/// the families. Randomized families use `seed`. Throws
+/// std::invalid_argument on unknown families or malformed arguments.
+[[nodiscard]] Multigraph make_generated_graph(const std::string& spec,
+                                              std::uint64_t seed = 1);
+
+/// One line per accepted generator family, for --help and error text.
+[[nodiscard]] std::string generator_spec_help();
+
+/// Parses an edge-weight model spec: "unit", "uniform:lo,hi", or
+/// "powerlaw:lo,hi,exponent" (see WeightModel). Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] WeightModel parse_weight_model(const std::string& spec);
+
+/// Splits "a,b,c" on `sep` into its fields (empty fields preserved) —
+/// the tokenizer behind spec parsing, shared with the CLI.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& list,
+                                                  char sep = ',');
+
+}  // namespace parlap

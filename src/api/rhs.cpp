@@ -1,0 +1,71 @@
+#include "api/rhs.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+
+Vector demand_rhs(Vertex n, Vertex s, Vertex t) {
+  PARLAP_CHECK_MSG(s >= 0 && s < n && t >= 0 && t < n,
+                   "demand endpoints (" << s << ", " << t
+                                        << ") out of range for n = " << n);
+  PARLAP_CHECK_MSG(s != t, "demand endpoints must differ, got " << s);
+  Vector b(static_cast<std::size_t>(n), 0.0);
+  b[static_cast<std::size_t>(s)] = 1.0;
+  b[static_cast<std::size_t>(t)] = -1.0;
+  return b;
+}
+
+Vector random_rhs(Vertex n, std::uint64_t seed) {
+  Vector b(static_cast<std::size_t>(n));
+  Rng rng(seed, RngTag::kTest, 0x7268u /* "rh" */);
+  for (auto& v : b) v = rng.next_in(-1.0, 1.0);
+  project_out_ones(b);
+  return b;
+}
+
+Vector read_rhs_file(const std::string& path, Vertex n) {
+  std::ifstream is(path);
+  if (!is.good()) {
+    throw std::runtime_error("cannot open rhs file " + path);
+  }
+  Vector b(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (!(is >> b[i])) {
+      throw std::runtime_error("rhs file " + path + " is short or malformed: "
+                               "need " + std::to_string(n) +
+                               " numeric values, failed at value " +
+                               std::to_string(i + 1));
+    }
+  }
+  return b;
+}
+
+RhsCompatibility check_rhs_compatibility(std::span<const double> b,
+                                         const Components& comps,
+                                         double tol) {
+  PARLAP_CHECK(comps.label.size() == b.size());
+  RhsCompatibility out;
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) return out;
+  std::vector<double> sums(static_cast<std::size_t>(comps.count), 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    sums[static_cast<std::size_t>(comps.label[i])] += b[i];
+  }
+  for (std::size_t c = 0; c < sums.size(); ++c) {
+    const double imbalance = std::abs(sums[c]) / b_norm;
+    if (imbalance > out.worst_imbalance) {
+      out.worst_imbalance = imbalance;
+      out.worst_component = static_cast<Vertex>(c);
+    }
+  }
+  out.compatible = out.worst_imbalance <= tol;
+  return out;
+}
+
+}  // namespace parlap

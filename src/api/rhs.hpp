@@ -1,0 +1,47 @@
+// Right-hand-side construction and compatibility checking.
+//
+// A Laplacian system L x = b is solvable exactly iff b sums to zero on
+// every connected component (Fact 2.3: the kernel is the per-component
+// constants). The helpers here build the standard right-hand sides and —
+// crucially for disconnected inputs, where silently projecting would
+// mis-solve the user's system — quantify how far a given b is from
+// solvable so callers (parlap_cli) can fail loudly or opt into the
+// least-squares projection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/connectivity.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/types.hpp"
+
+namespace parlap {
+
+/// Unit demand b = e_s - e_t (one unit of current in at s, out at t).
+/// Requires s != t, both in [0, n).
+[[nodiscard]] Vector demand_rhs(Vertex n, Vertex s, Vertex t);
+
+/// Deterministic uniform [-1, 1) entries with the global mean projected
+/// out; keyed by (seed, index) so it is stable across platforms.
+[[nodiscard]] Vector random_rhs(Vertex n, std::uint64_t seed);
+
+/// Reads n whitespace-separated values from `path` (one per vertex).
+/// Throws on unreadable files or fewer than n values.
+[[nodiscard]] Vector read_rhs_file(const std::string& path, Vertex n);
+
+/// How far b is from exactly solvable, per component.
+struct RhsCompatibility {
+  bool compatible = true;   ///< every imbalance within tolerance
+  Vertex worst_component = 0;  ///< component with the largest imbalance
+  double worst_imbalance = 0.0;  ///< |sum of b over that component| / ||b||
+};
+
+/// Checks b against the component structure: compatible iff for every
+/// component C, |sum_{v in C} b_v| <= tol * ||b|| (a zero b is always
+/// compatible). `comps` must label exactly b.size() vertices.
+[[nodiscard]] RhsCompatibility check_rhs_compatibility(
+    std::span<const double> b, const Components& comps, double tol = 1e-9);
+
+}  // namespace parlap

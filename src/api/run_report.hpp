@@ -1,0 +1,35 @@
+// The unified per-solve record every facade method reports.
+//
+// RunReport is deliberately method-agnostic: whatever runs behind
+// AnySolver — the paper's solver, a baseline, or a future backend — a
+// caller (parlap_cli, benches, services) gets the same fields with the
+// same meaning, so methods can be compared or swapped without per-class
+// plumbing. Residuals are always measured against the *input* graph's
+// Laplacian, never a method's internal approximation.
+#pragma once
+
+#include <string>
+
+#include "support/types.hpp"
+
+namespace parlap {
+
+/// What one AnySolver::solve() call did, in method-agnostic fields.
+struct RunReport {
+  std::string method;   ///< registry key ("parlap", "cg-tree", ...)
+  Vertex vertices = 0;  ///< input graph size n
+  EdgeId edges = 0;     ///< input multi-edges m
+  Vertex components = 0;  ///< connected components of the input
+  /// Wall-clock seconds the factory spent factorizing (paid once per
+  /// solver instance, repeated verbatim in every report it produces).
+  double setup_seconds = 0.0;
+  double solve_seconds = 0.0;  ///< this solve() call only
+  int iterations = 0;          ///< outer iterations; 0 for direct methods
+  /// ||b_p - L x|| / ||b_p|| with b_p the right-hand side after
+  /// projecting out per-component means (the solvable part of b).
+  double relative_residual = 0.0;
+  bool converged = false;  ///< relative_residual <= the requested eps
+  int threads = 1;         ///< OpenMP threads available during the solve
+};
+
+}  // namespace parlap

@@ -1,0 +1,330 @@
+#include "api/solver_registry.hpp"
+
+#include <omp.h>
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "baselines/cg.hpp"
+#include "baselines/dense_direct.hpp"
+#include "baselines/ks16.hpp"
+#include "baselines/tree_solver.hpp"
+#include "core/solver.hpp"
+#include "core/spanning_tree.hpp"
+#include "graph/connectivity.hpp"
+#include "linalg/laplacian_op.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace parlap {
+
+namespace {
+
+// Shared adapter plumbing: every built-in method keeps the exact input
+// Laplacian and its component structure, projects the right-hand side
+// onto the solvable subspace once, and measures the residual against the
+// *input* operator so reports are comparable across methods.
+class SolverBase : public AnySolver {
+ public:
+  [[nodiscard]] RunReport solve(std::span<const double> b,
+                                std::span<double> x, double eps) final {
+    const auto n = static_cast<std::size_t>(op_.dimension());
+    PARLAP_CHECK_MSG(b.size() == n && x.size() == n,
+                     "solver dimension " << n << " vs b " << b.size()
+                                         << ", x " << x.size());
+    Vector bp(b.begin(), b.end());
+    project_out_ones_per_component(bp, comps_.label, comps_.count);
+    const double b_norm = norm2(bp);
+
+    RunReport report;
+    report.method = method_;
+    report.vertices = op_.dimension();
+    report.edges = op_.num_multi_edges();
+    report.components = comps_.count;
+    report.setup_seconds = setup_seconds_;
+    report.threads = omp_get_max_threads();
+
+    fill(x, 0.0);
+    WallTimer timer;
+    if (b_norm > 0.0) report.iterations = run(bp, x, eps);
+    report.solve_seconds = timer.seconds();
+
+    if (b_norm > 0.0) {
+      Vector residual = op_.apply(x);
+      axpy(-1.0, bp, residual);  // residual = L x - b_p
+      report.relative_residual = norm2(residual) / b_norm;
+    }
+    report.converged = report.relative_residual <= eps;
+    return report;
+  }
+
+  [[nodiscard]] const std::string& method() const noexcept final {
+    return method_;
+  }
+  [[nodiscard]] double setup_seconds() const noexcept final {
+    return setup_seconds_;
+  }
+  [[nodiscard]] Vertex dimension() const noexcept final {
+    return op_.dimension();
+  }
+
+  void set_setup_seconds(double s) noexcept { setup_seconds_ = s; }
+
+ protected:
+  SolverBase(std::string method, const Multigraph& g)
+      : method_(std::move(method)),
+        op_(g),
+        comps_(connected_components(g)) {}
+
+  /// Solves L x = b_p (already kernel-projected, nonzero) to eps and
+  /// returns the outer-iteration count. x arrives zero-filled.
+  virtual int run(std::span<const double> bp, std::span<double> x,
+                  double eps) = 0;
+
+  [[nodiscard]] const LaplacianOperator& op() const noexcept { return op_; }
+
+  void require_connected() const {
+    if (comps_.count > 1) {
+      throw std::invalid_argument(
+          "method '" + method_ + "' requires a connected graph; input has " +
+          std::to_string(comps_.count) + " components");
+    }
+  }
+
+ private:
+  std::string method_;
+  LaplacianOperator op_;
+  Components comps_;
+  double setup_seconds_ = 0.0;
+};
+
+/// Times the whole factorization (base construction included) and stamps
+/// it into the adapter, so setup_seconds is uniform across methods.
+template <typename T, typename... Args>
+std::unique_ptr<AnySolver> timed_make(Args&&... args) {
+  WallTimer timer;
+  auto solver = std::make_unique<T>(std::forward<Args>(args)...);
+  solver->set_setup_seconds(timer.seconds());
+  return solver;
+}
+
+// --- The paper's solver (Theorems 1.1 / 1.2) -----------------------------
+
+class ParlapAdapter final : public SolverBase {
+ public:
+  ParlapAdapter(std::string name, const Multigraph& g, const SolverConfig& c,
+                SplitStrategy split)
+      : SolverBase(std::move(name), g) {
+    SolverOptions options;
+    options.seed = c.seed;
+    options.split = split;
+    if (c.split_scale > 0.0) options.split_scale = c.split_scale;
+    if (c.max_iterations > 0)
+      options.richardson.max_iterations = c.max_iterations;
+    impl_.emplace(g, options);
+  }
+
+ private:
+  int run(std::span<const double> bp, std::span<double> x,
+          double eps) override {
+    return impl_->solve(bp, x, eps).iterations;
+  }
+
+  std::optional<LaplacianSolver> impl_;
+};
+
+// --- Conjugate gradient family -------------------------------------------
+
+class CgAdapter final : public SolverBase {
+ public:
+  enum class Kind { kPlain, kJacobi, kTree };
+
+  CgAdapter(std::string name, const Multigraph& g, const SolverConfig& c,
+            Kind kind)
+      : SolverBase(std::move(name), g) {
+    cg_options_.max_iterations = c.max_iterations;
+    if (kind == Kind::kJacobi) {
+      precond_ = jacobi_diagonal_preconditioner(op());
+    } else if (kind == Kind::kTree) {
+      require_connected();
+      tree_.emplace(sample_spanning_tree(g, c.seed));
+      precond_ = [this](std::span<const double> r, std::span<double> y) {
+        tree_->solve(r, y);
+      };
+    }
+  }
+
+ private:
+  int run(std::span<const double> bp, std::span<double> x,
+          double eps) override {
+    const IterationStats stats =
+        precond_ ? preconditioned_cg(op(), precond_, bp, x, eps, cg_options_)
+                 : conjugate_gradient(op(), bp, x, eps, cg_options_);
+    return stats.iterations;
+  }
+
+  CgOptions cg_options_;
+  std::optional<TreeSolver> tree_;
+  LinearMap precond_;  // empty = unpreconditioned
+};
+
+// --- KS16 sequential approximate Cholesky --------------------------------
+
+class Ks16Adapter final : public SolverBase {
+ public:
+  Ks16Adapter(std::string name, const Multigraph& g, const SolverConfig& c)
+      : SolverBase(std::move(name), g) {
+    require_connected();
+    Ks16Options options;
+    options.seed = c.seed;
+    if (c.split_scale > 0.0) options.split_scale = c.split_scale;
+    options.cg_max_iterations = c.max_iterations;
+    impl_.emplace(g, options);
+  }
+
+ private:
+  int run(std::span<const double> bp, std::span<double> x,
+          double eps) override {
+    return impl_->solve(bp, x, eps).iterations;
+  }
+
+  std::optional<Ks16Solver> impl_;
+};
+
+// --- Dense ground truth ---------------------------------------------------
+
+class DenseAdapter final : public SolverBase {
+ public:
+  static constexpr Vertex kMaxVertices = 4096;
+
+  DenseAdapter(std::string name, const Multigraph& g, const SolverConfig&)
+      : SolverBase(std::move(name), g) {
+    if (g.num_vertices() > kMaxVertices) {
+      throw std::invalid_argument(
+          "method 'dense' is O(n^3) time / O(n^2) memory; refusing n = " +
+          std::to_string(g.num_vertices()) + " > " +
+          std::to_string(kMaxVertices));
+    }
+    impl_.emplace(g);
+  }
+
+ private:
+  int run(std::span<const double> bp, std::span<double> x,
+          double /*eps*/) override {
+    impl_->solve(bp, x);
+    return 0;
+  }
+
+  std::optional<DenseDirectSolver> impl_;
+};
+
+void register_builtins(SolverRegistry& r) {
+  r.register_method(
+      "parlap",
+      "paper solver: uniform edge split (Thm 1.1), block Cholesky chain, "
+      "preconditioned Richardson",
+      [](const Multigraph& g, const SolverConfig& c) {
+        return timed_make<ParlapAdapter>("parlap", g, c,
+                                         SplitStrategy::kUniform);
+      });
+  r.register_method(
+      "parlap-lev",
+      "paper solver with leverage-score edge splitting (Thm 1.2)",
+      [](const Multigraph& g, const SolverConfig& c) {
+        return timed_make<ParlapAdapter>("parlap-lev", g, c,
+                                         SplitStrategy::kLeverage);
+      });
+  r.register_method("cg", "plain conjugate gradient, no preconditioner",
+                    [](const Multigraph& g, const SolverConfig& c) {
+                      return timed_make<CgAdapter>("cg", g, c,
+                                                   CgAdapter::Kind::kPlain);
+                    });
+  r.register_method("cg-jacobi",
+                    "conjugate gradient with the Jacobi (diagonal) "
+                    "preconditioner",
+                    [](const Multigraph& g, const SolverConfig& c) {
+                      return timed_make<CgAdapter>("cg-jacobi", g, c,
+                                                   CgAdapter::Kind::kJacobi);
+                    });
+  r.register_method(
+      "cg-tree",
+      "conjugate gradient preconditioned by an exact random "
+      "spanning-tree solve (connected graphs)",
+      [](const Multigraph& g, const SolverConfig& c) {
+        return timed_make<CgAdapter>("cg-tree", g, c, CgAdapter::Kind::kTree);
+      });
+  r.register_method(
+      "ks16",
+      "Kyng-Sachdeva (FOCS'16) sequential approximate Cholesky + PCG "
+      "(connected graphs)",
+      [](const Multigraph& g, const SolverConfig& c) {
+        return timed_make<Ks16Adapter>("ks16", g, c);
+      });
+  r.register_method(
+      "dense",
+      "exact dense pseudo-inverse; ground truth for small instances",
+      [](const Multigraph& g, const SolverConfig& c) {
+        return timed_make<DenseAdapter>("dense", g, c);
+      });
+}
+
+}  // namespace
+
+SolverRegistry& SolverRegistry::instance() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry;
+    register_builtins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SolverRegistry::register_method(std::string name, std::string description,
+                                     Factory factory) {
+  if (name.empty()) throw std::invalid_argument("solver name must not be empty");
+  if (!factory) {
+    throw std::invalid_argument("null factory for solver '" + name + "'");
+  }
+  if (entries_.count(name) != 0) {
+    throw std::invalid_argument("solver '" + name + "' is already registered");
+  }
+  entries_.emplace(std::move(name),
+                   Entry{std::move(description), std::move(factory)});
+}
+
+bool SolverRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<SolverMethodInfo> SolverRegistry::methods() const {
+  std::vector<SolverMethodInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry.description});
+  }
+  return out;  // std::map iterates in sorted order
+}
+
+std::string SolverRegistry::known_names() const {
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+std::unique_ptr<AnySolver> SolverRegistry::create(
+    const std::string& name, const Multigraph& g,
+    const SolverConfig& config) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw UnknownSolverError("unknown solver method '" + name +
+                             "'; known methods: " + known_names());
+  }
+  return it->second.factory(g, config);
+}
+
+}  // namespace parlap

@@ -1,0 +1,81 @@
+// SolverRegistry — string-keyed factory over every AnySolver method.
+//
+// The registry is the single place a solver name ("parlap", "cg-tree",
+// "dense", ...) turns into a factorized solver object. It ships
+// pre-populated with the built-in methods (see solver_registry.cpp) and
+// accepts runtime registration, which is the extension point future
+// backends plug into: register a factory once and every consumer of the
+// facade — parlap_cli, tests, benches — can reach the new method by name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/any_solver.hpp"
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// Thrown by SolverRegistry::create() for names nobody registered; the
+/// message lists the known methods so CLI/users see their options.
+class UnknownSolverError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// One registry entry as reported by SolverRegistry::methods().
+struct SolverMethodInfo {
+  std::string name;         ///< registry key, e.g. "cg-tree"
+  std::string description;  ///< one line for --help / docs
+};
+
+/// Name -> factory map behind the AnySolver facade. Registration is not
+/// thread-safe (register methods at startup); create() and lookups are
+/// const and safe to share afterwards.
+class SolverRegistry {
+ public:
+  /// Builds a factorized solver for `g`; may throw (e.g. bad options).
+  using Factory = std::function<std::unique_ptr<AnySolver>(
+      const Multigraph& g, const SolverConfig& config)>;
+
+  /// The process-wide registry, pre-populated with the built-in methods
+  /// (parlap, parlap-lev, cg, cg-jacobi, cg-tree, ks16, dense).
+  static SolverRegistry& instance();
+
+  /// An empty registry (tests; embedding several method sets).
+  SolverRegistry() = default;
+
+  /// Adds a method. Throws std::invalid_argument on an empty name or a
+  /// name registered before (methods are never silently replaced).
+  void register_method(std::string name, std::string description,
+                       Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// All methods, sorted by name.
+  [[nodiscard]] std::vector<SolverMethodInfo> methods() const;
+
+  /// Comma-separated sorted names, for error and usage text.
+  [[nodiscard]] std::string known_names() const;
+
+  /// Factorizes `g` under the named method. Throws UnknownSolverError
+  /// for unregistered names; propagates factory exceptions (e.g. "ks16
+  /// requires a connected graph").
+  [[nodiscard]] std::unique_ptr<AnySolver> create(
+      const std::string& name, const Multigraph& g,
+      const SolverConfig& config = {}) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace parlap

@@ -15,6 +15,7 @@
 
 namespace parlap {
 
+/// Tuning knobs shared by the CG / PCG baselines.
 struct CgOptions {
   /// Iteration cap; 0 = min(20000, 10 n).
   int max_iterations = 0;

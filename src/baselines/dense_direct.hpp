@@ -10,8 +10,10 @@
 
 namespace parlap {
 
+/// Exact L^+ via a dense eigensolve; O(n^3) setup, O(n^2) per solve.
 class DenseDirectSolver {
  public:
+  /// Forms and pseudo-inverts the dense Laplacian of `g` immediately.
   explicit DenseDirectSolver(const Multigraph& g)
       : pinv_(pseudo_inverse(laplacian_dense(g))) {}
 

@@ -21,14 +21,17 @@
 
 namespace parlap {
 
+/// Tuning knobs for the KS16 baseline.
 struct Ks16Options {
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42;  ///< elimination order + clique sampling
   /// Edge copies = max(1, ceil(split_scale * ceil(log2 n)^2)), matching
   /// the main solver's knob for a like-for-like comparison.
   double split_scale = 1.0;
   int cg_max_iterations = 0;
 };
 
+/// Sequential approximate Cholesky factorization used as a PCG
+/// preconditioner — the solver the paper parallelizes.
 class Ks16Solver {
  public:
   /// Factorizes immediately; requires a connected graph.

@@ -1,0 +1,61 @@
+#include "baselines/tree_solver.hpp"
+
+#include "graph/csr.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+TreeSolver::TreeSolver(const Multigraph& tree) : n_(tree.num_vertices()) {
+  PARLAP_CHECK_MSG(n_ > 0, "TreeSolver needs a non-empty tree");
+  PARLAP_CHECK_MSG(tree.num_edges() == static_cast<EdgeId>(n_) - 1,
+                   "tree must have exactly n-1 edges, got "
+                       << tree.num_edges() << " for n = " << n_);
+  const CsrGraph csr(tree);
+  order_.reserve(static_cast<std::size_t>(n_));
+  parent_.assign(static_cast<std::size_t>(n_), Vertex{-1});
+  parent_w_.assign(static_cast<std::size_t>(n_), Weight{0});
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  order_.push_back(0);
+  seen[0] = true;
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const Vertex v = order_[head];
+    const auto nbrs = csr.neighbors(v);
+    const auto wgts = csr.weights(v);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const Vertex u = nbrs[k];
+      if (seen[static_cast<std::size_t>(u)]) continue;
+      seen[static_cast<std::size_t>(u)] = true;
+      parent_[static_cast<std::size_t>(u)] = v;
+      parent_w_[static_cast<std::size_t>(u)] = wgts[k];
+      order_.push_back(u);
+    }
+  }
+  PARLAP_CHECK_MSG(order_.size() == static_cast<std::size_t>(n_),
+                   "tree is not connected (" << order_.size() << " of " << n_
+                                             << " vertices reachable)");
+}
+
+void TreeSolver::solve(std::span<const double> b, std::span<double> x) const {
+  PARLAP_CHECK(b.size() == static_cast<std::size_t>(n_) &&
+               x.size() == static_cast<std::size_t>(n_));
+  // f starts as the projected demand; the leaf-to-root sweep turns f[v]
+  // into the subtree demand sum = the flow on v's parent edge.
+  Vector f(b.begin(), b.end());
+  project_out_ones(f);
+  for (std::size_t i = f.size(); i-- > 1;) {
+    const Vertex v = order_[i];
+    f[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])] +=
+        f[static_cast<std::size_t>(v)];
+  }
+  // Root-to-leaf: potentials from Ohm's law across each parent edge,
+  // x_v = x_parent + flow / weight.
+  x[static_cast<std::size_t>(order_[0])] = 0.0;
+  for (std::size_t i = 1; i < order_.size(); ++i) {
+    const auto v = static_cast<std::size_t>(order_[i]);
+    x[v] = x[static_cast<std::size_t>(parent_[v])] + f[v] / parent_w_[v];
+  }
+  project_out_ones(x);
+}
+
+}  // namespace parlap

@@ -1,0 +1,42 @@
+// Exact O(n) solver for tree Laplacians.
+//
+// A spanning tree T of G is the classic support-graph preconditioner
+// (Vaidya; the line of work the paper's §1 contrasts with): T's
+// Laplacian pseudo-inverse is applied exactly in linear time by one
+// leaf-to-root flow accumulation and one root-to-leaf potential sweep.
+// Paired with sample_spanning_tree() this backs the "cg-tree" baseline
+// method in the solver registry (PCG on L preconditioned by T^+).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/multigraph.hpp"
+#include "support/types.hpp"
+
+namespace parlap {
+
+/// Factor-once exact solver for a connected tree's Laplacian. The
+/// constructor takes the tree (exactly n-1 multi-edges, connected; throws
+/// otherwise) and records a BFS elimination order; solve() then applies
+/// T^+ in O(n) sequential time.
+class TreeSolver {
+ public:
+  /// Requires `tree` connected with exactly n-1 edges; throws otherwise.
+  explicit TreeSolver(const Multigraph& tree);
+
+  /// x = T^+ b: the mean of b is projected out (kernel of T), the exact
+  /// tree system is solved, and x is returned mean-free. b and x must
+  /// have size dimension(); they may alias.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] Vertex dimension() const noexcept { return n_; }
+
+ private:
+  Vertex n_ = 0;
+  std::vector<Vertex> order_;    ///< BFS order, root (vertex 0) first
+  std::vector<Vertex> parent_;   ///< BFS parent; -1 at the root
+  std::vector<Weight> parent_w_;  ///< weight of the edge to the parent
+};
+
+}  // namespace parlap

@@ -32,11 +32,15 @@
 
 namespace parlap {
 
+/// How edges are multiplied into low-leverage parallel copies before
+/// factorization.
 enum class SplitStrategy {
   kUniform,   ///< Lemma 3.2 / Theorem 1.1
   kLeverage,  ///< Lemma 3.3 / Theorem 1.2
 };
 
+/// Tuning knobs for LaplacianSolver; the defaults reproduce the paper's
+/// configuration at practical constants.
 struct SolverOptions {
   std::uint64_t seed = 42;
   /// alpha^-1 = max(1, ceil(split_scale * ceil(log2 n)^2)) edge copies.
@@ -53,13 +57,15 @@ struct SolverOptions {
   int max_rebuilds = 2;
 };
 
+/// Per-solve outcome of LaplacianSolver::solve().
 struct SolveStats {
   int iterations = 0;              ///< max over components
   double relative_residual = 0.0;  ///< max over components
-  bool converged = false;
-  int rebuilds = 0;
+  bool converged = false;          ///< residual target reached
+  int rebuilds = 0;                ///< adaptive refactorizations triggered
 };
 
+/// Size and shape of the factorization built at construction.
 struct FactorizationInfo {
   Vertex n = 0;
   EdgeId m = 0;              ///< input (unsplit) edges
@@ -71,6 +77,9 @@ struct FactorizationInfo {
   EdgeId stored_entries = 0;  ///< preconditioner memory proxy
 };
 
+/// The paper's parallel Laplacian solver (Theorems 1.1 / 1.2): edge
+/// splitting, per-component BlockCholesky chains, and a preconditioned
+/// Richardson outer loop behind a factor-once / solve-many interface.
 class LaplacianSolver {
  public:
   /// Factorizes immediately. Throws on invalid input (negative weights,

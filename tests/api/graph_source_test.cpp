@@ -1,0 +1,198 @@
+#include "api/graph_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "api/rhs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/io.hpp"
+
+namespace parlap {
+namespace {
+
+/// Writes `content` to a unique temp file, removed at scope exit.
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& content)
+      : path_(std::string(::testing::TempDir()) + name) {
+    std::ofstream os(path_);
+    os << content;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(GraphSource, GeneratorSpecsProduceExpectedShapes) {
+  EXPECT_EQ(make_generated_graph("path:10").num_vertices(), 10);
+  EXPECT_EQ(make_generated_graph("path:10").num_edges(), 9);
+  EXPECT_EQ(make_generated_graph("cycle:7").num_edges(), 7);
+  EXPECT_EQ(make_generated_graph("complete:6").num_edges(), 15);
+  EXPECT_EQ(make_generated_graph("star:9").num_edges(), 8);
+  EXPECT_EQ(make_generated_graph("btree:15").num_edges(), 14);
+
+  const Multigraph grid = make_generated_graph("grid2d:4");
+  EXPECT_EQ(grid.num_vertices(), 16);
+  EXPECT_EQ(grid.num_edges(), 24);
+  EXPECT_EQ(make_generated_graph("grid2d:4,3").num_vertices(), 12);
+  EXPECT_EQ(make_generated_graph("grid3d:3").num_vertices(), 27);
+  EXPECT_EQ(make_generated_graph("grid3d:3,2,2").num_vertices(), 12);
+
+  const Multigraph gnm = make_generated_graph("gnm:50,120", 3);
+  EXPECT_EQ(gnm.num_vertices(), 50);
+  EXPECT_EQ(gnm.num_edges(), 120);
+  EXPECT_TRUE(is_connected(gnm));
+
+  EXPECT_EQ(make_generated_graph("regular:20,4", 5).num_edges(), 40);
+  EXPECT_EQ(make_generated_graph("rmat:5", 2).num_vertices(), 32);
+  EXPECT_EQ(make_generated_graph("rmat:5,100", 2).num_edges(), 100);
+  EXPECT_EQ(make_generated_graph("barbell:5,2").num_vertices(), 12);
+}
+
+TEST(GraphSource, GeneratorSeedIsHonored) {
+  const Multigraph a = make_generated_graph("gnm:40,100", 1);
+  const Multigraph b = make_generated_graph("gnm:40,100", 1);
+  const Multigraph c = make_generated_graph("gnm:40,100", 2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  bool same_ab = true;
+  bool same_ac = true;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    same_ab = same_ab && a.edge_u(e) == b.edge_u(e) &&
+              a.edge_v(e) == b.edge_v(e);
+    same_ac = same_ac && a.edge_u(e) == c.edge_u(e) &&
+              a.edge_v(e) == c.edge_v(e);
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(GraphSource, BadSpecsThrowActionableErrors) {
+  const auto gen = [](const char* spec) {
+    return make_generated_graph(spec).num_vertices();
+  };
+  EXPECT_THROW(gen("nope:4"), std::invalid_argument);
+  EXPECT_THROW(gen(""), std::invalid_argument);
+  EXPECT_THROW(gen("grid2d"), std::invalid_argument);
+  EXPECT_THROW(gen("grid2d:x"), std::invalid_argument);
+  EXPECT_THROW(gen("grid2d:4,5,6"), std::invalid_argument);
+  EXPECT_THROW(gen("gnm:50"), std::invalid_argument);
+  EXPECT_THROW(gen("path:-3"), std::invalid_argument);
+  EXPECT_THROW(gen("path:2.5"), std::invalid_argument);
+  EXPECT_THROW(gen("path:4294967297"), std::invalid_argument);  // > Vertex
+  EXPECT_THROW(gen("path:1e300"), std::invalid_argument);  // > int64
+  EXPECT_THROW(gen("path:inf"), std::invalid_argument);
+  EXPECT_THROW(gen("path:nan"), std::invalid_argument);
+  EXPECT_THROW(gen("rmat:60"), std::invalid_argument);  // default-m shift
+  EXPECT_THROW(gen("rmat:4294967297"), std::invalid_argument);
+  EXPECT_THROW(gen("regular:10,4294967297"), std::invalid_argument);
+  try {
+    (void)make_generated_graph("wat:1");
+  } catch (const std::invalid_argument& e) {
+    // The error teaches the accepted families.
+    EXPECT_NE(std::string(e.what()).find("grid2d"), std::string::npos);
+  }
+}
+
+TEST(GraphSource, WeightModelParsing) {
+  EXPECT_EQ(parse_weight_model("unit").kind, WeightModel::Kind::kUnit);
+  const WeightModel u = parse_weight_model("uniform:0.5,2");
+  EXPECT_EQ(u.kind, WeightModel::Kind::kUniform);
+  EXPECT_DOUBLE_EQ(u.lo, 0.5);
+  EXPECT_DOUBLE_EQ(u.hi, 2.0);
+  const WeightModel p = parse_weight_model("powerlaw:0.1,10,2.2");
+  EXPECT_EQ(p.kind, WeightModel::Kind::kPowerLaw);
+  EXPECT_DOUBLE_EQ(p.exponent, 2.2);
+  const auto model = [](const char* spec) {
+    return parse_weight_model(spec).kind;
+  };
+  EXPECT_THROW(model("uniform:2,0.5"), std::invalid_argument);
+  EXPECT_THROW(model("uniform:1"), std::invalid_argument);
+  EXPECT_THROW(model("uniform:nan,1"), std::invalid_argument);
+  EXPECT_THROW(model("uniform:1,inf"), std::invalid_argument);
+  EXPECT_THROW(model("powerlaw:1,2,nan"), std::invalid_argument);
+  EXPECT_THROW(model("gauss:1,2"), std::invalid_argument);
+}
+
+TEST(GraphSource, FileDispatchByExtension) {
+  const TempFile mtx("gs_dispatch.mtx",
+                     "%%MatrixMarket matrix coordinate real symmetric\n"
+                     "3 3 2\n2 1 1.5\n3 2 2.5\n");
+  const Multigraph from_mtx = load_graph_file(mtx.path());
+  EXPECT_EQ(from_mtx.num_vertices(), 3);
+  EXPECT_EQ(from_mtx.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(from_mtx.edge_weight(0), 1.5);
+
+  const TempFile edges("gs_dispatch.txt", "0 1 1.5\n1 2 2.5\n");
+  const Multigraph from_edges = load_graph_file(edges.path());
+  EXPECT_EQ(from_edges.num_vertices(), 3);
+  EXPECT_EQ(from_edges.num_edges(), 2);
+
+  // Explicit format overrides the extension.
+  const Multigraph forced =
+      load_graph_file(edges.path(), GraphFileFormat::kEdgeList);
+  EXPECT_EQ(forced.num_edges(), 2);
+  EXPECT_THROW(load_graph_file(edges.path(), GraphFileFormat::kMatrixMarket),
+               std::runtime_error);
+  EXPECT_THROW(load_graph_file("/no/such/file.mtx"), std::runtime_error);
+}
+
+TEST(GraphSource, LaplacianKindNegatesOffDiagonals) {
+  const TempFile mtx("gs_lap.mtx",
+                     "%%MatrixMarket matrix coordinate real symmetric\n"
+                     "2 2 3\n1 1 2.0\n2 2 2.0\n2 1 -2.0\n");
+  const Multigraph g = load_graph_file(mtx.path(), GraphFileFormat::kAuto,
+                                       MatrixMarketKind::kLaplacian);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.0);
+}
+
+TEST(Rhs, DemandAndRandomAreBalanced) {
+  const Vector d = demand_rhs(6, 1, 4);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[4], -1.0);
+  EXPECT_DOUBLE_EQ(sum(d), 0.0);
+  EXPECT_THROW(demand_rhs(6, 2, 2), std::runtime_error);
+  EXPECT_THROW(demand_rhs(6, 0, 6), std::runtime_error);
+
+  const Vector r = random_rhs(100, 4);
+  EXPECT_NEAR(sum(r), 0.0, 1e-12);
+  EXPECT_EQ(random_rhs(100, 4), r);   // deterministic
+  EXPECT_NE(random_rhs(100, 5), r);   // seed matters
+}
+
+TEST(Rhs, FileReadingValidates) {
+  const TempFile good("rhs_good.txt", "1.0\n-0.5\n-0.5\n");
+  const Vector b = read_rhs_file(good.path(), 3);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  const TempFile bad("rhs_short.txt", "1.0\n");
+  EXPECT_THROW(read_rhs_file(bad.path(), 3), std::runtime_error);
+  EXPECT_THROW(read_rhs_file("/no/such/rhs", 2), std::runtime_error);
+}
+
+TEST(Rhs, CompatibilityPerComponent) {
+  Multigraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const Components comps = connected_components(g);
+  ASSERT_EQ(comps.count, 2);
+
+  Vector balanced = {1.0, -1.0, 0.5, -0.5};
+  EXPECT_TRUE(check_rhs_compatibility(balanced, comps).compatible);
+
+  Vector cross = {1.0, 0.0, -1.0, 0.0};  // balanced globally, not per comp
+  const RhsCompatibility bad = check_rhs_compatibility(cross, comps);
+  EXPECT_FALSE(bad.compatible);
+  EXPECT_GT(bad.worst_imbalance, 0.5);
+
+  const Vector zero(4, 0.0);
+  EXPECT_TRUE(check_rhs_compatibility(zero, comps).compatible);
+}
+
+}  // namespace
+}  // namespace parlap

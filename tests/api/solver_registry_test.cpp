@@ -1,0 +1,212 @@
+#include "api/solver_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "api/rhs.hpp"
+#include "baselines/dense_direct.hpp"
+#include "graph/generators.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parlap {
+namespace {
+
+constexpr double kEps = 1e-8;
+
+Multigraph fixed_graph() {
+  Multigraph g = make_barbell(8, 5);
+  apply_weights(g, WeightModel::uniform(0.5, 3.0), 11);
+  return g;
+}
+
+std::vector<std::string> method_names() {
+  std::vector<std::string> names;
+  for (const auto& m : SolverRegistry::instance().methods()) {
+    names.push_back(m.name);
+  }
+  return names;
+}
+
+TEST(SolverRegistry, ListsBuiltinsSorted) {
+  const auto names = method_names();
+  for (const char* want : {"parlap", "parlap-lev", "cg", "cg-jacobi",
+                           "cg-tree", "ks16", "dense"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << "missing builtin method " << want;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& m : SolverRegistry::instance().methods()) {
+    EXPECT_FALSE(m.description.empty()) << m.name;
+  }
+}
+
+TEST(SolverRegistry, ContainsAndKnownNames) {
+  const SolverRegistry& reg = SolverRegistry::instance();
+  EXPECT_TRUE(reg.contains("parlap"));
+  EXPECT_FALSE(reg.contains("Parlap"));
+  const std::string names = reg.known_names();
+  EXPECT_NE(names.find("cg-tree"), std::string::npos);
+  EXPECT_NE(names.find(", "), std::string::npos);
+}
+
+TEST(SolverRegistry, UnknownNameThrowsWithKnownList) {
+  const Multigraph g = make_path(8);
+  try {
+    auto s = SolverRegistry::instance().create("no-such-method", g);
+    FAIL() << "expected UnknownSolverError";
+  } catch (const UnknownSolverError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-method"), std::string::npos);
+    // The error is actionable: it lists what the user could have typed.
+    EXPECT_NE(msg.find("parlap"), std::string::npos);
+    EXPECT_NE(msg.find("dense"), std::string::npos);
+  }
+}
+
+TEST(SolverRegistry, RejectsDuplicateAndEmptyRegistration) {
+  SolverRegistry reg;
+  auto factory = [](const Multigraph& g, const SolverConfig&) {
+    return SolverRegistry::instance().create("dense", g);
+  };
+  reg.register_method("mine", "test method", factory);
+  EXPECT_TRUE(reg.contains("mine"));
+  EXPECT_THROW(reg.register_method("mine", "again", factory),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_method("", "unnamed", factory),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_method("null", "no factory", nullptr),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, CustomRegistrationIsCreatable) {
+  SolverRegistry reg;
+  reg.register_method("alias-dense", "dense under another name",
+                      [](const Multigraph& g, const SolverConfig& c) {
+                        return SolverRegistry::instance().create("dense", g,
+                                                                 c);
+                      });
+  const Multigraph g = fixed_graph();
+  const auto solver = reg.create("alias-dense", g);
+  const Vector b = demand_rhs(g.num_vertices(), 0, g.num_vertices() - 1);
+  Vector x(b.size(), 0.0);
+  const RunReport r = solver->solve(b, x, kEps);
+  EXPECT_TRUE(r.converged);
+}
+
+// The acceptance property of the facade: every method solves the same
+// fixed system to the requested accuracy and they agree on the solution.
+TEST(SolverRegistry, CrossSolverAgreementOnFixedGraph) {
+  const Multigraph g = fixed_graph();
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const Vector b = random_rhs(g.num_vertices(), 5);
+
+  const DenseDirectSolver oracle(g);
+  Vector want(n);
+  oracle.solve(b, want);
+  project_out_ones(want);
+
+  for (const auto& m : SolverRegistry::instance().methods()) {
+    const auto solver = SolverRegistry::instance().create(m.name, g);
+    EXPECT_EQ(solver->method(), m.name);
+    EXPECT_EQ(solver->dimension(), g.num_vertices());
+    Vector x(n, 0.0);
+    const RunReport r = solver->solve(b, x, kEps);
+    EXPECT_TRUE(r.converged) << m.name;
+    EXPECT_LE(r.relative_residual, kEps) << m.name;
+    EXPECT_EQ(r.method, m.name);
+    EXPECT_EQ(r.vertices, g.num_vertices());
+    EXPECT_EQ(r.edges, g.num_edges());
+    EXPECT_EQ(r.components, 1);
+    EXPECT_GE(r.solve_seconds, 0.0);
+    EXPECT_GE(r.setup_seconds, 0.0);
+    EXPECT_GE(r.threads, 1);
+    project_out_ones(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], want[i], 1e-5) << m.name << " entry " << i;
+    }
+  }
+}
+
+TEST(SolverRegistry, DisconnectedGraphs) {
+  // Two 4-cycles; b balanced within each component.
+  Multigraph g(8);
+  for (Vertex base : {Vertex{0}, Vertex{4}}) {
+    for (Vertex k = 0; k < 4; ++k) {
+      g.add_edge(base + k, base + (k + 1) % 4, 1.0 + k);
+    }
+  }
+  Vector b(8, 0.0);
+  b[0] = 1.0;
+  b[2] = -1.0;
+  b[5] = 2.0;
+  b[7] = -2.0;
+
+  // Component-aware methods solve per component...
+  for (const char* name : {"parlap", "cg", "cg-jacobi", "dense"}) {
+    const auto solver = SolverRegistry::instance().create(name, g);
+    Vector x(8, 0.0);
+    const RunReport r = solver->solve(b, x, kEps);
+    EXPECT_TRUE(r.converged) << name;
+    EXPECT_EQ(r.components, 2) << name;
+  }
+  // ...single-component methods refuse with an actionable message.
+  for (const char* name : {"ks16", "cg-tree"}) {
+    try {
+      auto solver = SolverRegistry::instance().create(name, g);
+      FAIL() << name << " should reject disconnected input";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("connected"), std::string::npos)
+          << name;
+    }
+  }
+}
+
+TEST(SolverRegistry, KernelRhsSolvesToZero) {
+  const Multigraph g = make_cycle(12);
+  const auto solver = SolverRegistry::instance().create("parlap", g);
+  const Vector b(12, 3.5);  // pure kernel direction: projected b is zero
+  Vector x(12, 1.0);
+  const RunReport r = solver->solve(b, x, kEps);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  for (const double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SolverRegistry, ConfigKnobsReachTheMethod) {
+  const Multigraph g = fixed_graph();
+  const Vector b = random_rhs(g.num_vertices(), 9);
+  // An absurdly low iteration cap must prevent convergence for plain CG.
+  SolverConfig capped;
+  capped.max_iterations = 2;
+  const auto solver = SolverRegistry::instance().create("cg", g, capped);
+  Vector x(b.size(), 0.0);
+  const RunReport r = solver->solve(b, x, kEps);
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+
+  // Same seed, same method: identical randomized factorization results.
+  SolverConfig seeded;
+  seeded.seed = 123;
+  Vector x1(b.size(), 0.0);
+  Vector x2(b.size(), 0.0);
+  const RunReport r1 =
+      SolverRegistry::instance().create("parlap", g, seeded)->solve(b, x1,
+                                                                    kEps);
+  const RunReport r2 =
+      SolverRegistry::instance().create("parlap", g, seeded)->solve(b, x2,
+                                                                    kEps);
+  EXPECT_EQ(r1.iterations, r2.iterations);
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(SolverRegistry, DenseRefusesHugeInstances) {
+  const Multigraph g = make_path(5000);
+  EXPECT_THROW(
+      { auto s = SolverRegistry::instance().create("dense", g); },
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parlap

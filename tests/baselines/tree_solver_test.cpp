@@ -1,0 +1,83 @@
+#include "baselines/tree_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/dense_direct.hpp"
+#include "core/spanning_tree.hpp"
+#include "graph/generators.hpp"
+#include "linalg/laplacian_op.hpp"
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Vector balanced_rhs(Vertex n, std::uint64_t seed) {
+  Vector b(static_cast<std::size_t>(n));
+  Rng rng(seed, RngTag::kTest, 77);
+  for (auto& v : b) v = rng.next_in(-1.0, 1.0);
+  project_out_ones(b);
+  return b;
+}
+
+TEST(TreeSolver, ExactOnWeightedTree) {
+  Multigraph t = make_binary_tree(31);
+  apply_weights(t, WeightModel::uniform(0.25, 4.0), 3);
+  const TreeSolver solver(t);
+  EXPECT_EQ(solver.dimension(), 31);
+  const Vector b = balanced_rhs(31, 1);
+  Vector x(31, 0.0);
+  solver.solve(b, x);
+  // Exact: T x reproduces b to machine precision, and x is mean-free.
+  const Vector tx = LaplacianOperator(t).apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(tx[i], b[i], 1e-12);
+  EXPECT_NEAR(sum(x), 0.0, 1e-10);
+}
+
+TEST(TreeSolver, MatchesDensePseudoInverse) {
+  Multigraph t = make_path(20);
+  apply_weights(t, WeightModel::uniform(0.5, 2.0), 9);
+  const TreeSolver solver(t);
+  const DenseDirectSolver oracle(t);
+  const Vector b = balanced_rhs(20, 2);
+  Vector x(20, 0.0);
+  Vector want(20, 0.0);
+  solver.solve(b, x);
+  oracle.solve(b, want);
+  project_out_ones(want);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], want[i], 1e-9);
+}
+
+TEST(TreeSolver, SolveAllowsAliasing) {
+  Multigraph t = make_star(10);
+  const TreeSolver solver(t);
+  Vector b = balanced_rhs(10, 3);
+  Vector want(10, 0.0);
+  solver.solve(b, want);
+  solver.solve(b, b);  // in place
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], want[i]);
+}
+
+TEST(TreeSolver, SampledSpanningTreeIsSolvable) {
+  const Multigraph g = make_grid2d(6, 6);
+  const Multigraph t = sample_spanning_tree(g, 4);
+  const TreeSolver solver(t);
+  const Vector b = balanced_rhs(36, 4);
+  Vector x(36, 0.0);
+  solver.solve(b, x);
+  const Vector tx = LaplacianOperator(t).apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(tx[i], b[i], 1e-11);
+}
+
+TEST(TreeSolver, RejectsNonTrees) {
+  const auto build = [](const Multigraph& g) { return TreeSolver(g).dimension(); };
+  EXPECT_THROW(build(make_cycle(5)), std::runtime_error);  // n edges
+  Multigraph forest(4);  // n-1 edges but disconnected (multi-edge + island)
+  forest.add_edge(0, 1, 1.0);
+  forest.add_edge(0, 1, 1.0);
+  forest.add_edge(2, 3, 1.0);
+  EXPECT_THROW(build(forest), std::runtime_error);
+  EXPECT_THROW(build(Multigraph(0)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parlap

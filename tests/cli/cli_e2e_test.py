@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""End-to-end contract test for parlap_cli (ctest suite `cli.e2e`).
+
+Drives the installed binary exactly as a user would: solves a checked-in
+Matrix Market fixture under every registered method, validates the JSON
+report schema (docs/CLI.md), checks that the methods agree on the
+solution, and exercises the documented failure modes (malformed input,
+disconnected-graph RHS incompatibility, unknown method, usage errors)
+with their exit codes.
+
+Usage: cli_e2e_test.py <parlap_cli-binary> <tests/data-dir>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+EPS = 1e-8
+METHODS = ["parlap", "parlap-lev", "cg", "cg-jacobi", "cg-tree", "ks16", "dense"]
+
+failures = []
+
+
+def check(cond, what):
+    tag = "ok  " if cond else "FAIL"
+    print(f"{tag} {what}")
+    if not cond:
+        failures.append(what)
+
+
+def run(cli, *args):
+    return subprocess.run([str(cli), *args], capture_output=True, text=True)
+
+
+def load_solution(path):
+    rows = [[float(v) for v in line.split()] for line in Path(path).read_text().split("\n") if line.strip()]
+    cols = list(zip(*rows))
+    # Solutions are defined up to a per-component constant; the fixture is
+    # connected, so compare mean-centered vectors.
+    out = []
+    for col in cols:
+        mean = sum(col) / len(col)
+        out.append([v - mean for v in col])
+    return out
+
+
+def validate_solve_json(doc, method, n_runs):
+    check(doc.get("schema") == "parlap-cli-solve-v1", f"{method}: json schema tag")
+    md = doc.get("metadata", {})
+    for key in ("commit", "timestamp_utc", "hostname", "compiler", "build_type", "threads"):
+        check(key in md, f"{method}: metadata.{key} present")
+    inp = doc.get("input", {})
+    check(inp.get("vertices") == 25 and inp.get("edges") == 40,
+          f"{method}: input dims 25/40, got {inp.get('vertices')}/{inp.get('edges')}")
+    check(inp.get("components") == 1, f"{method}: one component")
+    check(doc.get("method") == method, f"{method}: method echoed")
+    check(doc.get("eps") == EPS, f"{method}: eps echoed")
+    check(doc.get("setup_seconds", -1) >= 0, f"{method}: setup_seconds >= 0")
+    runs = doc.get("runs", [])
+    check(len(runs) == n_runs, f"{method}: {n_runs} run(s), got {len(runs)}")
+    for r in runs:
+        check(r.get("converged") is True, f"{method}: run converged")
+        check(0 <= r.get("relative_residual", 1) <= EPS,
+              f"{method}: residual {r.get('relative_residual')} <= eps")
+        check(r.get("iterations", -1) >= 0 and r.get("solve_seconds", -1) >= 0,
+              f"{method}: iterations/solve_seconds sane")
+    check(doc.get("all_converged") is True, f"{method}: all_converged")
+
+
+def main():
+    cli = Path(sys.argv[1])
+    data = Path(sys.argv[2])
+    fixture = data / "grid5x5.mtx"
+    with tempfile.TemporaryDirectory(prefix="parlap_cli_e2e_") as tmpdir:
+        return run_checks(cli, data, fixture, Path(tmpdir))
+
+
+def run_checks(cli, data, fixture, tmp):
+
+    # --- every method solves the same fixture and the reports agree ------
+    solutions = {}
+    for method in METHODS:
+        out_json = tmp / f"{method}.json"
+        out_x = tmp / f"{method}.x"
+        p = run(cli, "solve", "--input", str(fixture), "--method", method,
+                "--eps", str(EPS), "--json", str(out_json), "--out", str(out_x))
+        check(p.returncode == 0, f"{method}: exit 0 (got {p.returncode}: {p.stderr.strip()})")
+        if p.returncode != 0:
+            continue
+        validate_solve_json(json.loads(out_json.read_text()), method, 1)
+        solutions[method] = load_solution(out_x)[0]
+
+    dense = solutions.get("dense")
+    check(dense is not None, "dense solution available as ground truth")
+    for method, x in solutions.items():
+        err = max(abs(a - b) for a, b in zip(x, dense))
+        check(err < 1e-5, f"{method}: matches dense ground truth (max err {err:.2e})")
+
+    # --- multiple right-hand sides --------------------------------------
+    out_json = tmp / "multi.json"
+    p = run(cli, "solve", "--input", str(fixture), "--method", "parlap",
+            "--rhs-random", "3", "--eps", str(EPS), "--json", str(out_json))
+    check(p.returncode == 0, f"multi-rhs: exit 0 (got {p.returncode})")
+    if p.returncode == 0:
+        validate_solve_json(json.loads(out_json.read_text()), "parlap", 3)
+
+    # --- documented failure modes ---------------------------------------
+    p = run(cli, "solve", "--input", str(data / "malformed.mtx"))
+    check(p.returncode == 3, f"malformed mtx: exit 3 (got {p.returncode})")
+    check("error" in p.stderr, "malformed mtx: message on stderr")
+
+    p = run(cli, "solve", "--input", str(data / "disconnected.mtx"))
+    check(p.returncode == 3, f"disconnected rhs: exit 3 (got {p.returncode})")
+    check("incompatible" in p.stderr and "--project-rhs" in p.stderr,
+          "disconnected rhs: explains the fix")
+
+    p = run(cli, "solve", "--input", str(data / "disconnected.mtx"), "--project-rhs")
+    check(p.returncode == 0, f"disconnected + --project-rhs: exit 0 (got {p.returncode})")
+
+    p = run(cli, "solve", "--input", str(fixture), "--method", "nope")
+    check(p.returncode == 3, f"unknown method: exit 3 (got {p.returncode})")
+    check("known methods" in p.stderr and "parlap" in p.stderr,
+          "unknown method: lists alternatives")
+
+    p = run(cli, "solve", "--input", str(fixture), "--bogus-flag")
+    check(p.returncode == 2, f"bad flag: exit 2 (got {p.returncode})")
+
+    p = run(cli, "solve")
+    check(p.returncode == 2, f"missing input: exit 2 (got {p.returncode})")
+
+    # Demand endpoints are validated as 64-bit before narrowing to the
+    # 32-bit vertex type (no silent truncation to a different system).
+    p = run(cli, "solve", "--gen", "grid2d:5", "--rhs-demand", "4294967296,1")
+    check(p.returncode == 3, f"overflowing demand id: exit 3 (got {p.returncode})")
+    check("out of range" in p.stderr, "overflowing demand id: clear message")
+
+    p = run(cli, "solve", "--gen", "path:1")
+    check(p.returncode == 3, f"single-vertex default rhs: exit 3 (got {p.returncode})")
+    check("single vertex" in p.stderr, "single-vertex: clear message")
+
+    p = run(cli, "solve", "--gen", "grid2d:4294967297")
+    check(p.returncode == 3, f"oversized generator: exit 3 (got {p.returncode})")
+    check("vertex-id limit" in p.stderr, "oversized generator: clear message")
+
+    p = run(cli, "solve", "--gen", "grid2d:5", "--rhs-random", "0")
+    check(p.returncode == 2, f"--rhs-random 0: exit 2 (got {p.returncode})")
+
+    # --- gen -> info round trip ------------------------------------------
+    gen_path = tmp / "gen.mtx"
+    p = run(cli, "gen", "--gen", "grid2d:6", "--out", str(gen_path))
+    check(p.returncode == 0, f"gen: exit 0 (got {p.returncode})")
+    info_json = tmp / "info.json"
+    p = run(cli, "info", "--input", str(gen_path), "--json", str(info_json))
+    check(p.returncode == 0, f"info: exit 0 (got {p.returncode})")
+    if p.returncode == 0:
+        doc = json.loads(info_json.read_text())
+        check(doc.get("schema") == "parlap-cli-info-v1", "info: schema tag")
+        check(doc.get("vertices") == 36 and doc.get("edges") == 60,
+              "info: grid2d:6 has 36 vertices / 60 edges")
+        check(doc.get("components") == 1, "info: connected")
+
+    # --- bench smoke ------------------------------------------------------
+    bench_json = tmp / "bench.json"
+    p = run(cli, "bench", "--family", "path", "--sizes", "64,128", "--reps", "1",
+            "--json", str(bench_json))
+    check(p.returncode == 0, f"bench: exit 0 (got {p.returncode})")
+    if p.returncode == 0:
+        doc = json.loads(bench_json.read_text())
+        check(doc.get("experiment") == "cli-bench", "bench: experiment tag")
+        check(len(doc.get("cases", [])) == 2, "bench: one case per size")
+
+    # --- help is complete -------------------------------------------------
+    p = run(cli, "help")
+    check(p.returncode == 0, "help: exit 0")
+    for method in METHODS:
+        check(method in p.stdout, f"help: lists method {method}")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,634 @@
+// parlap_cli — the front door to the parlap library.
+//
+// One binary over the api facade (SolverRegistry / AnySolver): any graph
+// a user has (Matrix Market, edge lists, generator specs) flows through
+// the same subcommands —
+//
+//   solve   factor a graph under any registered method, solve one or
+//           many right-hand sides, report human table and/or JSON
+//   info    graph / component / degree statistics
+//   gen     write generator output to Matrix Market or edge-list files
+//   bench   quick E1-style scaling sweep of one method
+//
+// Exit codes: 0 success, 1 solve ran but missed the residual target,
+// 2 usage error, 3 input or runtime error. docs/CLI.md is the reference.
+#include <omp.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/any_solver.hpp"
+#include "api/graph_source.hpp"
+#include "api/rhs.hpp"
+#include "api/solver_registry.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/csr.hpp"
+#include "graph/io.hpp"
+#include "harness/json_writer.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace parlap;
+
+constexpr int kExitOk = 0;
+constexpr int kExitNotConverged = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+
+/// Thrown for malformed command lines; main() prints usage and exits 2.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---------------------------------------------------------------------------
+// Argument parsing
+// ---------------------------------------------------------------------------
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Consumes `flag` if present (no value). Returns whether it was there.
+  bool take_flag(const std::string& flag) {
+    const auto it = std::find(args_.begin(), args_.end(), flag);
+    if (it == args_.end()) return false;
+    args_.erase(it);
+    return true;
+  }
+
+  /// Consumes `flag VALUE` if present; returns the value.
+  std::optional<std::string> take_value(const std::string& flag) {
+    const auto it = std::find(args_.begin(), args_.end(), flag);
+    if (it == args_.end()) return std::nullopt;
+    const auto val = std::next(it);
+    if (val == args_.end() || (val->size() > 1 && (*val)[0] == '-' &&
+                               !std::isdigit(static_cast<unsigned char>((*val)[1])))) {
+      throw UsageError("option " + flag + " needs a value");
+    }
+    std::string out = *val;
+    args_.erase(it, std::next(val));
+    return out;
+  }
+
+  double take_double(const std::string& flag, double fallback) {
+    const auto v = take_value(flag);
+    if (!v) return fallback;
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(*v, &used);
+      if (used != v->size()) throw std::invalid_argument(*v);
+      return d;
+    } catch (const std::exception&) {
+      throw UsageError("option " + flag + ": '" + *v + "' is not a number");
+    }
+  }
+
+  std::int64_t take_int(const std::string& flag, std::int64_t fallback) {
+    const auto v = take_value(flag);
+    if (!v) return fallback;
+    try {
+      std::size_t used = 0;
+      const std::int64_t i = std::stoll(*v, &used);
+      if (used != v->size()) throw std::invalid_argument(*v);
+      return i;
+    } catch (const std::exception&) {
+      throw UsageError("option " + flag + ": '" + *v + "' is not an integer");
+    }
+  }
+
+  /// All options must have been consumed by now.
+  void expect_empty() const {
+    if (!args_.empty()) {
+      throw UsageError("unrecognized option '" + args_.front() + "'");
+    }
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared input handling (solve / info)
+// ---------------------------------------------------------------------------
+
+struct InputOptions {
+  std::string input_path;  ///< --input
+  std::string gen_spec;    ///< --gen
+  bool laplacian = false;  ///< --laplacian (.mtx entries are L values)
+  std::string weights;     ///< --weights
+  std::uint64_t seed = 42;
+};
+
+InputOptions take_input_options(Args& args) {
+  InputOptions in;
+  in.input_path = args.take_value("--input").value_or("");
+  in.gen_spec = args.take_value("--gen").value_or("");
+  in.laplacian = args.take_flag("--laplacian");
+  in.weights = args.take_value("--weights").value_or("");
+  in.seed = static_cast<std::uint64_t>(args.take_int("--seed", 42));
+  if (const auto t = args.take_int("--threads", 0); t > 0) {
+    omp_set_num_threads(static_cast<int>(t));
+  }
+  return in;
+}
+
+Multigraph load_input(const InputOptions& in) {
+  if (in.input_path.empty() == in.gen_spec.empty()) {
+    throw UsageError("exactly one of --input PATH or --gen SPEC is required");
+  }
+  Multigraph g =
+      in.input_path.empty()
+          ? make_generated_graph(in.gen_spec, in.seed)
+          : load_graph_file(in.input_path, GraphFileFormat::kAuto,
+                            in.laplacian ? MatrixMarketKind::kLaplacian
+                                         : MatrixMarketKind::kAdjacency);
+  if (!in.weights.empty()) {
+    apply_weights(g, parse_weight_model(in.weights), in.seed + 1);
+  }
+  if (g.num_vertices() == 0) {
+    throw std::runtime_error("input graph has no vertices");
+  }
+  return g;
+}
+
+std::string describe_input(const InputOptions& in) {
+  return in.input_path.empty() ? "gen:" + in.gen_spec : in.input_path;
+}
+
+void write_json_metadata(bench::JsonWriter& w) {
+  const bench::RunMetadata md = bench::collect_metadata();
+  w.key("metadata");
+  w.begin_object();
+  w.member("commit", md.commit);
+  w.member("timestamp_utc", md.timestamp_utc);
+  w.member("hostname", md.hostname);
+  w.member("compiler", md.compiler);
+  w.member("build_type", md.build_type);
+  w.member("threads", md.threads);
+  w.end_object();
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good()) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  return os;
+}
+
+// ---------------------------------------------------------------------------
+// solve
+// ---------------------------------------------------------------------------
+
+void list_methods(std::ostream& os) {
+  os << "registered solver methods:\n";
+  for (const auto& m : SolverRegistry::instance().methods()) {
+    os << "  " << m.name << std::string(m.name.size() < 12 ? 12 - m.name.size() : 1, ' ')
+       << m.description << '\n';
+  }
+}
+
+int cmd_solve(Args& args) {
+  if (args.take_flag("--list-methods")) {
+    list_methods(std::cout);
+    return kExitOk;
+  }
+  const InputOptions in = take_input_options(args);
+  const std::string method = args.take_value("--method").value_or("parlap");
+  const double eps = args.take_double("--eps", 1e-8);
+  const std::string rhs_path = args.take_value("--rhs").value_or("");
+  const auto rhs_demand = args.take_value("--rhs-demand");
+  const auto rhs_random = args.take_int("--rhs-random", -1);
+  if (rhs_random == 0 || rhs_random < -1) {
+    throw UsageError("--rhs-random wants a count >= 1, got " +
+                     std::to_string(rhs_random));
+  }
+  const bool project_rhs = args.take_flag("--project-rhs");
+  const std::string out_path = args.take_value("--out").value_or("");
+  const std::string json_path = args.take_value("--json").value_or("");
+  SolverConfig config;
+  config.seed = in.seed;
+  config.split_scale = args.take_double("--split-scale", 0.0);
+  config.max_iterations =
+      static_cast<int>(args.take_int("--max-iterations", 0));
+  args.expect_empty();
+  if ((rhs_path.empty() ? 0 : 1) + (rhs_demand ? 1 : 0) +
+          (rhs_random > 0 ? 1 : 0) >
+      1) {
+    throw UsageError(
+        "--rhs, --rhs-demand, and --rhs-random are mutually exclusive");
+  }
+
+  const Multigraph g = load_input(in);
+  const Components comps = connected_components(g);
+
+  // Assemble the right-hand sides (default: unit demand 0 -> n-1).
+  std::vector<Vector> bs;
+  std::vector<std::string> labels;
+  const Vertex n = g.num_vertices();
+  if (!rhs_path.empty()) {
+    bs.push_back(read_rhs_file(rhs_path, n));
+    labels.push_back("file:" + rhs_path);
+  } else if (rhs_random > 0) {
+    for (std::int64_t k = 0; k < rhs_random; ++k) {
+      bs.push_back(random_rhs(n, in.seed + static_cast<std::uint64_t>(k)));
+      labels.push_back("random:" + std::to_string(in.seed + k));
+    }
+  } else {
+    std::int64_t s = 0;
+    std::int64_t t = n - 1;
+    if (rhs_demand) {
+      const std::size_t comma = rhs_demand->find(',');
+      if (comma == std::string::npos) {
+        throw UsageError("--rhs-demand wants S,T (two vertex ids)");
+      }
+      try {
+        std::size_t used_s = 0;
+        std::size_t used_t = 0;
+        s = std::stoll(rhs_demand->substr(0, comma), &used_s);
+        t = std::stoll(rhs_demand->substr(comma + 1), &used_t);
+        if (used_s != comma || used_t != rhs_demand->size() - comma - 1) {
+          throw std::invalid_argument(*rhs_demand);
+        }
+      } catch (const std::exception&) {
+        throw UsageError("--rhs-demand: '" + *rhs_demand +
+                         "' is not a vertex pair S,T");
+      }
+    }
+    // Validate before narrowing to the 32-bit Vertex type; demand_rhs
+    // re-checks, but its contract-check message is not user-facing.
+    if (s < 0 || s >= n || t < 0 || t >= n) {
+      throw std::runtime_error("demand endpoints (" + std::to_string(s) +
+                               ", " + std::to_string(t) +
+                               ") out of range for " + std::to_string(n) +
+                               " vertices");
+    }
+    if (s == t) {
+      throw std::runtime_error(
+          n == 1 ? "the graph has a single vertex; there is no demand "
+                   "system to solve (give --rhs FILE instead)"
+                 : "demand endpoints must differ, got " + std::to_string(s) +
+                       "," + std::to_string(t));
+    }
+    bs.push_back(demand_rhs(n, static_cast<Vertex>(s),
+                            static_cast<Vertex>(t)));
+    labels.push_back("demand:" + std::to_string(s) + "," + std::to_string(t));
+  }
+
+  // The small-fix contract: a right-hand side that is not balanced per
+  // component cannot be solved exactly — fail loudly instead of silently
+  // returning the least-squares answer, unless the user opted in.
+  for (std::size_t k = 0; k < bs.size(); ++k) {
+    const RhsCompatibility compat = check_rhs_compatibility(bs[k], comps);
+    if (!compat.compatible && !project_rhs) {
+      throw std::runtime_error(
+          "right-hand side '" + labels[k] + "' is incompatible: component " +
+          std::to_string(compat.worst_component) + " of " +
+          std::to_string(comps.count) + " has relative net imbalance " +
+          std::to_string(compat.worst_imbalance) +
+          " (L x = b needs zero sum per component; rerun with "
+          "--project-rhs to solve the least-squares projection)");
+    }
+  }
+
+  std::cerr << "parlap_cli: " << describe_input(in) << ": " << n
+            << " vertices, " << g.num_edges() << " edges, " << comps.count
+            << " component(s)\n";
+  const std::unique_ptr<AnySolver> solver =
+      SolverRegistry::instance().create(method, g, config);
+  std::cerr << "parlap_cli: method '" << method << "' factored in "
+            << solver->setup_seconds() << " s\n";
+
+  std::vector<RunReport> reports;
+  std::vector<Vector> xs;
+  for (const Vector& b : bs) {
+    Vector x(b.size(), 0.0);
+    reports.push_back(solver->solve(b, x, eps));
+    xs.push_back(std::move(x));
+  }
+
+  TextTable table("solve: method " + method + ", eps " +
+                  bench::JsonWriter::format_number(eps));
+  table.set_header({"rhs", "iterations", "solve_s", "residual", "converged"},
+                   6);
+  bool all_converged = true;
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const RunReport& r = reports[k];
+    table.add_row({labels[k], static_cast<std::int64_t>(r.iterations),
+                   r.solve_seconds, r.relative_residual,
+                   std::string(r.converged ? "yes" : "NO")});
+    all_converged = all_converged && r.converged;
+  }
+  table.print(std::cout);
+
+  if (!out_path.empty()) {
+    std::ofstream os = open_output(out_path);
+    os.precision(std::numeric_limits<double>::max_digits10);
+    for (std::size_t i = 0; i < xs.front().size(); ++i) {
+      for (std::size_t k = 0; k < xs.size(); ++k) {
+        os << (k > 0 ? " " : "") << xs[k][i];
+      }
+      os << '\n';
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os = open_output(json_path);
+    bench::JsonWriter w(os);
+    w.begin_object();
+    w.member("schema", "parlap-cli-solve-v1");
+    write_json_metadata(w);
+    w.key("input");
+    w.begin_object();
+    w.member("source", describe_input(in));
+    w.member("vertices", static_cast<std::int64_t>(n));
+    w.member("edges", static_cast<std::int64_t>(g.num_edges()));
+    w.member("components", static_cast<std::int64_t>(comps.count));
+    w.end_object();
+    w.member("method", method);
+    w.member("eps", eps);
+    w.member("setup_seconds", solver->setup_seconds());
+    w.key("runs");
+    w.begin_array();
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+      const RunReport& r = reports[k];
+      w.begin_object();
+      w.member("rhs", labels[k]);
+      w.member("iterations", r.iterations);
+      w.member("solve_seconds", r.solve_seconds);
+      w.member("relative_residual", r.relative_residual);
+      w.member("converged", r.converged);
+      w.member("threads", r.threads);
+      w.end_object();
+    }
+    w.end_array();
+    w.member("all_converged", all_converged);
+    w.end_object();
+    os << '\n';
+  }
+
+  return all_converged ? kExitOk : kExitNotConverged;
+}
+
+// ---------------------------------------------------------------------------
+// info
+// ---------------------------------------------------------------------------
+
+int cmd_info(Args& args) {
+  const InputOptions in = take_input_options(args);
+  const std::string json_path = args.take_value("--json").value_or("");
+  args.expect_empty();
+
+  const Multigraph g = load_input(in);
+  const Components comps = connected_components(g);
+  const CsrGraph csr(g);
+  const Vertex n = g.num_vertices();
+
+  EdgeId min_deg = std::numeric_limits<EdgeId>::max();
+  EdgeId max_deg = 0;
+  Weight min_w = std::numeric_limits<Weight>::infinity();
+  Weight max_w = 0.0;
+  for (Vertex v = 0; v < n; ++v) {
+    min_deg = std::min(min_deg, csr.degree(v));
+    max_deg = std::max(max_deg, csr.degree(v));
+    min_w = std::min(min_w, csr.weighted_degree(v));
+    max_w = std::max(max_w, csr.weighted_degree(v));
+  }
+  std::vector<Vertex> comp_size(static_cast<std::size_t>(comps.count), 0);
+  for (const Vertex c : comps.label) ++comp_size[static_cast<std::size_t>(c)];
+  const Vertex largest =
+      *std::max_element(comp_size.begin(), comp_size.end());
+  const double mean_deg =
+      n > 0 ? 2.0 * static_cast<double>(g.num_edges()) / n : 0.0;
+
+  TextTable table("info: " + describe_input(in));
+  table.set_header({"stat", "value"}, 6);
+  table.add_row({std::string("vertices"), static_cast<std::int64_t>(n)});
+  table.add_row(
+      {std::string("multi-edges"), static_cast<std::int64_t>(g.num_edges())});
+  table.add_row(
+      {std::string("components"), static_cast<std::int64_t>(comps.count)});
+  table.add_row({std::string("largest_component"),
+                 static_cast<std::int64_t>(largest)});
+  table.add_row(
+      {std::string("min_degree"), static_cast<std::int64_t>(min_deg)});
+  table.add_row({std::string("mean_degree"), mean_deg});
+  table.add_row(
+      {std::string("max_degree"), static_cast<std::int64_t>(max_deg)});
+  table.add_row({std::string("min_weighted_degree"), min_w});
+  table.add_row({std::string("max_weighted_degree"), max_w});
+  table.add_row({std::string("total_weight"), g.total_weight()});
+  table.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream os = open_output(json_path);
+    bench::JsonWriter w(os);
+    w.begin_object();
+    w.member("schema", "parlap-cli-info-v1");
+    write_json_metadata(w);
+    w.member("source", describe_input(in));
+    w.member("vertices", static_cast<std::int64_t>(n));
+    w.member("edges", static_cast<std::int64_t>(g.num_edges()));
+    w.member("components", static_cast<std::int64_t>(comps.count));
+    w.member("largest_component", static_cast<std::int64_t>(largest));
+    w.member("min_degree", static_cast<std::int64_t>(min_deg));
+    w.member("mean_degree", mean_deg);
+    w.member("max_degree", static_cast<std::int64_t>(max_deg));
+    w.member("min_weighted_degree", min_w);
+    w.member("max_weighted_degree", max_w);
+    w.member("total_weight", g.total_weight());
+    w.end_object();
+    os << '\n';
+  }
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// gen
+// ---------------------------------------------------------------------------
+
+int cmd_gen(Args& args) {
+  const InputOptions in = take_input_options(args);
+  const std::string out_path = args.take_value("--out").value_or("");
+  const std::string format = args.take_value("--format").value_or("auto");
+  args.expect_empty();
+  if (in.gen_spec.empty()) throw UsageError("gen requires --gen SPEC");
+  if (!in.input_path.empty()) {
+    throw UsageError("gen takes --gen SPEC, not --input");
+  }
+  if (out_path.empty()) throw UsageError("gen requires --out FILE");
+
+  Multigraph g = make_generated_graph(in.gen_spec, in.seed);
+  if (!in.weights.empty()) {
+    apply_weights(g, parse_weight_model(in.weights), in.seed + 1);
+  }
+  bool mtx = false;
+  if (format == "mtx") {
+    mtx = true;
+  } else if (format == "edgelist") {
+    mtx = false;
+  } else if (format == "auto") {
+    mtx = out_path.size() > 4 &&
+          out_path.compare(out_path.size() - 4, 4, ".mtx") == 0;
+  } else {
+    throw UsageError("--format must be mtx, edgelist, or auto");
+  }
+  if (mtx) {
+    write_matrix_market_file(out_path, g);
+  } else {
+    write_edge_list_file(out_path, g);
+  }
+  std::cerr << "parlap_cli: wrote " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges to " << out_path << " ("
+            << (mtx ? "matrix market" : "edge list") << ")\n";
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// bench
+// ---------------------------------------------------------------------------
+
+int cmd_bench(Args& args) {
+  const InputOptions in = take_input_options(args);
+  const std::string family = args.take_value("--family").value_or("grid2d");
+  const std::string sizes_arg = args.take_value("--sizes").value_or("32,64,128");
+  const std::string method = args.take_value("--method").value_or("parlap");
+  const double eps = args.take_double("--eps", 1e-8);
+  const auto reps = static_cast<int>(args.take_int("--reps", 3));
+  const std::string json_path = args.take_value("--json").value_or("");
+  args.expect_empty();
+  if (!in.input_path.empty() || !in.gen_spec.empty()) {
+    throw UsageError("bench generates its own graphs; use --family/--sizes");
+  }
+  if (in.laplacian) {
+    throw UsageError("--laplacian only applies to .mtx input (solve/info)");
+  }
+  if (reps < 1) throw UsageError("--reps must be >= 1");
+
+  const std::vector<std::string> sizes = split_list(sizes_arg);
+
+  TextTable table("bench: family " + family + ", method " + method);
+  table.set_header(
+      {"size", "n", "m", "setup_s", "solve_s_med", "iters", "residual"}, 5);
+  bench::BenchReporter reporter;
+  reporter.set_experiment("cli-bench");
+  for (const std::string& size : sizes) {
+    Multigraph g = make_generated_graph(family + ":" + size, in.seed);
+    if (!in.weights.empty()) {
+      apply_weights(g, parse_weight_model(in.weights), in.seed + 1);
+    }
+    const Vector b = random_rhs(g.num_vertices(), in.seed + 7);
+    SolverConfig config;
+    config.seed = in.seed;
+    const std::unique_ptr<AnySolver> solver =
+        SolverRegistry::instance().create(method, g, config);
+    const double setup_s = solver->setup_seconds();
+    Vector x(b.size(), 0.0);
+    RunReport last;
+    const std::vector<double> samples = bench::measure(
+        reps, /*warmup=*/1, [&] { last = solver->solve(b, x, eps); });
+    const bench::TimingSummary summary = bench::summarize(samples);
+    table.add_row({size, static_cast<std::int64_t>(g.num_vertices()),
+                   static_cast<std::int64_t>(g.num_edges()), setup_s,
+                   summary.median, static_cast<std::int64_t>(last.iterations),
+                   last.relative_residual});
+    reporter.record(bench::BenchCase{
+        family + ":" + size,
+        {{"n", static_cast<double>(g.num_vertices())},
+         {"m", static_cast<double>(g.num_edges())},
+         {"setup_s", setup_s},
+         {"iterations", static_cast<double>(last.iterations)},
+         {"relative_residual", last.relative_residual}},
+        samples});
+  }
+  table.print(std::cout);
+  if (!json_path.empty()) {
+    std::ofstream os = open_output(json_path);
+    reporter.write(os);
+  }
+  return kExitOk;
+}
+
+// ---------------------------------------------------------------------------
+// usage / dispatch
+// ---------------------------------------------------------------------------
+
+void print_usage(std::ostream& os) {
+  os << "parlap_cli — parallel Laplacian solver driver (docs/CLI.md)\n"
+        "\n"
+        "usage: parlap_cli <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  solve   solve L x = b on a graph from --input or --gen\n"
+        "  info    graph / component / degree statistics\n"
+        "  gen     write a generated graph to a file\n"
+        "  bench   quick scaling sweep of one method\n"
+        "  help    this text\n"
+        "\n"
+        "input (solve, info):   --input PATH | --gen SPEC  [--laplacian]\n"
+        "                       [--weights unit|uniform:lo,hi|powerlaw:lo,hi,e]\n"
+        "                       [--seed S] [--threads N]\n"
+        "solve:                 [--method NAME] [--eps E] [--rhs FILE |\n"
+        "                       --rhs-demand S,T | --rhs-random K]\n"
+        "                       [--project-rhs] [--split-scale X]\n"
+        "                       [--max-iterations N] [--out FILE] [--json FILE]\n"
+        "                       [--list-methods]\n"
+        "info:                  [--json FILE]\n"
+        "gen:                   --gen SPEC --out FILE [--format mtx|edgelist]\n"
+        "bench:                 [--family F] [--sizes a,b,c] [--method NAME]\n"
+        "                       [--eps E] [--reps R] [--json FILE]\n"
+        "\n"
+        "generator specs (--gen / --family):\n"
+     << generator_spec_help() << "\n\n";
+  list_methods(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage(std::cerr);
+    return kExitUsage;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  try {
+    if (command == "solve") return cmd_solve(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "gen") return cmd_gen(args);
+    if (command == "bench") return cmd_bench(args);
+    if (command == "help" || command == "--help" || command == "-h") {
+      print_usage(std::cout);
+      return kExitOk;
+    }
+    if (command == "--version" || command == "version") {
+      std::cout << "parlap_cli (parlap " << PARLAP_VERSION << ")\n";
+      return kExitOk;
+    }
+    std::cerr << "parlap_cli: unknown command '" << command << "'\n\n";
+    print_usage(std::cerr);
+    return kExitUsage;
+  } catch (const UsageError& e) {
+    std::cerr << "parlap_cli: " << e.what() << "\n"
+              << "run 'parlap_cli help' for usage\n";
+    return kExitUsage;
+  } catch (const UnknownSolverError& e) {
+    std::cerr << "parlap_cli: error: " << e.what() << '\n';
+    return kExitInput;
+  } catch (const std::exception& e) {
+    std::cerr << "parlap_cli: error: " << e.what() << '\n';
+    return kExitInput;
+  }
+}

@@ -1,0 +1,104 @@
+// E15 — solve-engine throughput: solves/sec vs worker count and cache
+// hit rate on a batch of repeated graphs (src/service/solve_engine.hpp).
+// The scenario the service layer exists for: a traffic mix that keeps
+// re-requesting a small working set of graphs, factored once through the
+// FactorizationCache and then solved concurrently. Reports, per worker
+// count: throughput, p50/p95 per-solve latency, cache hits/misses, and
+// the speedup over one worker.
+#include <omp.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "service/solve_engine.hpp"
+
+using namespace parlap;
+using namespace parlap::bench;
+
+namespace {
+
+/// The traffic mix: `repeats` solve jobs against each of a few graph
+/// families, ids (and so rhs streams) distinct per job.
+std::vector<service::SolveJob> make_jobs(int repeats, Vertex scale) {
+  const std::vector<std::string> graphs = {
+      "ws:" + std::to_string(scale * 8) + ",6,0.1",
+      "grid2d:" + std::to_string(scale),
+      "gnm:" + std::to_string(scale * 4) + "," +
+          std::to_string(scale * 16),
+  };
+  std::vector<service::SolveJob> jobs;
+  for (int r = 0; r < repeats; ++r) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      service::SolveJob job;
+      job.id = "g";
+      job.id += std::to_string(gi);
+      job.id += "-r";
+      job.id += std::to_string(r);
+      job.graph = graphs[gi];
+      job.rhs = "random:" + std::to_string(r);
+      job.seed = 17;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main() {
+  reporter().set_experiment("E15");
+  const int repeats = smoke() ? 4 : 16;
+  const Vertex scale = smoke() ? Vertex{24} : Vertex{64};
+  const std::vector<service::SolveJob> jobs = make_jobs(repeats, scale);
+
+  const int max_threads = omp_get_max_threads();
+  std::vector<int> worker_counts = {1, 2, 4, 8};
+  worker_counts.erase(
+      std::remove_if(worker_counts.begin(), worker_counts.end(),
+                     [&](int w) { return w > 2 * max_threads && w != 1; }),
+      worker_counts.end());
+  if (smoke()) worker_counts.resize(std::min<std::size_t>(2, worker_counts.size()));
+
+  TextTable table("E15 solve-engine throughput — " +
+                  std::to_string(jobs.size()) +
+                  " jobs over 3 graph families, eps=1e-8");
+  table.set_header({"workers", "solves_per_s", "p50_ms", "p95_ms",
+                    "cache_hit_rate", "wall_s", "speedup"},
+                   4);
+
+  double base_throughput = 0.0;
+  for (const int workers : worker_counts) {
+    service::EngineOptions options;
+    options.workers = workers;
+    service::SolveEngine engine(options);
+    // Warm run factorizes the working set; the measured run then sees
+    // the steady-state hit rate a long-lived service would.
+    (void)engine.run(jobs);
+    const service::BatchResult batch = engine.run(jobs);
+    const service::EngineStats& s = batch.stats;
+
+    const double lookups =
+        static_cast<double>(s.cache.hits + s.cache.misses);
+    const double hit_rate =
+        lookups > 0.0 ? static_cast<double>(s.cache.hits) / lookups : 0.0;
+    if (base_throughput == 0.0) base_throughput = s.solves_per_second;
+    table.add_row({static_cast<std::int64_t>(workers), s.solves_per_second,
+                   s.p50_solve_seconds * 1e3, s.p95_solve_seconds * 1e3,
+                   hit_rate, s.wall_seconds,
+                   s.solves_per_second / base_throughput});
+    reporter().record(
+        "workers:" + std::to_string(workers),
+        {{"workers", static_cast<double>(workers)},
+         {"jobs", static_cast<double>(s.jobs)},
+         {"solves_per_second", s.solves_per_second},
+         {"p50_solve_seconds", s.p50_solve_seconds},
+         {"p95_solve_seconds", s.p95_solve_seconds},
+         {"cache_hit_rate", hit_rate},
+         {"cache_misses", static_cast<double>(s.cache.misses)},
+         {"wall_seconds", s.wall_seconds}});
+  }
+  print_table(table);
+  return 0;
+}

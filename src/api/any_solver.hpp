@@ -33,6 +33,15 @@ struct SolverConfig {
 /// Implementations must accept any b; the component of b in the kernel of
 /// L is projected out first (the least-squares convention), and reported
 /// residuals are relative to the projected b.
+///
+/// Threading contract: one instance may serve many callers. solve() is
+/// const and MUST be safe to call concurrently from multiple threads on
+/// the same instance (implementations keep per-call scratch, typically
+/// via WorkspacePool, never mutable member buffers) and deterministic:
+/// for fixed (b, eps) the result is bit-identical regardless of which
+/// thread runs it, how many other solves are in flight, or the OpenMP
+/// thread count. The solve-engine subsystem (src/service/) relies on
+/// both properties to share cached factorizations across a worker pool.
 class AnySolver {
  public:
   virtual ~AnySolver() = default;
@@ -42,8 +51,10 @@ class AnySolver {
 
   /// Solves L x = b to relative residual eps. `x` is overwritten (no
   /// warm start); `b.size()` and `x.size()` must equal dimension().
+  /// Thread-safe (see the class contract above).
   [[nodiscard]] virtual RunReport solve(std::span<const double> b,
-                                        std::span<double> x, double eps) = 0;
+                                        std::span<double> x,
+                                        double eps) const = 0;
 
   /// The registry key this instance was created under.
   [[nodiscard]] virtual const std::string& method() const noexcept = 0;
@@ -53,6 +64,14 @@ class AnySolver {
 
   /// Problem dimension = vertex count of the input graph.
   [[nodiscard]] virtual Vertex dimension() const noexcept = 0;
+
+  /// Memory-cost proxy of the resident factorization, in stored matrix
+  /// entries (FactorizationInfo::stored_entries for the paper's solver;
+  /// comparable analogues for the baselines). FactorizationCache uses it
+  /// to charge instances against its budget. Never less than 1.
+  [[nodiscard]] virtual EdgeId stored_entries() const noexcept {
+    return dimension() > 0 ? static_cast<EdgeId>(dimension()) : EdgeId{1};
+  }
 
  protected:
   AnySolver() = default;

@@ -165,6 +165,20 @@ Multigraph make_generated_graph(const std::string& spec, std::uint64_t seed) {
     }
     return make_random_regular(n(0), static_cast<int>(d), seed);
   }
+  if (p.family == "ws") {
+    expect_args(p, 2, 3, "ws:n,k[,beta]");
+    const std::int64_t k = int_arg(p, 1, "k");
+    if (k > std::numeric_limits<int>::max()) {
+      throw std::invalid_argument("generator 'ws': degree k = " +
+                                  std::to_string(k) + " is out of range");
+    }
+    const double beta = p.args.size() > 2 ? p.args[2] : 0.1;
+    if (!std::isfinite(beta) || beta < 0.0 || beta > 1.0) {
+      throw std::invalid_argument(
+          "generator 'ws': beta must be in [0, 1]");
+    }
+    return make_watts_strogatz(n(0), static_cast<int>(k), beta, seed);
+  }
   if (p.family == "rmat") {
     expect_args(p, 1, 2, "rmat:scale[,m]");
     // Validate before the default-m shift: 8 << scale overflows int64
@@ -195,7 +209,9 @@ std::string generator_spec_help() {
          "  barbell:k[,len]      two k-cliques joined by a len-vertex path\n"
          "  gnm:n,m              Erdos-Renyi G(n,m), connected overlay\n"
          "  regular:n,d          random d-regular multigraph\n"
-         "  rmat:scale[,m]       RMAT, 2^scale vertices (m defaults 8*2^scale)";
+         "  rmat:scale[,m]       RMAT, 2^scale vertices (m defaults 8*2^scale)\n"
+         "  ws:n,k[,beta]        Watts-Strogatz small world: k-ring, rewire\n"
+         "                       prob beta (default 0.1)";
 }
 
 WeightModel parse_weight_model(const std::string& spec) {

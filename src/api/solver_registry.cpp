@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -29,7 +30,7 @@ namespace {
 class SolverBase : public AnySolver {
  public:
   [[nodiscard]] RunReport solve(std::span<const double> b,
-                                std::span<double> x, double eps) final {
+                                std::span<double> x, double eps) const final {
     const auto n = static_cast<std::size_t>(op_.dimension());
     PARLAP_CHECK_MSG(b.size() == n && x.size() == n,
                      "solver dimension " << n << " vs b " << b.size()
@@ -79,9 +80,10 @@ class SolverBase : public AnySolver {
         comps_(connected_components(g)) {}
 
   /// Solves L x = b_p (already kernel-projected, nonzero) to eps and
-  /// returns the outer-iteration count. x arrives zero-filled.
+  /// returns the outer-iteration count. x arrives zero-filled. Must be
+  /// safe for concurrent callers (the AnySolver threading contract).
   virtual int run(std::span<const double> bp, std::span<double> x,
-                  double eps) = 0;
+                  double eps) const = 0;
 
   [[nodiscard]] const LaplacianOperator& op() const noexcept { return op_; }
 
@@ -126,9 +128,14 @@ class ParlapAdapter final : public SolverBase {
     impl_.emplace(g, options);
   }
 
+ public:
+  [[nodiscard]] EdgeId stored_entries() const noexcept override {
+    return std::max<EdgeId>(1, impl_->info().stored_entries);
+  }
+
  private:
   int run(std::span<const double> bp, std::span<double> x,
-          double eps) override {
+          double eps) const override {
     return impl_->solve(bp, x, eps).iterations;
   }
 
@@ -156,9 +163,16 @@ class CgAdapter final : public SolverBase {
     }
   }
 
+ public:
+  [[nodiscard]] EdgeId stored_entries() const noexcept override {
+    // CSR of the operator plus the (diagonal / tree) preconditioner.
+    return std::max<EdgeId>(
+        1, op().num_multi_edges() + static_cast<EdgeId>(dimension()));
+  }
+
  private:
   int run(std::span<const double> bp, std::span<double> x,
-          double eps) override {
+          double eps) const override {
     const IterationStats stats =
         precond_ ? preconditioned_cg(op(), precond_, bp, x, eps, cg_options_)
                  : conjugate_gradient(op(), bp, x, eps, cg_options_);
@@ -184,9 +198,14 @@ class Ks16Adapter final : public SolverBase {
     impl_.emplace(g, options);
   }
 
+ public:
+  [[nodiscard]] EdgeId stored_entries() const noexcept override {
+    return std::max<EdgeId>(1, impl_->factor_entries());
+  }
+
  private:
   int run(std::span<const double> bp, std::span<double> x,
-          double eps) override {
+          double eps) const override {
     return impl_->solve(bp, x, eps).iterations;
   }
 
@@ -210,9 +229,15 @@ class DenseAdapter final : public SolverBase {
     impl_.emplace(g);
   }
 
+ public:
+  [[nodiscard]] EdgeId stored_entries() const noexcept override {
+    const auto n = static_cast<EdgeId>(dimension());
+    return std::max<EdgeId>(1, n * n);  // dense pseudo-inverse
+  }
+
  private:
   int run(std::span<const double> bp, std::span<double> x,
-          double /*eps*/) override {
+          double /*eps*/) const override {
     impl_->solve(bp, x);
     return 0;
   }

@@ -1,6 +1,7 @@
 #include "core/block_cholesky.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
 
@@ -162,6 +163,10 @@ BlockCholeskyChain BlockCholeskyChain::build(const Multigraph& g,
                                              const BlockCholeskyOptions& opts) {
   PARLAP_CHECK(g.num_vertices() >= 1);
   BlockCholeskyChain chain;
+  {
+    static std::atomic<std::uint64_t> next_build_id{0};
+    chain.build_id_ = ++next_build_id;
+  }
   chain.n0_ = g.num_vertices();
 
   Multigraph cur = g;  // G^(0); successively replaced by G^(k)
@@ -239,11 +244,13 @@ EdgeId BlockCholeskyChain::stored_entries() const noexcept {
 }
 
 void BlockCholeskyChain::prepare_workspace(ApplyWorkspace& ws) const {
+  // Identity check, not a shape check: two chains can agree on depth and
+  // n0 yet differ at inner levels (e.g. escalation rounds of the same
+  // component), so sizes alone cannot prove the workspace fits. The id
+  // is process-unique per build, so a new chain at a recycled address
+  // cannot inherit a dead chain's scratch.
+  if (ws.prepared_for == build_id_) return;
   const std::size_t d = levels_.size();
-  if (ws.level_vec.size() == d + 1 &&
-      (d == 0 || ws.level_vec[0].size() == static_cast<std::size_t>(n0_))) {
-    return;
-  }
   ws.level_vec.assign(d + 1, {});
   ws.level_yf.assign(d, {});
   std::size_t max_nf = 1;
@@ -258,6 +265,7 @@ void BlockCholeskyChain::prepare_workspace(ApplyWorkspace& ws) const {
   ws.jac_tmp.resize(max_nf);
   ws.scratch_f.resize(max_nf);
   ws.scratch_f2.resize(max_nf);
+  ws.prepared_for = build_id_;
 }
 
 void BlockCholeskyChain::jacobi_solve(const EliminationLevel& lvl,

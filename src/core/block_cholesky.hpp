@@ -74,13 +74,19 @@ struct LevelStats {
   WalkStats walks;
 };
 
-/// Scratch buffers reused across apply() calls; one per calling thread.
+/// Scratch buffers reused across apply() calls; one per calling thread
+/// (WorkspacePool<ApplyWorkspace> hands them out to concurrent solvers).
+/// A workspace may be reused across different chains: prepare_workspace
+/// re-sizes it whenever `prepared_for` does not match the applying
+/// chain's process-unique build id (an id, not an address, so a chain
+/// reallocated at a dead chain's address can never match stale scratch).
 class ApplyWorkspace {
  public:
   std::vector<std::vector<double>> level_vec;  ///< size n_k per level, +base
   std::vector<std::vector<double>> level_yf;   ///< size nf_k per level
   std::vector<double> jac_b, jac_cur, jac_tmp; ///< Jacobi scratch (max nf)
   std::vector<double> scratch_f, scratch_f2;   ///< gather/apply scratch
+  std::uint64_t prepared_for = 0;  ///< build id the sizes above match
 };
 
 class BlockCholeskyChain {
@@ -125,6 +131,8 @@ class BlockCholeskyChain {
   Vertex base_n_ = 0;
   int jacobi_terms_ = 1;
   std::vector<LevelStats> stats_;
+  /// Process-unique id stamped by build(); keys workspace preparation.
+  std::uint64_t build_id_ = 0;
 };
 
 }  // namespace parlap

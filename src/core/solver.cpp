@@ -59,60 +59,105 @@ LaplacianSolver::LaplacianSolver(const Multigraph& g, SolverOptions opts)
   auto pieces = split_components(g, comps);
 
   comps_.resize(pieces.size());
+  const auto num_rounds =
+      static_cast<std::size_t>(std::max(0, opts_.max_rebuilds)) + 1;
   for (std::size_t c = 0; c < pieces.size(); ++c) {
     ComponentSolver& cs = comps_[c];
     cs.vertices = std::move(pieces[c].first);
     cs.graph = std::move(pieces[c].second);
     cs.op = LaplacianOperator(cs.graph);
-    cs.b_local.resize(cs.vertices.size());
-    cs.x_local.resize(cs.vertices.size());
-    build_component(cs, /*copies_override=*/0);
+    cs.rounds.resize(num_rounds);
+    cs.rounds.front() = build_round(cs, /*round=*/0);
+  }
+
+  // Aggregate info over the round-0 factorizations (escalation rounds
+  // built later by the adaptive path are not reflected; see header).
+  info_.copies = opts_.split == SplitStrategy::kUniform && !comps_.empty()
+                     ? comps_.front().rounds.front()->copies
+                     : 0;
+  for (const ComponentSolver& cs : comps_) {
+    const ChainRound& cr = *cs.rounds.front();
+    info_.split_edges += cr.split_edges;
+    if (cr.chain.dimension() == 0) continue;
+    info_.depth = std::max(info_.depth, cr.chain.depth());
+    info_.jacobi_terms = std::max(info_.jacobi_terms, cr.chain.jacobi_terms());
+    info_.stored_entries += cr.chain.stored_entries();
   }
 }
 
-void LaplacianSolver::build_component(ComponentSolver& comp,
-                                      std::int64_t copies_override) {
+std::shared_ptr<LaplacianSolver::ChainRound> LaplacianSolver::build_round(
+    const ComponentSolver& comp, int round) const {
   const Vertex n = comp.graph.num_vertices();
+  // Round-r parameters are pure functions of (options, r): copies double
+  // per round, the seed shifts per round. Whichever solve first escalates
+  // a component to round r therefore builds the same chain any other
+  // caller would have built.
+  std::int64_t copies = default_split_copies(n, opts_.split_scale);
+  std::uint64_t seed = opts_.seed;
+  for (int r = 0; r < round; ++r) {
+    copies = std::max<std::int64_t>(2, copies * 2);
+    seed = splitmix64(seed ^ 0x5245425549ull);
+  }
+
+  auto cr = std::make_shared<ChainRound>();
   Multigraph split;
-  std::int64_t copies = 0;
-  if (opts_.split == SplitStrategy::kUniform ||
-      comp.graph.num_edges() == 0) {
-    copies = copies_override > 0 ? copies_override
-                                 : default_split_copies(n, opts_.split_scale);
+  if (opts_.split == SplitStrategy::kUniform || comp.graph.num_edges() == 0) {
     split = split_edges_uniform(comp.graph, copies);
   } else {
-    const Vector tau =
-        leverage_overestimates(comp.graph, opts_.seed, opts_.leverage);
-    double alpha = default_alpha(n, opts_.split_scale);
-    if (copies_override > 0) {
-      alpha = 1.0 / static_cast<double>(copies_override);
-    }
+    const Vector tau = leverage_overestimates(comp.graph, seed, opts_.leverage);
+    const double alpha = round == 0 ? default_alpha(n, opts_.split_scale)
+                                    : 1.0 / static_cast<double>(copies);
     split = split_edges_by_scores(comp.graph, tau, alpha);
-    copies = copies_override > 0
-                 ? copies_override
-                 : default_split_copies(n, opts_.split_scale);
   }
-  comp.copies = copies;
-  comp.split_edges = split.num_edges();
-  comp.chain = BlockCholeskyChain::build(split, opts_.seed, opts_.chain);
-  comp.workspace = ApplyWorkspace{};
+  cr->copies = copies;
+  cr->split_edges = split.num_edges();
+  cr->chain = BlockCholeskyChain::build(split, seed, opts_.chain);
+  return cr;
+}
 
-  // Refresh aggregate info.
-  info_.split_edges = 0;
-  info_.depth = 0;
-  info_.jacobi_terms = 0;
-  info_.stored_entries = 0;
-  info_.copies =
-      opts_.split == SplitStrategy::kUniform ? comps_.front().copies : 0;
-  for (const ComponentSolver& cs : comps_) {
-    if (cs.chain.dimension() == 0) continue;
-    info_.depth = std::max(info_.depth, cs.chain.depth());
-    info_.jacobi_terms = std::max(info_.jacobi_terms, cs.chain.jacobi_terms());
-    info_.stored_entries += cs.chain.stored_entries();
+std::shared_ptr<LaplacianSolver::ChainRound> LaplacianSolver::round_for(
+    const ComponentSolver& comp, int round) const {
+  // Round 0 is written once in the constructor and read lock-free.
+  if (round == 0) return comp.rounds.front();
+  PARLAP_CHECK(static_cast<std::size_t>(round) < comp.rounds.size());
+  {
+    const std::scoped_lock lock(rounds_mutex_);
+    if (comp.rounds[static_cast<std::size_t>(round)]) {
+      return comp.rounds[static_cast<std::size_t>(round)];
+    }
   }
-  for (const ComponentSolver& cs : comps_) {
-    info_.split_edges += cs.split_edges;
-  }
+  // Build outside the lock (factorization is expensive); the result is
+  // deterministic, so if two threads race the duplicates are identical
+  // and the first publication wins.
+  std::shared_ptr<ChainRound> built = build_round(comp, round);
+  const std::scoped_lock lock(rounds_mutex_);
+  auto& slot = comp.rounds[static_cast<std::size_t>(round)];
+  if (!slot) slot = std::move(built);
+  return slot;
+}
+
+double LaplacianSolver::step_size_for(const ComponentSolver& comp,
+                                      ChainRound& cr,
+                                      ApplyWorkspace& w) const {
+  // The step estimate depends only on the factorization: computed once
+  // per chain and reused across solves (factor-once / solve-many). The
+  // power iteration is deterministic, so concurrent first callers store
+  // the same bits and the relaxed race is benign.
+  const double cached = cr.alpha_cache.load(std::memory_order_relaxed);
+  if (cached > 0.0) return cached;
+  const BlockCholeskyChain& chain = cr.chain;
+  const LinearMap precond = [&chain, &w](std::span<const double> rr,
+                                         std::span<double> yy) {
+    chain.apply(rr, yy, w);
+  };
+  const double lambda = estimate_max_eigenvalue(
+      comp.op, precond, opts_.richardson.power_iterations);
+  const double alpha =
+      lambda > 0.0 ? 0.95 / lambda
+                   : 2.0 / (std::exp(-opts_.richardson.delta) +
+                            std::exp(opts_.richardson.delta));
+  cr.alpha_cache.store(alpha, std::memory_order_relaxed);
+  return alpha;
 }
 
 void LaplacianSolver::apply_laplacian(std::span<const double> x,
@@ -133,24 +178,31 @@ void LaplacianSolver::apply_laplacian(std::span<const double> x,
 }
 
 void LaplacianSolver::apply_preconditioner(std::span<const double> r,
-                                           std::span<double> y) {
+                                           std::span<double> y) const {
   PARLAP_CHECK(r.size() == static_cast<std::size_t>(info_.n));
   PARLAP_CHECK(y.size() == static_cast<std::size_t>(info_.n));
-  for (ComponentSolver& cs : comps_) {
+  const auto scratch = scratch_pool_.acquire();
+  for (std::size_t c = 0; c < comps_.size(); ++c) {
+    const ComponentSolver& cs = comps_[c];
+    Vector& b_local = scratch->b_local;
+    Vector& x_local = scratch->x_local;
+    b_local.resize(cs.vertices.size());
+    x_local.resize(cs.vertices.size());
     for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
-      cs.b_local[i] = r[static_cast<std::size_t>(cs.vertices[i])];
+      b_local[i] = r[static_cast<std::size_t>(cs.vertices[i])];
     }
-    project_out_ones(cs.b_local);
-    cs.chain.apply(cs.b_local, cs.x_local, cs.workspace);
-    project_out_ones(cs.x_local);
+    project_out_ones(b_local);
+    cs.rounds.front()->chain.apply(b_local, x_local,
+                                   scratch->component_ws(c, comps_.size()));
+    project_out_ones(x_local);
     for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
-      y[static_cast<std::size_t>(cs.vertices[i])] = cs.x_local[i];
+      y[static_cast<std::size_t>(cs.vertices[i])] = x_local[i];
     }
   }
 }
 
 std::vector<SolveStats> LaplacianSolver::solve_many(
-    std::span<const Vector> bs, std::span<Vector> xs, double eps) {
+    std::span<const Vector> bs, std::span<Vector> xs, double eps) const {
   PARLAP_CHECK(bs.size() == xs.size());
   std::vector<SolveStats> stats;
   stats.reserve(bs.size());
@@ -161,57 +213,48 @@ std::vector<SolveStats> LaplacianSolver::solve_many(
 }
 
 SolveStats LaplacianSolver::solve(std::span<const double> b,
-                                  std::span<double> x, double eps) {
+                                  std::span<double> x, double eps) const {
   PARLAP_CHECK(b.size() == static_cast<std::size_t>(info_.n));
   PARLAP_CHECK(x.size() == static_cast<std::size_t>(info_.n));
   PARLAP_CHECK(eps > 0.0 && eps < 1.0);
 
   SolveStats total;
   total.converged = true;
-  for (ComponentSolver& cs : comps_) {
-    Vector bl(cs.vertices.size());
+  const auto scratch = scratch_pool_.acquire();
+  for (std::size_t c = 0; c < comps_.size(); ++c) {
+    const ComponentSolver& cs = comps_[c];
+    Vector& bl = scratch->b_local;
+    bl.resize(cs.vertices.size());
     for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
       bl[i] = b[static_cast<std::size_t>(cs.vertices[i])];
     }
     // Least-squares convention: drop the kernel component of b.
     project_out_ones(bl);
-    Vector xl(cs.vertices.size(), 0.0);
+    Vector& xl = scratch->x_local;
+    xl.assign(cs.vertices.size(), 0.0);
 
     IterationStats it;
-    int rebuilds = 0;
-    while (true) {
-      BlockCholeskyChain& chain = cs.chain;
-      ApplyWorkspace& ws = cs.workspace;
-      const LinearMap precond = [&chain, &ws](std::span<const double> rr,
-                                              std::span<double> yy) {
-        chain.apply(rr, yy, ws);
+    int rounds_used = 0;
+    for (int round = 0;; ++round) {
+      const std::shared_ptr<ChainRound> cr = round_for(cs, round);
+      const BlockCholeskyChain& chain = cr->chain;
+      ApplyWorkspace& w = scratch->component_ws(c, comps_.size());
+      const LinearMap precond = [&chain, &w](std::span<const double> rr,
+                                             std::span<double> yy) {
+        chain.apply(rr, yy, w);
       };
       RichardsonOptions rich = opts_.richardson;
       if (rich.auto_step && rich.fixed_alpha <= 0.0) {
-        // The step estimate depends only on the factorization: compute it
-        // once per chain and reuse across solves (factor-once/solve-many).
-        if (cs.alpha_cache <= 0.0) {
-          const double lambda = estimate_max_eigenvalue(
-              cs.op, precond, rich.power_iterations);
-          cs.alpha_cache = lambda > 0.0
-                               ? 0.95 / lambda
-                               : 2.0 / (std::exp(-rich.delta) +
-                                        std::exp(rich.delta));
-        }
-        rich.fixed_alpha = cs.alpha_cache;
+        rich.fixed_alpha = step_size_for(cs, *cr, w);
       }
+      if (round > 0) fill(std::span<double>(xl), 0.0);  // fresh start
       it = preconditioned_richardson(cs.op, precond, bl, xl, eps, rich);
+      rounds_used = round;
       if (it.reached_target || !opts_.adaptive ||
-          rebuilds >= opts_.max_rebuilds) {
+          round >= opts_.max_rebuilds) {
         break;
       }
-      // Stalled: refactor with doubled split copies and a shifted seed.
-      ++rebuilds;
-      const std::int64_t doubled = std::max<std::int64_t>(2, cs.copies * 2);
-      opts_.seed = splitmix64(opts_.seed ^ 0x5245425549ull);
-      build_component(cs, doubled);
-      cs.alpha_cache = 0.0;  // new chain, new spectrum
-      fill(std::span<double>(xl), 0.0);
+      // Stalled: escalate to the next (doubled-copies) round.
     }
     project_out_ones(xl);
     for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
@@ -221,7 +264,7 @@ SolveStats LaplacianSolver::solve(std::span<const double> b,
     total.relative_residual =
         std::max(total.relative_residual, it.relative_residual);
     total.converged = total.converged && it.reached_target;
-    total.rebuilds += rebuilds;
+    total.rebuilds += rounds_used;
   }
   return total;
 }

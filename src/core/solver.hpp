@@ -14,12 +14,24 @@
 // relative to the projected b.
 //
 // If a solve stalls — possible when `split_scale` is tuned too low for the
-// concentration bound of Thm 3.9 — and `adaptive` is set, the affected
-// component is refactored with twice the split copies and the solve
-// retried (at most `max_rebuilds` times).
+// concentration bound of Thm 3.9 — and `adaptive` is set, the solve
+// escalates to a refactorization with doubled split copies (at most
+// `max_rebuilds` rounds). Escalation chains are built once, cached, and
+// shared: round r's chain is a pure function of (graph, options, r), so a
+// solve's outcome never depends on which caller first triggered a round.
+//
+// Concurrency: solve(), solve_many(), and apply_preconditioner() are
+// const and safe to call concurrently from any number of threads on one
+// instance. Per-call scratch comes from a WorkspacePool; escalation
+// chains are published under a mutex; Richardson step-size estimates are
+// cached in atomics. Results are bit-identical regardless of interleaving
+// and thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -29,6 +41,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/multigraph.hpp"
 #include "linalg/laplacian_op.hpp"
+#include "parallel/workspace_pool.hpp"
 
 namespace parlap {
 
@@ -52,7 +65,7 @@ struct SolverOptions {
   LeverageOptions leverage;  ///< used when split == kLeverage
   BlockCholeskyOptions chain;
   RichardsonOptions richardson;
-  /// Rebuild with doubled split copies when Richardson stalls.
+  /// Escalate to doubled split copies when Richardson stalls.
   bool adaptive = true;
   int max_rebuilds = 2;
 };
@@ -62,7 +75,7 @@ struct SolveStats {
   int iterations = 0;              ///< max over components
   double relative_residual = 0.0;  ///< max over components
   bool converged = false;          ///< residual target reached
-  int rebuilds = 0;                ///< adaptive refactorizations triggered
+  int rebuilds = 0;                ///< escalation rounds used (sum)
 };
 
 /// Size and shape of the factorization built at construction.
@@ -87,24 +100,27 @@ class LaplacianSolver {
   explicit LaplacianSolver(const Multigraph& g, SolverOptions opts = {});
 
   /// Solves L x = b to relative accuracy eps. Returns per-solve stats.
+  /// Thread-safe; deterministic for fixed (b, eps).
   SolveStats solve(std::span<const double> b, std::span<double> x,
-                   double eps);
+                   double eps) const;
 
   /// Solves one system per entry of `bs`, reusing the factorization and
-  /// all workspaces (the factor-once / solve-many pattern; used by JL
+  /// pooled workspaces (the factor-once / solve-many pattern; used by JL
   /// sketching and time-stepping). xs[i] receives the solution of bs[i].
   std::vector<SolveStats> solve_many(std::span<const Vector> bs,
-                                     std::span<Vector> xs, double eps);
+                                     std::span<Vector> xs, double eps) const;
 
   /// Applies the block Cholesky preconditioner W (block-diagonal over
   /// components, kernel directions projected). Exposed for PCG-style
-  /// outer iterations and diagnostics.
+  /// outer iterations and diagnostics. Thread-safe.
   void apply_preconditioner(std::span<const double> r,
-                            std::span<double> y);
+                            std::span<double> y) const;
 
   /// One exact L-multiply of the *input* graph (for residual checks).
   void apply_laplacian(std::span<const double> x, std::span<double> y) const;
 
+  /// Describes the round-0 factorization (escalation rounds, when the
+  /// adaptive path ever builds them, are not reflected here).
   [[nodiscard]] const FactorizationInfo& info() const noexcept {
     return info_;
   }
@@ -112,31 +128,71 @@ class LaplacianSolver {
   /// Per-level diagnostics of the (first / largest) component's chain.
   [[nodiscard]] const std::vector<LevelStats>& level_stats(
       std::size_t component = 0) const {
-    return comps_.at(component).chain.level_stats();
+    return comps_.at(component).rounds.front()->chain.level_stats();
   }
   [[nodiscard]] std::size_t num_components() const noexcept {
     return comps_.size();
   }
 
  private:
+  /// One factorization of one component at one escalation round. The
+  /// chain is immutable after construction; only the cached Richardson
+  /// step size is written afterwards (atomically — the power iteration is
+  /// deterministic, so racing writers store the same value).
+  struct ChainRound {
+    BlockCholeskyChain chain;
+    std::int64_t copies = 0;
+    EdgeId split_edges = 0;
+    std::atomic<double> alpha_cache{0.0};
+  };
+
   struct ComponentSolver {
     std::vector<Vertex> vertices;  ///< global ids, ascending
     Multigraph graph;              ///< unsplit component graph (local ids)
     LaplacianOperator op;          ///< exact L of the component
-    BlockCholeskyChain chain;
-    ApplyWorkspace workspace;
-    std::int64_t copies = 0;
-    EdgeId split_edges = 0;
-    double alpha_cache = 0.0;  ///< Richardson step from power iteration;
-                               ///< reset on rebuild
-    Vector b_local, x_local;  ///< gather/scatter scratch
+    /// rounds[0] is built at construction and read lock-free; slots
+    /// 1..max_rebuilds are published on demand under rounds_mutex_
+    /// (mutable: lazy escalation happens inside const solve()).
+    mutable std::vector<std::shared_ptr<ChainRound>> rounds;
   };
 
-  void build_component(ComponentSolver& comp, std::int64_t copies_override);
+  /// Per-call scratch, pooled so sequential solves reuse allocations
+  /// while concurrent solves each hold their own. One ApplyWorkspace
+  /// per component (a shared one would be re-prepared on every
+  /// component switch — the identity check in prepare_workspace) plus
+  /// the gather/scatter vectors.
+  struct SolveScratch {
+    std::vector<ApplyWorkspace> per_component;
+    Vector b_local, x_local;
+
+    ApplyWorkspace& component_ws(std::size_t c, std::size_t total) {
+      if (per_component.size() < total) per_component.resize(total);
+      return per_component[c];
+    }
+  };
+
+  /// Builds the chain for `round` (0 = the configured split; each later
+  /// round doubles the copies of the previous one under a shifted seed).
+  [[nodiscard]] std::shared_ptr<ChainRound> build_round(
+      const ComponentSolver& comp, int round) const;
+
+  /// Returns (building and publishing if necessary) `comp`'s chain for
+  /// `round`. Deterministic: the result is independent of which thread
+  /// gets there first.
+  [[nodiscard]] std::shared_ptr<ChainRound> round_for(
+      const ComponentSolver& comp, int round) const;
+
+  /// The cached (or freshly estimated) Richardson step for `cr`,
+  /// computed with the caller's workspace.
+  [[nodiscard]] double step_size_for(const ComponentSolver& comp,
+                                     ChainRound& cr,
+                                     ApplyWorkspace& ws) const;
 
   SolverOptions opts_;
   FactorizationInfo info_;
   std::vector<ComponentSolver> comps_;
+  mutable std::mutex rounds_mutex_;  ///< guards rounds[1..] publication
+  mutable WorkspacePool<SolveScratch> scratch_pool_;
 };
 
 }  // namespace parlap

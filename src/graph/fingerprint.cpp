@@ -1,0 +1,39 @@
+#include "graph/fingerprint.hpp"
+
+#include <bit>
+
+#include "support/rng.hpp"
+
+namespace parlap {
+
+std::uint64_t fingerprint_mix(std::uint64_t h, std::uint64_t word) noexcept {
+  // splitmix64 finalizer over an accumulate-and-rotate chain: cheap, and
+  // every input bit diffuses into every output bit.
+  h ^= splitmix64(word + 0x9E3779B97F4A7C15ull);
+  return (h << 27 | h >> 37) * 0x2545F4914F6CDD1Dull;
+}
+
+std::uint64_t fingerprint_mix_string(std::uint64_t h,
+                                     std::string_view s) noexcept {
+  for (const char c : s) {
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(
+                               static_cast<unsigned char>(c)));
+  }
+  // Length guards against concatenation ambiguity across several folds.
+  return fingerprint_mix(h, static_cast<std::uint64_t>(s.size()));
+}
+
+std::uint64_t graph_fingerprint(const Multigraph& g) {
+  std::uint64_t h = 0x70617268'67726168ull;  // arbitrary fixed basis
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(g.num_vertices()));
+  const EdgeId m = g.num_edges();
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(m));
+  for (EdgeId e = 0; e < m; ++e) {
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(g.edge_u(e)));
+    h = fingerprint_mix(h, static_cast<std::uint64_t>(g.edge_v(e)));
+    h = fingerprint_mix(h, std::bit_cast<std::uint64_t>(g.edge_weight(e)));
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace parlap

@@ -1,0 +1,38 @@
+// Content fingerprinting of multigraphs.
+//
+// The solve-engine's FactorizationCache keys cached factorizations by
+// *what the graph is*, not where it came from: the same edge list loaded
+// from two files, or regenerated from the same spec, must map to the same
+// cache entry. graph_fingerprint hashes the full content — vertex count
+// and the ordered (u, v, w) edge triples — with a fixed mixing function,
+// so fingerprints are stable across processes and platforms (weights are
+// hashed by their IEEE-754 bit patterns).
+//
+// Edge order is significant by design: the randomized pipeline consumes
+// edges by index (Philox streams are keyed per edge id), so two orderings
+// of the same edge set legitimately factor differently.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/multigraph.hpp"
+
+namespace parlap {
+
+/// Order-sensitive 64-bit content hash of (n, m, edges). Never 0, so 0
+/// can serve as a "no fingerprint" sentinel.
+[[nodiscard]] std::uint64_t graph_fingerprint(const Multigraph& g);
+
+/// Extends a running fingerprint with one 64-bit word (the mixer behind
+/// graph_fingerprint; exposed for composite keys such as solution
+/// hashes and cache keys).
+[[nodiscard]] std::uint64_t fingerprint_mix(std::uint64_t h,
+                                            std::uint64_t word) noexcept;
+
+/// Folds a string into a running fingerprint byte by byte (cache keys,
+/// job-id streams).
+[[nodiscard]] std::uint64_t fingerprint_mix_string(std::uint64_t h,
+                                                   std::string_view s) noexcept;
+
+}  // namespace parlap

@@ -213,6 +213,40 @@ Multigraph make_random_regular(Vertex n, int d, std::uint64_t seed) {
   return g;
 }
 
+Multigraph make_watts_strogatz(Vertex n, int k, double beta,
+                               std::uint64_t seed) {
+  PARLAP_CHECK(n >= 3);
+  PARLAP_CHECK_MSG(k >= 2 && k % 2 == 0,
+                   "Watts-Strogatz degree k must be even and >= 2, got " << k);
+  PARLAP_CHECK_MSG(static_cast<Vertex>(k) < n,
+                   "Watts-Strogatz needs k < n, got k = " << k << ", n = "
+                                                          << n);
+  PARLAP_CHECK_MSG(beta >= 0.0 && beta <= 1.0,
+                   "rewiring probability beta must be in [0, 1], got "
+                       << beta);
+  Multigraph g(n);
+  const int half = k / 2;
+  const EdgeId m = static_cast<EdgeId>(n) * half;
+  g.resize_edges(m);
+  // Lattice edge (v, v + j) for j in 1..k/2; each decides independently
+  // (keyed by its edge index) whether its far endpoint rewires, so the
+  // result is identical for every thread count.
+  parallel_for(EdgeId{0}, m, [&](EdgeId e) {
+    const auto v = static_cast<Vertex>(e / half);
+    const auto j = static_cast<Vertex>(e % half) + 1;
+    Vertex u = (v + j) % n;
+    Rng rng(seed, RngTag::kGraphGen,
+            0x77737267u ^ static_cast<std::uint64_t>(e));
+    if (beta > 0.0 && rng.next_double() < beta) {
+      do {
+        u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      } while (u == v);
+    }
+    g.set_edge(e, v, u, 1.0);
+  });
+  return g;
+}
+
 Multigraph make_rmat(int scale, EdgeId m, std::uint64_t seed, double a,
                      double b, double c, bool ensure_connected) {
   PARLAP_CHECK(scale >= 1 && scale < 31);

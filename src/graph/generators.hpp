@@ -63,4 +63,17 @@ Multigraph make_rmat(int scale, EdgeId m, std::uint64_t seed, double a = 0.57,
                      double b = 0.19, double c = 0.19,
                      bool ensure_connected = true);
 
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its k nearest neighbors (k even, k < n), then the far
+/// endpoint of every lattice edge is rewired with probability beta to a
+/// uniform random vertex (self-loops resampled; duplicate edges are
+/// legal multi-edges). beta = 0 is the pure lattice, beta = 1 is
+/// near-random; small beta gives the high-clustering / low-diameter
+/// regime — a workload profile (local structure plus long-range
+/// shortcuts) none of the other families covers. Always m = n k / 2
+/// edges; connected for beta = 0, and with overwhelming probability for
+/// k >= 4 at practical beta.
+Multigraph make_watts_strogatz(Vertex n, int k, double beta,
+                               std::uint64_t seed);
+
 }  // namespace parlap

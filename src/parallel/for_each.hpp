@@ -5,6 +5,13 @@
 // flat data-parallel loop, which these wrappers express. All call sites
 // write to disjoint locations or use explicit reductions, so scheduling
 // never affects results.
+//
+// Nested parallelism: a wrapper invoked from inside an OpenMP parallel
+// region (omp_in_parallel()) or under a SerialScope runs its loop
+// serially instead of forking a nested team. Service-layer worker pools
+// (src/service/solve_engine.hpp) rely on this so N concurrent solves use
+// N threads total instead of N * omp_get_max_threads(). Results are
+// unaffected: every call site is deterministic across thread counts.
 #pragma once
 
 #include <cstdint>
@@ -14,17 +21,43 @@
 
 namespace parlap {
 
+namespace detail {
+/// Depth of SerialScope nesting on this thread (0 = parallelism allowed).
+inline thread_local int serial_scope_depth = 0;
+}  // namespace detail
+
+/// RAII guard that forces the parallel_for / parallel_for_dynamic /
+/// parallel_reduce primitives on the *current thread* to run serially for
+/// its lifetime. Used by worker pools whose threads each execute an
+/// already-parallel workload side by side.
+class SerialScope {
+ public:
+  SerialScope() noexcept { ++detail::serial_scope_depth; }
+  ~SerialScope() { --detail::serial_scope_depth; }
+
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+};
+
+/// Whether the primitives below may fork a parallel region on this
+/// thread: false inside an OpenMP parallel region (no oversubscribing
+/// nested teams) or under a SerialScope.
+[[nodiscard]] inline bool parallelism_allowed() noexcept {
+  return detail::serial_scope_depth == 0 && omp_in_parallel() == 0;
+}
+
 /// Number of threads OpenMP will use for the next parallel region.
 [[nodiscard]] inline int thread_count() { return omp_get_max_threads(); }
 
 /// Runs `fn(i)` for i in [begin, end). Parallel when the range is at least
-/// `grain`; serial otherwise (avoids fork overhead on tiny inner loops).
+/// `grain`; serial otherwise (avoids fork overhead on tiny inner loops)
+/// and whenever parallelism_allowed() is false (nested regions).
 template <typename Index, typename Fn>
 void parallel_for(Index begin, Index end, Fn&& fn,
                   std::int64_t grain = 2048) {
   const auto lo = static_cast<std::int64_t>(begin);
   const auto hi = static_cast<std::int64_t>(end);
-  if (hi - lo < grain) {
+  if (hi - lo < grain || !parallelism_allowed()) {
     for (std::int64_t i = lo; i < hi; ++i) fn(static_cast<Index>(i));
     return;
   }
@@ -39,7 +72,7 @@ void parallel_for_dynamic(Index begin, Index end, Fn&& fn,
                           std::int64_t grain = 256) {
   const auto lo = static_cast<std::int64_t>(begin);
   const auto hi = static_cast<std::int64_t>(end);
-  if (hi - lo < grain) {
+  if (hi - lo < grain || !parallelism_allowed()) {
     for (std::int64_t i = lo; i < hi; ++i) fn(static_cast<Index>(i));
     return;
   }
@@ -55,7 +88,7 @@ template <typename T, typename Index, typename Map, typename Combine>
   const auto lo = static_cast<std::int64_t>(begin);
   const auto hi = static_cast<std::int64_t>(end);
   T result = std::move(init);
-  if (hi - lo < 2048) {
+  if (hi - lo < 2048 || !parallelism_allowed()) {
     for (std::int64_t i = lo; i < hi; ++i)
       result = combine(std::move(result), map(static_cast<Index>(i)));
     return result;

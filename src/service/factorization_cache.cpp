@@ -1,0 +1,103 @@
+#include "service/factorization_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace parlap::service {
+
+std::size_t FactorizationKeyHash::operator()(
+    const FactorizationKey& k) const {
+  std::uint64_t h = k.graph_hash;
+  h = fingerprint_mix_string(h, k.method);
+  h = fingerprint_mix(h, k.seed);
+  // Canonicalize -0.0 before bit-casting: operator== compares doubles
+  // numerically, and equal keys must hash equally.
+  const double scale = k.split_scale == 0.0 ? 0.0 : k.split_scale;
+  h = fingerprint_mix(h, std::bit_cast<std::uint64_t>(scale));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(k.max_iterations)));
+  return static_cast<std::size_t>(h);
+}
+
+FactorizationCache::FactorizationCache(EdgeId budget_entries)
+    : budget_(budget_entries) {}
+
+std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
+    const FactorizationKey& key,
+    const std::function<std::unique_ptr<AnySolver>()>& factory) {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) break;  // miss: become the builder
+    if (!it->second.building) {
+      ++stats_.hits;
+      it->second.last_use = ++tick_;
+      return {it->second.solver, true};
+    }
+    // Someone else is factorizing this key; wait for the publication
+    // (or for the build to fail, which erases the entry and we retry as
+    // the builder).
+    cv_.wait(lock);
+  }
+
+  ++stats_.misses;
+  {
+    Entry placeholder;
+    placeholder.building = true;
+    entries_.emplace(key, std::move(placeholder));
+  }
+  lock.unlock();
+
+  std::shared_ptr<AnySolver> solver;
+  try {
+    solver = factory();
+  } catch (...) {
+    lock.lock();
+    entries_.erase(key);
+    cv_.notify_all();
+    throw;
+  }
+
+  lock.lock();
+  Entry& e = entries_.at(key);
+  e.solver = solver;
+  e.building = false;
+  e.cost = std::max<EdgeId>(1, solver->stored_entries());
+  e.last_use = ++tick_;
+  stats_.resident_entries += e.cost;
+  ++stats_.resident_count;
+  evict_to_budget_locked();
+  cv_.notify_all();
+  return {std::move(solver), false};
+}
+
+void FactorizationCache::evict_to_budget_locked() {
+  if (budget_ == 0) return;
+  while (stats_.resident_entries > budget_) {
+    // Least-recently-used completed entry — but never the most recent
+    // one, so a single over-budget factorization is still cached.
+    auto victim = entries_.end();
+    std::size_t completed = 0;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.building) continue;
+      ++completed;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (completed <= 1 || victim == entries_.end()) return;
+    stats_.resident_entries -= victim->second.cost;
+    --stats_.resident_count;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+FactorizationCache::Stats FactorizationCache::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace parlap::service

@@ -1,0 +1,107 @@
+// FactorizationCache — an LRU cache of constructed AnySolver instances.
+//
+// Factorization is the expensive half of the factor-once / solve-many
+// pipeline (seconds) while a solve is the cheap half (milliseconds), so a
+// service handling repeated traffic against the same graphs must reuse
+// factorizations across requests. The cache keys instances by *content*:
+// the graph fingerprint (graph/fingerprint.hpp) plus the method name and
+// the SolverConfig knobs that feed the factory — two jobs naming the same
+// generator spec, or the same file loaded twice, share one entry.
+//
+// The memory budget is expressed in stored matrix entries, charged per
+// instance via AnySolver::stored_entries() (the
+// FactorizationInfo::stored_entries proxy for the paper's solver). When
+// an insert pushes the resident total past the budget, least-recently-
+// used entries are dropped — except the most recent one, so a single
+// over-budget factorization still completes and serves its requester
+// (evicted instances stay alive for callers still holding the
+// shared_ptr; "resident" means reachable through the cache).
+//
+// Concurrency: all operations are safe from any thread. Lookups of the
+// same missing key are single-flight — one caller factorizes while the
+// rest wait on a condition variable, so a burst of identical jobs costs
+// one factorization, not workers-many.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "api/any_solver.hpp"
+#include "graph/fingerprint.hpp"
+#include "support/types.hpp"
+
+namespace parlap::service {
+
+/// Identity of one factorization: what graph, which method, and the
+/// config knobs the registry factory consumes.
+struct FactorizationKey {
+  std::uint64_t graph_hash = 0;  ///< graph_fingerprint of the input
+  std::string method;            ///< registry name ("parlap", ...)
+  std::uint64_t seed = 42;
+  double split_scale = 0.0;
+  int max_iterations = 0;
+
+  bool operator==(const FactorizationKey&) const = default;
+};
+
+struct FactorizationKeyHash {
+  [[nodiscard]] std::size_t operator()(const FactorizationKey& k) const;
+};
+
+class FactorizationCache {
+ public:
+  /// Counters since construction plus the current resident footprint.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< factorizations performed
+    std::uint64_t evictions = 0;   ///< entries dropped for budget
+    EdgeId resident_entries = 0;   ///< sum of stored_entries() resident
+    std::size_t resident_count = 0;
+  };
+
+  /// `budget_entries` caps the resident stored_entries total; 0 means
+  /// unlimited.
+  explicit FactorizationCache(EdgeId budget_entries = 0);
+
+  FactorizationCache(const FactorizationCache&) = delete;
+  FactorizationCache& operator=(const FactorizationCache&) = delete;
+
+  /// Returns the cached solver for `key`, or runs `factory` (outside the
+  /// cache lock, single-flight per key) and caches the result. The bool
+  /// is true on a hit. A factory exception propagates to the caller
+  /// whose factory threw and leaves the cache unchanged; waiters on
+  /// that key then retry, the next one becoming the builder — so a
+  /// transient failure costs one attempt per caller, never a poisoned
+  /// entry.
+  [[nodiscard]] std::pair<std::shared_ptr<AnySolver>, bool> get_or_create(
+      const FactorizationKey& key,
+      const std::function<std::unique_ptr<AnySolver>()>& factory);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] EdgeId budget_entries() const noexcept { return budget_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<AnySolver> solver;  ///< null while building
+    EdgeId cost = 0;
+    std::uint64_t last_use = 0;
+    bool building = false;
+  };
+
+  void evict_to_budget_locked();
+
+  const EdgeId budget_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<FactorizationKey, Entry, FactorizationKeyHash> entries_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace parlap::service

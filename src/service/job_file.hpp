@@ -1,0 +1,64 @@
+// The JSONL batch-job format (one job object per line).
+//
+// A job names a graph (generator spec or "file:PATH"), a solver method,
+// a right-hand-side spec, and tuning knobs. Example line:
+//
+//   {"id": "ws-a", "graph": "ws:512,6,0.1", "method": "parlap",
+//    "rhs": "random", "eps": 1e-8, "seed": 7}
+//
+// Fields (all but `graph` optional):
+//   id              string of letters, digits, '.', '_', '-' (<= 128
+//                   chars; ids become file names); defaults to
+//                   "job<line-number>". Must be unique — the per-job
+//                   RNG stream is derived from it.
+//   graph           "file:PATH" (edge list / .mtx by extension) or a
+//                   generator spec per graph_source ("grid2d:64",
+//                   "ws:512,6,0.1", ...).
+//   laplacian       bool; .mtx entries are Laplacian values (files only).
+//   weights         weight-model spec ("uniform:0.5,2", ...).
+//   method          registry name; default "parlap".
+//   rhs             "random[:k]" (deterministic mean-free vector, stream
+//                   keyed by (seed, id, k)) or "demand:S,T".
+//   eps             relative residual target; default 1e-8.
+//   seed            base seed for generator/factorization/rhs; default 42.
+//   split_scale     SolverConfig knob; default 0 (method default).
+//   max_iterations  SolverConfig knob; default 0 (method default).
+//   project_rhs     bool; accept a per-component-imbalanced rhs and
+//                   solve its least-squares projection (default: such a
+//                   job fails, mirroring `parlap_cli solve`).
+//
+// Blank lines and lines starting with '#' are skipped, so job files can
+// carry comments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace parlap::service {
+
+/// One solve request, as parsed from a JSONL line (defaults applied).
+struct SolveJob {
+  std::string id;
+  std::string graph;          ///< "file:PATH" or generator spec
+  bool laplacian = false;     ///< .mtx entries are Laplacian values
+  std::string weights;        ///< optional weight-model spec
+  std::string method = "parlap";
+  std::string rhs = "random";  ///< "random[:k]" | "demand:S,T"
+  double eps = 1e-8;
+  std::uint64_t seed = 42;
+  double split_scale = 0.0;
+  int max_iterations = 0;
+  bool project_rhs = false;
+};
+
+/// Parses a whole JSONL stream. Throws std::invalid_argument naming the
+/// offending line number for malformed JSON, unknown fields, missing
+/// `graph`, or duplicate ids.
+[[nodiscard]] std::vector<SolveJob> parse_jobs_jsonl(std::istream& in);
+
+/// Convenience overload over an in-memory buffer (tests, fixtures).
+[[nodiscard]] std::vector<SolveJob> parse_jobs_jsonl(const std::string& text);
+
+}  // namespace parlap::service

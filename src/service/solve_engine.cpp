@@ -1,0 +1,283 @@
+#include "service/solve_engine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "api/graph_source.hpp"
+#include "api/rhs.hpp"
+#include "api/solver_registry.hpp"
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+namespace parlap::service {
+
+namespace {
+
+/// Stable 64-bit hash of a string via the shared fingerprint mixer.
+std::uint64_t hash_string(const std::string& s) {
+  return fingerprint_mix_string(0x6A6F6269'64686173ull, s);
+}
+
+std::uint64_t hash_solution(std::span<const double> x) {
+  std::uint64_t h = 0x736F6C75'74696F6Eull;
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(x.size()));
+  for (const double v : x) {
+    h = fingerprint_mix(h, std::bit_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+constexpr const char* kFilePrefix = "file:";
+
+bool is_file_source(const std::string& graph) {
+  return graph.rfind(kFilePrefix, 0) == 0;
+}
+
+}  // namespace
+
+Vector job_rhs(const SolveJob& job, Vertex n) {
+  const std::string& spec = job.rhs;
+  if (spec.rfind("random", 0) == 0) {
+    std::uint64_t k = 0;
+    if (spec.size() > 6) {
+      if (spec[6] != ':') {
+        throw std::invalid_argument("job '" + job.id + "': bad rhs spec '" +
+                                    spec + "' (want random[:k])");
+      }
+      // All-digits check first: strtoull would silently skip whitespace
+      // and wrap a minus sign to a huge index.
+      const std::string tail = spec.substr(7);
+      const bool digits =
+          !tail.empty() &&
+          tail.find_first_not_of("0123456789") == std::string::npos;
+      char* end = nullptr;
+      if (digits) k = std::strtoull(tail.c_str(), &end, 10);
+      if (!digits || end == nullptr || *end != '\0') {
+        throw std::invalid_argument("job '" + job.id + "': bad rhs index '" +
+                                    tail + "'");
+      }
+    }
+    // Stream keyed by (seed, job id, k): independent of every other job
+    // and of scheduling, which is what makes batches replayable.
+    const std::uint64_t stream =
+        splitmix64(job.seed ^ fingerprint_mix(hash_string(job.id), k));
+    return random_rhs(n, stream);
+  }
+  if (spec.rfind("demand:", 0) == 0) {
+    const std::string tail = spec.substr(7);
+    const std::size_t comma = tail.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("job '" + job.id +
+                                  "': rhs demand wants S,T");
+    }
+    std::int64_t s = 0;
+    std::int64_t t = 0;
+    try {
+      std::size_t used_s = 0;
+      std::size_t used_t = 0;
+      s = std::stoll(tail.substr(0, comma), &used_s);
+      t = std::stoll(tail.substr(comma + 1), &used_t);
+      if (used_s != comma || used_t != tail.size() - comma - 1) {
+        throw std::invalid_argument(tail);
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("job '" + job.id + "': rhs '" + spec +
+                                  "' is not a vertex pair demand:S,T");
+    }
+    if (s < 0 || s >= n || t < 0 || t >= n || s == t) {
+      throw std::invalid_argument(
+          "job '" + job.id + "': demand endpoints (" + std::to_string(s) +
+          ", " + std::to_string(t) + ") invalid for " + std::to_string(n) +
+          " vertices");
+    }
+    return demand_rhs(n, static_cast<Vertex>(s), static_cast<Vertex>(t));
+  }
+  throw std::invalid_argument("job '" + job.id + "': unknown rhs spec '" +
+                              spec + "' (want random[:k] or demand:S,T)");
+}
+
+SolveEngine::SolveEngine(EngineOptions options)
+    : options_(options), cache_(options.cache_budget_entries) {
+  PARLAP_CHECK_MSG(options_.workers >= 1,
+                   "SolveEngine needs at least one worker, got "
+                       << options_.workers);
+}
+
+SolveEngine::~SolveEngine() = default;
+
+std::shared_ptr<const SolveEngine::LoadedGraph> SolveEngine::graph_for(
+    const SolveJob& job) {
+  // Key by everything that determines the loaded content ('\x1f', the
+  // unit separator, cannot appear in the specs). The seed only matters
+  // when something is generated from it — a plain file load is
+  // seed-independent and shared across differently-seeded jobs.
+  const bool seed_matters = !is_file_source(job.graph) || !job.weights.empty();
+  const std::string key =
+      job.graph + '\x1f' + job.weights + '\x1f' +
+      (job.laplacian ? "L" : "A") + '\x1f' +
+      (seed_matters ? std::to_string(job.seed) : std::string());
+  // Loads happen under the map lock: simple, and a batch's graph set is
+  // loaded once in its first wave while factorization dominates anyway.
+  const std::scoped_lock lock(graphs_mutex_);
+  const auto it = graphs_.find(key);
+  if (it != graphs_.end()) {
+    it->second->last_use = ++graphs_tick_;
+    return it->second;
+  }
+
+  Multigraph g =
+      is_file_source(job.graph)
+          ? load_graph_file(job.graph.substr(std::string(kFilePrefix).size()),
+                            GraphFileFormat::kAuto,
+                            job.laplacian ? MatrixMarketKind::kLaplacian
+                                          : MatrixMarketKind::kAdjacency)
+          : make_generated_graph(job.graph, job.seed);
+  if (!job.weights.empty()) {
+    apply_weights(g, parse_weight_model(job.weights), job.seed + 1);
+  }
+  if (g.num_vertices() == 0) {
+    throw std::runtime_error("graph '" + job.graph + "' has no vertices");
+  }
+
+  auto loaded = std::make_shared<LoadedGraph>();
+  loaded->fingerprint = graph_fingerprint(g);
+  loaded->components = connected_components(g);
+  loaded->graph = std::make_shared<const Multigraph>(std::move(g));
+  loaded->last_use = ++graphs_tick_;
+  graphs_.emplace(key, loaded);
+  // LRU bound: evicted graphs stay alive for jobs holding the pointer.
+  while (options_.graph_cache_limit > 0 &&
+         graphs_.size() > options_.graph_cache_limit) {
+    auto victim = graphs_.begin();
+    for (auto gi = graphs_.begin(); gi != graphs_.end(); ++gi) {
+      if (gi->second->last_use < victim->second->last_use) victim = gi;
+    }
+    graphs_.erase(victim);
+  }
+  return loaded;
+}
+
+JobResult SolveEngine::run_job(const SolveJob& job) {
+  JobResult result;
+  result.id = job.id;
+  const WallTimer job_timer;
+  try {
+    const std::shared_ptr<const LoadedGraph> loaded = graph_for(job);
+    const Vertex n = loaded->graph->num_vertices();
+
+    Vector b = job_rhs(job, n);
+    const RhsCompatibility compat =
+        check_rhs_compatibility(b, loaded->components);
+    if (!compat.compatible && !job.project_rhs) {
+      throw std::runtime_error(
+          "right-hand side is incompatible: component " +
+          std::to_string(compat.worst_component) + " has relative net "
+          "imbalance " + std::to_string(compat.worst_imbalance) +
+          " (set \"project_rhs\": true to solve the least-squares "
+          "projection)");
+    }
+
+    FactorizationKey key;
+    key.graph_hash = loaded->fingerprint;
+    key.method = job.method;
+    key.seed = job.seed;
+    key.split_scale = job.split_scale;
+    key.max_iterations = job.max_iterations;
+
+    SolverConfig config;
+    config.seed = job.seed;
+    config.split_scale = job.split_scale;
+    config.max_iterations = job.max_iterations;
+    const Multigraph& graph = *loaded->graph;
+    const auto [solver, hit] = cache_.get_or_create(key, [&] {
+      return SolverRegistry::instance().create(job.method, graph, config);
+    });
+    result.cache_hit = hit;
+
+    Vector x(static_cast<std::size_t>(n), 0.0);
+    result.report = solver->solve(b, x, job.eps);
+    result.solution_hash = hash_solution(x);
+    if (options_.keep_solutions) result.solution = std::move(x);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  result.wall_seconds = job_timer.seconds();
+  return result;
+}
+
+BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
+  BatchResult batch;
+  batch.jobs.resize(jobs.size());
+  const FactorizationCache::Stats cache_before = cache_.stats();
+  const WallTimer batch_timer;
+
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(options_.workers),
+      std::max<std::size_t>(1, jobs.size())));
+  std::atomic<std::size_t> next{0};
+  const auto worker_main = [&] {
+    // Throughput mode: each worker runs its solves single-threaded so N
+    // workers use N threads total (see header). SerialScope covers the
+    // parallel_for wrappers; the OpenMP ICV covers raw pragmas, and both
+    // die with this thread.
+    std::optional<SerialScope> serial;
+    if (workers > 1) {
+      omp_set_num_threads(1);
+      serial.emplace();
+    }
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) break;
+      batch.jobs[i] = run_job(jobs[i]);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_main);
+  for (std::thread& t : pool) t.join();
+
+  EngineStats& stats = batch.stats;
+  stats.jobs = static_cast<std::int64_t>(jobs.size());
+  stats.wall_seconds = batch_timer.seconds();
+  std::vector<double> solve_times;
+  solve_times.reserve(jobs.size());
+  for (const JobResult& r : batch.jobs) {
+    if (!r.ok) {
+      ++stats.failed;
+      continue;
+    }
+    ++stats.succeeded;
+    if (r.report.converged) ++stats.converged;
+    solve_times.push_back(r.report.solve_seconds);
+  }
+  if (stats.wall_seconds > 0.0) {
+    stats.solves_per_second =
+        static_cast<double>(stats.succeeded) / stats.wall_seconds;
+  }
+  if (!solve_times.empty()) {
+    stats.p50_solve_seconds = percentile(solve_times, 0.5);
+    stats.p95_solve_seconds = percentile(solve_times, 0.95);
+  }
+  // Counters are reported per batch (so a warmed engine's second run
+  // shows its true steady-state hit rate); resident_* stay absolute.
+  stats.cache = cache_.stats();
+  stats.cache.hits -= cache_before.hits;
+  stats.cache.misses -= cache_before.misses;
+  stats.cache.evictions -= cache_before.evictions;
+  return batch;
+}
+
+}  // namespace parlap::service

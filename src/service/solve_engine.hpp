@@ -1,0 +1,141 @@
+// SolveEngine — concurrent multi-RHS solve throughput service.
+//
+// The execution layer the ROADMAP's "heavy traffic" north star asks for:
+// a batch of SolveJobs (job_file.hpp) runs on a pool of worker threads
+// that share one FactorizationCache, so repeated graphs factor once and
+// then serve many solves concurrently through the const, thread-safe
+// AnySolver::solve surface.
+//
+// Determinism contract: every job's result — solution bits, residual,
+// iteration count — is a pure function of the job itself (its id, seed,
+// graph, method, knobs). It does not depend on the worker count, on
+// which worker picks the job up, or on completion order. This holds
+// because (a) factorizations are pure functions of (graph content,
+// method, config), (b) AnySolver::solve is deterministic across thread
+// counts, and (c) each job's right-hand side comes from a Philox stream
+// keyed by (seed, job id) rather than any shared counter. Tests compare
+// --workers 1 against --workers N for bit-identical results.
+//
+// Oversubscription: with workers > 1 each worker pins its OpenMP thread
+// count to 1 and enters a SerialScope, so a machine runs `workers`
+// single-threaded solves side by side instead of workers * max_threads
+// oversubscribed ones. With workers == 1 the solves keep their inner
+// OpenMP parallelism (latency mode vs throughput mode).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/run_report.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/multigraph.hpp"
+#include "linalg/vector_ops.hpp"
+#include "service/factorization_cache.hpp"
+#include "service/job_file.hpp"
+
+namespace parlap::service {
+
+/// Outcome of one job. `ok` distinguishes "ran" from "failed to run"
+/// (bad graph spec, unknown method, incompatible rhs, ...); a job that
+/// ran but missed its eps still has ok == true with converged == false
+/// in the report.
+struct JobResult {
+  std::string id;
+  bool ok = false;
+  std::string error;        ///< set when !ok
+  bool cache_hit = false;   ///< factorization came from the cache
+  RunReport report;         ///< zero-initialized when !ok
+  double wall_seconds = 0;  ///< load + factor-or-hit + solve, this job
+  /// Order-independent fingerprint of the solution bits (fingerprint_mix
+  /// chain); lets callers assert bit-identical results across worker
+  /// counts without shipping the vectors.
+  std::uint64_t solution_hash = 0;
+  Vector solution;  ///< kept only under EngineOptions::keep_solutions
+};
+
+struct EngineOptions {
+  int workers = 1;                 ///< worker threads (>= 1)
+  EdgeId cache_budget_entries = 0; ///< FactorizationCache budget; 0 = off
+  bool keep_solutions = false;     ///< retain JobResult::solution
+  /// Loaded graphs retained for reuse (LRU beyond this; 0 = unlimited).
+  /// Bounds the engine's second cache so a long-lived engine seeing a
+  /// rotating graph set cannot grow without limit.
+  std::size_t graph_cache_limit = 32;
+};
+
+/// Aggregate batch telemetry.
+struct EngineStats {
+  std::int64_t jobs = 0;
+  std::int64_t succeeded = 0;  ///< ok
+  std::int64_t converged = 0;  ///< ok && report.converged
+  std::int64_t failed = 0;     ///< !ok
+  double wall_seconds = 0.0;       ///< whole batch
+  double solves_per_second = 0.0;  ///< succeeded / wall_seconds
+  double p50_solve_seconds = 0.0;  ///< per-job solve_seconds percentiles
+  double p95_solve_seconds = 0.0;
+  /// Cache activity of THIS batch (hit/miss/eviction counters are
+  /// per-run deltas; resident_* are absolute at batch end), so a warmed
+  /// engine's steady-state hit rate reads directly from one run.
+  FactorizationCache::Stats cache;
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;  ///< same order as the input batch
+  EngineStats stats;
+};
+
+class SolveEngine {
+ public:
+  explicit SolveEngine(EngineOptions options = {});
+  ~SolveEngine();
+
+  SolveEngine(const SolveEngine&) = delete;
+  SolveEngine& operator=(const SolveEngine&) = delete;
+
+  /// Runs the batch to completion (blocking). May be called repeatedly;
+  /// the factorization cache persists across batches.
+  [[nodiscard]] BatchResult run(std::span<const SolveJob> jobs);
+
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] FactorizationCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  struct LoadedGraph {
+    std::shared_ptr<const Multigraph> graph;
+    std::uint64_t fingerprint = 0;
+    Components components;
+    std::uint64_t last_use = 0;  ///< LRU tick, under graphs_mutex_
+  };
+
+  /// Loads/generates (and memoizes) the graph a job names.
+  [[nodiscard]] std::shared_ptr<const LoadedGraph> graph_for(
+      const SolveJob& job);
+
+  [[nodiscard]] JobResult run_job(const SolveJob& job);
+
+  EngineOptions options_;
+  FactorizationCache cache_;
+  std::mutex graphs_mutex_;
+  std::uint64_t graphs_tick_ = 0;
+  /// Keyed by (graph spec, weights, laplacian, seed) — the inputs that
+  /// determine the loaded content (seed is dropped for plain file
+  /// sources, whose content it cannot affect). LRU-bounded by
+  /// EngineOptions::graph_cache_limit; evicted graphs stay alive for
+  /// jobs still holding the shared_ptr.
+  std::unordered_map<std::string, std::shared_ptr<LoadedGraph>> graphs_;
+};
+
+/// The per-job right-hand side (exposed for tests): "random[:k]" uses a
+/// Philox stream keyed by (seed, job id, k); "demand:S,T" is e_S - e_T.
+[[nodiscard]] Vector job_rhs(const SolveJob& job, Vertex n);
+
+}  // namespace parlap::service

@@ -53,6 +53,12 @@ TEST(GraphSource, GeneratorSpecsProduceExpectedShapes) {
   EXPECT_EQ(make_generated_graph("rmat:5", 2).num_vertices(), 32);
   EXPECT_EQ(make_generated_graph("rmat:5,100", 2).num_edges(), 100);
   EXPECT_EQ(make_generated_graph("barbell:5,2").num_vertices(), 12);
+
+  const Multigraph ws = make_generated_graph("ws:64,4,0.2", 9);
+  EXPECT_EQ(ws.num_vertices(), 64);
+  EXPECT_EQ(ws.num_edges(), 128);
+  // beta defaults to 0.1; both forms parse.
+  EXPECT_EQ(make_generated_graph("ws:30,2", 9).num_edges(), 30);
 }
 
 TEST(GraphSource, GeneratorSeedIsHonored) {
@@ -91,6 +97,9 @@ TEST(GraphSource, BadSpecsThrowActionableErrors) {
   EXPECT_THROW(gen("rmat:60"), std::invalid_argument);  // default-m shift
   EXPECT_THROW(gen("rmat:4294967297"), std::invalid_argument);
   EXPECT_THROW(gen("regular:10,4294967297"), std::invalid_argument);
+  EXPECT_THROW(gen("ws:100"), std::invalid_argument);          // missing k
+  EXPECT_THROW(gen("ws:100,4,2.0"), std::invalid_argument);    // beta > 1
+  EXPECT_THROW(gen("ws:100,4294967297"), std::invalid_argument);
   try {
     (void)make_generated_graph("wat:1");
   } catch (const std::invalid_argument& e) {

@@ -161,6 +161,64 @@ def run_checks(cli, data, fixture, tmp):
               "info: grid2d:6 has 36 vertices / 60 edges")
         check(doc.get("components") == 1, "info: connected")
 
+    # --- batch: engine, cache, and worker-count determinism ---------------
+    jobs_file = data / "batch_jobs.jsonl"
+    batch_docs = {}
+    for workers in ("1", "4"):
+        batch_json = tmp / f"batch{workers}.json"
+        p = run(cli, "batch", "--jobs", str(jobs_file), "--workers", workers,
+                "--json", str(batch_json))
+        check(p.returncode == 0,
+              f"batch workers={workers}: exit 0 (got {p.returncode}: {p.stderr.strip()})")
+        if p.returncode != 0:
+            continue
+        batch_docs[workers] = json.loads(batch_json.read_text())
+
+    if "4" in batch_docs:
+        doc = batch_docs["4"]
+        check(doc.get("schema") == "parlap-cli-batch-v1", "batch: schema tag")
+        check(doc.get("all_converged") is True, "batch: all jobs converged")
+        check(doc.get("cache", {}).get("hits", 0) > 0,
+              "batch: repeated graphs produce cache hits")
+        agg = doc.get("aggregate", {})
+        check(agg.get("failed") == 0 and agg.get("succeeded") == agg.get("jobs"),
+              "batch: aggregate counts consistent")
+        check(agg.get("solves_per_second", 0) > 0, "batch: throughput reported")
+        check(agg.get("p95_solve_seconds", 0) >= agg.get("p50_solve_seconds", 1),
+              "batch: p95 >= p50")
+
+    if set(batch_docs) == {"1", "4"}:
+        a = batch_docs["1"]["jobs"]
+        b = batch_docs["4"]["jobs"]
+        check([j["id"] for j in a] == [j["id"] for j in b],
+              "batch: job order is input order for every worker count")
+        for ja, jb in zip(a, b):
+            check(ja.get("solution_hash") == jb.get("solution_hash")
+                  and ja.get("relative_residual") == jb.get("relative_residual")
+                  and ja.get("iterations") == jb.get("iterations"),
+                  f"batch: job {ja.get('id')} identical at workers 1 vs 4")
+
+    p = run(cli, "batch", "--jobs", str(data / "nope.jsonl"))
+    check(p.returncode == 3, f"batch missing job file: exit 3 (got {p.returncode})")
+
+    p = run(cli, "batch")
+    check(p.returncode == 2, f"batch without --jobs: exit 2 (got {p.returncode})")
+
+    bad_jobs = tmp / "bad.jsonl"
+    bad_jobs.write_text('{"method": "parlap"}\n')  # no graph
+    p = run(cli, "batch", "--jobs", str(bad_jobs))
+    check(p.returncode == 3, f"batch malformed job: exit 3 (got {p.returncode})")
+    check("line 1" in p.stderr, "batch malformed job: names the line")
+
+    # A failing job is isolated: exit 1, the rest still solve.
+    mixed_jobs = tmp / "mixed.jsonl"
+    mixed_jobs.write_text(
+        '{"id": "good", "graph": "grid2d:6"}\n'
+        '{"id": "bad", "graph": "grid2d:6", "method": "no-such"}\n')
+    p = run(cli, "batch", "--jobs", str(mixed_jobs))
+    check(p.returncode == 1, f"batch with failing job: exit 1 (got {p.returncode})")
+    check("no-such" in p.stderr, "batch with failing job: error surfaced")
+
     # --- bench smoke ------------------------------------------------------
     bench_json = tmp / "bench.json"
     p = run(cli, "bench", "--family", "path", "--sizes", "64,128", "--reps", "1",

@@ -137,6 +137,53 @@ TEST(Generators, RmatSkewedDegrees) {
   EXPECT_GT(max_deg, 8.0 * avg);  // heavy tail
 }
 
+TEST(Generators, WattsStrogatzLatticeAtBetaZero) {
+  // beta = 0 is the deterministic k-ring: n*k/2 edges, every vertex of
+  // degree k, connected.
+  const Multigraph g = make_watts_strogatz(100, 6, 0.0, 3);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 300);
+  EXPECT_TRUE(is_connected(g));
+  for (const double d : g.weighted_degrees()) EXPECT_DOUBLE_EQ(d, 6.0);
+  g.validate();
+}
+
+TEST(Generators, WattsStrogatzRewiresSomeEdges) {
+  const Multigraph lattice = make_watts_strogatz(500, 4, 0.0, 7);
+  const Multigraph rewired = make_watts_strogatz(500, 4, 0.3, 7);
+  EXPECT_EQ(rewired.num_edges(), lattice.num_edges());  // count preserved
+  EdgeId moved = 0;
+  for (EdgeId e = 0; e < rewired.num_edges(); ++e) {
+    EXPECT_EQ(rewired.edge_u(e), lattice.edge_u(e));  // near end kept
+    if (rewired.edge_v(e) != lattice.edge_v(e)) ++moved;
+  }
+  // ~30% of 1000 edges rewire; allow a wide deterministic band.
+  EXPECT_GT(moved, 150u);
+  EXPECT_LT(moved, 450u);
+  rewired.validate();
+}
+
+TEST(Generators, WattsStrogatzDeterministicPerSeed) {
+  const Multigraph a = make_watts_strogatz(200, 6, 0.2, 11);
+  const Multigraph b = make_watts_strogatz(200, 6, 0.2, 11);
+  const Multigraph c = make_watts_strogatz(200, 6, 0.2, 12);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EdgeId differs_from_c = 0;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e));
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e));
+    if (a.edge_v(e) != c.edge_v(e)) ++differs_from_c;
+  }
+  EXPECT_GT(differs_from_c, 0u);  // the seed actually feeds the rewiring
+}
+
+TEST(Generators, WattsStrogatzRejectsBadParameters) {
+  EXPECT_THROW(make_watts_strogatz(100, 5, 0.1, 1), std::runtime_error);
+  EXPECT_THROW(make_watts_strogatz(100, 0, 0.1, 1), std::runtime_error);
+  EXPECT_THROW(make_watts_strogatz(4, 4, 0.1, 1), std::runtime_error);
+  EXPECT_THROW(make_watts_strogatz(100, 4, 1.5, 1), std::runtime_error);
+}
+
 TEST(WeightModels, UniformRange) {
   Multigraph g = make_cycle(1000);
   apply_weights(g, WeightModel::uniform(2.0, 5.0), 23);

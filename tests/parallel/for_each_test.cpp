@@ -63,5 +63,66 @@ TEST(ParallelReduce, EmptyRangeReturnsInit) {
 
 TEST(ThreadCount, Positive) { EXPECT_GE(thread_count(), 1); }
 
+TEST(SerialScope, SuppressesParallelism) {
+  EXPECT_TRUE(parallelism_allowed());
+  {
+    SerialScope guard;
+    EXPECT_FALSE(parallelism_allowed());
+    // A large range must still run — in submission order, proving the
+    // serial fallback was taken.
+    constexpr std::int64_t kN = 1 << 16;
+    std::int64_t expected_next = 0;
+    bool ordered = true;
+    parallel_for(std::int64_t{0}, kN, [&](std::int64_t i) {
+      ordered = ordered && (i == expected_next);
+      ++expected_next;
+    });
+    EXPECT_TRUE(ordered);
+    EXPECT_EQ(expected_next, kN);
+    {
+      SerialScope nested;  // nesting stacks, it does not toggle
+      EXPECT_FALSE(parallelism_allowed());
+    }
+    EXPECT_FALSE(parallelism_allowed());
+  }
+  EXPECT_TRUE(parallelism_allowed());
+}
+
+TEST(SerialScope, NestedOmpRegionFallsBackToSerial) {
+  // Inside an OpenMP parallel region every wrapper must refuse to fork a
+  // nested team; the serial fallback keeps iteration order.
+  std::atomic<int> bad{0};
+#pragma omp parallel num_threads(2)
+  {
+    EXPECT_FALSE(parallelism_allowed());
+    std::int64_t expected_next = 0;
+    parallel_for(std::int64_t{0}, std::int64_t{1} << 14, [&](std::int64_t i) {
+      if (i != expected_next) ++bad;
+      ++expected_next;
+    });
+    const std::int64_t total = parallel_reduce(
+        std::int64_t{0}, std::int64_t{1} << 14, std::int64_t{0},
+        [](std::int64_t i) { return i; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+    if (total != (std::int64_t{1} << 14) * ((std::int64_t{1} << 14) - 1) / 2) {
+      ++bad;
+    }
+  }
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(SerialScope, ReduceUnderScopeMatchesParallel) {
+  constexpr std::int64_t kN = 1 << 20;
+  const auto run = [] {
+    return parallel_reduce(
+        std::int64_t{0}, kN, std::int64_t{0},
+        [](std::int64_t i) { return i % 7; },
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  };
+  const std::int64_t open = run();
+  SerialScope guard;
+  EXPECT_EQ(run(), open);
+}
+
 }  // namespace
 }  // namespace parlap

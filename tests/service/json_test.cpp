@@ -1,0 +1,98 @@
+// Unit tests for the minimal JSON reader behind the batch job format.
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace parlap::service {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e-8").as_number(), 1e-8);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E+3").as_number(), 2500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  \"pad\"  ").as_string(), "pad");
+}
+
+TEST(Json, ParsesStringsWithEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse_json(R"("tab\there\nline")").as_string(), "tab\there\nline");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xC3\xA9");
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xE2\x82\xAC");  // €
+}
+
+TEST(Json, ParsesArraysAndObjects) {
+  const JsonValue v = parse_json(R"({"a": [1, 2, 3], "b": {"c": true}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  const JsonValue* c = v.find("b")->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->as_bool());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+}
+
+TEST(Json, DuplicateKeysKeepLast) {
+  EXPECT_DOUBLE_EQ(parse_json(R"({"k": 1, "k": 2})").find("k")->as_number(),
+                   2.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}", "{\"a\":}",
+        "[1 2]", "1 2", "nan", "inf", "--1", "1.2.3", "\"bad\\q\"",
+        "\"\\u12\"", "{\"a\":1,}", "[1,]", "\x01"}) {
+    EXPECT_THROW((void)parse_json(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Json, RejectsPathologicalNestingWithoutOverflow) {
+  // 200k open brackets must be a parse error, not a stack overflow.
+  const std::string deep(200000, '[');
+  EXPECT_THROW((void)parse_json(deep), std::invalid_argument);
+  std::string mixed;
+  for (int i = 0; i < 1000; ++i) mixed += "{\"a\":[";
+  EXPECT_THROW((void)parse_json(mixed), std::invalid_argument);
+  // 64 levels (the documented limit) still parse.
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_EQ(parse_json(ok).as_array().size(), 1u);
+  // Empty containers must release their depth: many flat {} / [] are
+  // fine however numerous.
+  std::string flat = "[";
+  for (int i = 0; i < 200; ++i) flat += i == 0 ? "{}" : ",{}";
+  for (int i = 0; i < 200; ++i) flat += ",[]";
+  flat += "]";
+  EXPECT_EQ(parse_json(flat).as_array().size(), 400u);
+}
+
+TEST(Json, ErrorsNameTheOffset) {
+  try {
+    (void)parse_json("{\"a\": 1, \"b\": }");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  const JsonValue v = parse_json("42");
+  EXPECT_THROW((void)v.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_array(), std::invalid_argument);
+  EXPECT_THROW((void)v.as_bool(), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("\"s\"").as_number(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parlap::service

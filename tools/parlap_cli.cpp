@@ -6,17 +6,21 @@
 //
 //   solve   factor a graph under any registered method, solve one or
 //           many right-hand sides, report human table and/or JSON
+//   batch   run a JSONL job file through the concurrent SolveEngine
+//           (shared factorization cache, --workers N)
 //   info    graph / component / degree statistics
 //   gen     write generator output to Matrix Market or edge-list files
 //   bench   quick E1-style scaling sweep of one method
 //
-// Exit codes: 0 success, 1 solve ran but missed the residual target,
-// 2 usage error, 3 input or runtime error. docs/CLI.md is the reference.
+// Exit codes: 0 success, 1 solve ran but missed the residual target (or
+// a batch job failed/missed), 2 usage error, 3 input or runtime error.
+// docs/CLI.md is the reference.
 #include <omp.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -33,6 +37,8 @@
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
 #include "harness/json_writer.hpp"
+#include "service/job_file.hpp"
+#include "service/solve_engine.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -383,6 +389,152 @@ int cmd_solve(Args& args) {
 }
 
 // ---------------------------------------------------------------------------
+// batch
+// ---------------------------------------------------------------------------
+
+int cmd_batch(Args& args) {
+  const std::string jobs_path = args.take_value("--jobs").value_or("");
+  const auto workers = args.take_int("--workers", 1);
+  const auto cache_budget = args.take_int("--cache-budget", 0);
+  const bool keep_solutions = args.take_flag("--solutions");
+  const std::string json_path = args.take_value("--json").value_or("");
+  const std::string out_path = args.take_value("--out").value_or("");
+  args.expect_empty();
+  if (jobs_path.empty()) throw UsageError("batch requires --jobs FILE");
+  if (workers < 1) throw UsageError("--workers must be >= 1");
+  if (cache_budget < 0) throw UsageError("--cache-budget must be >= 0");
+  if (out_path.empty() != !keep_solutions) {
+    throw UsageError("--solutions and --out DIR go together");
+  }
+
+  std::ifstream jobs_in(jobs_path);
+  if (!jobs_in.good()) {
+    throw std::runtime_error("cannot open job file " + jobs_path);
+  }
+  const std::vector<service::SolveJob> jobs =
+      service::parse_jobs_jsonl(jobs_in);
+  if (jobs.empty()) {
+    throw std::runtime_error("job file " + jobs_path + " contains no jobs");
+  }
+
+  service::EngineOptions engine_options;
+  engine_options.workers = static_cast<int>(workers);
+  engine_options.cache_budget_entries = static_cast<EdgeId>(cache_budget);
+  engine_options.keep_solutions = keep_solutions;
+  service::SolveEngine engine(engine_options);
+
+  std::cerr << "parlap_cli: batch " << jobs_path << ": " << jobs.size()
+            << " job(s), " << workers << " worker(s)\n";
+  const service::BatchResult batch = engine.run(jobs);
+  const service::EngineStats& stats = batch.stats;
+
+  TextTable table("batch: " + jobs_path + ", workers " +
+                  std::to_string(workers));
+  table.set_header({"job", "method", "cache", "iters", "solve_s", "residual",
+                    "status"},
+                   5);
+  bool all_converged = true;
+  for (const service::JobResult& r : batch.jobs) {
+    const std::string status =
+        !r.ok ? "ERROR" : (r.report.converged ? "ok" : "NO-CONV");
+    all_converged = all_converged && r.ok && r.report.converged;
+    table.add_row({r.id, r.report.method,
+                   std::string(r.cache_hit ? "hit" : "miss"),
+                   static_cast<std::int64_t>(r.report.iterations),
+                   r.report.solve_seconds, r.report.relative_residual,
+                   status});
+  }
+  table.print(std::cout);
+  for (const service::JobResult& r : batch.jobs) {
+    if (!r.ok) std::cerr << "parlap_cli: job " << r.id << ": " << r.error << '\n';
+  }
+  std::cout << "batch: " << stats.succeeded << "/" << stats.jobs
+            << " solved in " << stats.wall_seconds << " s ("
+            << stats.solves_per_second << " solves/s), cache "
+            << stats.cache.hits << " hit(s) / " << stats.cache.misses
+            << " miss(es) / " << stats.cache.evictions << " eviction(s)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os = open_output(json_path);
+    bench::JsonWriter w(os);
+    w.begin_object();
+    w.member("schema", "parlap-cli-batch-v1");
+    write_json_metadata(w);
+    w.member("jobs_file", jobs_path);
+    w.member("workers", static_cast<std::int64_t>(workers));
+    w.key("cache");
+    w.begin_object();
+    w.member("budget_entries", static_cast<std::int64_t>(cache_budget));
+    w.member("hits", static_cast<std::int64_t>(stats.cache.hits));
+    w.member("misses", static_cast<std::int64_t>(stats.cache.misses));
+    w.member("evictions", static_cast<std::int64_t>(stats.cache.evictions));
+    w.member("resident_entries",
+             static_cast<std::int64_t>(stats.cache.resident_entries));
+    w.member("resident_count",
+             static_cast<std::int64_t>(stats.cache.resident_count));
+    w.end_object();
+    w.key("aggregate");
+    w.begin_object();
+    w.member("jobs", stats.jobs);
+    w.member("succeeded", stats.succeeded);
+    w.member("converged", stats.converged);
+    w.member("failed", stats.failed);
+    w.member("wall_seconds", stats.wall_seconds);
+    w.member("solves_per_second", stats.solves_per_second);
+    w.member("p50_solve_seconds", stats.p50_solve_seconds);
+    w.member("p95_solve_seconds", stats.p95_solve_seconds);
+    w.end_object();
+    w.key("jobs");
+    w.begin_array();
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+      const service::JobResult& r = batch.jobs[i];
+      w.begin_object();
+      w.member("id", r.id);
+      w.member("graph", jobs[i].graph);
+      w.member("method", jobs[i].method);
+      w.member("rhs", jobs[i].rhs);
+      w.member("ok", r.ok);
+      if (!r.ok) {
+        w.member("error", r.error);
+      } else {
+        w.member("cache_hit", r.cache_hit);
+        w.member("setup_seconds", r.report.setup_seconds);
+        w.member("solve_seconds", r.report.solve_seconds);
+        w.member("iterations", r.report.iterations);
+        w.member("relative_residual", r.report.relative_residual);
+        w.member("converged", r.report.converged);
+        // Hex so the 64-bit fingerprint survives JSON double precision.
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(r.solution_hash));
+        w.member("solution_hash", hex);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.member("all_converged", all_converged);
+    w.end_object();
+    os << '\n';
+  }
+
+  // Solutions last, after the JSON report is safely on disk: an
+  // unwritable --out directory costs the solution files, not the
+  // already-computed report. (Job ids are charset-restricted by
+  // parse_jobs_jsonl, so the path below cannot escape --out.)
+  if (!out_path.empty()) {
+    // One file per job: <out>/<job-id>.x, one value per vertex.
+    for (const service::JobResult& r : batch.jobs) {
+      if (!r.ok) continue;
+      std::ofstream os = open_output(out_path + "/" + r.id + ".x");
+      os.precision(std::numeric_limits<double>::max_digits10);
+      for (const double v : r.solution) os << v << '\n';
+    }
+  }
+
+  return all_converged ? kExitOk : kExitNotConverged;
+}
+
+// ---------------------------------------------------------------------------
 // info
 // ---------------------------------------------------------------------------
 
@@ -572,6 +724,7 @@ void print_usage(std::ostream& os) {
         "\n"
         "commands:\n"
         "  solve   solve L x = b on a graph from --input or --gen\n"
+        "  batch   run a JSONL job file through the concurrent solve engine\n"
         "  info    graph / component / degree statistics\n"
         "  gen     write a generated graph to a file\n"
         "  bench   quick scaling sweep of one method\n"
@@ -585,6 +738,9 @@ void print_usage(std::ostream& os) {
         "                       [--project-rhs] [--split-scale X]\n"
         "                       [--max-iterations N] [--out FILE] [--json FILE]\n"
         "                       [--list-methods]\n"
+        "batch:                 --jobs FILE.jsonl [--workers N]\n"
+        "                       [--cache-budget ENTRIES] [--json FILE]\n"
+        "                       [--solutions --out DIR]\n"
         "info:                  [--json FILE]\n"
         "gen:                   --gen SPEC --out FILE [--format mtx|edgelist]\n"
         "bench:                 [--family F] [--sizes a,b,c] [--method NAME]\n"
@@ -606,6 +762,7 @@ int main(int argc, char** argv) {
   Args args(argc, argv, 2);
   try {
     if (command == "solve") return cmd_solve(args);
+    if (command == "batch") return cmd_batch(args);
     if (command == "info") return cmd_info(args);
     if (command == "gen") return cmd_gen(args);
     if (command == "bench") return cmd_bench(args);

@@ -1,5 +1,5 @@
 // Shared helpers for the experiment harness (one binary per experiment;
-// see EXPERIMENTS.md for the E1-E15 catalogue and the JSON reporting
+// see EXPERIMENTS.md for the E1-E16 catalogue and the JSON reporting
 // contract implemented by harness/json_writer.hpp).
 #pragma once
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the E1-E15 experiment binaries and collects one machine-readable
+# Runs the E1-E16 experiment binaries and collects one machine-readable
 # BENCH_E<k>.json per experiment (schema: bench/harness/json_writer.hpp),
 # tagged with the current commit, so perf changes can be proven against a
 # recorded trajectory.
@@ -79,6 +79,7 @@ EXPERIMENTS=(
   "E13 bench_e13_spanning_tree"
   "E14 bench_e14_sparsify"
   "E15 bench_e15_throughput"
+  "E16 bench_e16_build"
 )
 
 wants() {  # wants E5 -> 0 iff selected by --only (or no filter)

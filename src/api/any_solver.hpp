@@ -14,6 +14,7 @@
 #include <string>
 
 #include "api/run_report.hpp"
+#include "core/build_stats.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -71,6 +72,14 @@ class AnySolver {
   /// to charge instances against its budget. Never less than 1.
   [[nodiscard]] virtual EdgeId stored_entries() const noexcept {
     return dimension() > 0 ? static_cast<EdgeId>(dimension()) : EdgeId{1};
+  }
+
+  /// Build-phase telemetry of the factorization (BuildStats recorded by
+  /// the chain-construction pipeline), or nullptr for methods that do
+  /// not factor through it. The pointer stays valid for the instance's
+  /// lifetime; RunReports embed a copy.
+  [[nodiscard]] virtual const BuildStats* build_stats() const noexcept {
+    return nullptr;
   }
 
  protected:

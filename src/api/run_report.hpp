@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "core/build_stats.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -30,6 +31,12 @@ struct RunReport {
   double relative_residual = 0.0;
   bool converged = false;  ///< relative_residual <= the requested eps
   int threads = 1;         ///< OpenMP threads available during the solve
+  /// Build-phase attribution of the factorization behind this solve
+  /// (per-phase seconds, arena counters; repeated verbatim in every
+  /// report the instance produces, like setup_seconds). Only methods
+  /// that factor through the chain pipeline report it.
+  bool has_build_stats = false;
+  BuildStats build;
 };
 
 }  // namespace parlap

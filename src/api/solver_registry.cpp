@@ -46,6 +46,10 @@ class SolverBase : public AnySolver {
     report.components = comps_.count;
     report.setup_seconds = setup_seconds_;
     report.threads = omp_get_max_threads();
+    if (const BuildStats* bs = build_stats()) {
+      report.has_build_stats = true;
+      report.build = *bs;
+    }
 
     fill(x, 0.0);
     WallTimer timer;
@@ -131,6 +135,10 @@ class ParlapAdapter final : public SolverBase {
  public:
   [[nodiscard]] EdgeId stored_entries() const noexcept override {
     return std::max<EdgeId>(1, impl_->info().stored_entries);
+  }
+
+  [[nodiscard]] const BuildStats* build_stats() const noexcept override {
+    return &impl_->build_stats();
   }
 
  private:

@@ -11,6 +11,7 @@
 #include "parallel/scan.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace parlap {
 
@@ -23,14 +24,14 @@ std::uint64_t level_seed(std::uint64_t seed, int level) {
 
 /// Builds one level's compact storage from the F-row adjacency. The walk
 /// graph rows list every edge incident to F, so Y (= F-F), L_FC and L_CF
-/// all derive from it without touching C-C edges.
-EliminationLevel extract_level(const WalkGraph& wg,
-                               std::span<const double> wdeg,
-                               const std::vector<Vertex>& f_index,
-                               const std::vector<Vertex>& c_index,
-                               std::vector<Vertex> f_list,
-                               std::vector<Vertex> c_list) {
-  EliminationLevel lvl;
+/// all derive from it without touching C-C edges. The level's own arrays
+/// (the persistent output) are allocated here; transient counting-sort
+/// scratch comes from the arena.
+void extract_level(const WalkGraph& wg, std::span<const double> wdeg,
+                   std::span<const Vertex> f_index,
+                   std::span<const Vertex> c_index,
+                   std::vector<Vertex>&& f_list, std::vector<Vertex>&& c_list,
+                   ChainBuildArena& arena, EliminationLevel& lvl) {
   lvl.n = static_cast<Vertex>(wdeg.size());
   lvl.nf = static_cast<Vertex>(f_list.size());
   lvl.nc = static_cast<Vertex>(c_list.size());
@@ -39,9 +40,10 @@ EliminationLevel extract_level(const WalkGraph& wg,
   lvl.inv_x.resize(static_cast<std::size_t>(lvl.nf));
   lvl.y_diag.resize(static_cast<std::size_t>(lvl.nf));
 
-  // Split each F row of the walk graph into F-F and F-C parts.
-  std::vector<EdgeId> ff_cnt(static_cast<std::size_t>(lvl.nf) + 1, 0);
-  std::vector<EdgeId> fc_cnt(static_cast<std::size_t>(lvl.nf) + 1, 0);
+  // Split each F row of the walk graph into F-F and F-C parts; counts are
+  // written straight into the level's offset arrays and scanned in place.
+  lvl.ff.off.assign(static_cast<std::size_t>(lvl.nf) + 1, 0);
+  lvl.fc.off.assign(static_cast<std::size_t>(lvl.nf) + 1, 0);
   parallel_for(Vertex{0}, lvl.nf, [&](Vertex i) {
     const auto lo = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(i)]);
     const auto hi = static_cast<std::size_t>(wg.off[static_cast<std::size_t>(i) + 1]);
@@ -49,13 +51,11 @@ EliminationLevel extract_level(const WalkGraph& wg,
     for (std::size_t p = lo; p < hi; ++p) {
       if (f_index[static_cast<std::size_t>(wg.nbr[p])] != kInvalidVertex) ++nff;
     }
-    ff_cnt[static_cast<std::size_t>(i)] = nff;
-    fc_cnt[static_cast<std::size_t>(i)] = static_cast<EdgeId>(hi - lo) - nff;
+    lvl.ff.off[static_cast<std::size_t>(i)] = nff;
+    lvl.fc.off[static_cast<std::size_t>(i)] = static_cast<EdgeId>(hi - lo) - nff;
   });
-  const EdgeId ff_total = exclusive_scan(std::span<EdgeId>(ff_cnt));
-  const EdgeId fc_total = exclusive_scan(std::span<EdgeId>(fc_cnt));
-  lvl.ff.off = std::move(ff_cnt);
-  lvl.fc.off = std::move(fc_cnt);
+  const EdgeId ff_total = exclusive_scan(std::span<EdgeId>(lvl.ff.off));
+  const EdgeId fc_total = exclusive_scan(std::span<EdgeId>(lvl.fc.off));
   lvl.ff.nbr.resize(static_cast<std::size_t>(ff_total));
   lvl.ff.w.resize(static_cast<std::size_t>(ff_total));
   lvl.fc.nbr.resize(static_cast<std::size_t>(fc_total));
@@ -93,7 +93,6 @@ EliminationLevel extract_level(const WalkGraph& wg,
 
   // L_CF = transpose of fc: stable chunked counting sort by C column.
   const auto ncz = static_cast<std::size_t>(lvl.nc);
-  std::vector<EdgeId> cf_cnt(ncz + 1, 0);
   {
     const auto entries = static_cast<EdgeId>(lvl.fc.nbr.size());
     const int chunks = std::max(
@@ -102,29 +101,30 @@ EliminationLevel extract_level(const WalkGraph& wg,
                                           std::max<std::int64_t>(
                                               static_cast<std::int64_t>(ncz), 1))));
     const EdgeId chunk_len = (entries + chunks - 1) / std::max(chunks, 1);
-    std::vector<EdgeId> hist(static_cast<std::size_t>(chunks) * ncz, 0);
+    arena.extract_hist.assign(static_cast<std::size_t>(chunks) * ncz, 0);
+    EdgeId* hist = arena.extract_hist.data();
 #pragma omp parallel for schedule(static) num_threads(chunks)
     for (int c = 0; c < chunks; ++c) {
-      EdgeId* local = hist.data() + static_cast<std::size_t>(c) * ncz;
+      EdgeId* local = hist + static_cast<std::size_t>(c) * ncz;
       const EdgeId lo = c * chunk_len;
       const EdgeId hi = std::min(entries, lo + chunk_len);
       for (EdgeId p = lo; p < hi; ++p) {
         ++local[static_cast<std::size_t>(lvl.fc.nbr[static_cast<std::size_t>(p)])];
       }
     }
+    lvl.cf.off.assign(ncz + 1, 0);
     parallel_for(std::size_t{0}, ncz, [&](std::size_t j) {
       EdgeId total = 0;
       for (int c = 0; c < chunks; ++c)
         total += hist[static_cast<std::size_t>(c) * ncz + j];
-      cf_cnt[j] = total;
+      lvl.cf.off[j] = total;
     });
-    cf_cnt[ncz] = 0;
-    exclusive_scan(std::span<EdgeId>(cf_cnt));
-    lvl.cf.off = cf_cnt;
+    exclusive_scan(std::span<EdgeId>(lvl.cf.off));
     lvl.cf.nbr.resize(static_cast<std::size_t>(lvl.cf.off[ncz]));
     lvl.cf.w.resize(static_cast<std::size_t>(lvl.cf.off[ncz]));
 
-    std::vector<EdgeId> base(static_cast<std::size_t>(chunks) * ncz);
+    arena.extract_base.resize(static_cast<std::size_t>(chunks) * ncz);
+    EdgeId* base = arena.extract_base.data();
     parallel_for(std::size_t{0}, ncz, [&](std::size_t j) {
       EdgeId run = lvl.cf.off[j];
       for (int c = 0; c < chunks; ++c) {
@@ -136,7 +136,7 @@ EliminationLevel extract_level(const WalkGraph& wg,
     // stay O(1) per entry we walk rows per chunk instead.
 #pragma omp parallel for schedule(static) num_threads(chunks)
     for (int c = 0; c < chunks; ++c) {
-      EdgeId* local = base.data() + static_cast<std::size_t>(c) * ncz;
+      EdgeId* local = base + static_cast<std::size_t>(c) * ncz;
       const EdgeId lo = c * chunk_len;
       const EdgeId hi = std::min(entries, lo + chunk_len);
       if (lo >= hi) continue;
@@ -153,15 +153,38 @@ EliminationLevel extract_level(const WalkGraph& wg,
       }
     }
   }
-  return lvl;
 }
 
 }  // namespace
 
-BlockCholeskyChain BlockCholeskyChain::build(const Multigraph& g,
+BlockCholeskyChain BlockCholeskyChain::build(MultigraphView g,
                                              std::uint64_t seed,
                                              const BlockCholeskyOptions& opts) {
+  const auto arena = ChainBuildArena::pool().acquire();
+  return build_impl(g, seed, opts, *arena, nullptr);
+}
+
+BlockCholeskyChain BlockCholeskyChain::build(Multigraph&& g,
+                                             std::uint64_t seed,
+                                             const BlockCholeskyOptions& opts) {
+  Multigraph owned = std::move(g);
+  const auto arena = ChainBuildArena::pool().acquire();
+  return build_impl(owned, seed, opts, *arena, &owned);
+}
+
+BlockCholeskyChain BlockCholeskyChain::build(MultigraphView g,
+                                             std::uint64_t seed,
+                                             const BlockCholeskyOptions& opts,
+                                             ChainBuildArena& arena) {
+  return build_impl(g, seed, opts, arena, nullptr);
+}
+
+BlockCholeskyChain BlockCholeskyChain::build_impl(
+    MultigraphView g, std::uint64_t seed, const BlockCholeskyOptions& opts,
+    ChainBuildArena& arena, Multigraph* consumed) {
   PARLAP_CHECK(g.num_vertices() >= 1);
+  const WallTimer build_timer;
+  arena.begin_build();
   BlockCholeskyChain chain;
   {
     static std::atomic<std::uint64_t> next_build_id{0};
@@ -169,31 +192,54 @@ BlockCholeskyChain BlockCholeskyChain::build(const Multigraph& g,
   }
   chain.n0_ = g.num_vertices();
 
-  Multigraph cur = g;  // G^(0); successively replaced by G^(k)
+  // G^(0) is read straight out of the caller's arrays; every later G^(k)
+  // lives in the arena's double-buffered edge storage. Nothing is copied.
+  MultigraphView cur = g;
   int level = 0;
   while (cur.num_vertices() > opts.base_size) {
     PARLAP_CHECK_MSG(level < opts.max_levels,
                      "BlockCholesky exceeded max_levels = " << opts.max_levels);
     const std::uint64_t lseed = level_seed(seed, level);
     const Vertex n = cur.num_vertices();
-    const std::vector<Weight> wdeg = cur.weighted_degrees();
+    const auto nz = static_cast<std::size_t>(n);
+    BuildLevelTiming lt;
+    lt.n = n;
+    lt.edges = cur.num_edges();
+    WallTimer phase;
+
+    arena.wdeg.resize(nz);
+    const std::span<const double> wdeg(arena.wdeg.data(), nz);
+    weighted_degrees_into(cur, std::span<double>(arena.wdeg.data(), nz),
+                          arena.degree_partial);
+    lt.phases.degrees = phase.seconds();
 
     // F_k <- 5DDSubset(G^(k-1))        (Algorithm 1, line 5)
-    const FiveDdResult fdd = five_dd_subset(cur, wdeg, lseed, opts.five_dd);
-    std::vector<Vertex> f_index(static_cast<std::size_t>(n), kInvalidVertex);
+    phase.reset();
+    FiveDdResult fdd =
+        five_dd_subset(cur, wdeg, lseed, opts.five_dd, arena.five_dd);
+    lt.phases.five_dd = phase.seconds();
+    lt.f_size = static_cast<Vertex>(fdd.f.size());
+
+    phase.reset();
+    arena.f_index.assign(nz, kInvalidVertex);
     for (std::size_t i = 0; i < fdd.f.size(); ++i) {
-      f_index[static_cast<std::size_t>(fdd.f[i])] = static_cast<Vertex>(i);
+      arena.f_index[static_cast<std::size_t>(fdd.f[i])] =
+          static_cast<Vertex>(i);
     }
     std::vector<Vertex> c_list;
-    c_list.reserve(static_cast<std::size_t>(n) - fdd.f.size());
-    std::vector<Vertex> c_index(static_cast<std::size_t>(n), kInvalidVertex);
+    c_list.reserve(nz - fdd.f.size());
+    arena.c_index.assign(nz, kInvalidVertex);
     for (Vertex v = 0; v < n; ++v) {
-      if (f_index[static_cast<std::size_t>(v)] == kInvalidVertex) {
-        c_index[static_cast<std::size_t>(v)] = static_cast<Vertex>(c_list.size());
+      if (arena.f_index[static_cast<std::size_t>(v)] == kInvalidVertex) {
+        arena.c_index[static_cast<std::size_t>(v)] =
+            static_cast<Vertex>(c_list.size());
         c_list.push_back(v);
       }
     }
     PARLAP_CHECK_MSG(!c_list.empty(), "5-DD subset consumed every vertex");
+    const std::span<const Vertex> f_index(arena.f_index.data(), nz);
+    const std::span<const Vertex> c_index(arena.c_index.data(), nz);
+    lt.phases.partition = phase.seconds();
 
     LevelStats ls;
     ls.n = n;
@@ -201,26 +247,51 @@ BlockCholeskyChain BlockCholeskyChain::build(const Multigraph& g,
     ls.f_size = static_cast<Vertex>(fdd.f.size());
     ls.five_dd_rounds = fdd.rounds;
 
+    phase.reset();
     const Vertex nf = static_cast<Vertex>(fdd.f.size());
-    const WalkGraph wg = build_walk_graph(cur, f_index, nf);
+    build_walk_graph_into(cur, f_index, nf, arena.walk_graph,
+                          arena.walk_build);
+    lt.phases.walk_graph = phase.seconds();
 
     // G^(k) <- TerminalWalks(G^(k-1), C_k)  (Algorithm 1, line 6)
+    phase.reset();
     const Vertex nc = static_cast<Vertex>(c_list.size());
-    Multigraph next =
-        terminal_walks(cur, wg, f_index, c_index, nc, seed,
-                       static_cast<std::uint64_t>(level), &ls.walks,
-                       opts.walks);
+    ChainBuildArena::EdgeBuffer& out = arena.out_buffer();
+    out.n = nc;
+    sample_schur_complement(cur, arena.walk_graph, f_index, c_index, nc,
+                            seed, static_cast<std::uint64_t>(level),
+                            &ls.walks, opts.walks, arena.walk_sample, out.u,
+                            out.v, out.w);
+    lt.phases.schur = phase.seconds();
 
-    chain.levels_.push_back(extract_level(wg, wdeg, f_index, c_index, fdd.f,
-                                          std::move(c_list)));
+    phase.reset();
+    chain.levels_.emplace_back();
+    extract_level(arena.walk_graph, wdeg, f_index, c_index, std::move(fdd.f),
+                  std::move(c_list), arena, chain.levels_.back());
+    lt.phases.extract = phase.seconds();
+
     chain.stats_.push_back(std::move(ls));
-    cur = std::move(next);
+    chain.build_stats_.phases.accumulate(lt.phases);
+    chain.build_stats_.level_timings.push_back(lt);
+
+    cur = out.view();
+    arena.swap_buffers();
+    if (level == 0 && consumed != nullptr) {
+      // The (largest) input graph has been fully absorbed; release it so
+      // its edge arrays never coexist with the rest of the build.
+      *consumed = Multigraph();
+    }
     ++level;
   }
+  chain.build_stats_.levels = level;
 
   // Dense base-case pseudo-inverse (Thm 3.9-(3): O(1)-size system).
-  chain.base_n_ = cur.num_vertices();
-  chain.base_pinv_ = pseudo_inverse(laplacian_dense(cur));
+  {
+    const WallTimer base_timer;
+    chain.base_n_ = cur.num_vertices();
+    chain.base_pinv_ = pseudo_inverse(laplacian_dense(cur));
+    chain.build_stats_.base_seconds = base_timer.seconds();
+  }
 
   // l for eps = 1/2d (Algorithm 2 line 4 + Lemma 3.5).
   if (opts.jacobi_terms > 0) {
@@ -231,6 +302,9 @@ BlockCholeskyChain BlockCholeskyChain::build(const Multigraph& g,
     if (l % 2 == 0) ++l;
     chain.jacobi_terms_ = std::max(1, l);
   }
+
+  arena.end_build(chain.build_stats_);
+  chain.build_stats_.total_seconds = build_timer.seconds();
   return chain;
 }
 

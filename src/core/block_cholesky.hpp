@@ -16,12 +16,24 @@
 // Memory: only edges incident to the eliminated sets are retained (three
 // sub-CSRs per level: F-F for Y, F->C and C->F for the off-diagonal
 // blocks), totalling O(sum_k vol(F_k)) = O(m log n) in expectation.
+//
+// Construction runs against a ChainBuildArena (build_arena.hpp): level
+// graphs live in the arena's double-buffered edge arrays (level 0 is read
+// from the caller's graph through a MultigraphView — never copied), and
+// every per-level scratch structure is recycled, so a build against a
+// warmed arena performs zero scratch reallocations. Callers that build
+// repeatedly (FactorizationCache misses, escalation rounds, benches) can
+// pass their own arena; the default overloads draw one from the shared
+// ChainBuildArena::pool(). Per-phase wall times and the arena counters
+// are recorded in build_stats().
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/build_arena.hpp"
+#include "core/build_stats.hpp"
 #include "core/five_dd.hpp"
 #include "core/terminal_walks.hpp"
 #include "graph/multigraph.hpp"
@@ -94,8 +106,26 @@ class BlockCholeskyChain {
   /// Runs Algorithm 1 on an (alpha-bounded) multigraph. The caller is
   /// responsible for splitting edges first (split_edges_uniform /
   /// split_edges_by_scores); the chain itself is oblivious to alpha.
-  static BlockCholeskyChain build(const Multigraph& g, std::uint64_t seed,
+  /// The view must stay valid for the duration of the call only. Scratch
+  /// comes from the shared arena pool.
+  static BlockCholeskyChain build(MultigraphView g, std::uint64_t seed,
                                   const BlockCholeskyOptions& opts = {});
+
+  /// Consuming overload: takes ownership of `g` and releases its edge
+  /// arrays as soon as the first elimination level has been absorbed into
+  /// the arena, so the (largest, level-0) split graph never coexists with
+  /// the later levels. Use from factor-and-discard paths such as
+  /// LaplacianSolver's escalation rounds and the factorization cache's
+  /// single-flight builder.
+  static BlockCholeskyChain build(Multigraph&& g, std::uint64_t seed,
+                                  const BlockCholeskyOptions& opts = {});
+
+  /// Explicit-arena overload: all scratch comes from (and stays in)
+  /// `arena`, so back-to-back builds reuse every buffer. The other
+  /// overloads delegate here with a pooled arena.
+  static BlockCholeskyChain build(MultigraphView g, std::uint64_t seed,
+                                  const BlockCholeskyOptions& opts,
+                                  ChainBuildArena& arena);
 
   [[nodiscard]] Vertex dimension() const noexcept { return n0_; }
   /// d, the number of elimination levels (Thm 3.9-(4): O(log n)).
@@ -107,6 +137,14 @@ class BlockCholeskyChain {
   [[nodiscard]] Vertex base_size() const noexcept { return base_n_; }
   [[nodiscard]] const std::vector<LevelStats>& level_stats() const noexcept {
     return stats_;
+  }
+  /// The stored elimination levels (diagnostics and equivalence tests).
+  [[nodiscard]] const std::vector<EliminationLevel>& levels() const noexcept {
+    return levels_;
+  }
+  /// Wall-time/arena telemetry of the build() that produced this chain.
+  [[nodiscard]] const BuildStats& build_stats() const noexcept {
+    return build_stats_;
   }
   /// Total stored sub-CSR entries (memory proxy for E12).
   [[nodiscard]] EdgeId stored_entries() const noexcept;
@@ -120,6 +158,11 @@ class BlockCholeskyChain {
   void apply(std::span<const double> b, std::span<double> y) const;
 
  private:
+  static BlockCholeskyChain build_impl(MultigraphView g, std::uint64_t seed,
+                                       const BlockCholeskyOptions& opts,
+                                       ChainBuildArena& arena,
+                                       Multigraph* consumed);
+
   void prepare_workspace(ApplyWorkspace& ws) const;
   void jacobi_solve(const EliminationLevel& lvl,
                     std::span<const double> b_f, std::span<double> out,
@@ -131,6 +174,7 @@ class BlockCholeskyChain {
   Vertex base_n_ = 0;
   int jacobi_terms_ = 1;
   std::vector<LevelStats> stats_;
+  BuildStats build_stats_;
   /// Process-unique id stamped by build(); keys workspace preparation.
   std::uint64_t build_id_ = 0;
 };

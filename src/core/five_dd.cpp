@@ -12,32 +12,41 @@
 
 namespace parlap {
 
+void FiveDdScratch::prepare(Vertex n) {
+  const auto nz = static_cast<std::size_t>(n);
+  if (pos.size() < nz) pos.resize(nz, kInvalidVertex);
+}
+
 namespace {
 
 /// Draws `count` distinct elements of `pool` by partial Fisher-Yates on a
 /// scratch copy; result is sorted for determinism downstream.
 std::vector<Vertex> sample_without_replacement(std::span<const Vertex> pool,
-                                               std::size_t count, Rng& rng) {
-  std::vector<Vertex> scratch(pool.begin(), pool.end());
-  const std::size_t n = scratch.size();
+                                               std::size_t count, Rng& rng,
+                                               std::vector<Vertex>& staging) {
+  staging.assign(pool.begin(), pool.end());
+  const std::size_t n = staging.size();
   PARLAP_CHECK(count <= n);
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t j =
         i + static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(n - i)));
-    std::swap(scratch[i], scratch[j]);
+    std::swap(staging[i], staging[j]);
   }
-  scratch.resize(count);
-  std::sort(scratch.begin(), scratch.end());
-  return scratch;
+  std::vector<Vertex> out(staging.begin(),
+                          staging.begin() + static_cast<std::ptrdiff_t>(count));
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 /// Weighted degree within G[s] for every member of `s`, via one edge scan
 /// into chunk-local partials folded in fixed chunk order (deterministic
 /// under any thread count). `pos[v]` maps members of s to [0, |s|) and is
-/// expected to be kInvalidVertex elsewhere.
-std::vector<double> induced_degrees(const Multigraph& g,
-                                    std::span<const Vertex> pos,
-                                    std::size_t s_size) {
+/// expected to be kInvalidVertex elsewhere. The result lives in
+/// `scratch.induced` (first s_size entries).
+std::span<const double> induced_degrees(MultigraphView g,
+                                        std::span<const Vertex> pos,
+                                        std::size_t s_size,
+                                        FiveDdScratch& scratch) {
   const EdgeId m = g.num_edges();
   // Fixed chunk layout (independent of the thread count!): these are
   // float accumulations that feed the 5-DD comparison, so their rounding
@@ -48,10 +57,11 @@ std::vector<double> induced_degrees(const Multigraph& g,
                                std::max<std::int64_t>(
                                    static_cast<std::int64_t>(s_size), 1))));
   const EdgeId chunk_len = (m + chunks - 1) / std::max(chunks, 1);
-  std::vector<double> partial(static_cast<std::size_t>(chunks) * s_size, 0.0);
+  scratch.partial.assign(static_cast<std::size_t>(chunks) * s_size, 0.0);
+  double* partial = scratch.partial.data();
 #pragma omp parallel for schedule(static)
   for (int c = 0; c < chunks; ++c) {
-    double* local = partial.data() + static_cast<std::size_t>(c) * s_size;
+    double* local = partial + static_cast<std::size_t>(c) * s_size;
     const EdgeId lo = c * chunk_len;
     const EdgeId hi = std::min(m, lo + chunk_len);
     for (EdgeId e = lo; e < hi; ++e) {
@@ -63,26 +73,29 @@ std::vector<double> induced_degrees(const Multigraph& g,
       local[static_cast<std::size_t>(pv)] += w;
     }
   }
-  std::vector<double> out(s_size, 0.0);
+  scratch.induced.assign(s_size, 0.0);
+  double* induced = scratch.induced.data();
   parallel_for(std::size_t{0}, s_size, [&](std::size_t i) {
     double acc = 0.0;
     for (int c = 0; c < chunks; ++c)
       acc += partial[static_cast<std::size_t>(c) * s_size + i];
-    out[i] = acc;
+    induced[i] = acc;
   });
-  return out;
+  return std::span<const double>(scratch.induced.data(), s_size);
 }
 
 /// filter(S) = { i in S : deg_{G[S]}(i) <= cand_deg(i) / 5 }. Any subset
 /// of a filtered set only loses induced degree, so the result is 5-DD.
-std::vector<Vertex> filter_five_dd(const Multigraph& g,
+std::vector<Vertex> filter_five_dd(MultigraphView g,
                                    std::span<const Vertex> s,
                                    std::span<const double> cand_deg,
-                                   std::vector<Vertex>& pos_scratch) {
+                                   FiveDdScratch& scratch) {
+  std::vector<Vertex>& pos = scratch.pos;
   for (std::size_t i = 0; i < s.size(); ++i) {
-    pos_scratch[static_cast<std::size_t>(s[i])] = static_cast<Vertex>(i);
+    pos[static_cast<std::size_t>(s[i])] = static_cast<Vertex>(i);
   }
-  const std::vector<double> induced = induced_degrees(g, pos_scratch, s.size());
+  const std::span<const double> induced =
+      induced_degrees(g, pos, s.size(), scratch);
   std::vector<Vertex> f;
   f.reserve(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
@@ -90,14 +103,15 @@ std::vector<Vertex> filter_five_dd(const Multigraph& g,
       f.push_back(s[i]);
     }
   }
-  for (const Vertex v : s) pos_scratch[static_cast<std::size_t>(v)] = kInvalidVertex;
+  for (const Vertex v : s) pos[static_cast<std::size_t>(v)] = kInvalidVertex;
   return f;
 }
 
-FiveDdResult five_dd_impl(const Multigraph& g,
+FiveDdResult five_dd_impl(MultigraphView g,
                           std::span<const Vertex> candidates,
                           std::span<const double> cand_deg,
-                          std::uint64_t seed, const FiveDdOptions& opts) {
+                          std::uint64_t seed, const FiveDdOptions& opts,
+                          FiveDdScratch& scratch) {
   const Vertex n = g.num_vertices();
   const std::size_t nc = candidates.size();
   PARLAP_CHECK_MSG(nc >= 1, "5DDSubset needs a non-empty candidate set");
@@ -109,14 +123,14 @@ FiveDdResult five_dd_impl(const Multigraph& g,
       1, static_cast<std::size_t>(std::floor(opts.sample_fraction *
                                              static_cast<double>(nc))));
 
-  std::vector<Vertex> pos(static_cast<std::size_t>(n), kInvalidVertex);
+  scratch.prepare(n);
   FiveDdResult result;
   for (int round = 0; round < opts.max_rounds; ++round) {
     result.rounds = round + 1;
     Rng rng(seed, RngTag::kFiveDd, static_cast<std::uint64_t>(round));
-    const std::vector<Vertex> fprime =
-        sample_without_replacement(candidates, sample_size, rng);
-    result.f = filter_five_dd(g, fprime, cand_deg, pos);
+    const std::vector<Vertex> fprime = sample_without_replacement(
+        candidates, sample_size, rng, scratch.sample);
+    result.f = filter_five_dd(g, fprime, cand_deg, scratch);
     if (result.f.size() >= target) break;
     PARLAP_CHECK_MSG(round + 1 < opts.max_rounds,
                      "5DDSubset failed to reach target size "
@@ -138,10 +152,11 @@ FiveDdResult five_dd_impl(const Multigraph& g,
     }
     if (pool.empty()) break;
     const std::size_t extra = std::min(pool.size(), sample_size);
-    std::vector<Vertex> s = sample_without_replacement(pool, extra, rng);
+    std::vector<Vertex> s =
+        sample_without_replacement(pool, extra, rng, scratch.sample);
     s.insert(s.end(), result.f.begin(), result.f.end());
     std::sort(s.begin(), s.end());
-    std::vector<Vertex> grown = filter_five_dd(g, s, cand_deg, pos);
+    std::vector<Vertex> grown = filter_five_dd(g, s, cand_deg, scratch);
     if (grown.size() > result.f.size()) result.f = std::move(grown);
   }
   return result;
@@ -149,36 +164,49 @@ FiveDdResult five_dd_impl(const Multigraph& g,
 
 }  // namespace
 
-FiveDdResult five_dd_subset(const Multigraph& g,
+FiveDdResult five_dd_subset(MultigraphView g,
                             std::span<const double> weighted_degree,
                             std::uint64_t seed, const FiveDdOptions& opts) {
+  FiveDdScratch scratch;
+  return five_dd_subset(g, weighted_degree, seed, opts, scratch);
+}
+
+FiveDdResult five_dd_subset(MultigraphView g,
+                            std::span<const double> weighted_degree,
+                            std::uint64_t seed, const FiveDdOptions& opts,
+                            FiveDdScratch& scratch) {
   PARLAP_CHECK(weighted_degree.size() ==
                static_cast<std::size_t>(g.num_vertices()));
   std::vector<Vertex> all(static_cast<std::size_t>(g.num_vertices()));
   std::iota(all.begin(), all.end(), Vertex{0});
-  return five_dd_impl(g, all, weighted_degree, seed, opts);
+  return five_dd_impl(g, all, weighted_degree, seed, opts, scratch);
 }
 
-FiveDdResult five_dd_subset(const Multigraph& g,
+FiveDdResult five_dd_subset(MultigraphView g,
                             std::span<const Vertex> candidates,
                             std::uint64_t seed, const FiveDdOptions& opts) {
   const Vertex n = g.num_vertices();
+  FiveDdScratch scratch;
+  scratch.prepare(n);
   // Degrees within G[candidates].
-  std::vector<Vertex> pos(static_cast<std::size_t>(n), kInvalidVertex);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     PARLAP_DCHECK(candidates[i] >= 0 && candidates[i] < n);
-    pos[static_cast<std::size_t>(candidates[i])] = static_cast<Vertex>(i);
+    scratch.pos[static_cast<std::size_t>(candidates[i])] =
+        static_cast<Vertex>(i);
   }
-  const std::vector<double> within =
-      induced_degrees(g, pos, candidates.size());
+  const std::span<const double> within =
+      induced_degrees(g, scratch.pos, candidates.size(), scratch);
   std::vector<double> cand_deg(static_cast<std::size_t>(n), 0.0);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     cand_deg[static_cast<std::size_t>(candidates[i])] = within[i];
   }
-  return five_dd_impl(g, candidates, cand_deg, seed, opts);
+  for (const Vertex v : candidates) {
+    scratch.pos[static_cast<std::size_t>(v)] = kInvalidVertex;
+  }
+  return five_dd_impl(g, candidates, cand_deg, seed, opts, scratch);
 }
 
-bool is_five_dd(const Multigraph& g, std::span<const Vertex> f,
+bool is_five_dd(MultigraphView g, std::span<const Vertex> f,
                 std::span<const Vertex> candidates) {
   const Vertex n = g.num_vertices();
   std::vector<std::uint8_t> in_cand(static_cast<std::size_t>(n),

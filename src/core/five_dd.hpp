@@ -15,6 +15,11 @@
 // The `candidates` overload implements the induced-subgraph call of
 // ApproxSchur (Algorithm 6): degrees are measured inside G[candidates],
 // which only strengthens the 5-DD property w.r.t. the full graph.
+//
+// Hot-path reuse: the chain build calls 5DDSubset once per elimination
+// level; the FiveDdScratch overload recycles the position map, sampling
+// buffer, and induced-degree partials across those calls (ChainBuildArena
+// owns one scratch per build).
 #pragma once
 
 #include <cstdint>
@@ -44,15 +49,34 @@ struct FiveDdResult {
   int rounds = 0;         ///< sampling rounds used (excluding boosts)
 };
 
+/// Reusable scratch for repeated five_dd_subset calls (one elimination
+/// level each). All buffers grow to their high-water mark and are never
+/// shrunk; `pos` entries are kInvalidVertex between calls (the filter
+/// resets exactly the entries it stamped).
+struct FiveDdScratch {
+  std::vector<Vertex> pos;       ///< vertex -> sample position map
+  std::vector<Vertex> sample;    ///< Fisher-Yates staging copy
+  std::vector<double> partial;   ///< chunk-local induced-degree partials
+  std::vector<double> induced;   ///< folded induced degrees
+
+  /// Ensures `pos` covers `n` vertices, all kInvalidVertex.
+  void prepare(Vertex n);
+};
+
 /// Finds a 5-DD subset among all vertices of `g`; `weighted_degree` must
 /// be g's weighted degree array (callers typically already have it).
 [[nodiscard]] FiveDdResult five_dd_subset(
-    const Multigraph& g, std::span<const double> weighted_degree,
+    MultigraphView g, std::span<const double> weighted_degree,
     std::uint64_t seed, const FiveDdOptions& opts = {});
+
+/// Scratch-reusing variant of the above (the chain-build hot path).
+[[nodiscard]] FiveDdResult five_dd_subset(
+    MultigraphView g, std::span<const double> weighted_degree,
+    std::uint64_t seed, const FiveDdOptions& opts, FiveDdScratch& scratch);
 
 /// Finds a 5-DD subset of the induced subgraph G[candidates]; degrees in
 /// the 1/5 test are taken within G[candidates].
-[[nodiscard]] FiveDdResult five_dd_subset(const Multigraph& g,
+[[nodiscard]] FiveDdResult five_dd_subset(MultigraphView g,
                                           std::span<const Vertex> candidates,
                                           std::uint64_t seed,
                                           const FiveDdOptions& opts = {});
@@ -60,7 +84,7 @@ struct FiveDdResult {
 /// Verification helper (serial, O(m)): true iff every i in F has weighted
 /// degree within G[F] at most deg_within_candidates(i)/5 (candidates = all
 /// vertices when empty).
-[[nodiscard]] bool is_five_dd(const Multigraph& g, std::span<const Vertex> f,
+[[nodiscard]] bool is_five_dd(MultigraphView g, std::span<const Vertex> f,
                               std::span<const Vertex> candidates = {});
 
 }  // namespace parlap

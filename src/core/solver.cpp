@@ -35,6 +35,16 @@ std::vector<std::pair<std::vector<Vertex>, Multigraph>> split_components(
     out.emplace_back(std::move(vs), Multigraph(nl));
   }
   const EdgeId m = g.num_edges();
+  // Size each component's edge arrays up front: one counting pass beats
+  // growing three vectors incrementally per edge.
+  std::vector<EdgeId> comp_edges(static_cast<std::size_t>(comps.count), 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    ++comp_edges[static_cast<std::size_t>(
+        comps.label[static_cast<std::size_t>(g.edge_u(e))])];
+  }
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c].second.reserve_edges(comp_edges[c]);
+  }
   for (EdgeId e = 0; e < m; ++e) {
     const Vertex u = g.edge_u(e);
     const auto c = static_cast<std::size_t>(
@@ -82,6 +92,7 @@ LaplacianSolver::LaplacianSolver(const Multigraph& g, SolverOptions opts)
     info_.depth = std::max(info_.depth, cr.chain.depth());
     info_.jacobi_terms = std::max(info_.jacobi_terms, cr.chain.jacobi_terms());
     info_.stored_entries += cr.chain.stored_entries();
+    build_stats_.accumulate(cr.chain.build_stats());
   }
 }
 
@@ -111,7 +122,9 @@ std::shared_ptr<LaplacianSolver::ChainRound> LaplacianSolver::build_round(
   }
   cr->copies = copies;
   cr->split_edges = split.num_edges();
-  cr->chain = BlockCholeskyChain::build(split, seed, opts_.chain);
+  // Consume the split graph: build releases its (m * copies)-sized edge
+  // arrays as soon as level 0 has been absorbed into the build arena.
+  cr->chain = BlockCholeskyChain::build(std::move(split), seed, opts_.chain);
   return cr;
 }
 

@@ -125,6 +125,13 @@ class LaplacianSolver {
     return info_;
   }
   [[nodiscard]] const SolverOptions& options() const noexcept { return opts_; }
+  /// Aggregate build-phase telemetry of the round-0 factorizations
+  /// (seconds and arena counters summed over components; per-level
+  /// breakdown kept from the deepest chain). Escalation rounds built
+  /// later by the adaptive path are not reflected, mirroring info().
+  [[nodiscard]] const BuildStats& build_stats() const noexcept {
+    return build_stats_;
+  }
   /// Per-level diagnostics of the (first / largest) component's chain.
   [[nodiscard]] const std::vector<LevelStats>& level_stats(
       std::size_t component = 0) const {
@@ -190,6 +197,7 @@ class LaplacianSolver {
 
   SolverOptions opts_;
   FactorizationInfo info_;
+  BuildStats build_stats_;
   std::vector<ComponentSolver> comps_;
   mutable std::mutex rounds_mutex_;  ///< guards rounds[1..] publication
   mutable WorkspacePool<SolveScratch> scratch_pool_;

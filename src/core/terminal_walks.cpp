@@ -14,12 +14,18 @@
 
 namespace parlap {
 
-WalkGraph build_walk_graph(const Multigraph& g,
-                           std::span<const Vertex> f_index, Vertex nf) {
+void build_walk_graph_into(MultigraphView g, std::span<const Vertex> f_index,
+                           Vertex nf, WalkGraph& wg,
+                           WalkBuildScratch& scratch) {
   const EdgeId m = g.num_edges();
-  WalkGraph wg;
   wg.off.assign(static_cast<std::size_t>(nf) + 1, 0);
-  if (nf == 0) return wg;
+  if (nf == 0) {
+    wg.nbr.clear();
+    wg.w.clear();
+    wg.prob.clear();
+    wg.alias.clear();
+    return;
+  }
 
   // Stable parallel counting sort of F-incident edge endpoints, chunked so
   // placement is deterministic (same pattern as CsrGraph).
@@ -29,11 +35,12 @@ WalkGraph build_walk_graph(const Multigraph& g,
                                         std::max<Vertex>(nf, 1))));
   const EdgeId chunk_len = (m + chunks - 1) / chunks;
   const auto nfz = static_cast<std::size_t>(nf);
-  std::vector<EdgeId> hist(static_cast<std::size_t>(chunks) * nfz, 0);
+  scratch.hist.assign(static_cast<std::size_t>(chunks) * nfz, 0);
+  EdgeId* hist = scratch.hist.data();
 
 #pragma omp parallel for schedule(static) num_threads(chunks)
   for (int c = 0; c < chunks; ++c) {
-    EdgeId* local = hist.data() + static_cast<std::size_t>(c) * nfz;
+    EdgeId* local = hist + static_cast<std::size_t>(c) * nfz;
     const EdgeId lo = c * chunk_len;
     const EdgeId hi = std::min(m, lo + chunk_len);
     for (EdgeId e = lo; e < hi; ++e) {
@@ -56,7 +63,8 @@ WalkGraph build_walk_graph(const Multigraph& g,
   wg.nbr.resize(static_cast<std::size_t>(vol));
   wg.w.resize(static_cast<std::size_t>(vol));
 
-  std::vector<EdgeId> base(static_cast<std::size_t>(chunks) * nfz);
+  scratch.base.resize(static_cast<std::size_t>(chunks) * nfz);
+  EdgeId* base = scratch.base.data();
   parallel_for(Vertex{0}, nf, [&](Vertex i) {
     EdgeId run = wg.off[static_cast<std::size_t>(i)];
     for (int c = 0; c < chunks; ++c) {
@@ -67,7 +75,7 @@ WalkGraph build_walk_graph(const Multigraph& g,
 
 #pragma omp parallel for schedule(static) num_threads(chunks)
   for (int c = 0; c < chunks; ++c) {
-    EdgeId* local = base.data() + static_cast<std::size_t>(c) * nfz;
+    EdgeId* local = base + static_cast<std::size_t>(c) * nfz;
     const EdgeId lo = c * chunk_len;
     const EdgeId hi = std::min(m, lo + chunk_len);
     for (EdgeId e = lo; e < hi; ++e) {
@@ -100,14 +108,25 @@ WalkGraph build_walk_graph(const Multigraph& g,
                 std::span<double>(wg.prob.data() + lo, deg),
                 std::span<std::int32_t>(wg.alias.data() + lo, deg));
   });
+}
+
+WalkGraph build_walk_graph(MultigraphView g,
+                           std::span<const Vertex> f_index, Vertex nf) {
+  WalkGraph wg;
+  WalkBuildScratch scratch;
+  build_walk_graph_into(g, f_index, nf, wg, scratch);
   return wg;
 }
 
-Multigraph terminal_walks(const Multigraph& g, const WalkGraph& walk_graph,
-                          std::span<const Vertex> f_index,
-                          std::span<const Vertex> c_index, Vertex num_c,
-                          std::uint64_t seed, std::uint64_t level,
-                          WalkStats* stats, const WalkOptions& opts) {
+void sample_schur_complement(MultigraphView g, const WalkGraph& walk_graph,
+                             std::span<const Vertex> f_index,
+                             std::span<const Vertex> c_index, Vertex num_c,
+                             std::uint64_t seed, std::uint64_t level,
+                             WalkStats* stats, const WalkOptions& opts,
+                             TerminalWalkScratch& scratch,
+                             std::vector<Vertex>& out_u,
+                             std::vector<Vertex>& out_v,
+                             std::vector<Weight>& out_w) {
   const Vertex n = g.num_vertices();
   const EdgeId m = g.num_edges();
   PARLAP_CHECK(f_index.size() == static_cast<std::size_t>(n));
@@ -121,10 +140,14 @@ Multigraph terminal_walks(const Multigraph& g, const WalkGraph& walk_graph,
                                       static_cast<double>(m) + 2.0)));
 
   // Per-edge outputs, compacted afterwards in input order (deterministic).
-  std::vector<Vertex> out_u(static_cast<std::size_t>(m));
-  std::vector<Vertex> out_v(static_cast<std::size_t>(m));
-  std::vector<Weight> out_w(static_cast<std::size_t>(m));
-  std::vector<EdgeId> keep(static_cast<std::size_t>(m) + 1, 0);
+  scratch.out_u.resize(static_cast<std::size_t>(m));
+  scratch.out_v.resize(static_cast<std::size_t>(m));
+  scratch.out_w.resize(static_cast<std::size_t>(m));
+  scratch.keep.assign(static_cast<std::size_t>(m) + 1, 0);
+  std::span<Vertex> walk_u(scratch.out_u.data(), static_cast<std::size_t>(m));
+  std::span<Vertex> walk_v(scratch.out_v.data(), static_cast<std::size_t>(m));
+  std::span<Weight> walk_w(scratch.out_w.data(), static_cast<std::size_t>(m));
+  std::span<EdgeId> keep(scratch.keep.data(), static_cast<std::size_t>(m) + 1);
 
   const int num_threads = thread_count();
   std::vector<WalkStats> local_stats(static_cast<std::size_t>(num_threads));
@@ -191,9 +214,9 @@ Multigraph terminal_walks(const Multigraph& g, const WalkGraph& walk_graph,
       const Vertex cv = c_index[static_cast<std::size_t>(v)];
       // Fast path: both endpoints terminal — the walk is the edge itself.
       if (cu != kInvalidVertex && cv != kInvalidVertex) {
-        out_u[static_cast<std::size_t>(e)] = cu;
-        out_v[static_cast<std::size_t>(e)] = cv;
-        out_w[static_cast<std::size_t>(e)] = g.edge_weight(e);
+        walk_u[static_cast<std::size_t>(e)] = cu;
+        walk_v[static_cast<std::size_t>(e)] = cv;
+        walk_w[static_cast<std::size_t>(e)] = g.edge_weight(e);
         keep[static_cast<std::size_t>(e)] = 1;
         continue;
       }
@@ -210,9 +233,9 @@ Multigraph terminal_walks(const Multigraph& g, const WalkGraph& walk_graph,
       }
       const double inv_sum =
           1.0 / g.edge_weight(e) + w1.inv_weight_sum + w2.inv_weight_sum;
-      out_u[static_cast<std::size_t>(e)] = w1.terminal;
-      out_v[static_cast<std::size_t>(e)] = w2.terminal;
-      out_w[static_cast<std::size_t>(e)] = 1.0 / inv_sum;
+      walk_u[static_cast<std::size_t>(e)] = w1.terminal;
+      walk_v[static_cast<std::size_t>(e)] = w2.terminal;
+      walk_w[static_cast<std::size_t>(e)] = 1.0 / inv_sum;
       keep[static_cast<std::size_t>(e)] = 1;
     }
   }
@@ -223,13 +246,17 @@ Multigraph terminal_walks(const Multigraph& g, const WalkGraph& walk_graph,
                        << " retries; is V\\C 5-DD?");
 
   // Compact kept edges by prefix scan over the keep flags.
-  const EdgeId m_out = exclusive_scan(std::span<EdgeId>(keep));
-  Multigraph h(num_c);
-  h.resize_edges(m_out);
+  const EdgeId m_out = exclusive_scan(keep);
+  out_u.resize(static_cast<std::size_t>(m_out));
+  out_v.resize(static_cast<std::size_t>(m_out));
+  out_w.resize(static_cast<std::size_t>(m_out));
   parallel_for(EdgeId{0}, m, [&](EdgeId e) {
     const auto i = static_cast<std::size_t>(e);
     if (keep[i + 1] == keep[i]) return;
-    h.set_edge(keep[i], out_u[i], out_v[i], out_w[i]);
+    const auto slot = static_cast<std::size_t>(keep[i]);
+    out_u[slot] = walk_u[i];
+    out_v[slot] = walk_v[i];
+    out_w[slot] = walk_w[i];
   });
 
   if (stats != nullptr) {
@@ -238,7 +265,21 @@ Multigraph terminal_walks(const Multigraph& g, const WalkGraph& walk_graph,
     stats->edges_in = m;
     stats->edges_out = m_out;
   }
-  return h;
+}
+
+Multigraph terminal_walks(MultigraphView g, const WalkGraph& walk_graph,
+                          std::span<const Vertex> f_index,
+                          std::span<const Vertex> c_index, Vertex num_c,
+                          std::uint64_t seed, std::uint64_t level,
+                          WalkStats* stats, const WalkOptions& opts) {
+  TerminalWalkScratch scratch;
+  std::vector<Vertex> out_u;
+  std::vector<Vertex> out_v;
+  std::vector<Weight> out_w;
+  sample_schur_complement(g, walk_graph, f_index, c_index, num_c, seed,
+                          level, stats, opts, scratch, out_u, out_v, out_w);
+  return Multigraph::adopt(num_c, std::move(out_u), std::move(out_v),
+                           std::move(out_w));
 }
 
 }  // namespace parlap

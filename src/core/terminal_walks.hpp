@@ -19,6 +19,13 @@
 // stream keyed by (seed, level, edge index) and the output is compacted by
 // prefix scan in input-edge order, so the result is identical under any
 // thread count.
+//
+// Allocation discipline: both stages come in two flavors. The returning
+// overloads allocate fresh containers (tests, one-shot callers); the
+// `*_into` overloads write into caller-provided storage — WalkGraph rows
+// and Schur-sample edge arrays are resized in place, so a caller that
+// keeps the buffers alive (ChainBuildArena) pays zero steady-state
+// allocations across levels and across builds.
 #pragma once
 
 #include <cstdint>
@@ -75,18 +82,56 @@ struct WalkGraph {
   }
 };
 
-/// Builds the F-row adjacency + alias tables. `f_index[v]` gives v's
-/// F-position or kInvalidVertex; `nf` counts F vertices. O(m) scan work,
-/// O(vol(F)) output, deterministic.
-[[nodiscard]] WalkGraph build_walk_graph(const Multigraph& g,
+/// Counting-sort scratch reused across build_walk_graph_into calls
+/// (chunk-local histograms and running bases).
+struct WalkBuildScratch {
+  std::vector<EdgeId> hist;
+  std::vector<EdgeId> base;
+};
+
+/// Per-edge staging reused across terminal_walks_into calls: walk
+/// endpoints/weights per input edge plus the keep flags the compaction
+/// scans.
+struct TerminalWalkScratch {
+  std::vector<Vertex> out_u;
+  std::vector<Vertex> out_v;
+  std::vector<Weight> out_w;
+  std::vector<EdgeId> keep;
+};
+
+/// Builds the F-row adjacency + alias tables into `out`, reusing its
+/// storage (and `scratch`) when capacities suffice. `f_index[v]` gives
+/// v's F-position or kInvalidVertex; `nf` counts F vertices. O(m) scan
+/// work, O(vol(F)) output, deterministic.
+void build_walk_graph_into(MultigraphView g, std::span<const Vertex> f_index,
+                           Vertex nf, WalkGraph& out,
+                           WalkBuildScratch& scratch);
+
+/// Allocating convenience over build_walk_graph_into.
+[[nodiscard]] WalkGraph build_walk_graph(MultigraphView g,
                                          std::span<const Vertex> f_index,
                                          Vertex nf);
 
-/// Runs Algorithm 4. `c_index[v]` gives v's id in the output vertex space
-/// for terminals and kInvalidVertex inside F; exactly one of
-/// f_index/c_index must be valid per vertex. Returns the sampled
-/// approximation of SC(L, C) on vertex set [0, num_c).
-[[nodiscard]] Multigraph terminal_walks(const Multigraph& g,
+/// Runs Algorithm 4 (the terminal-walk Schur sample), emitting the
+/// compacted output edges into `out_u`/`out_v`/`out_w` (resized to the
+/// kept count, capacities reused). `c_index[v]` gives v's id in the
+/// output vertex space for terminals and kInvalidVertex inside F; exactly
+/// one of f_index/c_index must be valid per vertex. The sampled graph
+/// approximates SC(L, C) on vertex set [0, num_c).
+void sample_schur_complement(MultigraphView g, const WalkGraph& walk_graph,
+                             std::span<const Vertex> f_index,
+                             std::span<const Vertex> c_index, Vertex num_c,
+                             std::uint64_t seed, std::uint64_t level,
+                             WalkStats* stats, const WalkOptions& opts,
+                             TerminalWalkScratch& scratch,
+                             std::vector<Vertex>& out_u,
+                             std::vector<Vertex>& out_v,
+                             std::vector<Weight>& out_w);
+
+/// Allocating convenience over sample_schur_complement: returns the
+/// sampled approximation of SC(L, C) as an owning Multigraph (buffer
+/// adoption, no copy).
+[[nodiscard]] Multigraph terminal_walks(MultigraphView g,
                                         const WalkGraph& walk_graph,
                                         std::span<const Vertex> f_index,
                                         std::span<const Vertex> c_index,

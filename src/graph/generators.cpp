@@ -102,6 +102,9 @@ Multigraph make_grid3d(Vertex nx, Vertex ny, Vertex nz) {
   PARLAP_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
   const Vertex n = nx * ny * nz;
   Multigraph g(n);
+  g.reserve_edges(static_cast<EdgeId>(nx - 1) * ny * nz +
+                  static_cast<EdgeId>(ny - 1) * nx * nz +
+                  static_cast<EdgeId>(nz - 1) * nx * ny);
   auto id = [&](Vertex x, Vertex y, Vertex z) { return (z * ny + y) * nx + x; };
   for (Vertex z = 0; z < nz; ++z)
     for (Vertex y = 0; y < ny; ++y)
@@ -125,6 +128,7 @@ Multigraph make_complete(Vertex n) {
 Multigraph make_star(Vertex n) {
   PARLAP_CHECK(n >= 2);
   Multigraph g(n);
+  g.reserve_edges(n - 1);
   for (Vertex i = 1; i < n; ++i) g.add_edge(0, i, 1.0);
   return g;
 }
@@ -132,6 +136,7 @@ Multigraph make_star(Vertex n) {
 Multigraph make_binary_tree(Vertex n) {
   PARLAP_CHECK(n >= 1);
   Multigraph g(n);
+  g.reserve_edges(n - 1);
   for (Vertex i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2, 1.0);
   return g;
 }
@@ -141,6 +146,8 @@ Multigraph make_barbell(Vertex clique_size, Vertex path_len) {
   PARLAP_CHECK(path_len >= 0);
   const Vertex n = 2 * clique_size + path_len;
   Multigraph g(n);
+  g.reserve_edges(static_cast<EdgeId>(clique_size) * (clique_size - 1) +
+                  path_len + 1);
   auto add_clique = [&](Vertex base) {
     for (Vertex i = 0; i < clique_size; ++i)
       for (Vertex j = i + 1; j < clique_size; ++j)

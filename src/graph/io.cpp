@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -26,12 +27,18 @@ void write_edge_list_file(const std::string& path, const Multigraph& g) {
 }
 
 Multigraph read_edge_list(std::istream& is) {
+  // Two parse modes: when the "# parlap-graph n m" header precedes every
+  // edge line (the format our writer emits), edges stream straight into a
+  // pre-reserved Multigraph — no staging vector, no second pass, no
+  // incremental growth of the three edge arrays. Headerless files (or a
+  // header arriving late) fall back to staging until n is known.
   Vertex n = -1;
   struct Edge {
     Vertex u, v;
     Weight w;
   };
-  std::vector<Edge> edges;
+  std::vector<Edge> staged;
+  std::optional<Multigraph> direct;
   Vertex max_vertex = -1;
   std::string line;
   while (std::getline(is, line)) {
@@ -45,10 +52,18 @@ Multigraph read_edge_list(std::istream& is) {
         Vertex header_n = -1;
         EdgeId header_m = 0;
         header >> header_n >> header_m;
-        // Tolerate malformed headers (treat as plain comments).
-        if (!header.fail() && header_n >= 0) {
+        // Tolerate malformed headers (treat as plain comments). In direct
+        // mode the FIRST header is authoritative: a later header (e.g. two
+        // files concatenated) must not widen n after the graph was sized,
+        // or edges past the original n would dodge the range check below.
+        if (!header.fail() && header_n >= 0 && !direct.has_value()) {
           n = header_n;
-          edges.reserve(static_cast<std::size_t>(header_m));
+          if (staged.empty()) {
+            direct.emplace(n);
+            direct->reserve_edges(header_m);
+          } else {
+            staged.reserve(static_cast<std::size_t>(header_m));
+          }
         }
       }
       continue;
@@ -59,14 +74,21 @@ Multigraph read_edge_list(std::istream& is) {
     row >> e.u >> e.v;
     PARLAP_CHECK_MSG(!row.fail(), "malformed edge line: " << line);
     row >> e.w;  // optional third column
+    if (direct.has_value()) {
+      PARLAP_CHECK_MSG(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                       "edge endpoint exceeds declared n");
+      direct->add_edge(e.u, e.v, e.w);
+      continue;
+    }
     max_vertex = std::max({max_vertex, e.u, e.v});
-    edges.push_back(e);
+    staged.push_back(e);
   }
+  if (direct.has_value()) return std::move(*direct);
   if (n < 0) n = max_vertex + 1;
   PARLAP_CHECK_MSG(max_vertex < n, "edge endpoint exceeds declared n");
   Multigraph g(n);
-  g.reserve_edges(static_cast<EdgeId>(edges.size()));
-  for (const Edge& e : edges) g.add_edge(e.u, e.v, e.w);
+  g.reserve_edges(static_cast<EdgeId>(staged.size()));
+  for (const Edge& e : staged) g.add_edge(e.u, e.v, e.w);
   return g;
 }
 

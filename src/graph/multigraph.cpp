@@ -8,45 +8,63 @@
 
 namespace parlap {
 
-std::vector<Weight> Multigraph::weighted_degrees() const {
-  std::vector<Weight> degree(static_cast<std::size_t>(n_), 0.0);
-  const EdgeId m = num_edges();
+void weighted_degrees_into(MultigraphView g, std::span<Weight> out,
+                           std::vector<Weight>& partial_scratch) {
+  const Vertex n = g.num_vertices();
+  PARLAP_CHECK(out.size() == static_cast<std::size_t>(n));
+  const EdgeId m = g.num_edges();
   if (m < (1 << 15)) {
+    std::fill(out.begin(), out.end(), 0.0);
     for (EdgeId e = 0; e < m; ++e) {
-      degree[static_cast<std::size_t>(edge_u(e))] += edge_weight(e);
-      degree[static_cast<std::size_t>(edge_v(e))] += edge_weight(e);
+      out[static_cast<std::size_t>(g.edge_u(e))] += g.edge_weight(e);
+      out[static_cast<std::size_t>(g.edge_v(e))] += g.edge_weight(e);
     }
-    return degree;
+    return;
   }
   // Chunk-major partial arrays reduced per vertex in fixed chunk order:
   // bit-exact for every thread count (the chunk count depends only on the
   // graph, never on the machine). Scratch stays under ~128 MiB.
   const int chunks = std::max(
       1, std::min<int>(32, static_cast<int>((std::int64_t{1} << 24) /
-                                            std::max<Vertex>(n_, 1))));
+                                            std::max<Vertex>(n, 1))));
   const EdgeId chunk_len = (m + chunks - 1) / chunks;
-  std::vector<Weight> partial(
-      static_cast<std::size_t>(chunks) * static_cast<std::size_t>(n_), 0.0);
+  partial_scratch.assign(
+      static_cast<std::size_t>(chunks) * static_cast<std::size_t>(n), 0.0);
+  Weight* partial = partial_scratch.data();
 #pragma omp parallel for schedule(static)
   for (int c = 0; c < chunks; ++c) {
     Weight* local =
-        partial.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(n_);
+        partial + static_cast<std::size_t>(c) * static_cast<std::size_t>(n);
     const EdgeId lo = c * chunk_len;
     const EdgeId hi = std::min(m, lo + chunk_len);
     for (EdgeId e = lo; e < hi; ++e) {
-      local[static_cast<std::size_t>(edge_u(e))] += edge_weight(e);
-      local[static_cast<std::size_t>(edge_v(e))] += edge_weight(e);
+      local[static_cast<std::size_t>(g.edge_u(e))] += g.edge_weight(e);
+      local[static_cast<std::size_t>(g.edge_v(e))] += g.edge_weight(e);
     }
   }
-  parallel_for(Vertex{0}, n_, [&](Vertex v) {
+  parallel_for(Vertex{0}, n, [&](Vertex v) {
     Weight sum = 0.0;
     for (int c = 0; c < chunks; ++c) {
-      sum += partial[static_cast<std::size_t>(c) * static_cast<std::size_t>(n_) +
+      sum += partial[static_cast<std::size_t>(c) * static_cast<std::size_t>(n) +
                      static_cast<std::size_t>(v)];
     }
-    degree[static_cast<std::size_t>(v)] = sum;
+    out[static_cast<std::size_t>(v)] = sum;
   });
+}
+
+void weighted_degrees_into(MultigraphView g, std::span<Weight> out) {
+  std::vector<Weight> partial_scratch;
+  weighted_degrees_into(g, out, partial_scratch);
+}
+
+std::vector<Weight> weighted_degrees(MultigraphView g) {
+  std::vector<Weight> degree(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  weighted_degrees_into(g, degree);
   return degree;
+}
+
+std::vector<Weight> Multigraph::weighted_degrees() const {
+  return parlap::weighted_degrees(view());
 }
 
 Weight Multigraph::total_weight() const {

@@ -4,9 +4,18 @@
 //
 // Storage is struct-of-arrays over multi-edges; parallel producers size the
 // edge arrays up front and write disjoint slots.
+//
+// MultigraphView is the non-owning companion: the same read surface over
+// edge arrays owned by someone else (a Multigraph, or a ChainBuildArena
+// level buffer). The chain-construction pipeline is written against views,
+// so intermediate levels never have to be materialized as fresh owning
+// graphs. Multigraph::adopt() closes the loop in the other direction:
+// buffers produced into caller-owned vectors become an owning graph by
+// move, never by copy.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -14,11 +23,72 @@
 
 namespace parlap {
 
+class Multigraph;
+
+/// Non-owning view of a multigraph's edge arrays. Cheap to copy; valid
+/// only while the owner of the underlying arrays is. Every read-only
+/// algorithm in the chain-construction pipeline takes this (a Multigraph
+/// converts implicitly).
+class MultigraphView {
+ public:
+  MultigraphView() = default;
+  MultigraphView(Vertex num_vertices, std::span<const Vertex> u,
+                 std::span<const Vertex> v, std::span<const Weight> w)
+      : n_(num_vertices), u_(u), v_(v), w_(w) {
+    PARLAP_DCHECK(u_.size() == v_.size() && v_.size() == w_.size());
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit view
+  MultigraphView(const Multigraph& g);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(u_.size());
+  }
+
+  [[nodiscard]] Vertex edge_u(EdgeId e) const {
+    return u_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Vertex edge_v(EdgeId e) const {
+    return v_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] Weight edge_weight(EdgeId e) const {
+    return w_[static_cast<std::size_t>(e)];
+  }
+
+  [[nodiscard]] std::span<const Vertex> us() const noexcept { return u_; }
+  [[nodiscard]] std::span<const Vertex> vs() const noexcept { return v_; }
+  [[nodiscard]] std::span<const Weight> ws() const noexcept { return w_; }
+
+ private:
+  Vertex n_ = 0;
+  std::span<const Vertex> u_;
+  std::span<const Vertex> v_;
+  std::span<const Weight> w_;
+};
+
 class Multigraph {
  public:
   Multigraph() = default;
   explicit Multigraph(Vertex num_vertices) : n_(num_vertices) {
     PARLAP_CHECK(num_vertices >= 0);
+  }
+
+  /// Takes ownership of already-built edge arrays without copying (the
+  /// buffer-adoption path: producers fill plain vectors — possibly
+  /// recycled arena storage — and hand them over by move). The three
+  /// vectors must have equal sizes; contents are validated only in debug
+  /// builds (same contract as set_edge).
+  [[nodiscard]] static Multigraph adopt(Vertex num_vertices,
+                                        std::vector<Vertex>&& u,
+                                        std::vector<Vertex>&& v,
+                                        std::vector<Weight>&& w) {
+    PARLAP_CHECK(num_vertices >= 0);
+    PARLAP_CHECK(u.size() == v.size() && v.size() == w.size());
+    Multigraph g(num_vertices);
+    g.u_ = std::move(u);
+    g.v_ = std::move(v);
+    g.w_ = std::move(w);
+    return g;
   }
 
   [[nodiscard]] Vertex num_vertices() const noexcept { return n_; }
@@ -74,6 +144,10 @@ class Multigraph {
   [[nodiscard]] std::span<const Vertex> vs() const noexcept { return v_; }
   [[nodiscard]] std::span<const Weight> ws() const noexcept { return w_; }
 
+  [[nodiscard]] MultigraphView view() const noexcept {
+    return MultigraphView(n_, u_, v_, w_);
+  }
+
   /// Weighted degree w(u) = sum of incident multi-edge weights (parallel).
   [[nodiscard]] std::vector<Weight> weighted_degrees() const;
 
@@ -90,5 +164,23 @@ class Multigraph {
   std::vector<Vertex> v_;
   std::vector<Weight> w_;
 };
+
+inline MultigraphView::MultigraphView(const Multigraph& g)
+    : MultigraphView(g.num_vertices(), g.us(), g.vs(), g.ws()) {}
+
+/// Weighted degrees of a view, written into caller storage (`out` must
+/// have size num_vertices). Bit-identical for every thread count; the
+/// zero-allocation core the arena-backed chain build runs per level.
+/// `partial_scratch` holds the chunk-local accumulation array (grown to
+/// its high-water mark, recycled across calls).
+void weighted_degrees_into(MultigraphView g, std::span<Weight> out,
+                           std::vector<Weight>& partial_scratch);
+
+/// Convenience overload with call-local chunk scratch (allocates for
+/// graphs above the serial cutoff).
+void weighted_degrees_into(MultigraphView g, std::span<Weight> out);
+
+/// Allocating convenience over weighted_degrees_into.
+[[nodiscard]] std::vector<Weight> weighted_degrees(MultigraphView g);
 
 }  // namespace parlap

@@ -197,7 +197,7 @@ Vector cholesky_solve(const DenseMatrix& chol, std::span<const double> b) {
   return y;
 }
 
-DenseMatrix laplacian_dense(const Multigraph& g) {
+DenseMatrix laplacian_dense(MultigraphView g) {
   const int n = g.num_vertices();
   DenseMatrix l(n, n);
   const EdgeId m = g.num_edges();

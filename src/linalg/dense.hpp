@@ -80,7 +80,7 @@ struct EigenDecomposition {
                                     std::span<const double> b);
 
 /// Dense Laplacian of a multi-graph.
-[[nodiscard]] DenseMatrix laplacian_dense(const Multigraph& g);
+[[nodiscard]] DenseMatrix laplacian_dense(MultigraphView g);
 
 /// Exact Schur complement of symmetric `m` onto index set `keep` (the
 /// paper's C), eliminating the complement F: SC = M_CC - M_CF M_FF^-1 M_FC.

@@ -4,6 +4,8 @@
 #include <bit>
 #include <limits>
 
+#include "support/timer.hpp"
+
 namespace parlap::service {
 
 std::size_t FactorizationKeyHash::operator()(
@@ -50,6 +52,7 @@ std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
   lock.unlock();
 
   std::shared_ptr<AnySolver> solver;
+  const WallTimer build_timer;
   try {
     solver = factory();
   } catch (...) {
@@ -58,8 +61,10 @@ std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
     cv_.notify_all();
     throw;
   }
+  const double build_seconds = build_timer.seconds();
 
   lock.lock();
+  stats_.build_seconds += build_seconds;
   Entry& e = entries_.at(key);
   e.solver = solver;
   e.building = false;

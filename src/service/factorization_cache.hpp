@@ -63,6 +63,9 @@ class FactorizationCache {
     std::uint64_t evictions = 0;   ///< entries dropped for budget
     EdgeId resident_entries = 0;   ///< sum of stored_entries() resident
     std::size_t resident_count = 0;
+    /// Wall-clock seconds spent inside miss factories (cache-miss cost
+    /// attribution: what the batch paid to build rather than to solve).
+    double build_seconds = 0.0;
   };
 
   /// `budget_entries` caps the resident stored_entries total; 0 means

@@ -277,6 +277,7 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
   stats.cache.hits -= cache_before.hits;
   stats.cache.misses -= cache_before.misses;
   stats.cache.evictions -= cache_before.evictions;
+  stats.cache.build_seconds -= cache_before.build_seconds;
   return batch;
 }
 

@@ -78,9 +78,10 @@ struct EngineStats {
   double solves_per_second = 0.0;  ///< succeeded / wall_seconds
   double p50_solve_seconds = 0.0;  ///< per-job solve_seconds percentiles
   double p95_solve_seconds = 0.0;
-  /// Cache activity of THIS batch (hit/miss/eviction counters are
-  /// per-run deltas; resident_* are absolute at batch end), so a warmed
-  /// engine's steady-state hit rate reads directly from one run.
+  /// Cache activity of THIS batch (hit/miss/eviction counters and the
+  /// miss-attributed build_seconds are per-run deltas; resident_* are
+  /// absolute at batch end), so a warmed engine's steady-state hit rate
+  /// and factorization cost read directly from one run.
   FactorizationCache::Stats cache;
 };
 

@@ -106,6 +106,35 @@ def run_checks(cli, data, fixture, tmp):
     if p.returncode == 0:
         validate_solve_json(json.loads(out_json.read_text()), "parlap", 3)
 
+    # --- build-phase telemetry (docs/CLI.md "build" object) --------------
+    out_json = tmp / "build_stats.json"
+    p = run(cli, "solve", "--input", str(fixture), "--method", "parlap",
+            "--build-stats", "--eps", str(EPS), "--json", str(out_json))
+    check(p.returncode == 0, f"build-stats: exit 0 (got {p.returncode})")
+    if p.returncode == 0:
+        doc = json.loads(out_json.read_text())
+        build = doc.get("build", {})
+        check(build.get("total_seconds", -1) >= 0 and
+              build.get("base_seconds", -1) >= 0,
+              "build-stats: build timings present")
+        check(build.get("levels") == len(build.get("levels_detail", [])),
+              "build-stats: one levels_detail entry per level")
+        check(build.get("arena_allocations", -1) >= 0 and
+              build.get("peak_arena_bytes", -1) >= 0,
+              "build-stats: arena counters present")
+        phases = build.get("phases", {})
+        for key in ("degrees_seconds", "five_dd_seconds", "partition_seconds",
+                    "walk_graph_seconds", "schur_seconds", "extract_seconds"):
+            check(phases.get(key, -1) >= 0, f"build-stats: phases.{key}")
+    # Methods outside the chain pipeline report no build object.
+    out_json = tmp / "build_stats_cg.json"
+    p = run(cli, "solve", "--input", str(fixture), "--method", "cg",
+            "--build-stats", "--eps", str(EPS), "--json", str(out_json))
+    check(p.returncode == 0, f"build-stats cg: exit 0 (got {p.returncode})")
+    if p.returncode == 0:
+        check("build" not in json.loads(out_json.read_text()),
+              "build-stats: cg reports no build object")
+
     # --- documented failure modes ---------------------------------------
     p = run(cli, "solve", "--input", str(data / "malformed.mtx"))
     check(p.returncode == 3, f"malformed mtx: exit 3 (got {p.returncode})")
@@ -186,6 +215,11 @@ def run_checks(cli, data, fixture, tmp):
         check(agg.get("solves_per_second", 0) > 0, "batch: throughput reported")
         check(agg.get("p95_solve_seconds", 0) >= agg.get("p50_solve_seconds", 1),
               "batch: p95 >= p50")
+        check(doc.get("cache", {}).get("build_seconds", -1) > 0,
+              "batch: miss cost attributed in cache.build_seconds")
+        for job in doc.get("jobs", []):
+            check("build_seconds" in job and "build_arena_allocations" in job,
+                  f"batch: job {job.get('id')} carries build-cost fields")
 
     if set(batch_docs) == {"1", "4"}:
         a = batch_docs["1"]["jobs"]

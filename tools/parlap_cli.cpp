@@ -31,6 +31,7 @@
 
 #include "api/any_solver.hpp"
 #include "api/graph_source.hpp"
+#include "core/build_stats.hpp"
 #include "api/rhs.hpp"
 #include "api/solver_registry.hpp"
 #include "graph/connectivity.hpp"
@@ -195,6 +196,79 @@ std::ofstream open_output(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// Build-phase telemetry rendering (--build-stats)
+// ---------------------------------------------------------------------------
+
+void print_build_stats(const std::string& method, const BuildStats& bs) {
+  TextTable table("build: method " + method + ", " +
+                  std::to_string(bs.levels) + " level(s), arena " +
+                  bench::JsonWriter::format_number(
+                      static_cast<double>(bs.peak_arena_bytes) / (1 << 20)) +
+                  " MiB, " + std::to_string(bs.arena_allocations) +
+                  " arena realloc(s)");
+  table.set_header({"level", "n", "m", "|F|", "degrees_ms", "five_dd_ms",
+                    "partition_ms", "walk_graph_ms", "schur_ms",
+                    "extract_ms"},
+                   4);
+  for (std::size_t k = 0; k < bs.level_timings.size(); ++k) {
+    const BuildLevelTiming& lt = bs.level_timings[k];
+    table.add_row({static_cast<std::int64_t>(k),
+                   static_cast<std::int64_t>(lt.n),
+                   static_cast<std::int64_t>(lt.edges),
+                   static_cast<std::int64_t>(lt.f_size),
+                   lt.phases.degrees * 1e3, lt.phases.five_dd * 1e3,
+                   lt.phases.partition * 1e3, lt.phases.walk_graph * 1e3,
+                   lt.phases.schur * 1e3, lt.phases.extract * 1e3});
+  }
+  table.add_row({std::string("total"), std::string(""), std::string(""),
+                 std::string(""), bs.phases.degrees * 1e3,
+                 bs.phases.five_dd * 1e3, bs.phases.partition * 1e3,
+                 bs.phases.walk_graph * 1e3, bs.phases.schur * 1e3,
+                 bs.phases.extract * 1e3});
+  table.print(std::cout);
+  std::cout << "build: levels " << bs.phases.total() << " s + base "
+            << bs.base_seconds << " s = " << bs.total_seconds
+            << " s total\n";
+}
+
+void write_build_stats_json(bench::JsonWriter& w, const BuildStats& bs) {
+  w.key("build");
+  w.begin_object();
+  w.member("total_seconds", bs.total_seconds);
+  w.member("base_seconds", bs.base_seconds);
+  w.member("levels", bs.levels);
+  w.member("peak_arena_bytes", static_cast<std::int64_t>(bs.peak_arena_bytes));
+  w.member("arena_allocations",
+           static_cast<std::int64_t>(bs.arena_allocations));
+  w.key("phases");
+  w.begin_object();
+  w.member("degrees_seconds", bs.phases.degrees);
+  w.member("five_dd_seconds", bs.phases.five_dd);
+  w.member("partition_seconds", bs.phases.partition);
+  w.member("walk_graph_seconds", bs.phases.walk_graph);
+  w.member("schur_seconds", bs.phases.schur);
+  w.member("extract_seconds", bs.phases.extract);
+  w.end_object();
+  w.key("levels_detail");
+  w.begin_array();
+  for (const BuildLevelTiming& lt : bs.level_timings) {
+    w.begin_object();
+    w.member("n", static_cast<std::int64_t>(lt.n));
+    w.member("edges", static_cast<std::int64_t>(lt.edges));
+    w.member("f_size", static_cast<std::int64_t>(lt.f_size));
+    w.member("degrees_seconds", lt.phases.degrees);
+    w.member("five_dd_seconds", lt.phases.five_dd);
+    w.member("partition_seconds", lt.phases.partition);
+    w.member("walk_graph_seconds", lt.phases.walk_graph);
+    w.member("schur_seconds", lt.phases.schur);
+    w.member("extract_seconds", lt.phases.extract);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+// ---------------------------------------------------------------------------
 // solve
 // ---------------------------------------------------------------------------
 
@@ -222,6 +296,7 @@ int cmd_solve(Args& args) {
                      std::to_string(rhs_random));
   }
   const bool project_rhs = args.take_flag("--project-rhs");
+  const bool build_stats = args.take_flag("--build-stats");
   const std::string out_path = args.take_value("--out").value_or("");
   const std::string json_path = args.take_value("--json").value_or("");
   SolverConfig config;
@@ -316,6 +391,14 @@ int cmd_solve(Args& args) {
       SolverRegistry::instance().create(method, g, config);
   std::cerr << "parlap_cli: method '" << method << "' factored in "
             << solver->setup_seconds() << " s\n";
+  if (build_stats) {
+    if (const BuildStats* bs = solver->build_stats()) {
+      print_build_stats(method, *bs);
+    } else {
+      std::cerr << "parlap_cli: method '" << method
+                << "' does not report build-phase stats\n";
+    }
+  }
 
   std::vector<RunReport> reports;
   std::vector<Vector> xs;
@@ -366,6 +449,9 @@ int cmd_solve(Args& args) {
     w.member("method", method);
     w.member("eps", eps);
     w.member("setup_seconds", solver->setup_seconds());
+    if (const BuildStats* bs = solver->build_stats()) {
+      write_build_stats_json(w, *bs);
+    }
     w.key("runs");
     w.begin_array();
     for (std::size_t k = 0; k < reports.size(); ++k) {
@@ -452,7 +538,8 @@ int cmd_batch(Args& args) {
             << " solved in " << stats.wall_seconds << " s ("
             << stats.solves_per_second << " solves/s), cache "
             << stats.cache.hits << " hit(s) / " << stats.cache.misses
-            << " miss(es) / " << stats.cache.evictions << " eviction(s)\n";
+            << " miss(es) / " << stats.cache.evictions << " eviction(s), "
+            << stats.cache.build_seconds << " s factorizing\n";
 
   if (!json_path.empty()) {
     std::ofstream os = open_output(json_path);
@@ -472,6 +559,8 @@ int cmd_batch(Args& args) {
              static_cast<std::int64_t>(stats.cache.resident_entries));
     w.member("resident_count",
              static_cast<std::int64_t>(stats.cache.resident_count));
+    // Miss cost attribution: wall seconds this batch spent factorizing.
+    w.member("build_seconds", stats.cache.build_seconds);
     w.end_object();
     w.key("aggregate");
     w.begin_object();
@@ -499,6 +588,16 @@ int cmd_batch(Args& args) {
       } else {
         w.member("cache_hit", r.cache_hit);
         w.member("setup_seconds", r.report.setup_seconds);
+        // Chain-build seconds of the factorization this job used (paid
+        // once by the miss; repeated on hits like setup_seconds).
+        w.member("build_seconds",
+                 r.report.has_build_stats ? r.report.build.total_seconds
+                                          : 0.0);
+        w.member("build_arena_allocations",
+                 r.report.has_build_stats
+                     ? static_cast<std::int64_t>(
+                           r.report.build.arena_allocations)
+                     : std::int64_t{0});
         w.member("solve_seconds", r.report.solve_seconds);
         w.member("iterations", r.report.iterations);
         w.member("relative_residual", r.report.relative_residual);
@@ -737,7 +836,7 @@ void print_usage(std::ostream& os) {
         "                       --rhs-demand S,T | --rhs-random K]\n"
         "                       [--project-rhs] [--split-scale X]\n"
         "                       [--max-iterations N] [--out FILE] [--json FILE]\n"
-        "                       [--list-methods]\n"
+        "                       [--build-stats] [--list-methods]\n"
         "batch:                 --jobs FILE.jsonl [--workers N]\n"
         "                       [--cache-budget ENTRIES] [--json FILE]\n"
         "                       [--solutions --out DIR]\n"

@@ -1,0 +1,125 @@
+// E17 — blocked apply throughput: preconditioner applications per second
+// vs panel block width (1/4/8/16) on the E15 traffic-mix graphs.
+//
+// The headline kernel of the CSR-packed ApplyChain + Panel refactor: one
+// chain traversal serves k right-hand sides, so the chain's index arrays
+// (offsets, columns, weights, gather lists) and the parallel-region
+// launches amortize across the panel. Width 1 is the scalar baseline;
+// the per-RHS apply cost should drop as the width grows (bandwidth-bound
+// regime), with bit-identical results at every width — E15's batch
+// throughput is the end-to-end view of the same effect.
+//
+// Secondary cases measure end-to-end blocked solves (solve_many at
+// width 1 vs 8) on the largest family.
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/graph_source.hpp"
+#include "common.hpp"
+#include "core/solver.hpp"
+#include "linalg/panel.hpp"
+
+using namespace parlap;
+using namespace parlap::bench;
+
+int main() {
+  reporter().set_experiment("E17");
+  const Vertex scale = smoke() ? Vertex{24} : Vertex{64};
+  const int reps = smoke() ? 3 : 7;
+  const std::size_t total_rhs = 16;  // divisible by every width below
+  const std::vector<std::size_t> widths = {1, 4, 8, 16};
+
+  // The E15 traffic mix (bench_e15_throughput.cpp), same specs and seed.
+  const std::vector<std::string> graphs = {
+      "ws:" + std::to_string(scale * 8) + ",6,0.1",
+      "grid2d:" + std::to_string(scale),
+      "gnm:" + std::to_string(scale * 4) + "," + std::to_string(scale * 16),
+  };
+
+  TextTable table("E17 blocked apply — " + std::to_string(total_rhs) +
+                  " rhs per graph, widths 1/4/8/16");
+  table.set_header({"graph", "width", "apply_s_per_rhs", "rhs_per_s",
+                    "speedup_vs_w1"},
+                   5);
+
+  for (const std::string& spec : graphs) {
+    const Multigraph g = make_generated_graph(spec, 17);
+    SolverOptions opts;
+    opts.seed = 17;
+    const LaplacianSolver solver(g, opts);
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+
+    std::vector<Vector> rhs;
+    for (std::size_t j = 0; j < total_rhs; ++j) {
+      rhs.push_back(random_rhs(g.num_vertices(),
+                               1000 + static_cast<std::uint64_t>(j)));
+    }
+
+    double per_rhs_w1 = 0.0;
+    for (const std::size_t width : widths) {
+      // Pre-pack the panels so the timed region is applies only.
+      std::vector<Panel> panels;
+      for (std::size_t start = 0; start < total_rhs; start += width) {
+        Panel p;
+        panel_from_vectors(
+            std::span<const Vector>(rhs.data() + start, width), p);
+        panels.push_back(std::move(p));
+      }
+      Panel out;
+      const std::vector<double> samples = measure(reps, /*warmup=*/1, [&] {
+        for (const Panel& p : panels) solver.apply_preconditioner(p, out);
+      });
+      const TimingSummary summary = summarize(samples);
+      const double per_rhs =
+          summary.median / static_cast<double>(total_rhs);
+      if (width == 1) per_rhs_w1 = per_rhs;
+      const double speedup = per_rhs > 0.0 ? per_rhs_w1 / per_rhs : 0.0;
+      table.add_row({spec, static_cast<std::int64_t>(width), per_rhs,
+                     per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, speedup});
+      reporter().record(
+          spec + "/width:" + std::to_string(width),
+          {{"n", static_cast<double>(n)},
+           {"width", static_cast<double>(width)},
+           {"rhs", static_cast<double>(total_rhs)},
+           {"apply_s_per_rhs", per_rhs},
+           {"rhs_per_second", per_rhs > 0.0 ? 1.0 / per_rhs : 0.0},
+           {"speedup_vs_w1", speedup}},
+          samples);
+    }
+  }
+
+  // End-to-end: blocked solve_many on the largest family, width 1 vs 8.
+  {
+    const std::string spec = graphs.front();
+    const Multigraph g = make_generated_graph(spec, 17);
+    std::vector<Vector> bs;
+    for (std::size_t j = 0; j < total_rhs; ++j) {
+      bs.push_back(random_rhs(g.num_vertices(),
+                              2000 + static_cast<std::uint64_t>(j)));
+    }
+    for (const int width : {1, 8}) {
+      SolverOptions opts;
+      opts.seed = 17;
+      opts.max_block_width = width;
+      const LaplacianSolver solver(g, opts);
+      std::vector<Vector> xs(bs.size());
+      const std::vector<double> samples = measure(reps, /*warmup=*/1, [&] {
+        (void)solver.solve_many(bs, xs, 1e-8);
+      });
+      const TimingSummary summary = summarize(samples);
+      const double per_rhs =
+          summary.median / static_cast<double>(total_rhs);
+      table.add_row({spec + " solve", static_cast<std::int64_t>(width),
+                     per_rhs, per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, 0.0});
+      reporter().record(spec + "/solve_many/width:" + std::to_string(width),
+                        {{"width", static_cast<double>(width)},
+                         {"rhs", static_cast<double>(total_rhs)},
+                         {"solve_s_per_rhs", per_rhs}},
+                        samples);
+    }
+  }
+
+  print_table(table);
+  return 0;
+}

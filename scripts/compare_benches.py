@@ -12,16 +12,21 @@ baseline beyond a relative threshold plus an absolute noise floor:
 Usage:
     scripts/compare_benches.py BASELINE_DIR CURRENT_DIR
         [--threshold 0.5] [--min-seconds 0.005]
-        [--allow-missing] [--verbose]
+        [--allow-missing] [--allow-new-cases] [--verbose]
 
-Exit codes: 0 clean, 1 regression (or missing coverage without
---allow-missing), 2 usage / unreadable input.
+Exit codes: 0 clean, 1 regression (or missing/new coverage without the
+matching --allow flag), 2 usage / unreadable input.
 
 Notes:
-  * Cases are matched by (experiment, case name); cases only present on
-    one side are reported but never fatal (sweeps legitimately change).
-    A whole *file* missing from CURRENT_DIR is fatal by default — that
-    means an experiment stopped producing JSON.
+  * Cases are matched by (experiment, case name); baseline cases missing
+    from CURRENT are reported but never fatal (sweeps legitimately
+    change). A whole *file* missing from CURRENT_DIR is fatal by default
+    — that means an experiment stopped producing JSON.
+  * Cases (or whole experiments) present in CURRENT but absent from the
+    baseline — e.g. a freshly added experiment whose baseline was not
+    committed — are fatal by default so the committed tree stays in sync;
+    --allow-new-cases downgrades them to informational. The refresh
+    procedure is documented in bench-baselines/README.md.
   * Files that do not carry schema_version 1 (e.g. the google-benchmark
     E12 output) are skipped.
   * CI runs this with a deliberately loose threshold: shared runners
@@ -87,6 +92,12 @@ def main() -> int:
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when CURRENT lacks a baseline "
                              "experiment's JSON file")
+    parser.add_argument("--allow-new-cases", action="store_true",
+                        help="report cases/experiments present in CURRENT "
+                             "but absent from the baseline as informational "
+                             "instead of failing (the default failure exists "
+                             "so new experiments get their baseline "
+                             "committed; see bench-baselines/README.md)")
     parser.add_argument("--verbose", action="store_true",
                         help="print every compared case, not just changes")
     args = parser.parse_args()
@@ -105,6 +116,8 @@ def main() -> int:
 
     regressions = []
     missing_files = []
+    new_files = sorted(set(cur_tree) - set(base_tree))
+    new_cases = []
     compared = 0
     rows = []
     for exp, base_doc in sorted(base_tree.items()):
@@ -113,6 +126,9 @@ def main() -> int:
             continue
         base_cases = case_medians(base_doc)
         cur_cases = case_medians(cur_tree[exp])
+        for name in sorted(set(cur_cases) - set(base_cases)):
+            new_cases.append((exp, name))
+            rows.append((exp, name, None, cur_cases[name], "new-case"))
         for name, base_median in sorted(base_cases.items()):
             cur_median = cur_cases.get(name)
             if cur_median is None:
@@ -138,6 +154,9 @@ def main() -> int:
             if cur_median is None:
                 print(f"{label}  {base_median * 1e3:10.3f}  {'-':>10}  "
                       f"{'-':>6}  {status}")
+            elif base_median is None:
+                print(f"{label}  {'-':>10}  {cur_median * 1e3:10.3f}  "
+                      f"{'-':>6}  {status}")
             else:
                 print(f"{label}  {base_median * 1e3:10.3f}  "
                       f"{cur_median * 1e3:10.3f}  "
@@ -150,11 +169,28 @@ def main() -> int:
         level = "warning" if args.allow_missing else "error"
         print(f"{level}: experiments missing from {args.current}: "
               f"{', '.join(missing_files)}", file=sys.stderr)
+    if new_files or new_cases:
+        level = "info" if args.allow_new_cases else "error"
+        if new_files:
+            print(f"{level}: experiments in {args.current} without a "
+                  f"committed baseline: {', '.join(new_files)}",
+                  file=sys.stderr)
+        if new_cases:
+            named = ", ".join(f"{e}/{n}" for e, n in new_cases[:10])
+            more = "" if len(new_cases) <= 10 else f" (+{len(new_cases) - 10})"
+            print(f"{level}: cases without a baseline: {named}{more}",
+                  file=sys.stderr)
+        if not args.allow_new_cases:
+            print("hint: refresh and commit the baseline "
+                  "(bench-baselines/README.md) or pass --allow-new-cases",
+                  file=sys.stderr)
     if regressions:
         print(f"error: {len(regressions)} regression(s) beyond threshold",
               file=sys.stderr)
         return 1
     if missing_files and not args.allow_missing:
+        return 1
+    if (new_files or new_cases) and not args.allow_new_cases:
         return 1
     print("no regressions")
     return 0

@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "api/run_report.hpp"
 #include "core/build_stats.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/check.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -56,6 +59,27 @@ class AnySolver {
   [[nodiscard]] virtual RunReport solve(std::span<const double> b,
                                         std::span<double> x,
                                         double eps) const = 0;
+
+  /// Solves one system per entry of `bs`, returning one RunReport per
+  /// right-hand side. xs[i] receives the solution of bs[i] and must be
+  /// bit-identical to solve(bs[i], xs[i], eps) — a caller may batch any
+  /// subset of its traffic without changing results. The default is a
+  /// sequential loop of solve(); blocked implementations (the paper's
+  /// solver) share one factorization traversal per preconditioner
+  /// application across the whole panel. Residuals stay per-RHS against
+  /// the input operator. Thread-safe under the same contract as solve().
+  [[nodiscard]] virtual std::vector<RunReport> solve_panel(
+      std::span<const Vector> bs, std::span<Vector> xs, double eps) const {
+    PARLAP_CHECK_MSG(bs.size() == xs.size(),
+                     "solve_panel wants one output per rhs, got "
+                         << bs.size() << " rhs vs " << xs.size());
+    std::vector<RunReport> reports;
+    reports.reserve(bs.size());
+    for (std::size_t i = 0; i < bs.size(); ++i) {
+      reports.push_back(solve(bs[i], xs[i], eps));
+    }
+    return reports;
+  }
 
   /// The registry key this instance was created under.
   [[nodiscard]] virtual const std::string& method() const noexcept = 0;

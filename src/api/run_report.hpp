@@ -27,10 +27,21 @@ struct RunReport {
   double solve_seconds = 0.0;  ///< this solve() call only
   int iterations = 0;          ///< outer iterations; 0 for direct methods
   /// ||b_p - L x|| / ||b_p|| with b_p the right-hand side after
-  /// projecting out per-component means (the solvable part of b).
+  /// projecting out per-component means (the solvable part of b). For
+  /// panel solves this is the TRUE residual of this RHS against the
+  /// input operator, never a panel-wide maximum.
   double relative_residual = 0.0;
   bool converged = false;  ///< relative_residual <= the requested eps
   int threads = 1;         ///< OpenMP threads available during the solve
+  /// Columns solved together in the blocked call that produced this
+  /// report (1 for scalar solve()). In a panel, solve_seconds is the
+  /// panel's shared wall time divided evenly over its columns, so sums
+  /// over jobs stay meaningful.
+  int panel_width = 1;
+  /// Preconditioner-apply wall seconds attributed to this right-hand
+  /// side (the panel's shared apply time divided over its columns).
+  /// Reported by blocked paths of methods that measure it; 0 otherwise.
+  double apply_seconds = 0.0;
   /// Build-phase attribution of the factorization behind this solve
   /// (per-phase seconds, arena counters; repeated verbatim in every
   /// report the instance produces, like setup_seconds). Only methods

@@ -1,0 +1,370 @@
+#include "core/apply_chain.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+namespace {
+
+/// Column-chunk width of the row kernels: per row, up to kColChunk
+/// columns accumulate in a stack buffer while the row's CSR entries are
+/// streamed once. Each column's arithmetic order is exactly the scalar
+/// kernel's, whatever the chunking.
+constexpr std::size_t kColChunk = 8;
+
+}  // namespace
+
+void ApplyChain::finalize(std::span<const EliminationLevel> staging,
+                          Vertex n0, DenseMatrix base_pinv, Vertex base_n,
+                          int jacobi_terms, std::uint64_t build_id) {
+  PARLAP_CHECK(levels_.empty());  // finalize() runs once per chain
+  n0_ = n0;
+  base_pinv_ = std::move(base_pinv);
+  base_n_ = base_n;
+  jacobi_terms_ = jacobi_terms;
+  build_id_ = build_id;
+
+  std::size_t nf_total = 0;
+  std::size_t nc_total = 0;
+  std::size_t off_total = 0;
+  std::size_t data_total = 0;
+  for (const EliminationLevel& lvl : staging) {
+    nf_total += static_cast<std::size_t>(lvl.nf);
+    nc_total += static_cast<std::size_t>(lvl.nc);
+    off_total += 2 * (static_cast<std::size_t>(lvl.nf) + 1) +
+                 static_cast<std::size_t>(lvl.nc) + 1;
+    data_total += lvl.ff.nbr.size() + lvl.fc.nbr.size() + lvl.cf.nbr.size();
+  }
+  levels_.reserve(staging.size());
+  f_lists_.resize(nf_total);
+  c_lists_.resize(nc_total);
+  inv_x_.resize(nf_total);
+  y_diag_.resize(nf_total);
+  off_.resize(off_total);
+  nbr_.resize(data_total);
+  w_.resize(data_total);
+
+  std::size_t f_pos = 0;
+  std::size_t c_pos = 0;
+  std::size_t off_pos = 0;
+  std::size_t data_pos = 0;
+  const auto pack_block = [&](const EliminationLevel::SubCsr& blk,
+                              std::size_t rows) {
+    const std::size_t base = off_pos;
+    for (std::size_t i = 0; i <= rows; ++i) {
+      off_[off_pos + i] = blk.off[i] + static_cast<EdgeId>(data_pos);
+    }
+    off_pos += rows + 1;
+    std::copy(blk.nbr.begin(), blk.nbr.end(), nbr_.begin() + data_pos);
+    std::copy(blk.w.begin(), blk.w.end(), w_.begin() + data_pos);
+    data_pos += blk.nbr.size();
+    return base;
+  };
+
+  for (const EliminationLevel& lvl : staging) {
+    Level meta;
+    meta.n = lvl.n;
+    meta.nf = lvl.nf;
+    meta.nc = lvl.nc;
+    meta.f_base = f_pos;
+    meta.c_base = c_pos;
+    std::copy(lvl.f_list.begin(), lvl.f_list.end(), f_lists_.begin() + f_pos);
+    std::copy(lvl.inv_x.begin(), lvl.inv_x.end(), inv_x_.begin() + f_pos);
+    std::copy(lvl.y_diag.begin(), lvl.y_diag.end(), y_diag_.begin() + f_pos);
+    f_pos += static_cast<std::size_t>(lvl.nf);
+    std::copy(lvl.c_list.begin(), lvl.c_list.end(), c_lists_.begin() + c_pos);
+    c_pos += static_cast<std::size_t>(lvl.nc);
+    meta.ff_off = pack_block(lvl.ff, static_cast<std::size_t>(lvl.nf));
+    meta.fc_off = pack_block(lvl.fc, static_cast<std::size_t>(lvl.nf));
+    meta.cf_off = pack_block(lvl.cf, static_cast<std::size_t>(lvl.nc));
+    levels_.push_back(meta);
+  }
+}
+
+void ApplyChain::prepare_workspace(ApplyWorkspace& ws,
+                                   std::size_t cols) const {
+  // Identity check, not a shape check: two chains can agree on depth and
+  // n0 yet differ at inner levels (e.g. escalation rounds of the same
+  // component), so sizes alone cannot prove the workspace fits — and the
+  // block width is part of the identity, so k=1 scratch is never reused
+  // unsized for a wider panel.
+  if (ws.prepared_for == build_id_ && ws.prepared_cols == cols) return;
+  const std::size_t d = levels_.size();
+  ws.level_vec.assign(d + 1, {});
+  ws.level_yf.assign(d, {});
+  std::size_t max_nf = 1;
+  for (std::size_t k = 0; k < d; ++k) {
+    ws.level_vec[k].resize(static_cast<std::size_t>(levels_[k].n) * cols);
+    ws.level_yf[k].resize(static_cast<std::size_t>(levels_[k].nf) * cols);
+    max_nf = std::max(max_nf, static_cast<std::size_t>(levels_[k].nf));
+  }
+  ws.level_vec[d].resize(static_cast<std::size_t>(base_n_) * cols);
+  ws.jac_b.resize(max_nf * cols);
+  ws.jac_cur.resize(max_nf * cols);
+  ws.jac_tmp.resize(max_nf * cols);
+  ws.scratch_f.resize(max_nf * cols);
+  ws.scratch_f2.resize(max_nf * cols);
+  ws.base_out.resize(static_cast<std::size_t>(base_n_) * cols);
+  ws.prepared_for = build_id_;
+  ws.prepared_cols = cols;
+}
+
+void ApplyChain::jacobi_solve(const Level& lvl, const double* b_f,
+                              double* out, std::size_t cols,
+                              ApplyWorkspace& ws) const {
+  // Z b = sum_{i=0}^{l} X^-1 (-Y X^-1)^i b via the recurrence
+  // x^(i) = X^-1 b - X^-1 Y x^(i-1)   (Algorithm 2, Jacobi procedure),
+  // run on all `cols` columns per CSR sweep.
+  const auto nf = static_cast<std::size_t>(lvl.nf);
+  const double* inv_x = inv_x_.data() + lvl.f_base;
+  const double* y_diag = y_diag_.data() + lvl.f_base;
+  const EdgeId* off = off_.data() + lvl.ff_off;
+  double* xb = ws.jac_b.data();
+  double* cur = ws.jac_cur.data();
+  double* tmp = ws.jac_tmp.data();
+
+  parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      xb[c * nf + i] = inv_x[i] * b_f[c * nf + i];
+      cur[c * nf + i] = xb[c * nf + i];
+    }
+  });
+  for (int it = 1; it <= jacobi_terms_; ++it) {
+    // tmp = xb - X^-1 (Y cur), one CSR sweep for every column. cols == 1
+    // keeps a scalar accumulator in a register (the hot path of every
+    // single-RHS solve); wider panels chunk columns through a small
+    // stack buffer — both orders are the scalar order per column.
+    if (cols == 1) {
+      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+        const EdgeId lo = off[i];
+        const EdgeId hi = off[i + 1];
+        double acc = y_diag[i] * cur[i];
+        for (EdgeId p = lo; p < hi; ++p) {
+          acc -= w_[static_cast<std::size_t>(p)] *
+                 cur[static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)])];
+        }
+        tmp[i] = xb[i] - inv_x[i] * acc;
+      });
+    } else {
+      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+        const EdgeId lo = off[i];
+        const EdgeId hi = off[i + 1];
+        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
+          const std::size_t cw = std::min(kColChunk, cols - c0);
+          double acc[kColChunk];
+          for (std::size_t cc = 0; cc < cw; ++cc) {
+            acc[cc] = y_diag[i] * cur[(c0 + cc) * nf + i];
+          }
+          for (EdgeId p = lo; p < hi; ++p) {
+            const auto t = static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)]);
+            const Weight wp = w_[static_cast<std::size_t>(p)];
+            for (std::size_t cc = 0; cc < cw; ++cc) {
+              acc[cc] -= wp * cur[(c0 + cc) * nf + t];
+            }
+          }
+          for (std::size_t cc = 0; cc < cw; ++cc) {
+            tmp[(c0 + cc) * nf + i] = xb[(c0 + cc) * nf + i] - inv_x[i] * acc[cc];
+          }
+        }
+      });
+    }
+    std::swap(cur, tmp);
+  }
+  parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+    for (std::size_t c = 0; c < cols; ++c) out[c * nf + i] = cur[c * nf + i];
+  });
+}
+
+void ApplyChain::apply(std::span<const double> b, std::span<double> y,
+                       ApplyWorkspace& ws) const {
+  PARLAP_CHECK(b.size() == static_cast<std::size_t>(n0_));
+  PARLAP_CHECK(y.size() == static_cast<std::size_t>(n0_));
+  apply_cols(b.data(), y.data(), 1, static_cast<std::size_t>(n0_), ws);
+}
+
+void ApplyChain::apply(const Panel& b, Panel& y, ApplyWorkspace& ws) const {
+  PARLAP_CHECK(b.rows() == static_cast<std::size_t>(n0_));
+  PARLAP_CHECK(b.cols() >= 1);
+  y.resize(b.rows(), b.cols());
+  apply_cols(b.data(), y.data(), b.cols(), b.rows(), ws);
+}
+
+void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
+                            std::size_t ld, ApplyWorkspace& ws) const {
+  prepare_workspace(ws, cols);
+  const std::size_t d = levels_.size();
+  const auto n0 = static_cast<std::size_t>(n0_);
+
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::copy(b + c * ld, b + c * ld + n0, ws.level_vec[0].data() + c * n0);
+  }
+
+  // Forward substitution (Algorithm 2, lines 3-5).
+  for (std::size_t k = 0; k < d; ++k) {
+    const Level& lvl = levels_[k];
+    const auto n = static_cast<std::size_t>(lvl.n);
+    const auto nf = static_cast<std::size_t>(lvl.nf);
+    const auto nc = static_cast<std::size_t>(lvl.nc);
+    const double* vec = ws.level_vec[k].data();
+    double* yf = ws.level_yf[k].data();
+    const Vertex* f_list = f_lists_.data() + lvl.f_base;
+    const Vertex* c_list = c_lists_.data() + lvl.c_base;
+
+    // y_F = Z^(k) b_F
+    double* bf = ws.scratch_f.data();
+    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+      const auto fi = static_cast<std::size_t>(f_list[i]);
+      for (std::size_t c = 0; c < cols; ++c) {
+        bf[c * nf + i] = vec[c * n + fi];
+      }
+    });
+    jacobi_solve(lvl, bf, yf, cols, ws);
+
+    // b^(k+1) = y_C = b_C - L_CF y_F = b_C + sum_{c~f} w * y_F[f]
+    double* next = ws.level_vec[k + 1].data();
+    const EdgeId* cf_off = off_.data() + lvl.cf_off;
+    if (cols == 1) {
+      parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
+        double acc = vec[static_cast<std::size_t>(c_list[j])];
+        const EdgeId lo = cf_off[j];
+        const EdgeId hi = cf_off[j + 1];
+        for (EdgeId p = lo; p < hi; ++p) {
+          acc += w_[static_cast<std::size_t>(p)] *
+                 yf[static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)])];
+        }
+        next[j] = acc;
+      });
+    } else {
+      parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
+        const auto cj = static_cast<std::size_t>(c_list[j]);
+        const EdgeId lo = cf_off[j];
+        const EdgeId hi = cf_off[j + 1];
+        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
+          const std::size_t cw = std::min(kColChunk, cols - c0);
+          double acc[kColChunk];
+          for (std::size_t cc = 0; cc < cw; ++cc) {
+            acc[cc] = vec[(c0 + cc) * n + cj];
+          }
+          for (EdgeId p = lo; p < hi; ++p) {
+            const auto t = static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)]);
+            const Weight wp = w_[static_cast<std::size_t>(p)];
+            for (std::size_t cc = 0; cc < cw; ++cc) {
+              acc[cc] += wp * yf[(c0 + cc) * nf + t];
+            }
+          }
+          for (std::size_t cc = 0; cc < cw; ++cc) {
+            next[(c0 + cc) * nc + j] = acc[cc];
+          }
+        }
+      });
+    }
+  }
+
+  // Base solve x^(d) = L_{G^(d)}^+ b^(d) (Algorithm 2, line 6): row-dot
+  // products per column, identical order to DenseMatrix::apply.
+  {
+    const auto bn = static_cast<std::size_t>(base_n_);
+    const double* in = ws.level_vec[d].data();
+    double* out = ws.base_out.data();
+    if (cols == 1) {
+      parallel_for(std::size_t{0}, bn, [&](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < bn; ++j) {
+          acc += base_pinv_(static_cast<int>(i), static_cast<int>(j)) * in[j];
+        }
+        out[i] = acc;
+      });
+    } else {
+      parallel_for(std::size_t{0}, bn, [&](std::size_t i) {
+        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
+          const std::size_t cw = std::min(kColChunk, cols - c0);
+          double acc[kColChunk] = {};
+          for (std::size_t j = 0; j < bn; ++j) {
+            const double a =
+                base_pinv_(static_cast<int>(i), static_cast<int>(j));
+            for (std::size_t cc = 0; cc < cw; ++cc) {
+              acc[cc] += a * in[(c0 + cc) * bn + j];
+            }
+          }
+          for (std::size_t cc = 0; cc < cw; ++cc) {
+            out[(c0 + cc) * bn + i] = acc[cc];
+          }
+        }
+      });
+    }
+    std::copy(out, out + bn * cols, ws.level_vec[d].data());
+  }
+
+  // Backward substitution (lines 7-8): x_F = y_F - Z^(k) (L_FC x_C).
+  for (std::size_t k = d; k-- > 0;) {
+    const Level& lvl = levels_[k];
+    const auto n = static_cast<std::size_t>(lvl.n);
+    const auto nf = static_cast<std::size_t>(lvl.nf);
+    const auto nc = static_cast<std::size_t>(lvl.nc);
+    const double* xc = ws.level_vec[k + 1].data();
+    double* out = ws.level_vec[k].data();
+    const double* yf = ws.level_yf[k].data();
+    const Vertex* f_list = f_lists_.data() + lvl.f_base;
+    const Vertex* c_list = c_lists_.data() + lvl.c_base;
+
+    double* tf = ws.scratch_f.data();
+    const EdgeId* fc_off = off_.data() + lvl.fc_off;
+    if (cols == 1) {
+      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+        const EdgeId lo = fc_off[i];
+        const EdgeId hi = fc_off[i + 1];
+        double acc = 0.0;
+        for (EdgeId p = lo; p < hi; ++p) {
+          acc -= w_[static_cast<std::size_t>(p)] *
+                 xc[static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)])];
+        }
+        tf[i] = acc;  // (L_FC x_C)_f
+      });
+    } else {
+      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+        const EdgeId lo = fc_off[i];
+        const EdgeId hi = fc_off[i + 1];
+        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
+          const std::size_t cw = std::min(kColChunk, cols - c0);
+          double acc[kColChunk] = {};
+          for (EdgeId p = lo; p < hi; ++p) {
+            const auto t = static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)]);
+            const Weight wp = w_[static_cast<std::size_t>(p)];
+            for (std::size_t cc = 0; cc < cw; ++cc) {
+              acc[cc] -= wp * xc[(c0 + cc) * nc + t];
+            }
+          }
+          for (std::size_t cc = 0; cc < cw; ++cc) {
+            tf[(c0 + cc) * nf + i] = acc[cc];  // (L_FC x_C)_f
+          }
+        }
+      });
+    }
+    double* zf = ws.scratch_f2.data();
+    jacobi_solve(lvl, tf, zf, cols, ws);
+
+    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+      const auto fi = static_cast<std::size_t>(f_list[i]);
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c * n + fi] = yf[c * nf + i] - zf[c * nf + i];
+      }
+    });
+    parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
+      const auto cj = static_cast<std::size_t>(c_list[j]);
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[c * n + cj] = xc[c * nc + j];
+      }
+    });
+  }
+
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::copy(ws.level_vec[0].data() + c * n0,
+              ws.level_vec[0].data() + (c + 1) * n0, y + c * ld);
+  }
+}
+
+}  // namespace parlap

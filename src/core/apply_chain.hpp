@@ -1,0 +1,172 @@
+// ApplyChain — the immutable, CSR-packed apply-side representation of a
+// block Cholesky chain (ApplyCholesky, Algorithm 2), plus the blocked
+// multi-RHS panel kernels that traverse it.
+//
+// Construction (BlockCholeskyChain::build) stages each elimination level
+// in arena-recycled EliminationLevel scratch, then finalize() packs every
+// level's F/C lists, Jacobi diagonals (1/X_ff, diag Y), and the three
+// sub-CSR blocks (F-F for Y, F->C, C->F) into six contiguous arrays.
+// Row offsets are rebased to absolute positions in the shared column /
+// weight arrays, so applying the chain is one monotone sweep over three
+// flat buffers — no per-level pointer chasing, no per-level allocations,
+// and the whole operator's index data is as cache-dense as a single CSR
+// matrix. After finalize() the chain never mutates.
+//
+// apply() serves one vector; apply() on a Panel serves k right-hand
+// sides with ONE chain traversal: every gather list, offset row, and
+// neighbor/weight entry is read once per panel instead of once per RHS.
+// Columns are computed independently, in exactly the arithmetic order of
+// the k=1 kernel, so panel results are bit-identical, column for column,
+// to k sequential applies — at any block width and OpenMP thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/panel.hpp"
+#include "support/types.hpp"
+
+namespace parlap {
+
+/// Build-time staging of one elimination level (recycled per level via
+/// ChainBuildArena; finalize() packs it into the ApplyChain and the
+/// staging buffers are reused by the next build).
+struct EliminationLevel {
+  Vertex n = 0;   ///< vertices of G^(k-1) at this level
+  Vertex nf = 0;  ///< |F_k|
+  Vertex nc = 0;  ///< |C_k|
+  std::vector<Vertex> f_list;  ///< level-local ids eliminated here
+  std::vector<Vertex> c_list;  ///< level-local ids kept (next level order)
+  std::vector<double> inv_x;   ///< 1/X_ff; 0 for isolated vertices
+  std::vector<double> y_diag;  ///< induced-F weighted degree (Y diagonal)
+
+  /// Row-compressed adjacency over local index spaces.
+  struct SubCsr {
+    std::vector<EdgeId> off;  ///< size rows+1
+    std::vector<Vertex> nbr;  ///< column indices (target space)
+    std::vector<Weight> w;
+  };
+  SubCsr ff;  ///< F-row -> F-col (Y off-diagonal entries, both directions)
+  SubCsr fc;  ///< F-row -> C-col (L_FC)
+  SubCsr cf;  ///< C-row -> F-col (L_CF)
+};
+
+/// Scratch reused across apply() calls; one per calling thread
+/// (WorkspacePool<ApplyWorkspace> hands them out to concurrent solvers).
+/// A workspace may be reused across chains AND block widths:
+/// prepare_workspace re-sizes whenever (prepared_for, prepared_cols)
+/// does not match the applying chain's process-unique build id and the
+/// panel width, so scratch prepared for k=1 is never reused unsized for
+/// a k=8 panel. (The id is an id, not an address: a chain reallocated at
+/// a dead chain's address can never match stale scratch.)
+class ApplyWorkspace {
+ public:
+  std::vector<std::vector<double>> level_vec;  ///< n_k x cols per level, +base
+  std::vector<std::vector<double>> level_yf;   ///< nf_k x cols per level
+  std::vector<double> jac_b, jac_cur, jac_tmp; ///< Jacobi scratch, max_nf x cols
+  std::vector<double> scratch_f, scratch_f2;   ///< gather/apply scratch
+  std::vector<double> base_out;                ///< base_n x cols
+  std::uint64_t prepared_for = 0;  ///< build id the sizes above match
+  std::size_t prepared_cols = 0;   ///< block width the sizes above match
+};
+
+/// The packed chain. Default-constructed = empty (dimension 0); filled
+/// exactly once by finalize().
+class ApplyChain {
+ public:
+  /// Per-level metadata: sizes plus base indices into the packed arrays.
+  /// Row-offset values stored in offsets() are absolute into columns() /
+  /// weights(); per level the blocks are packed ff, fc, cf.
+  struct Level {
+    Vertex n = 0;
+    Vertex nf = 0;
+    Vertex nc = 0;
+    std::size_t f_base = 0;   ///< f_lists() / inv_x() / y_diag(), nf entries
+    std::size_t c_base = 0;   ///< c_lists(), nc entries
+    std::size_t ff_off = 0;   ///< offsets(), nf+1 entries
+    std::size_t fc_off = 0;   ///< offsets(), nf+1 entries
+    std::size_t cf_off = 0;   ///< offsets(), nc+1 entries
+  };
+
+  /// Packs `staging` (consumed by copy; buffers stay with the arena for
+  /// recycling) plus the dense base solve into the immutable form.
+  void finalize(std::span<const EliminationLevel> staging, Vertex n0,
+                DenseMatrix base_pinv, Vertex base_n, int jacobi_terms,
+                std::uint64_t build_id);
+
+  [[nodiscard]] Vertex dimension() const noexcept { return n0_; }
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] Vertex base_size() const noexcept { return base_n_; }
+  [[nodiscard]] int jacobi_terms() const noexcept { return jacobi_terms_; }
+  [[nodiscard]] std::uint64_t build_id() const noexcept { return build_id_; }
+  /// Total packed sub-CSR entries (memory proxy for E12).
+  [[nodiscard]] EdgeId stored_entries() const noexcept {
+    return static_cast<EdgeId>(nbr_.size());
+  }
+
+  // Packed-array views (equivalence tests, diagnostics).
+  [[nodiscard]] const std::vector<Level>& levels() const noexcept {
+    return levels_;
+  }
+  [[nodiscard]] std::span<const Vertex> f_lists() const noexcept {
+    return f_lists_;
+  }
+  [[nodiscard]] std::span<const Vertex> c_lists() const noexcept {
+    return c_lists_;
+  }
+  [[nodiscard]] std::span<const double> inv_x() const noexcept {
+    return inv_x_;
+  }
+  [[nodiscard]] std::span<const double> y_diag() const noexcept {
+    return y_diag_;
+  }
+  [[nodiscard]] std::span<const EdgeId> offsets() const noexcept {
+    return off_;
+  }
+  [[nodiscard]] std::span<const Vertex> columns() const noexcept {
+    return nbr_;
+  }
+  [[nodiscard]] std::span<const Weight> weights() const noexcept { return w_; }
+  [[nodiscard]] const DenseMatrix& base_pinv() const noexcept {
+    return base_pinv_;
+  }
+
+  /// y = W b (Algorithm 2) for one right-hand side.
+  void apply(std::span<const double> b, std::span<double> y,
+             ApplyWorkspace& ws) const;
+
+  /// Blocked ApplyCholesky: y.col(c) = W b.col(c) for every column, one
+  /// chain traversal for the whole panel. y is resized to b's shape.
+  void apply(const Panel& b, Panel& y, ApplyWorkspace& ws) const;
+
+ private:
+  /// Shared k-column core: column c of b/y starts at b + c*ld.
+  void apply_cols(const double* b, double* y, std::size_t cols,
+                  std::size_t ld, ApplyWorkspace& ws) const;
+
+  void prepare_workspace(ApplyWorkspace& ws, std::size_t cols) const;
+
+  /// Truncated Jacobi series Z b over level `lvl` (nf x cols panels).
+  void jacobi_solve(const Level& lvl, const double* b_f, double* out,
+                    std::size_t cols, ApplyWorkspace& ws) const;
+
+  Vertex n0_ = 0;
+  std::vector<Level> levels_;
+  std::vector<Vertex> f_lists_;
+  std::vector<Vertex> c_lists_;
+  std::vector<double> inv_x_;
+  std::vector<double> y_diag_;
+  std::vector<EdgeId> off_;  ///< absolute into nbr_ / w_
+  std::vector<Vertex> nbr_;
+  std::vector<Weight> w_;
+  DenseMatrix base_pinv_;
+  Vertex base_n_ = 0;
+  int jacobi_terms_ = 1;
+  std::uint64_t build_id_ = 0;
+};
+
+}  // namespace parlap

@@ -22,21 +22,16 @@ std::uint64_t level_seed(std::uint64_t seed, int level) {
   return splitmix64(seed ^ splitmix64(0x4C45564Cull + static_cast<std::uint64_t>(level)));
 }
 
-/// Builds one level's compact storage from the F-row adjacency. The walk
+/// Builds one level's staging storage from the F-row adjacency. The walk
 /// graph rows list every edge incident to F, so Y (= F-F), L_FC and L_CF
-/// all derive from it without touching C-C edges. The level's own arrays
-/// (the persistent output) are allocated here; transient counting-sort
+/// all derive from it without touching C-C edges. `lvl` is arena-owned
+/// staging (f_list/c_list/n/nf/nc already set by the caller); its buffers
+/// are recycled across levels and builds, and transient counting-sort
 /// scratch comes from the arena.
 void extract_level(const WalkGraph& wg, std::span<const double> wdeg,
                    std::span<const Vertex> f_index,
-                   std::span<const Vertex> c_index,
-                   std::vector<Vertex>&& f_list, std::vector<Vertex>&& c_list,
-                   ChainBuildArena& arena, EliminationLevel& lvl) {
-  lvl.n = static_cast<Vertex>(wdeg.size());
-  lvl.nf = static_cast<Vertex>(f_list.size());
-  lvl.nc = static_cast<Vertex>(c_list.size());
-  lvl.f_list = std::move(f_list);
-  lvl.c_list = std::move(c_list);
+                   std::span<const Vertex> c_index, ChainBuildArena& arena,
+                   EliminationLevel& lvl) {
   lvl.inv_x.resize(static_cast<std::size_t>(lvl.nf));
   lvl.y_diag.resize(static_cast<std::size_t>(lvl.nf));
 
@@ -186,14 +181,17 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
   const WallTimer build_timer;
   arena.begin_build();
   BlockCholeskyChain chain;
+  std::uint64_t build_id = 0;
   {
     static std::atomic<std::uint64_t> next_build_id{0};
-    chain.build_id_ = ++next_build_id;
+    build_id = ++next_build_id;
   }
-  chain.n0_ = g.num_vertices();
+  const Vertex n0 = g.num_vertices();
 
   // G^(0) is read straight out of the caller's arrays; every later G^(k)
   // lives in the arena's double-buffered edge storage. Nothing is copied.
+  // Per-level outputs are staged in the arena's recycled EliminationLevel
+  // buffers and packed into the immutable ApplyChain after the loop.
   MultigraphView cur = g;
   int level = 0;
   while (cur.num_vertices() > opts.base_size) {
@@ -221,22 +219,31 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     lt.f_size = static_cast<Vertex>(fdd.f.size());
 
     phase.reset();
+    if (arena.level_staging.size() <= static_cast<std::size_t>(level)) {
+      arena.level_staging.emplace_back();
+    }
+    EliminationLevel& stage =
+        arena.level_staging[static_cast<std::size_t>(level)];
     arena.f_index.assign(nz, kInvalidVertex);
     for (std::size_t i = 0; i < fdd.f.size(); ++i) {
       arena.f_index[static_cast<std::size_t>(fdd.f[i])] =
           static_cast<Vertex>(i);
     }
-    std::vector<Vertex> c_list;
-    c_list.reserve(nz - fdd.f.size());
+    stage.f_list.assign(fdd.f.begin(), fdd.f.end());
+    stage.c_list.clear();
+    stage.c_list.reserve(nz - fdd.f.size());
     arena.c_index.assign(nz, kInvalidVertex);
     for (Vertex v = 0; v < n; ++v) {
       if (arena.f_index[static_cast<std::size_t>(v)] == kInvalidVertex) {
         arena.c_index[static_cast<std::size_t>(v)] =
-            static_cast<Vertex>(c_list.size());
-        c_list.push_back(v);
+            static_cast<Vertex>(stage.c_list.size());
+        stage.c_list.push_back(v);
       }
     }
-    PARLAP_CHECK_MSG(!c_list.empty(), "5-DD subset consumed every vertex");
+    PARLAP_CHECK_MSG(!stage.c_list.empty(), "5-DD subset consumed every vertex");
+    stage.n = n;
+    stage.nf = static_cast<Vertex>(stage.f_list.size());
+    stage.nc = static_cast<Vertex>(stage.c_list.size());
     const std::span<const Vertex> f_index(arena.f_index.data(), nz);
     const std::span<const Vertex> c_index(arena.c_index.data(), nz);
     lt.phases.partition = phase.seconds();
@@ -244,30 +251,26 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     LevelStats ls;
     ls.n = n;
     ls.multi_edges = cur.num_edges();
-    ls.f_size = static_cast<Vertex>(fdd.f.size());
+    ls.f_size = stage.nf;
     ls.five_dd_rounds = fdd.rounds;
 
     phase.reset();
-    const Vertex nf = static_cast<Vertex>(fdd.f.size());
-    build_walk_graph_into(cur, f_index, nf, arena.walk_graph,
+    build_walk_graph_into(cur, f_index, stage.nf, arena.walk_graph,
                           arena.walk_build);
     lt.phases.walk_graph = phase.seconds();
 
     // G^(k) <- TerminalWalks(G^(k-1), C_k)  (Algorithm 1, line 6)
     phase.reset();
-    const Vertex nc = static_cast<Vertex>(c_list.size());
     ChainBuildArena::EdgeBuffer& out = arena.out_buffer();
-    out.n = nc;
-    sample_schur_complement(cur, arena.walk_graph, f_index, c_index, nc,
+    out.n = stage.nc;
+    sample_schur_complement(cur, arena.walk_graph, f_index, c_index, stage.nc,
                             seed, static_cast<std::uint64_t>(level),
                             &ls.walks, opts.walks, arena.walk_sample, out.u,
                             out.v, out.w);
     lt.phases.schur = phase.seconds();
 
     phase.reset();
-    chain.levels_.emplace_back();
-    extract_level(arena.walk_graph, wdeg, f_index, c_index, std::move(fdd.f),
-                  std::move(c_list), arena, chain.levels_.back());
+    extract_level(arena.walk_graph, wdeg, f_index, c_index, arena, stage);
     lt.phases.extract = phase.seconds();
 
     chain.stats_.push_back(std::move(ls));
@@ -286,21 +289,33 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
   chain.build_stats_.levels = level;
 
   // Dense base-case pseudo-inverse (Thm 3.9-(3): O(1)-size system).
+  DenseMatrix base_pinv;
+  const Vertex base_n = cur.num_vertices();
   {
     const WallTimer base_timer;
-    chain.base_n_ = cur.num_vertices();
-    chain.base_pinv_ = pseudo_inverse(laplacian_dense(cur));
+    base_pinv = pseudo_inverse(laplacian_dense(cur));
     chain.build_stats_.base_seconds = base_timer.seconds();
   }
 
   // l for eps = 1/2d (Algorithm 2 line 4 + Lemma 3.5).
+  int jacobi_terms = 1;
   if (opts.jacobi_terms > 0) {
-    chain.jacobi_terms_ = opts.jacobi_terms | 1;  // force odd
+    jacobi_terms = opts.jacobi_terms | 1;  // force odd
   } else {
-    const double d = std::max(1, chain.depth());
+    const double d = std::max(1, level);
     int l = static_cast<int>(std::ceil(std::log2(6.0 * d)));
     if (l % 2 == 0) ++l;
-    chain.jacobi_terms_ = std::max(1, l);
+    jacobi_terms = std::max(1, l);
+  }
+
+  // Pack the staged levels into the immutable, CSR-packed apply form.
+  {
+    const WallTimer pack_timer;
+    chain.chain_.finalize(
+        std::span<const EliminationLevel>(arena.level_staging.data(),
+                                          static_cast<std::size_t>(level)),
+        n0, std::move(base_pinv), base_n, jacobi_terms, build_id);
+    chain.build_stats_.pack_seconds = pack_timer.seconds();
   }
 
   arena.end_build(chain.build_stats_);
@@ -308,157 +323,10 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
   return chain;
 }
 
-EdgeId BlockCholeskyChain::stored_entries() const noexcept {
-  EdgeId total = 0;
-  for (const EliminationLevel& lvl : levels_) {
-    total += static_cast<EdgeId>(lvl.ff.nbr.size() + lvl.fc.nbr.size() +
-                                 lvl.cf.nbr.size());
-  }
-  return total;
-}
-
-void BlockCholeskyChain::prepare_workspace(ApplyWorkspace& ws) const {
-  // Identity check, not a shape check: two chains can agree on depth and
-  // n0 yet differ at inner levels (e.g. escalation rounds of the same
-  // component), so sizes alone cannot prove the workspace fits. The id
-  // is process-unique per build, so a new chain at a recycled address
-  // cannot inherit a dead chain's scratch.
-  if (ws.prepared_for == build_id_) return;
-  const std::size_t d = levels_.size();
-  ws.level_vec.assign(d + 1, {});
-  ws.level_yf.assign(d, {});
-  std::size_t max_nf = 1;
-  for (std::size_t k = 0; k < d; ++k) {
-    ws.level_vec[k].resize(static_cast<std::size_t>(levels_[k].n));
-    ws.level_yf[k].resize(static_cast<std::size_t>(levels_[k].nf));
-    max_nf = std::max(max_nf, static_cast<std::size_t>(levels_[k].nf));
-  }
-  ws.level_vec[d].resize(static_cast<std::size_t>(base_n_));
-  ws.jac_b.resize(max_nf);
-  ws.jac_cur.resize(max_nf);
-  ws.jac_tmp.resize(max_nf);
-  ws.scratch_f.resize(max_nf);
-  ws.scratch_f2.resize(max_nf);
-  ws.prepared_for = build_id_;
-}
-
-void BlockCholeskyChain::jacobi_solve(const EliminationLevel& lvl,
-                                      std::span<const double> b_f,
-                                      std::span<double> out,
-                                      ApplyWorkspace& ws) const {
-  // Z b = sum_{i=0}^{l} X^-1 (-Y X^-1)^i b via the recurrence
-  // x^(i) = X^-1 b - X^-1 Y x^(i-1)   (Algorithm 2, Jacobi procedure).
-  const auto nf = static_cast<std::size_t>(lvl.nf);
-  std::span<double> xb(ws.jac_b.data(), nf);
-  std::span<double> cur(ws.jac_cur.data(), nf);
-  std::span<double> tmp(ws.jac_tmp.data(), nf);
-
-  parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-    xb[i] = lvl.inv_x[i] * b_f[i];
-    cur[i] = xb[i];
-  });
-  for (int it = 1; it <= jacobi_terms_; ++it) {
-    // tmp = xb - X^-1 (Y cur)
-    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-      const EdgeId lo = lvl.ff.off[i];
-      const EdgeId hi = lvl.ff.off[i + 1];
-      double acc = lvl.y_diag[i] * cur[i];
-      for (EdgeId p = lo; p < hi; ++p) {
-        acc -= lvl.ff.w[static_cast<std::size_t>(p)] *
-               cur[static_cast<std::size_t>(lvl.ff.nbr[static_cast<std::size_t>(p)])];
-      }
-      tmp[i] = xb[i] - lvl.inv_x[i] * acc;
-    });
-    std::swap_ranges(tmp.begin(), tmp.end(), cur.begin());
-  }
-  parallel_for(std::size_t{0}, nf, [&](std::size_t i) { out[i] = cur[i]; });
-}
-
 void BlockCholeskyChain::apply(std::span<const double> b,
                                std::span<double> y) const {
   ApplyWorkspace ws;
-  apply(b, y, ws);
-}
-
-void BlockCholeskyChain::apply(std::span<const double> b, std::span<double> y,
-                               ApplyWorkspace& ws) const {
-  PARLAP_CHECK(b.size() == static_cast<std::size_t>(n0_));
-  PARLAP_CHECK(y.size() == static_cast<std::size_t>(n0_));
-  prepare_workspace(ws);
-  const std::size_t d = levels_.size();
-
-  std::copy(b.begin(), b.end(), ws.level_vec[0].begin());
-
-  // Forward substitution (Algorithm 2, lines 3-5).
-  for (std::size_t k = 0; k < d; ++k) {
-    const EliminationLevel& lvl = levels_[k];
-    std::vector<double>& vec = ws.level_vec[k];
-    std::vector<double>& yf = ws.level_yf[k];
-    const auto nf = static_cast<std::size_t>(lvl.nf);
-
-    // y_F = Z^(k) b_F
-    std::span<double> bf(ws.scratch_f.data(), nf);
-    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-      bf[i] = vec[static_cast<std::size_t>(lvl.f_list[i])];
-    });
-    jacobi_solve(lvl, bf, yf, ws);
-
-    // b^(k+1) = y_C = b_C - L_CF y_F = b_C + sum_{c~f} w * y_F[f]
-    std::vector<double>& next = ws.level_vec[k + 1];
-    parallel_for(std::size_t{0}, static_cast<std::size_t>(lvl.nc),
-                 [&](std::size_t j) {
-                   double acc = vec[static_cast<std::size_t>(lvl.c_list[j])];
-                   const EdgeId lo = lvl.cf.off[j];
-                   const EdgeId hi = lvl.cf.off[j + 1];
-                   for (EdgeId p = lo; p < hi; ++p) {
-                     acc += lvl.cf.w[static_cast<std::size_t>(p)] *
-                            yf[static_cast<std::size_t>(
-                                lvl.cf.nbr[static_cast<std::size_t>(p)])];
-                   }
-                   next[j] = acc;
-                 });
-  }
-
-  // Base solve x^(d) = L_{G^(d)}^+ b^(d) (Algorithm 2, line 6).
-  {
-    std::vector<double>& base = ws.level_vec[d];
-    const Vector xd = base_pinv_.apply(base);
-    std::copy(xd.begin(), xd.end(), base.begin());
-  }
-
-  // Backward substitution (lines 7-8): x_F = y_F - Z^(k) (L_FC x_C).
-  for (std::size_t k = d; k-- > 0;) {
-    const EliminationLevel& lvl = levels_[k];
-    std::vector<double>& xc = ws.level_vec[k + 1];
-    std::vector<double>& out = ws.level_vec[k];
-    const std::vector<double>& yf = ws.level_yf[k];
-    const auto nf = static_cast<std::size_t>(lvl.nf);
-
-    std::span<double> tf(ws.scratch_f.data(), nf);
-    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-      const EdgeId lo = lvl.fc.off[i];
-      const EdgeId hi = lvl.fc.off[i + 1];
-      double acc = 0.0;
-      for (EdgeId p = lo; p < hi; ++p) {
-        acc -= lvl.fc.w[static_cast<std::size_t>(p)] *
-               xc[static_cast<std::size_t>(
-                   lvl.fc.nbr[static_cast<std::size_t>(p)])];
-      }
-      tf[i] = acc;  // (L_FC x_C)_f
-    });
-    std::span<double> zf(ws.scratch_f2.data(), nf);
-    jacobi_solve(lvl, tf, zf, ws);
-
-    parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-      out[static_cast<std::size_t>(lvl.f_list[i])] = yf[i] - zf[i];
-    });
-    parallel_for(std::size_t{0}, static_cast<std::size_t>(lvl.nc),
-                 [&](std::size_t j) {
-                   out[static_cast<std::size_t>(lvl.c_list[j])] = xc[j];
-                 });
-  }
-
-  std::copy(ws.level_vec[0].begin(), ws.level_vec[0].end(), y.begin());
+  chain_.apply(b, y, ws);
 }
 
 }  // namespace parlap

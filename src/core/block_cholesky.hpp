@@ -14,30 +14,37 @@
 // (Thm 3.10), making it a constant-quality preconditioner.
 //
 // Memory: only edges incident to the eliminated sets are retained (three
-// sub-CSRs per level: F-F for Y, F->C and C->F for the off-diagonal
-// blocks), totalling O(sum_k vol(F_k)) = O(m log n) in expectation.
+// sub-CSR blocks per level: F-F for Y, F->C and C->F for the off-diagonal
+// blocks), totalling O(sum_k vol(F_k)) = O(m log n) in expectation. The
+// blocks of every level are packed into one immutable ApplyChain
+// (core/apply_chain.hpp) at the end of build: six contiguous arrays with
+// absolute row offsets, so ApplyCholesky is a flat cache-dense sweep and
+// one traversal can serve a whole Panel of right-hand sides.
 //
 // Construction runs against a ChainBuildArena (build_arena.hpp): level
 // graphs live in the arena's double-buffered edge arrays (level 0 is read
-// from the caller's graph through a MultigraphView — never copied), and
-// every per-level scratch structure is recycled, so a build against a
-// warmed arena performs zero scratch reallocations. Callers that build
-// repeatedly (FactorizationCache misses, escalation rounds, benches) can
-// pass their own arena; the default overloads draw one from the shared
-// ChainBuildArena::pool(). Per-phase wall times and the arena counters
-// are recorded in build_stats().
+// from the caller's graph through a MultigraphView — never copied), every
+// per-level scratch structure is recycled, and the per-level
+// EliminationLevel staging the packer consumes is itself arena-owned, so
+// a build against a warmed arena performs zero scratch reallocations.
+// Callers that build repeatedly (FactorizationCache misses, escalation
+// rounds, benches) can pass their own arena; the default overloads draw
+// one from the shared ChainBuildArena::pool(). Per-phase wall times and
+// the arena counters are recorded in build_stats().
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/apply_chain.hpp"
 #include "core/build_arena.hpp"
 #include "core/build_stats.hpp"
 #include "core/five_dd.hpp"
 #include "core/terminal_walks.hpp"
 #include "graph/multigraph.hpp"
 #include "linalg/dense.hpp"
+#include "linalg/panel.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -55,28 +62,6 @@ struct BlockCholeskyOptions {
   WalkOptions walks;
 };
 
-/// Compact per-level storage: everything ApplyCholesky needs and nothing
-/// else (C-C edges live on only transiently as the next level's graph).
-struct EliminationLevel {
-  Vertex n = 0;   ///< vertices of G^(k-1) at this level
-  Vertex nf = 0;  ///< |F_k|
-  Vertex nc = 0;  ///< |C_k|
-  std::vector<Vertex> f_list;  ///< level-local ids eliminated here
-  std::vector<Vertex> c_list;  ///< level-local ids kept (next level order)
-  std::vector<double> inv_x;   ///< 1/X_ff; 0 for isolated vertices
-  std::vector<double> y_diag;  ///< induced-F weighted degree (Y diagonal)
-
-  /// Row-compressed adjacency over local index spaces.
-  struct SubCsr {
-    std::vector<EdgeId> off;  ///< size rows+1
-    std::vector<Vertex> nbr;  ///< column indices (target space)
-    std::vector<Weight> w;
-  };
-  SubCsr ff;  ///< F-row -> F-col (Y off-diagonal entries, both directions)
-  SubCsr fc;  ///< F-row -> C-col (L_FC)
-  SubCsr cf;  ///< C-row -> F-col (L_CF)
-};
-
 /// Per-level diagnostics surfaced to benches (E4-E6) and tests.
 struct LevelStats {
   Vertex n = 0;
@@ -84,21 +69,6 @@ struct LevelStats {
   Vertex f_size = 0;
   int five_dd_rounds = 0;
   WalkStats walks;
-};
-
-/// Scratch buffers reused across apply() calls; one per calling thread
-/// (WorkspacePool<ApplyWorkspace> hands them out to concurrent solvers).
-/// A workspace may be reused across different chains: prepare_workspace
-/// re-sizes it whenever `prepared_for` does not match the applying
-/// chain's process-unique build id (an id, not an address, so a chain
-/// reallocated at a dead chain's address can never match stale scratch).
-class ApplyWorkspace {
- public:
-  std::vector<std::vector<double>> level_vec;  ///< size n_k per level, +base
-  std::vector<std::vector<double>> level_yf;   ///< size nf_k per level
-  std::vector<double> jac_b, jac_cur, jac_tmp; ///< Jacobi scratch (max nf)
-  std::vector<double> scratch_f, scratch_f2;   ///< gather/apply scratch
-  std::uint64_t prepared_for = 0;  ///< build id the sizes above match
 };
 
 class BlockCholeskyChain {
@@ -127,32 +97,47 @@ class BlockCholeskyChain {
                                   const BlockCholeskyOptions& opts,
                                   ChainBuildArena& arena);
 
-  [[nodiscard]] Vertex dimension() const noexcept { return n0_; }
-  /// d, the number of elimination levels (Thm 3.9-(4): O(log n)).
-  [[nodiscard]] int depth() const noexcept {
-    return static_cast<int>(levels_.size());
+  [[nodiscard]] Vertex dimension() const noexcept {
+    return chain_.dimension();
   }
+  /// d, the number of elimination levels (Thm 3.9-(4): O(log n)).
+  [[nodiscard]] int depth() const noexcept { return chain_.depth(); }
   /// l, the Jacobi series length used by apply().
-  [[nodiscard]] int jacobi_terms() const noexcept { return jacobi_terms_; }
-  [[nodiscard]] Vertex base_size() const noexcept { return base_n_; }
+  [[nodiscard]] int jacobi_terms() const noexcept {
+    return chain_.jacobi_terms();
+  }
+  [[nodiscard]] Vertex base_size() const noexcept {
+    return chain_.base_size();
+  }
   [[nodiscard]] const std::vector<LevelStats>& level_stats() const noexcept {
     return stats_;
   }
-  /// The stored elimination levels (diagnostics and equivalence tests).
-  [[nodiscard]] const std::vector<EliminationLevel>& levels() const noexcept {
-    return levels_;
+  /// The immutable CSR-packed apply representation (panel kernels,
+  /// equivalence tests, diagnostics).
+  [[nodiscard]] const ApplyChain& apply_chain() const noexcept {
+    return chain_;
   }
   /// Wall-time/arena telemetry of the build() that produced this chain.
   [[nodiscard]] const BuildStats& build_stats() const noexcept {
     return build_stats_;
   }
   /// Total stored sub-CSR entries (memory proxy for E12).
-  [[nodiscard]] EdgeId stored_entries() const noexcept;
+  [[nodiscard]] EdgeId stored_entries() const noexcept {
+    return chain_.stored_entries();
+  }
 
   /// y = W b (Algorithm 2). Symmetric PSD linear operator with
   /// W^+ ~1 L w.h.p.; O(m log n loglog n) work per application.
   void apply(std::span<const double> b, std::span<double> y,
-             ApplyWorkspace& ws) const;
+             ApplyWorkspace& ws) const {
+    chain_.apply(b, y, ws);
+  }
+
+  /// Blocked apply: one chain traversal serves every column of the
+  /// panel; column c equals apply() on b.col(c) bit for bit.
+  void apply(const Panel& b, Panel& y, ApplyWorkspace& ws) const {
+    chain_.apply(b, y, ws);
+  }
 
   /// Convenience overload with a private workspace (allocates).
   void apply(std::span<const double> b, std::span<double> y) const;
@@ -163,20 +148,9 @@ class BlockCholeskyChain {
                                        ChainBuildArena& arena,
                                        Multigraph* consumed);
 
-  void prepare_workspace(ApplyWorkspace& ws) const;
-  void jacobi_solve(const EliminationLevel& lvl,
-                    std::span<const double> b_f, std::span<double> out,
-                    ApplyWorkspace& ws) const;
-
-  Vertex n0_ = 0;
-  std::vector<EliminationLevel> levels_;
-  DenseMatrix base_pinv_;
-  Vertex base_n_ = 0;
-  int jacobi_terms_ = 1;
+  ApplyChain chain_;
   std::vector<LevelStats> stats_;
   BuildStats build_stats_;
-  /// Process-unique id stamped by build(); keys workspace preparation.
-  std::uint64_t build_id_ = 0;
 };
 
 }  // namespace parlap

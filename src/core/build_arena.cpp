@@ -36,6 +36,19 @@ void ChainBuildArena::for_each_capacity(Fn&& fn) const {
   vec(five_dd.induced);
   vec(extract_hist);
   vec(extract_base);
+  // Staging levels are enumerated last: entries appended mid-build land
+  // beyond the begin_build() snapshot and are counted as growth.
+  for (const EliminationLevel& lvl : level_staging) {
+    vec(lvl.f_list);
+    vec(lvl.c_list);
+    vec(lvl.inv_x);
+    vec(lvl.y_diag);
+    for (const EliminationLevel::SubCsr* blk : {&lvl.ff, &lvl.fc, &lvl.cf}) {
+      vec(blk->off);
+      vec(blk->nbr);
+      vec(blk->w);
+    }
+  }
 }
 
 void ChainBuildArena::begin_build() {
@@ -55,9 +68,12 @@ void ChainBuildArena::end_build(BuildStats& stats) {
   std::size_t i = 0;
   for_each_capacity([&](std::size_t bytes) {
     total += bytes;
-    if (i < capacity_snapshot_.size() && bytes > capacity_snapshot_[i]) {
-      ++grown;
-    }
+    // Buffers beyond the snapshot did not exist at begin_build() (e.g.
+    // staging for a level deeper than any previous build): any capacity
+    // they now hold is growth.
+    const std::size_t before =
+        i < capacity_snapshot_.size() ? capacity_snapshot_[i] : 0;
+    if (bytes > before) ++grown;
     ++i;
   });
   stats.arena_allocations = grown;

@@ -17,8 +17,10 @@
 //     all live here and are resized (never reallocated, once warm) per
 //     level.
 //
-// Only the chain's own outputs — the per-level sub-CSRs, f/c lists, and
-// the dense base pseudo-inverse — are allocated to persist.
+// The per-level sub-CSRs and f/c lists are staged in arena-recycled
+// EliminationLevel buffers too; only the chain's own outputs — the
+// packed ApplyChain arrays and the dense base pseudo-inverse — are
+// allocated to persist.
 //
 // Telemetry: begin_build()/end_build() bracket one build and report how
 // many arena buffers had to grow (`BuildStats::arena_allocations` — zero
@@ -33,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/apply_chain.hpp"
 #include "core/build_stats.hpp"
 #include "core/five_dd.hpp"
 #include "core/terminal_walks.hpp"
@@ -71,6 +74,10 @@ class ChainBuildArena {
   FiveDdScratch five_dd;             ///< 5-DD sampling scratch
   std::vector<EdgeId> extract_hist;  ///< level-extraction transpose scratch
   std::vector<EdgeId> extract_base;
+  /// Per-level staging the ApplyChain packer consumes: one recycled
+  /// EliminationLevel per level built so far (grows to the deepest chain
+  /// this arena has seen; inner buffers keep their high-water capacity).
+  std::vector<EliminationLevel> level_staging;
 
   /// The buffer the next level's edges should be emitted into. After
   /// emitting, call swap_buffers() to promote it to the current graph.

@@ -56,6 +56,8 @@ struct BuildLevelTiming {
 struct BuildStats {
   double total_seconds = 0.0;  ///< whole build() call, levels + base
   double base_seconds = 0.0;   ///< dense base-case pseudo-inverse
+  /// Packing the staged levels into the immutable CSR ApplyChain.
+  double pack_seconds = 0.0;
   int levels = 0;              ///< elimination levels built (max on merge)
   /// High-water total capacity of the build arena, in bytes, at build end.
   std::size_t peak_arena_bytes = 0;
@@ -75,6 +77,7 @@ struct BuildStats {
   void accumulate(const BuildStats& o) {
     total_seconds += o.total_seconds;
     base_seconds += o.base_seconds;
+    pack_seconds += o.pack_seconds;
     if (o.peak_arena_bytes > peak_arena_bytes) {
       peak_arena_bytes = o.peak_arena_bytes;
     }

@@ -95,4 +95,111 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
   return stats;
 }
 
+std::vector<IterationStats> preconditioned_richardson(
+    const LaplacianOperator& a, const PanelMap& precond, const Panel& b,
+    Panel& x, double eps, const RichardsonOptions& opts) {
+  const std::size_t n = b.rows();
+  const std::size_t k = b.cols();
+  PARLAP_CHECK(n == static_cast<std::size_t>(a.dimension()));
+  PARLAP_CHECK(k >= 1);
+  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
+  x.resize(n, k);
+
+  std::vector<IterationStats> stats(k);
+  std::vector<double> b_norms(k);
+  panel_col_norms(b, b_norms);
+
+  // active[c] != 0 while column c still iterates; a frozen column's x is
+  // never written again (panel_axpy honors the mask), which is what makes
+  // each column's history identical to its scalar solve.
+  std::vector<unsigned char> active(k, 1);
+  std::size_t n_active = k;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (b_norms[c] == 0.0) {
+      active[c] = 0;
+      --n_active;
+      stats[c].reached_target = true;  // x.col(c) zeroed below
+    }
+  }
+
+  double alpha = 2.0 / (std::exp(-opts.delta) + std::exp(opts.delta));
+  if (opts.fixed_alpha > 0.0) {
+    alpha = opts.fixed_alpha;
+  } else if (opts.auto_step && n_active > 0) {
+    // The scalar path estimates per solve with a deterministic start
+    // vector, so every column would compute the same lambda; one
+    // estimate (through a 1-column panel wrapper) matches it exactly.
+    Panel one_in(n, 1);
+    Panel one_out;
+    const LinearMap scalar_precond = [&](std::span<const double> rr,
+                                         std::span<double> yy) {
+      std::copy(rr.begin(), rr.end(), one_in.col(0).begin());
+      precond(one_in, one_out);
+      std::copy(one_out.col(0).begin(), one_out.col(0).end(), yy.begin());
+    };
+    const double lambda =
+        estimate_max_eigenvalue(a, scalar_precond, opts.power_iterations);
+    if (lambda > 0.0) alpha = 0.95 / lambda;
+  }
+  const int cap =
+      opts.max_iterations > 0
+          ? opts.max_iterations
+          : std::max(1, static_cast<int>(std::ceil(
+                            std::exp(2.0 * opts.delta) * std::log(1.0 / eps))));
+  const double target =
+      opts.residual_target >= 0.0 ? opts.residual_target : eps;
+
+  // x^(0) = B b   (Algorithm 5, line 3); zero-rhs columns get x = 0.
+  precond(b, x);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (b_norms[c] == 0.0) fill(x.col(c), 0.0);
+  }
+
+  Panel r(n, k);
+  Panel br;
+  const double* bd = b.data();
+  for (int it = 0; it < cap && n_active > 0; ++it) {
+    a.apply(x, r);
+    double* rd = r.data();
+    parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        rd[c * n + i] = bd[c * n + i] - rd[c * n + i];
+      }
+    });
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!active[c]) continue;
+      stats[c].relative_residual = norm2(r.col(c)) / b_norms[c];
+      stats[c].iterations = it;
+      if (stats[c].relative_residual <= target) {
+        stats[c].reached_target = true;
+        active[c] = 0;
+        --n_active;
+      }
+    }
+    if (n_active == 0) break;
+    // x^(k) = x^(k-1) + alpha B r for the still-running columns. Frozen
+    // columns ride along through the applies (their work is wasted, not
+    // wrong) but are never written.
+    precond(r, br);
+    panel_axpy(alpha, br, x, active);
+  }
+
+  if (n_active > 0) {
+    a.apply(x, r);
+    double* rd = r.data();
+    parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        rd[c * n + i] = bd[c * n + i] - rd[c * n + i];
+      }
+    });
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!active[c]) continue;
+      stats[c].relative_residual = norm2(r.col(c)) / b_norms[c];
+      stats[c].iterations = cap;
+      stats[c].reached_target = stats[c].relative_residual <= target;
+    }
+  }
+  return stats;
+}
+
 }  // namespace parlap

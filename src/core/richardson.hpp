@@ -10,14 +10,19 @@
 
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "linalg/laplacian_op.hpp"
+#include "linalg/panel.hpp"
 
 namespace parlap {
 
 /// y = M x for a fixed linear operator M.
 using LinearMap =
     std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Y = M X column-wise for a fixed linear operator M (blocked apply).
+using PanelMap = std::function<void(const Panel&, Panel&)>;
 
 struct RichardsonOptions {
   /// delta with B ~delta A^+. Thm 3.10 gives delta = 1 for the block
@@ -59,5 +64,16 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
                                          std::span<const double> b,
                                          std::span<double> x, double eps,
                                          const RichardsonOptions& opts = {});
+
+/// Blocked Richardson: solves A x.col(c) = b.col(c) for every column of
+/// the panel, sharing each A-apply and preconditioner apply across all
+/// still-running columns. A column that reaches its target is frozen (its
+/// x never changes again), so column c's iterate history — and therefore
+/// its returned stats and solution bits — is identical to the scalar
+/// preconditioned_richardson on b.col(c), at any block width and thread
+/// count. x is resized to b's shape and overwritten.
+std::vector<IterationStats> preconditioned_richardson(
+    const LaplacianOperator& a, const PanelMap& precond, const Panel& b,
+    Panel& x, double eps, const RichardsonOptions& opts = {});
 
 }  // namespace parlap

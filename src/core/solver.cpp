@@ -7,6 +7,7 @@
 #include "parallel/for_each.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace parlap {
 
@@ -214,13 +215,132 @@ void LaplacianSolver::apply_preconditioner(std::span<const double> r,
   }
 }
 
+void LaplacianSolver::apply_preconditioner(const Panel& r, Panel& y) const {
+  PARLAP_CHECK(r.rows() == static_cast<std::size_t>(info_.n));
+  y.resize(r.rows(), r.cols());
+  const auto scratch = scratch_pool_.acquire();
+  for (std::size_t c = 0; c < comps_.size(); ++c) {
+    const ComponentSolver& cs = comps_[c];
+    Panel& bl = scratch->pb_local;
+    Panel& xl = scratch->px_local;
+    panel_gather_rows(r, cs.vertices, bl);
+    panel_project_out_ones(bl);
+    cs.rounds.front()->chain.apply(bl, xl,
+                                   scratch->component_ws(c, comps_.size()));
+    panel_project_out_ones(xl);
+    panel_scatter_rows(xl, cs.vertices, y);
+  }
+}
+
+std::vector<SolveStats> LaplacianSolver::solve_panel_impl(
+    const Panel& b, Panel& x, double eps, SolveScratch& scratch) const {
+  PARLAP_CHECK(b.rows() == static_cast<std::size_t>(info_.n));
+  PARLAP_CHECK(b.cols() >= 1);
+  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
+  const std::size_t k = b.cols();
+  x.resize(b.rows(), k);
+
+  std::vector<SolveStats> total(k);
+  for (SolveStats& s : total) s.converged = true;
+  double apply_seconds = 0.0;
+
+  for (std::size_t c = 0; c < comps_.size(); ++c) {
+    const ComponentSolver& cs = comps_[c];
+    Panel& bl = scratch.pb_local;
+    panel_gather_rows(b, cs.vertices, bl);
+    // Least-squares convention: drop the kernel component of b.
+    panel_project_out_ones(bl);
+    Panel& xl = scratch.px_local;
+    xl.resize(cs.vertices.size(), k);
+
+    // Columns still escalating; everyone starts at round 0. A column's
+    // round sequence (and so its bits) is exactly what a scalar solve of
+    // that column would run — escalation only compacts the stalled
+    // columns into a narrower panel.
+    std::vector<std::size_t> active(k);
+    for (std::size_t col = 0; col < k; ++col) active[col] = col;
+    for (int round = 0; !active.empty(); ++round) {
+      const std::shared_ptr<ChainRound> cr = round_for(cs, round);
+      const BlockCholeskyChain& chain = cr->chain;
+      ApplyWorkspace& w = scratch.component_ws(c, comps_.size());
+      RichardsonOptions rich = opts_.richardson;
+      if (rich.auto_step && rich.fixed_alpha <= 0.0) {
+        rich.fixed_alpha = step_size_for(cs, *cr, w);
+      }
+      const PanelMap precond = [&chain, &w, &apply_seconds](const Panel& rr,
+                                                           Panel& yy) {
+        const WallTimer t;
+        chain.apply(rr, yy, w);
+        apply_seconds += t.seconds();
+      };
+
+      const bool whole = active.size() == k;
+      const Panel* round_b = &bl;
+      Panel* round_x = &xl;
+      if (!whole) {
+        Panel& bsub = scratch.pb_sub;
+        bsub.resize(bl.rows(), active.size());
+        for (std::size_t j = 0; j < active.size(); ++j) {
+          assign(bsub.col(j), bl.col(active[j]));
+        }
+        round_b = &bsub;
+        round_x = &scratch.px_sub;
+      }
+      const std::vector<IterationStats> its =
+          preconditioned_richardson(cs.op, precond, *round_b, *round_x, eps,
+                                    rich);
+
+      std::vector<std::size_t> still;
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        const std::size_t col = active[j];
+        const IterationStats& it = its[j];
+        if (!it.reached_target && opts_.adaptive &&
+            round < opts_.max_rebuilds) {
+          still.push_back(col);  // escalate: next round re-solves it
+          continue;
+        }
+        if (!whole) assign(xl.col(col), round_x->col(j));
+        SolveStats& s = total[col];
+        s.iterations = std::max(s.iterations, it.iterations);
+        s.relative_residual =
+            std::max(s.relative_residual, it.relative_residual);
+        s.converged = s.converged && it.reached_target;
+        s.rebuilds += round;
+      }
+      active = std::move(still);
+    }
+    panel_project_out_ones(xl);
+    panel_scatter_rows(xl, cs.vertices, x);
+  }
+  for (SolveStats& s : total) {
+    s.apply_seconds = apply_seconds / static_cast<double>(k);
+  }
+  return total;
+}
+
+std::vector<SolveStats> LaplacianSolver::solve_panel(const Panel& b,
+                                                     Panel& x,
+                                                     double eps) const {
+  const auto scratch = scratch_pool_.acquire();
+  return solve_panel_impl(b, x, eps, *scratch);
+}
+
 std::vector<SolveStats> LaplacianSolver::solve_many(
     std::span<const Vector> bs, std::span<Vector> xs, double eps) const {
   PARLAP_CHECK(bs.size() == xs.size());
   std::vector<SolveStats> stats;
   stats.reserve(bs.size());
-  for (std::size_t i = 0; i < bs.size(); ++i) {
-    stats.push_back(solve(bs[i], xs[i], eps));
+  if (bs.empty()) return stats;
+  const auto width =
+      static_cast<std::size_t>(std::max(1, opts_.max_block_width));
+  const auto scratch = scratch_pool_.acquire();
+  for (std::size_t start = 0; start < bs.size(); start += width) {
+    const std::size_t cols = std::min(width, bs.size() - start);
+    panel_from_vectors(bs.subspan(start, cols), scratch->pb_global);
+    std::vector<SolveStats> block = solve_panel_impl(
+        scratch->pb_global, scratch->px_global, eps, *scratch);
+    panel_to_vectors(scratch->px_global, xs.subspan(start, cols));
+    stats.insert(stats.end(), block.begin(), block.end());
   }
   return stats;
 }
@@ -229,57 +349,15 @@ SolveStats LaplacianSolver::solve(std::span<const double> b,
                                   std::span<double> x, double eps) const {
   PARLAP_CHECK(b.size() == static_cast<std::size_t>(info_.n));
   PARLAP_CHECK(x.size() == static_cast<std::size_t>(info_.n));
-  PARLAP_CHECK(eps > 0.0 && eps < 1.0);
-
-  SolveStats total;
-  total.converged = true;
   const auto scratch = scratch_pool_.acquire();
-  for (std::size_t c = 0; c < comps_.size(); ++c) {
-    const ComponentSolver& cs = comps_[c];
-    Vector& bl = scratch->b_local;
-    bl.resize(cs.vertices.size());
-    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
-      bl[i] = b[static_cast<std::size_t>(cs.vertices[i])];
-    }
-    // Least-squares convention: drop the kernel component of b.
-    project_out_ones(bl);
-    Vector& xl = scratch->x_local;
-    xl.assign(cs.vertices.size(), 0.0);
-
-    IterationStats it;
-    int rounds_used = 0;
-    for (int round = 0;; ++round) {
-      const std::shared_ptr<ChainRound> cr = round_for(cs, round);
-      const BlockCholeskyChain& chain = cr->chain;
-      ApplyWorkspace& w = scratch->component_ws(c, comps_.size());
-      const LinearMap precond = [&chain, &w](std::span<const double> rr,
-                                             std::span<double> yy) {
-        chain.apply(rr, yy, w);
-      };
-      RichardsonOptions rich = opts_.richardson;
-      if (rich.auto_step && rich.fixed_alpha <= 0.0) {
-        rich.fixed_alpha = step_size_for(cs, *cr, w);
-      }
-      if (round > 0) fill(std::span<double>(xl), 0.0);  // fresh start
-      it = preconditioned_richardson(cs.op, precond, bl, xl, eps, rich);
-      rounds_used = round;
-      if (it.reached_target || !opts_.adaptive ||
-          round >= opts_.max_rebuilds) {
-        break;
-      }
-      // Stalled: escalate to the next (doubled-copies) round.
-    }
-    project_out_ones(xl);
-    for (std::size_t i = 0; i < cs.vertices.size(); ++i) {
-      x[static_cast<std::size_t>(cs.vertices[i])] = xl[i];
-    }
-    total.iterations = std::max(total.iterations, it.iterations);
-    total.relative_residual =
-        std::max(total.relative_residual, it.relative_residual);
-    total.converged = total.converged && it.reached_target;
-    total.rebuilds += rounds_used;
-  }
-  return total;
+  Panel& bg = scratch->pb_global;
+  bg.resize(b.size(), 1);
+  std::copy(b.begin(), b.end(), bg.col(0).begin());
+  const std::vector<SolveStats> stats =
+      solve_panel_impl(bg, scratch->px_global, eps, *scratch);
+  std::copy(scratch->px_global.col(0).begin(),
+            scratch->px_global.col(0).end(), x.begin());
+  return stats.front();
 }
 
 }  // namespace parlap

@@ -20,12 +20,20 @@
 // shared: round r's chain is a pure function of (graph, options, r), so a
 // solve's outcome never depends on which caller first triggered a round.
 //
-// Concurrency: solve(), solve_many(), and apply_preconditioner() are
-// const and safe to call concurrently from any number of threads on one
-// instance. Per-call scratch comes from a WorkspacePool; escalation
-// chains are published under a mutex; Richardson step-size estimates are
-// cached in atomics. Results are bit-identical regardless of interleaving
-// and thread count.
+// Concurrency: solve(), solve_many(), solve_panel(), and
+// apply_preconditioner() are const and safe to call concurrently from
+// any number of threads on one instance. Per-call scratch comes from a
+// WorkspacePool; escalation chains are published under a mutex;
+// Richardson step-size estimates are cached in atomics. Results are
+// bit-identical regardless of interleaving and thread count.
+//
+// Blocked solves: every solve path runs on column-major Panels — solve()
+// is a width-1 panel, solve_many() chunks its right-hand sides into
+// panels of options().max_block_width — so one chain traversal per
+// preconditioner application serves every column of a panel. Columns are
+// arithmetically independent and ordered as the scalar kernels order
+// them, so panel results are bit-identical, column for column, to
+// sequential solve() calls at any block width.
 #pragma once
 
 #include <atomic>
@@ -41,6 +49,7 @@
 #include "graph/connectivity.hpp"
 #include "graph/multigraph.hpp"
 #include "linalg/laplacian_op.hpp"
+#include "linalg/panel.hpp"
 #include "parallel/workspace_pool.hpp"
 
 namespace parlap {
@@ -68,14 +77,23 @@ struct SolverOptions {
   /// Escalate to doubled split copies when Richardson stalls.
   bool adaptive = true;
   int max_rebuilds = 2;
+  /// Panel width cap for solve_many(): right-hand sides are solved in
+  /// blocks of at most this many columns, each block sharing one chain
+  /// traversal per preconditioner application. 1 = sequential solves.
+  int max_block_width = 8;
 };
 
-/// Per-solve outcome of LaplacianSolver::solve().
+/// Per-solve outcome of LaplacianSolver::solve() (per right-hand side
+/// for the panel paths).
 struct SolveStats {
   int iterations = 0;              ///< max over components
   double relative_residual = 0.0;  ///< max over components
   bool converged = false;          ///< residual target reached
   int rebuilds = 0;                ///< escalation rounds used (sum)
+  /// Wall seconds spent applying the chain preconditioner for this
+  /// right-hand side; in a blocked solve, the panel's shared apply time
+  /// divided evenly over its columns.
+  double apply_seconds = 0.0;
 };
 
 /// Size and shape of the factorization built at construction.
@@ -104,17 +122,32 @@ class LaplacianSolver {
   SolveStats solve(std::span<const double> b, std::span<double> x,
                    double eps) const;
 
-  /// Solves one system per entry of `bs`, reusing the factorization and
-  /// pooled workspaces (the factor-once / solve-many pattern; used by JL
-  /// sketching and time-stepping). xs[i] receives the solution of bs[i].
+  /// Solves one system per entry of `bs` as a true blocked solve: the
+  /// right-hand sides are packed into column panels of at most
+  /// options().max_block_width columns, and each panel shares one chain
+  /// traversal per preconditioner application. xs[i] receives the
+  /// solution of bs[i], bit-identical to solve(bs[i], xs[i], eps) at any
+  /// block width and thread count. Thread-safe.
   std::vector<SolveStats> solve_many(std::span<const Vector> bs,
                                      std::span<Vector> xs, double eps) const;
+
+  /// Solves all columns of `b` as one panel (x.col(c) receives the
+  /// solution of b.col(c), bit-identical to a scalar solve of that
+  /// column). The blocked primitive under solve_many(); exposed for
+  /// callers that already hold panel data (SolveEngine). Thread-safe.
+  std::vector<SolveStats> solve_panel(const Panel& b, Panel& x,
+                                      double eps) const;
 
   /// Applies the block Cholesky preconditioner W (block-diagonal over
   /// components, kernel directions projected). Exposed for PCG-style
   /// outer iterations and diagnostics. Thread-safe.
   void apply_preconditioner(std::span<const double> r,
                             std::span<double> y) const;
+
+  /// Blocked preconditioner apply: one chain traversal per component for
+  /// the whole panel (bench E17's headline kernel). Column c equals
+  /// apply_preconditioner on r.col(c). Thread-safe.
+  void apply_preconditioner(const Panel& r, Panel& y) const;
 
   /// One exact L-multiply of the *input* graph (for residual checks).
   void apply_laplacian(std::span<const double> x, std::span<double> y) const;
@@ -171,6 +204,9 @@ class LaplacianSolver {
   struct SolveScratch {
     std::vector<ApplyWorkspace> per_component;
     Vector b_local, x_local;
+    /// Panel-path scratch: component-local panels, escalation sub-panels,
+    /// and the global panels the span-based solve() wraps its input in.
+    Panel pb_local, px_local, pb_sub, px_sub, pb_global, px_global;
 
     ApplyWorkspace& component_ws(std::size_t c, std::size_t total) {
       if (per_component.size() < total) per_component.resize(total);
@@ -194,6 +230,11 @@ class LaplacianSolver {
   [[nodiscard]] double step_size_for(const ComponentSolver& comp,
                                      ChainRound& cr,
                                      ApplyWorkspace& ws) const;
+
+  /// The panel solve shared by solve(), solve_many(), and solve_panel().
+  std::vector<SolveStats> solve_panel_impl(const Panel& b, Panel& x,
+                                           double eps,
+                                           SolveScratch& scratch) const;
 
   SolverOptions opts_;
   FactorizationInfo info_;

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "graph/csr.hpp"
+#include "linalg/panel.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace parlap {
@@ -25,6 +26,11 @@ class LaplacianOperator {
 
   /// y = L x (parallel over rows).
   void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Blocked multiply: y.col(c) = L x.col(c) for every column, one CSR
+  /// traversal for the whole panel. Column c is bit-identical to
+  /// apply() on x.col(c). y is resized to x's shape.
+  void apply(const Panel& x, Panel& y) const;
 
   /// Returns L x.
   [[nodiscard]] Vector apply(std::span<const double> x) const {

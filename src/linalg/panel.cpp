@@ -1,0 +1,98 @@
+#include "linalg/panel.hpp"
+
+#include <algorithm>
+
+#include "parallel/for_each.hpp"
+#include "support/check.hpp"
+
+namespace parlap {
+
+void panel_from_vectors(std::span<const Vector> bs, Panel& dst) {
+  PARLAP_CHECK(!bs.empty());
+  const std::size_t n = bs.front().size();
+  dst.resize(n, bs.size());
+  for (std::size_t c = 0; c < bs.size(); ++c) {
+    PARLAP_CHECK_MSG(bs[c].size() == n,
+                     "panel columns must agree: column " << c << " has "
+                         << bs[c].size() << " rows, column 0 has " << n);
+    std::copy(bs[c].begin(), bs[c].end(), dst.col(c).begin());
+  }
+}
+
+void panel_to_vectors(const Panel& src, std::span<Vector> xs) {
+  PARLAP_CHECK(xs.size() == src.cols());
+  for (std::size_t c = 0; c < src.cols(); ++c) {
+    const auto col = src.col(c);
+    xs[c].assign(col.begin(), col.end());
+  }
+}
+
+void panel_fill(Panel& p, double value) {
+  std::fill(p.data(), p.data() + p.rows() * p.cols(), value);
+}
+
+void panel_assign(Panel& dst, const Panel& src) {
+  PARLAP_CHECK(dst.rows() == src.rows() && dst.cols() == src.cols());
+  std::copy(src.data(), src.data() + src.rows() * src.cols(), dst.data());
+}
+
+void panel_axpy(double a, const Panel& x, Panel& y,
+                std::span<const unsigned char> mask) {
+  PARLAP_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  PARLAP_CHECK(mask.empty() || mask.size() == x.cols());
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  const double* xd = x.data();
+  double* yd = y.data();
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+    for (std::size_t c = 0; c < k; ++c) {
+      if (!mask.empty() && mask[c] == 0) continue;
+      yd[c * n + i] += a * xd[c * n + i];
+    }
+  });
+}
+
+void panel_col_norms(const Panel& p, std::span<double> out) {
+  PARLAP_CHECK(out.size() == p.cols());
+  for (std::size_t c = 0; c < p.cols(); ++c) out[c] = norm2(p.col(c));
+}
+
+void panel_col_dots(const Panel& a, const Panel& b, std::span<double> out) {
+  PARLAP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  PARLAP_CHECK(out.size() == a.cols());
+  for (std::size_t c = 0; c < a.cols(); ++c) out[c] = dot(a.col(c), b.col(c));
+}
+
+void panel_gather_rows(const Panel& src, std::span<const Vertex> rows,
+                       Panel& dst) {
+  dst.resize(rows.size(), src.cols());
+  const std::size_t n = src.rows();
+  const std::size_t m = rows.size();
+  const std::size_t k = src.cols();
+  const double* sd = src.data();
+  double* dd = dst.data();
+  parallel_for(std::size_t{0}, m, [&](std::size_t i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    for (std::size_t c = 0; c < k; ++c) dd[c * m + i] = sd[c * n + r];
+  });
+}
+
+void panel_scatter_rows(const Panel& src, std::span<const Vertex> rows,
+                        Panel& dst) {
+  PARLAP_CHECK(src.rows() == rows.size() && src.cols() == dst.cols());
+  const std::size_t n = dst.rows();
+  const std::size_t m = rows.size();
+  const std::size_t k = src.cols();
+  const double* sd = src.data();
+  double* dd = dst.data();
+  parallel_for(std::size_t{0}, m, [&](std::size_t i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    for (std::size_t c = 0; c < k; ++c) dd[c * n + r] = sd[c * m + i];
+  });
+}
+
+void panel_project_out_ones(Panel& p) {
+  for (std::size_t c = 0; c < p.cols(); ++c) project_out_ones(p.col(c));
+}
+
+}  // namespace parlap

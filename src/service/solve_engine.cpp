@@ -43,6 +43,32 @@ bool is_file_source(const std::string& graph) {
   return graph.rfind(kFilePrefix, 0) == 0;
 }
 
+/// Panel group identity: everything that must agree for two jobs to
+/// share one solve_panel call — the loaded graph content, the
+/// factorization key fields, and eps (solve_panel takes a single eps).
+/// Doubles are keyed by their bits so "same knob" means bit-equality,
+/// exactly like FactorizationKey's operator==. Unlike graph_for's cache
+/// key, the seed always matters here: it feeds the factorization
+/// regardless of whether the graph load consumed it.
+std::string panel_group_key(const SolveJob& job) {
+  std::string key = job.graph;
+  key += '\x1f';
+  key += job.weights;
+  key += '\x1f';
+  key += job.laplacian ? 'L' : 'A';
+  key += '\x1f';
+  key += job.method;
+  key += '\x1f';
+  key += std::to_string(job.seed);
+  key += '\x1f';
+  key += std::to_string(std::bit_cast<std::uint64_t>(job.split_scale));
+  key += '\x1f';
+  key += std::to_string(job.max_iterations);
+  key += '\x1f';
+  key += std::to_string(std::bit_cast<std::uint64_t>(job.eps));
+  return key;
+}
+
 }  // namespace
 
 Vector job_rhs(const SolveJob& job, Vertex n) {
@@ -217,15 +243,132 @@ JobResult SolveEngine::run_job(const SolveJob& job) {
   return result;
 }
 
+PanelStats SolveEngine::run_panel_task(std::span<const SolveJob> jobs,
+                                       std::span<const std::size_t> members,
+                                       std::span<JobResult> results) {
+  PanelStats panel;
+  panel.width = static_cast<int>(members.size());
+  for (const std::size_t i : members) panel.job_ids.push_back(jobs[i].id);
+  const WallTimer panel_timer;
+
+  // Per-job rhs construction and compatibility checks run individually
+  // so one bad job fails alone; the survivors share the panel solve.
+  std::vector<std::size_t> survivors;
+  std::vector<Vector> bs;
+  std::shared_ptr<const LoadedGraph> loaded;
+  for (const std::size_t i : members) {
+    const SolveJob& job = jobs[i];
+    JobResult& result = results[i];
+    result.id = job.id;
+    try {
+      if (!loaded) loaded = graph_for(job);  // one key, one graph
+      const Vertex n = loaded->graph->num_vertices();
+      Vector b = job_rhs(job, n);
+      const RhsCompatibility compat =
+          check_rhs_compatibility(b, loaded->components);
+      if (!compat.compatible && !job.project_rhs) {
+        throw std::runtime_error(
+            "right-hand side is incompatible: component " +
+            std::to_string(compat.worst_component) + " has relative net "
+            "imbalance " + std::to_string(compat.worst_imbalance) +
+            " (set \"project_rhs\": true to solve the least-squares "
+            "projection)");
+      }
+      survivors.push_back(i);
+      bs.push_back(std::move(b));
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+    }
+  }
+
+  if (!survivors.empty()) {
+    const SolveJob& lead = jobs[survivors.front()];
+    try {
+      FactorizationKey key;
+      key.graph_hash = loaded->fingerprint;
+      key.method = lead.method;
+      key.seed = lead.seed;
+      key.split_scale = lead.split_scale;
+      key.max_iterations = lead.max_iterations;
+      SolverConfig config;
+      config.seed = lead.seed;
+      config.split_scale = lead.split_scale;
+      config.max_iterations = lead.max_iterations;
+      const Multigraph& graph = *loaded->graph;
+      const auto [solver, hit] = cache_.get_or_create(key, [&] {
+        return SolverRegistry::instance().create(lead.method, graph, config);
+      });
+      panel.cache_hit = hit;
+
+      std::vector<Vector> xs(survivors.size());
+      const std::vector<RunReport> reports =
+          solver->solve_panel(bs, xs, lead.eps);
+      for (std::size_t j = 0; j < survivors.size(); ++j) {
+        JobResult& result = results[survivors[j]];
+        result.cache_hit = hit;
+        result.report = reports[j];
+        result.solution_hash = hash_solution(xs[j]);
+        if (options_.keep_solutions) result.solution = std::move(xs[j]);
+        result.ok = true;
+        panel.solve_seconds += reports[j].solve_seconds;
+        panel.apply_seconds += reports[j].apply_seconds;
+      }
+    } catch (const std::exception& e) {
+      for (const std::size_t i : survivors) {
+        results[i].ok = false;
+        results[i].error = e.what();
+      }
+    }
+  }
+
+  // Shared wall time split evenly, so per-job walls still sum to real
+  // batch cost.
+  const double share =
+      panel_timer.seconds() / static_cast<double>(members.size());
+  for (const std::size_t i : members) results[i].wall_seconds = share;
+  return panel;
+}
+
 BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
   BatchResult batch;
   batch.jobs.resize(jobs.size());
   const FactorizationCache::Stats cache_before = cache_.stats();
   const WallTimer batch_timer;
 
+  // Task list: at block_width 1 every job is its own task (the scalar
+  // path, unchanged); otherwise jobs are grouped by panel_group_key in
+  // input order and chunked to the width. Built before any worker runs,
+  // so the panel composition never depends on scheduling.
+  const auto width =
+      static_cast<std::size_t>(std::max(1, options_.block_width));
+  std::vector<std::vector<std::size_t>> tasks;
+  if (width <= 1) {
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) tasks.push_back({i});
+  } else {
+    std::unordered_map<std::string, std::vector<std::size_t>> groups;
+    std::vector<std::string> group_order;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const std::string key = panel_group_key(jobs[i]);
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) group_order.push_back(key);
+      it->second.push_back(i);
+    }
+    for (const std::string& key : group_order) {
+      const std::vector<std::size_t>& g = groups[key];
+      for (std::size_t start = 0; start < g.size(); start += width) {
+        const std::size_t len = std::min(width, g.size() - start);
+        tasks.emplace_back(g.begin() + static_cast<std::ptrdiff_t>(start),
+                           g.begin() + static_cast<std::ptrdiff_t>(start + len));
+      }
+    }
+  }
+  batch.panels.resize(tasks.size());
+
   const int workers = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(options_.workers),
-      std::max<std::size_t>(1, jobs.size())));
+      std::max<std::size_t>(1, tasks.size())));
   std::atomic<std::size_t> next{0};
   const auto worker_main = [&] {
     // Throughput mode: each worker runs its solves single-threaded so N
@@ -238,9 +381,21 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
       serial.emplace();
     }
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) break;
-      batch.jobs[i] = run_job(jobs[i]);
+      const std::size_t t = next.fetch_add(1);
+      if (t >= tasks.size()) break;
+      const std::vector<std::size_t>& members = tasks[t];
+      if (members.size() == 1) {
+        batch.jobs[members.front()] = run_job(jobs[members.front()]);
+        PanelStats& panel = batch.panels[t];
+        panel.width = 1;
+        panel.job_ids.push_back(jobs[members.front()].id);
+        const JobResult& r = batch.jobs[members.front()];
+        panel.cache_hit = r.cache_hit;
+        panel.solve_seconds = r.report.solve_seconds;
+        panel.apply_seconds = r.report.apply_seconds;
+      } else {
+        batch.panels[t] = run_panel_task(jobs, members, batch.jobs);
+      }
     }
   };
 
@@ -270,6 +425,13 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
   if (!solve_times.empty()) {
     stats.p50_solve_seconds = percentile(solve_times, 0.5);
     stats.p95_solve_seconds = percentile(solve_times, 0.95);
+  }
+  stats.panels = static_cast<std::int64_t>(batch.panels.size());
+  if (!batch.panels.empty()) {
+    stats.panel_occupancy =
+        static_cast<double>(jobs.size()) /
+        (static_cast<double>(batch.panels.size()) *
+         static_cast<double>(std::max(1, options_.block_width)));
   }
   // Counters are reported per batch (so a warmed engine's second run
   // shows its true steady-state hit rate); resident_* stay absolute.

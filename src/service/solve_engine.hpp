@@ -6,6 +6,16 @@
 // then serve many solves concurrently through the const, thread-safe
 // AnySolver::solve surface.
 //
+// Panel grouping (EngineOptions::block_width > 1): jobs that share a
+// factorization (graph content, method, config, eps) are grouped — in
+// input order, before any worker runs — into panels of up to
+// block_width right-hand sides, and each panel is one
+// AnySolver::solve_panel call, so the paper's solver traverses its chain
+// once per preconditioner application for the whole panel. Per-job
+// results are bit-identical at every block width (the solve_panel
+// contract); a panel's jobs share one cache lookup, so hit/miss
+// counters count panels.
+//
 // Determinism contract: every job's result — solution bits, residual,
 // iteration count — is a pure function of the job itself (its id, seed,
 // graph, method, knobs). It does not depend on the worker count, on
@@ -66,6 +76,23 @@ struct EngineOptions {
   /// Bounds the engine's second cache so a long-lived engine seeing a
   /// rotating graph set cannot grow without limit.
   std::size_t graph_cache_limit = 32;
+  /// Panel width: jobs sharing a factorization (same graph content,
+  /// method, config knobs, and eps) are grouped, in input order, into
+  /// panels of at most this many right-hand sides, each panel solved
+  /// with one AnySolver::solve_panel call. 1 (the default) solves every
+  /// job individually. Per-job solutions are bit-identical at every
+  /// width; cache hit/miss counters count panels, not jobs.
+  int block_width = 1;
+};
+
+/// Telemetry of one solved panel (every task is recorded, width-1
+/// singletons included, so occupancy reads directly from the list).
+struct PanelStats {
+  std::vector<std::string> job_ids;  ///< input order
+  int width = 0;                     ///< jobs grouped into this panel
+  bool cache_hit = false;            ///< factorization came from cache
+  double solve_seconds = 0.0;        ///< summed per-RHS solve seconds
+  double apply_seconds = 0.0;        ///< summed per-RHS apply seconds
 };
 
 /// Aggregate batch telemetry.
@@ -78,6 +105,10 @@ struct EngineStats {
   double solves_per_second = 0.0;  ///< succeeded / wall_seconds
   double p50_solve_seconds = 0.0;  ///< per-job solve_seconds percentiles
   double p95_solve_seconds = 0.0;
+  std::int64_t panels = 0;         ///< solve tasks (width-1 included)
+  /// Mean panel fill: jobs / (panels * block_width). 1.0 when every
+  /// panel is full (always, at block_width 1).
+  double panel_occupancy = 0.0;
   /// Cache activity of THIS batch (hit/miss/eviction counters and the
   /// miss-attributed build_seconds are per-run deltas; resident_* are
   /// absolute at batch end), so a warmed engine's steady-state hit rate
@@ -87,6 +118,7 @@ struct EngineStats {
 
 struct BatchResult {
   std::vector<JobResult> jobs;  ///< same order as the input batch
+  std::vector<PanelStats> panels;  ///< per solved panel, task order
   EngineStats stats;
 };
 
@@ -122,6 +154,14 @@ class SolveEngine {
       const SolveJob& job);
 
   [[nodiscard]] JobResult run_job(const SolveJob& job);
+
+  /// Runs one multi-job panel: shared graph + factorization lookup, one
+  /// solve_panel call for the rhs-compatible jobs, per-job failure
+  /// isolation for the rest. Writes results[i] for every i in `members`
+  /// and returns the panel telemetry.
+  [[nodiscard]] PanelStats run_panel_task(std::span<const SolveJob> jobs,
+                                          std::span<const std::size_t> members,
+                                          std::span<JobResult> results);
 
   EngineOptions options_;
   FactorizationCache cache_;

@@ -205,21 +205,30 @@ def run_checks(cli, data, fixture, tmp):
 
     if "4" in batch_docs:
         doc = batch_docs["4"]
-        check(doc.get("schema") == "parlap-cli-batch-v1", "batch: schema tag")
+        check(doc.get("schema") == "parlap-cli-batch-v2", "batch: schema tag")
         check(doc.get("all_converged") is True, "batch: all jobs converged")
         check(doc.get("cache", {}).get("hits", 0) > 0,
               "batch: repeated graphs produce cache hits")
+        check(doc.get("block_width") == 1, "batch: default block width is 1")
         agg = doc.get("aggregate", {})
         check(agg.get("failed") == 0 and agg.get("succeeded") == agg.get("jobs"),
               "batch: aggregate counts consistent")
         check(agg.get("solves_per_second", 0) > 0, "batch: throughput reported")
         check(agg.get("p95_solve_seconds", 0) >= agg.get("p50_solve_seconds", 1),
               "batch: p95 >= p50")
+        check(agg.get("panels") == agg.get("jobs"),
+              "batch: width 1 puts every job in its own panel")
+        check(agg.get("panel_occupancy") == 1.0,
+              "batch: width-1 panels are full by definition")
         check(doc.get("cache", {}).get("build_seconds", -1) > 0,
               "batch: miss cost attributed in cache.build_seconds")
+        check(len(doc.get("panels", [])) == agg.get("jobs"),
+              "batch: per-panel telemetry present")
         for job in doc.get("jobs", []):
             check("build_seconds" in job and "build_arena_allocations" in job,
                   f"batch: job {job.get('id')} carries build-cost fields")
+            check(job.get("panel_width") == 1 and "apply_seconds" in job,
+                  f"batch: job {job.get('id')} carries panel fields")
 
     if set(batch_docs) == {"1", "4"}:
         a = batch_docs["1"]["jobs"]
@@ -231,6 +240,32 @@ def run_checks(cli, data, fixture, tmp):
                   and ja.get("relative_residual") == jb.get("relative_residual")
                   and ja.get("iterations") == jb.get("iterations"),
                   f"batch: job {ja.get('id')} identical at workers 1 vs 4")
+
+    # --- batch: panel grouping (--block-width) is bit-identical ----------
+    blocked_json = tmp / "batch_blocked.json"
+    p = run(cli, "batch", "--jobs", str(jobs_file), "--workers", "2",
+            "--block-width", "4", "--json", str(blocked_json))
+    check(p.returncode == 0,
+          f"batch --block-width 4: exit 0 (got {p.returncode}: {p.stderr.strip()})")
+    if p.returncode == 0 and "1" in batch_docs:
+        blocked = json.loads(blocked_json.read_text())
+        check(blocked.get("block_width") == 4, "batch: block_width echoed")
+        agg = blocked.get("aggregate", {})
+        check(0 < agg.get("panels", 0) < agg.get("jobs", 0),
+              "batch: width 4 groups same-factorization jobs into panels")
+        widths = [pn.get("width") for pn in blocked.get("panels", [])]
+        check(max(widths, default=0) > 1, "batch: at least one multi-job panel")
+        check(sum(widths) == agg.get("jobs"),
+              "batch: every job lands in exactly one panel")
+        for pn in blocked.get("panels", []):
+            check(pn.get("solve_seconds", -1) >= 0
+                  and pn.get("apply_seconds", -1) >= 0,
+                  "batch: per-panel apply seconds reported")
+        for ja, jb in zip(batch_docs["1"]["jobs"], blocked["jobs"]):
+            check(ja.get("solution_hash") == jb.get("solution_hash")
+                  and ja.get("iterations") == jb.get("iterations")
+                  and ja.get("relative_residual") == jb.get("relative_residual"),
+                  f"batch: job {ja.get('id')} identical at block width 1 vs 4")
 
     p = run(cli, "batch", "--jobs", str(data / "nope.jsonl"))
     check(p.returncode == 3, f"batch missing job file: exit 3 (got {p.returncode})")

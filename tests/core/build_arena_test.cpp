@@ -39,11 +39,10 @@ Vector apply_chain(const BlockCholeskyChain& chain) {
   return y;
 }
 
-void expect_same_subcsr(const EliminationLevel::SubCsr& a,
-                        const EliminationLevel::SubCsr& b) {
-  EXPECT_EQ(a.off, b.off);
-  EXPECT_EQ(a.nbr, b.nbr);
-  EXPECT_EQ(a.w, b.w);  // bit-exact
+template <typename T>
+void expect_same_span(std::span<const T> a, std::span<const T> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
 }
 
 void expect_same_chain(const BlockCholeskyChain& a,
@@ -53,20 +52,31 @@ void expect_same_chain(const BlockCholeskyChain& a,
   EXPECT_EQ(a.base_size(), b.base_size());
   EXPECT_EQ(a.jacobi_terms(), b.jacobi_terms());
   EXPECT_EQ(a.stored_entries(), b.stored_entries());
-  for (int k = 0; k < a.depth(); ++k) {
-    const EliminationLevel& la = a.levels()[static_cast<std::size_t>(k)];
-    const EliminationLevel& lb = b.levels()[static_cast<std::size_t>(k)];
+  // The packed ApplyChain arrays cover every level's f/c lists, Jacobi
+  // diagonals, and sub-CSR blocks; bit-equality of the six arrays (plus
+  // the per-level metadata) is bit-equality of the whole factorization.
+  const ApplyChain& pa = a.apply_chain();
+  const ApplyChain& pb = b.apply_chain();
+  ASSERT_EQ(pa.levels().size(), pb.levels().size());
+  for (std::size_t k = 0; k < pa.levels().size(); ++k) {
+    const ApplyChain::Level& la = pa.levels()[k];
+    const ApplyChain::Level& lb = pb.levels()[k];
     EXPECT_EQ(la.n, lb.n);
     EXPECT_EQ(la.nf, lb.nf);
     EXPECT_EQ(la.nc, lb.nc);
-    EXPECT_EQ(la.f_list, lb.f_list);
-    EXPECT_EQ(la.c_list, lb.c_list);
-    EXPECT_EQ(la.inv_x, lb.inv_x);
-    EXPECT_EQ(la.y_diag, lb.y_diag);
-    expect_same_subcsr(la.ff, lb.ff);
-    expect_same_subcsr(la.fc, lb.fc);
-    expect_same_subcsr(la.cf, lb.cf);
+    EXPECT_EQ(la.f_base, lb.f_base);
+    EXPECT_EQ(la.c_base, lb.c_base);
+    EXPECT_EQ(la.ff_off, lb.ff_off);
+    EXPECT_EQ(la.fc_off, lb.fc_off);
+    EXPECT_EQ(la.cf_off, lb.cf_off);
   }
+  expect_same_span(pa.f_lists(), pb.f_lists());
+  expect_same_span(pa.c_lists(), pb.c_lists());
+  expect_same_span(pa.inv_x(), pb.inv_x());
+  expect_same_span(pa.y_diag(), pb.y_diag());
+  expect_same_span(pa.offsets(), pb.offsets());
+  expect_same_span(pa.columns(), pb.columns());
+  expect_same_span(pa.weights(), pb.weights());  // bit-exact
   const Vector ya = apply_chain(a);
   const Vector yb = apply_chain(b);
   EXPECT_EQ(solution_hash(ya), solution_hash(yb));

@@ -1,0 +1,123 @@
+// Panel kernel contracts (linalg/panel.hpp): column-major layout,
+// per-column bit-equality of the blocked kernels with their scalar
+// counterparts, and gather/scatter round trips.
+#include "linalg/panel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace parlap {
+namespace {
+
+Panel random_panel(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Panel p(rows, cols);
+  Rng rng(seed, RngTag::kTest, 7);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (double& v : p.col(c)) v = rng.next_in(-2.0, 2.0);
+  }
+  return p;
+}
+
+TEST(Panel, ColumnsAreContiguousColumnMajor) {
+  Panel p(5, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 5; ++i) p.at(i, c) = 10.0 * c + i;
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(p.col(c).data(), p.data() + c * 5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(p.col(c)[i], 10.0 * c + i);
+    }
+  }
+}
+
+TEST(Panel, FromToVectorsRoundTrip) {
+  std::vector<Vector> bs = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Panel p;
+  panel_from_vectors(bs, p);
+  EXPECT_EQ(p.rows(), 3u);
+  EXPECT_EQ(p.cols(), 2u);
+  std::vector<Vector> out(2);
+  panel_to_vectors(p, out);
+  EXPECT_EQ(out[0], bs[0]);
+  EXPECT_EQ(out[1], bs[1]);
+}
+
+TEST(Panel, AxpyMatchesScalarPerColumnAndHonorsMask) {
+  const std::size_t n = 1000;
+  const Panel x = random_panel(n, 4, 1);
+  Panel y = random_panel(n, 4, 2);
+  const Panel y0 = y;
+
+  // Scalar reference per column.
+  Panel want = y0;
+  for (std::size_t c = 0; c < 4; ++c) axpy(0.37, x.col(c), want.col(c));
+
+  const std::vector<unsigned char> mask = {1, 0, 1, 0};
+  panel_axpy(0.37, x, y, mask);
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto& ref = (mask[c] != 0) ? want : y0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y.at(i, c), ref.at(i, c)) << "col " << c << " row " << i;
+    }
+  }
+}
+
+TEST(Panel, ColNormsAndDotsMatchScalar) {
+  const Panel a = random_panel(5000, 3, 3);
+  const Panel b = random_panel(5000, 3, 4);
+  std::vector<double> norms(3);
+  std::vector<double> dots(3);
+  panel_col_norms(a, norms);
+  panel_col_dots(a, b, dots);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(norms[c], norm2(a.col(c)));  // bit-exact, same kernel
+    EXPECT_EQ(dots[c], dot(a.col(c), b.col(c)));
+  }
+}
+
+TEST(Panel, GatherScatterRoundTrip) {
+  const Panel src = random_panel(50, 3, 5);
+  std::vector<Vertex> rows = {7, 0, 49, 13, 13};
+  Panel picked;
+  panel_gather_rows(src, rows, picked);
+  ASSERT_EQ(picked.rows(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(picked.at(i, c),
+                src.at(static_cast<std::size_t>(rows[i]), c));
+    }
+  }
+
+  std::vector<Vertex> distinct(50);
+  std::iota(distinct.begin(), distinct.end(), Vertex{0});
+  std::swap(distinct[3], distinct[41]);
+  Panel all;
+  panel_gather_rows(src, distinct, all);
+  Panel back(50, 3);
+  panel_scatter_rows(all, distinct, back);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(back.at(i, c), src.at(i, c));
+    }
+  }
+}
+
+TEST(Panel, ProjectOutOnesMatchesScalar) {
+  Panel p = random_panel(777, 2, 6);
+  Vector ref0(p.col(0).begin(), p.col(0).end());
+  Vector ref1(p.col(1).begin(), p.col(1).end());
+  project_out_ones(ref0);
+  project_out_ones(ref1);
+  panel_project_out_ones(p);
+  for (std::size_t i = 0; i < 777; ++i) {
+    EXPECT_EQ(p.at(i, 0), ref0[i]);
+    EXPECT_EQ(p.at(i, 1), ref1[i]);
+  }
+}
+
+}  // namespace
+}  // namespace parlap

@@ -148,6 +148,81 @@ TEST(SolveEngine, DeterministicAcrossWorkerCountsAndOrder) {
   }
 }
 
+TEST(SolveEngine, BlockedBatchIsBitIdenticalAndGroupsPanels) {
+  // Panel grouping: at block_width 4 the three ws-graph jobs share one
+  // solve_panel call, yet every job's solution is bit-identical to the
+  // width-1 (scalar) run at any worker count.
+  const std::vector<SolveJob> jobs = mixed_jobs();
+  EngineOptions scalar;
+  scalar.keep_solutions = true;
+  const BatchResult reference = SolveEngine(scalar).run(jobs);
+  EXPECT_EQ(reference.stats.panels, 5);
+  EXPECT_DOUBLE_EQ(reference.stats.panel_occupancy, 1.0);
+
+  for (const int workers : {1, 4}) {
+    EngineOptions blocked;
+    blocked.keep_solutions = true;
+    blocked.block_width = 4;
+    blocked.workers = workers;
+    SolveEngine engine(blocked);
+    const BatchResult batch = engine.run(jobs);
+    ASSERT_EQ(batch.jobs.size(), reference.jobs.size());
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+      const JobResult& a = reference.jobs[i];
+      const JobResult& b = batch.jobs[i];
+      ASSERT_TRUE(a.ok && b.ok) << a.id;
+      EXPECT_EQ(a.solution_hash, b.solution_hash) << a.id;
+      EXPECT_EQ(a.solution, b.solution) << a.id;  // bitwise
+      EXPECT_EQ(a.report.iterations, b.report.iterations) << a.id;
+      EXPECT_EQ(a.report.relative_residual, b.report.relative_residual)
+          << a.id;
+    }
+    // a1/a2/a3 collapse into one panel; b1 and c1 stay singletons.
+    EXPECT_EQ(batch.stats.panels, 3);
+    ASSERT_EQ(batch.panels.size(), 3u);
+    std::vector<int> widths;
+    for (const PanelStats& p : batch.panels) {
+      widths.push_back(p.width);
+      EXPECT_GE(p.solve_seconds, 0.0);
+      EXPECT_GE(p.apply_seconds, 0.0);
+    }
+    std::sort(widths.begin(), widths.end());
+    EXPECT_EQ(widths, (std::vector<int>{1, 1, 3}));
+    EXPECT_NEAR(batch.stats.panel_occupancy, 5.0 / (3.0 * 4.0), 1e-12);
+    // Cache counters count panels: three lookups, all misses on a cold
+    // engine (the ws jobs share one lookup instead of one hit each).
+    EXPECT_EQ(batch.stats.cache.misses, 3u);
+    EXPECT_EQ(batch.stats.cache.hits, 0u);
+  }
+}
+
+TEST(SolveEngine, BlockedBatchIsolatesBadJobsInsideAPanel) {
+  // A panel member with an unsolvable rhs fails alone; its panel-mates
+  // still solve (and match their scalar solutions).
+  const std::vector<SolveJob> jobs = parse_jobs_jsonl(std::string(R"(
+{"id": "ok1", "graph": "grid2d:7", "method": "parlap", "rhs": "random"}
+{"id": "bad", "graph": "grid2d:7", "method": "parlap", "rhs": "demand:0,99999"}
+{"id": "ok2", "graph": "grid2d:7", "method": "parlap", "rhs": "random:2"}
+)"));
+  EngineOptions scalar;
+  scalar.keep_solutions = true;
+  const BatchResult reference = SolveEngine(scalar).run(jobs);
+
+  EngineOptions blocked = scalar;
+  blocked.block_width = 3;
+  const BatchResult batch = SolveEngine(blocked).run(jobs);
+  ASSERT_EQ(batch.jobs.size(), 3u);
+  EXPECT_TRUE(batch.jobs[0].ok);
+  EXPECT_FALSE(batch.jobs[1].ok);
+  EXPECT_NE(batch.jobs[1].error.find("demand"), std::string::npos);
+  EXPECT_TRUE(batch.jobs[2].ok);
+  EXPECT_EQ(batch.jobs[0].solution, reference.jobs[0].solution);
+  EXPECT_EQ(batch.jobs[2].solution, reference.jobs[2].solution);
+  EXPECT_EQ(batch.stats.panels, 1);
+  ASSERT_EQ(batch.panels.size(), 1u);
+  EXPECT_EQ(batch.panels[0].width, 3);  // grouped before the rhs failed
+}
+
 TEST(SolveEngine, JobRhsIsKeyedByJobIdentity) {
   SolveJob job;
   job.id = "r1";
@@ -235,7 +310,8 @@ TEST(SolveEngine, CacheBudgetCausesEvictions) {
   for (int i = 0; i < 6; ++i) {
     SolveJob j;
     j.id = "g" + std::to_string(i);
-    j.graph = "grid2d:" + std::to_string(8 + i);
+    j.graph = "grid2d:";
+    j.graph += std::to_string(8 + i);
     jobs.push_back(j);
   }
   EngineOptions opts;

@@ -482,6 +482,7 @@ int cmd_batch(Args& args) {
   const std::string jobs_path = args.take_value("--jobs").value_or("");
   const auto workers = args.take_int("--workers", 1);
   const auto cache_budget = args.take_int("--cache-budget", 0);
+  const auto block_width = args.take_int("--block-width", 1);
   const bool keep_solutions = args.take_flag("--solutions");
   const std::string json_path = args.take_value("--json").value_or("");
   const std::string out_path = args.take_value("--out").value_or("");
@@ -489,6 +490,7 @@ int cmd_batch(Args& args) {
   if (jobs_path.empty()) throw UsageError("batch requires --jobs FILE");
   if (workers < 1) throw UsageError("--workers must be >= 1");
   if (cache_budget < 0) throw UsageError("--cache-budget must be >= 0");
+  if (block_width < 1) throw UsageError("--block-width must be >= 1");
   if (out_path.empty() != !keep_solutions) {
     throw UsageError("--solutions and --out DIR go together");
   }
@@ -507,10 +509,12 @@ int cmd_batch(Args& args) {
   engine_options.workers = static_cast<int>(workers);
   engine_options.cache_budget_entries = static_cast<EdgeId>(cache_budget);
   engine_options.keep_solutions = keep_solutions;
+  engine_options.block_width = static_cast<int>(block_width);
   service::SolveEngine engine(engine_options);
 
   std::cerr << "parlap_cli: batch " << jobs_path << ": " << jobs.size()
-            << " job(s), " << workers << " worker(s)\n";
+            << " job(s), " << workers << " worker(s), block width "
+            << block_width << "\n";
   const service::BatchResult batch = engine.run(jobs);
   const service::EngineStats& stats = batch.stats;
 
@@ -539,16 +543,19 @@ int cmd_batch(Args& args) {
             << stats.solves_per_second << " solves/s), cache "
             << stats.cache.hits << " hit(s) / " << stats.cache.misses
             << " miss(es) / " << stats.cache.evictions << " eviction(s), "
-            << stats.cache.build_seconds << " s factorizing\n";
+            << stats.cache.build_seconds << " s factorizing, "
+            << stats.panels << " panel(s) at occupancy "
+            << stats.panel_occupancy << "\n";
 
   if (!json_path.empty()) {
     std::ofstream os = open_output(json_path);
     bench::JsonWriter w(os);
     w.begin_object();
-    w.member("schema", "parlap-cli-batch-v1");
+    w.member("schema", "parlap-cli-batch-v2");
     write_json_metadata(w);
     w.member("jobs_file", jobs_path);
     w.member("workers", static_cast<std::int64_t>(workers));
+    w.member("block_width", static_cast<std::int64_t>(block_width));
     w.key("cache");
     w.begin_object();
     w.member("budget_entries", static_cast<std::int64_t>(cache_budget));
@@ -572,7 +579,26 @@ int cmd_batch(Args& args) {
     w.member("solves_per_second", stats.solves_per_second);
     w.member("p50_solve_seconds", stats.p50_solve_seconds);
     w.member("p95_solve_seconds", stats.p95_solve_seconds);
+    w.member("panels", stats.panels);
+    w.member("panel_occupancy", stats.panel_occupancy);
     w.end_object();
+    // One entry per solved panel (width-1 singletons included):
+    // occupancy and per-panel apply cost read directly from the list.
+    w.key("panels");
+    w.begin_array();
+    for (const service::PanelStats& p : batch.panels) {
+      w.begin_object();
+      w.member("width", static_cast<std::int64_t>(p.width));
+      w.member("cache_hit", p.cache_hit);
+      w.member("solve_seconds", p.solve_seconds);
+      w.member("apply_seconds", p.apply_seconds);
+      w.key("jobs");
+      w.begin_array();
+      for (const std::string& id : p.job_ids) w.value(id);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
     w.key("jobs");
     w.begin_array();
     for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
@@ -599,6 +625,8 @@ int cmd_batch(Args& args) {
                            r.report.build.arena_allocations)
                      : std::int64_t{0});
         w.member("solve_seconds", r.report.solve_seconds);
+        w.member("apply_seconds", r.report.apply_seconds);
+        w.member("panel_width", static_cast<std::int64_t>(r.report.panel_width));
         w.member("iterations", r.report.iterations);
         w.member("relative_residual", r.report.relative_residual);
         w.member("converged", r.report.converged);
@@ -838,8 +866,8 @@ void print_usage(std::ostream& os) {
         "                       [--max-iterations N] [--out FILE] [--json FILE]\n"
         "                       [--build-stats] [--list-methods]\n"
         "batch:                 --jobs FILE.jsonl [--workers N]\n"
-        "                       [--cache-budget ENTRIES] [--json FILE]\n"
-        "                       [--solutions --out DIR]\n"
+        "                       [--block-width K] [--cache-budget ENTRIES]\n"
+        "                       [--json FILE] [--solutions --out DIR]\n"
         "info:                  [--json FILE]\n"
         "gen:                   --gen SPEC --out FILE [--format mtx|edgelist]\n"
         "bench:                 [--family F] [--sizes a,b,c] [--method NAME]\n"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the E1-E17 experiment binaries and collects one machine-readable
+# Runs the E1-E18 experiment binaries and collects one machine-readable
 # BENCH_E<k>.json per experiment (schema: bench/harness/json_writer.hpp),
 # tagged with the current commit, so perf changes can be proven against a
 # recorded trajectory.
@@ -81,6 +81,7 @@ EXPERIMENTS=(
   "E15 bench_e15_throughput"
   "E16 bench_e16_build"
   "E17 bench_e17_blocked_apply"
+  "E18 bench_e18_obs_overhead"
 )
 
 wants() {  # wants E5 -> 0 iff selected by --only (or no filter)

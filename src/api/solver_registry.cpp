@@ -16,6 +16,8 @@
 #include "graph/connectivity.hpp"
 #include "linalg/laplacian_op.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -190,9 +192,13 @@ class SolverBase : public AnySolver {
 /// it into the adapter, so setup_seconds is uniform across methods.
 template <typename T, typename... Args>
 std::unique_ptr<AnySolver> timed_make(Args&&... args) {
+  PARLAP_TRACE_SPAN("solver.factor", "build");
   WallTimer timer;
   auto solver = std::make_unique<T>(std::forward<Args>(args)...);
   solver->set_setup_seconds(timer.seconds());
+  static obs::LatencyHistogram& factor_hist =
+      obs::MetricsRegistry::global().histogram("parlap.solver.factor_seconds");
+  factor_hist.record_seconds(solver->setup_seconds());
   return solver;
 }
 

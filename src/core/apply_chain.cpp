@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/for_each.hpp"
 #include "support/check.hpp"
+#include "support/timer.hpp"
 
 namespace parlap {
 
@@ -195,6 +198,10 @@ void ApplyChain::apply(const Panel& b, Panel& y, ApplyWorkspace& ws) const {
 
 void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
                             std::size_t ld, ApplyWorkspace& ws) const {
+  PARLAP_TRACE_SPAN_N(apply_span, "chain.apply", "apply");
+  apply_span.arg("cols", static_cast<double>(cols));
+  apply_span.arg("levels", static_cast<double>(levels_.size()));
+  const WallTimer apply_timer;
   prepare_workspace(ws, cols);
   const std::size_t d = levels_.size();
   const auto n0 = static_cast<std::size_t>(n0_);
@@ -205,6 +212,9 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
 
   // Forward substitution (Algorithm 2, lines 3-5).
   for (std::size_t k = 0; k < d; ++k) {
+    PARLAP_TRACE_SPAN_N(level_span, "chain.level", "apply");
+    level_span.arg("level", static_cast<double>(k));
+    level_span.arg("dir", 0.0);  // forward substitution
     const Level& lvl = levels_[k];
     const auto n = static_cast<std::size_t>(lvl.n);
     const auto nf = static_cast<std::size_t>(lvl.nf);
@@ -301,6 +311,9 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
 
   // Backward substitution (lines 7-8): x_F = y_F - Z^(k) (L_FC x_C).
   for (std::size_t k = d; k-- > 0;) {
+    PARLAP_TRACE_SPAN_N(level_span, "chain.level", "apply");
+    level_span.arg("level", static_cast<double>(k));
+    level_span.arg("dir", 1.0);  // backward substitution
     const Level& lvl = levels_[k];
     const auto n = static_cast<std::size_t>(lvl.n);
     const auto nf = static_cast<std::size_t>(lvl.nf);
@@ -365,6 +378,16 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     std::copy(ws.level_vec[0].data() + c * n0,
               ws.level_vec[0].data() + (c + 1) * n0, y + c * ld);
   }
+
+  // Cumulative process-wide apply telemetry (references cached; the
+  // per-apply cost is a few relaxed atomics against a >= microsecond
+  // traversal).
+  static obs::LatencyHistogram& apply_hist =
+      obs::MetricsRegistry::global().histogram("parlap.chain.apply_seconds");
+  static obs::Counter& applies =
+      obs::MetricsRegistry::global().counter("parlap.chain.applies");
+  apply_hist.record_seconds(apply_timer.seconds());
+  applies.add();
 }
 
 }  // namespace parlap

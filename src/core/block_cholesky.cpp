@@ -9,6 +9,8 @@
 
 #include "parallel/for_each.hpp"
 #include "parallel/scan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/timer.hpp"
@@ -178,8 +180,14 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     MultigraphView g, std::uint64_t seed, const BlockCholeskyOptions& opts,
     ChainBuildArena& arena, Multigraph* consumed) {
   PARLAP_CHECK(g.num_vertices() >= 1);
+  PARLAP_TRACE_SPAN_N(build_span, "build.chain", "build");
+  build_span.arg("n", static_cast<double>(g.num_vertices()));
+  build_span.arg("m", static_cast<double>(g.num_edges()));
   const WallTimer build_timer;
-  arena.begin_build();
+  {
+    PARLAP_TRACE_SPAN("build.arena_recycle", "build");
+    arena.begin_build();
+  }
   BlockCholeskyChain chain;
   std::uint64_t build_id = 0;
   {
@@ -203,22 +211,32 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     BuildLevelTiming lt;
     lt.n = n;
     lt.edges = cur.num_edges();
+    PARLAP_TRACE_SPAN_N(level_span, "build.level", "build");
+    level_span.arg("level", static_cast<double>(level));
+    level_span.arg("n", static_cast<double>(n));
+    level_span.arg("m", static_cast<double>(cur.num_edges()));
     WallTimer phase;
 
+    PARLAP_TRACE_SPAN_N(sp_degrees, "build.degrees", "build");
     arena.wdeg.resize(nz);
     const std::span<const double> wdeg(arena.wdeg.data(), nz);
     weighted_degrees_into(cur, std::span<double>(arena.wdeg.data(), nz),
                           arena.degree_partial);
+    sp_degrees.end();
     lt.phases.degrees = phase.seconds();
 
     // F_k <- 5DDSubset(G^(k-1))        (Algorithm 1, line 5)
     phase.reset();
+    PARLAP_TRACE_SPAN_N(sp_five_dd, "build.five_dd", "build");
     FiveDdResult fdd =
         five_dd_subset(cur, wdeg, lseed, opts.five_dd, arena.five_dd);
+    sp_five_dd.arg("f_size", static_cast<double>(fdd.f.size()));
+    sp_five_dd.end();
     lt.phases.five_dd = phase.seconds();
     lt.f_size = static_cast<Vertex>(fdd.f.size());
 
     phase.reset();
+    PARLAP_TRACE_SPAN_N(sp_partition, "build.partition", "build");
     if (arena.level_staging.size() <= static_cast<std::size_t>(level)) {
       arena.level_staging.emplace_back();
     }
@@ -246,6 +264,7 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     stage.nc = static_cast<Vertex>(stage.c_list.size());
     const std::span<const Vertex> f_index(arena.f_index.data(), nz);
     const std::span<const Vertex> c_index(arena.c_index.data(), nz);
+    sp_partition.end();
     lt.phases.partition = phase.seconds();
 
     LevelStats ls;
@@ -255,22 +274,32 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     ls.five_dd_rounds = fdd.rounds;
 
     phase.reset();
-    build_walk_graph_into(cur, f_index, stage.nf, arena.walk_graph,
-                          arena.walk_build);
+    {
+      PARLAP_TRACE_SPAN("build.walk_graph", "build");
+      build_walk_graph_into(cur, f_index, stage.nf, arena.walk_graph,
+                            arena.walk_build);
+    }
     lt.phases.walk_graph = phase.seconds();
 
     // G^(k) <- TerminalWalks(G^(k-1), C_k)  (Algorithm 1, line 6)
     phase.reset();
     ChainBuildArena::EdgeBuffer& out = arena.out_buffer();
     out.n = stage.nc;
-    sample_schur_complement(cur, arena.walk_graph, f_index, c_index, stage.nc,
-                            seed, static_cast<std::uint64_t>(level),
-                            &ls.walks, opts.walks, arena.walk_sample, out.u,
-                            out.v, out.w);
+    {
+      PARLAP_TRACE_SPAN("build.schur", "build");
+      sample_schur_complement(cur, arena.walk_graph, f_index, c_index,
+                              stage.nc, seed,
+                              static_cast<std::uint64_t>(level), &ls.walks,
+                              opts.walks, arena.walk_sample, out.u, out.v,
+                              out.w);
+    }
     lt.phases.schur = phase.seconds();
 
     phase.reset();
-    extract_level(arena.walk_graph, wdeg, f_index, c_index, arena, stage);
+    {
+      PARLAP_TRACE_SPAN("build.extract", "build");
+      extract_level(arena.walk_graph, wdeg, f_index, c_index, arena, stage);
+    }
     lt.phases.extract = phase.seconds();
 
     chain.stats_.push_back(std::move(ls));
@@ -293,6 +322,7 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
   const Vertex base_n = cur.num_vertices();
   {
     const WallTimer base_timer;
+    PARLAP_TRACE_SPAN("build.base", "build");
     base_pinv = pseudo_inverse(laplacian_dense(cur));
     chain.build_stats_.base_seconds = base_timer.seconds();
   }
@@ -311,6 +341,7 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
   // Pack the staged levels into the immutable, CSR-packed apply form.
   {
     const WallTimer pack_timer;
+    PARLAP_TRACE_SPAN("build.pack", "build");
     chain.chain_.finalize(
         std::span<const EliminationLevel>(arena.level_staging.data(),
                                           static_cast<std::size_t>(level)),
@@ -320,6 +351,15 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
 
   arena.end_build(chain.build_stats_);
   chain.build_stats_.total_seconds = build_timer.seconds();
+  build_span.arg("levels", static_cast<double>(level));
+  {
+    static obs::LatencyHistogram& build_hist =
+        obs::MetricsRegistry::global().histogram("parlap.build.seconds");
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("parlap.build.chains");
+    build_hist.record_seconds(chain.build_stats_.total_seconds);
+    builds.add();
+  }
   return chain;
 }
 

@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/for_each.hpp"
 #include "support/check.hpp"
 
 namespace parlap {
+
+namespace {
+
+/// Cumulative outer-iteration count across every Richardson run in the
+/// process (scalar and panel; per-run counts stay in IterationStats).
+obs::Counter& iteration_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("parlap.richardson.iterations");
+  return c;
+}
+
+}  // namespace
 
 double estimate_max_eigenvalue(const LaplacianOperator& a,
                                const LinearMap& precond, int iterations) {
@@ -43,6 +57,7 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
   PARLAP_CHECK(x.size() == n);
   PARLAP_CHECK(eps > 0.0 && eps < 1.0);
 
+  PARLAP_TRACE_SPAN_N(span, "richardson.solve", "solve");
   IterationStats stats;
   const double b_norm = norm2(b);
   if (b_norm == 0.0) {
@@ -80,6 +95,8 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
     stats.iterations = k;
     if (stats.relative_residual <= target) {
       stats.reached_target = true;
+      iteration_counter().add(static_cast<std::uint64_t>(k));
+      span.arg("iterations", static_cast<double>(k));
       return stats;
     }
     // x^(k) = x^(k-1) + alpha B r   (equivalent to Algorithm 5, line 5)
@@ -92,6 +109,8 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
   stats.relative_residual = norm2(r) / b_norm;
   stats.iterations = cap;
   stats.reached_target = stats.relative_residual <= target;
+  iteration_counter().add(static_cast<std::uint64_t>(cap));
+  span.arg("iterations", static_cast<double>(cap));
   return stats;
 }
 
@@ -105,6 +124,8 @@ std::vector<IterationStats> preconditioned_richardson(
   PARLAP_CHECK(eps > 0.0 && eps < 1.0);
   x.resize(n, k);
 
+  PARLAP_TRACE_SPAN_N(span, "richardson.panel", "solve");
+  span.arg("cols", static_cast<double>(k));
   std::vector<IterationStats> stats(k);
   std::vector<double> b_norms(k);
   panel_col_norms(b, b_norms);
@@ -199,6 +220,12 @@ std::vector<IterationStats> preconditioned_richardson(
       stats[c].reached_target = stats[c].relative_residual <= target;
     }
   }
+  std::uint64_t total_iterations = 0;
+  for (const IterationStats& st : stats) {
+    total_iterations += static_cast<std::uint64_t>(st.iterations);
+  }
+  iteration_counter().add(total_iterations);
+  span.arg("iterations", static_cast<double>(total_iterations));
   return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/alpha_bound.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/for_each.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -239,6 +241,9 @@ std::vector<SolveStats> LaplacianSolver::solve_panel_impl(
   PARLAP_CHECK(eps > 0.0 && eps < 1.0);
   const std::size_t k = b.cols();
   x.resize(b.rows(), k);
+  PARLAP_TRACE_SPAN_N(solve_span, "solve.panel", "solve");
+  solve_span.arg("cols", static_cast<double>(k));
+  solve_span.arg("n", static_cast<double>(info_.n));
 
   std::vector<SolveStats> total(k);
   for (SolveStats& s : total) s.converged = true;
@@ -260,6 +265,17 @@ std::vector<SolveStats> LaplacianSolver::solve_panel_impl(
     std::vector<std::size_t> active(k);
     for (std::size_t col = 0; col < k; ++col) active[col] = col;
     for (int round = 0; !active.empty(); ++round) {
+      PARLAP_TRACE_SPAN_N(round_span, "solve.round", "solve");
+      round_span.arg("round", static_cast<double>(round));
+      round_span.arg("cols", static_cast<double>(active.size()));
+      if (round > 0) {
+        // Escalation: these columns missed eps at the previous round's
+        // chain and are re-solving on a rebuilt (reseeded) one.
+        static obs::Counter& escalations =
+            obs::MetricsRegistry::global().counter(
+                "parlap.solve.escalations");
+        escalations.add(static_cast<std::uint64_t>(active.size()));
+      }
       const std::shared_ptr<ChainRound> cr = round_for(cs, round);
       const BlockCholeskyChain& chain = cr->chain;
       ApplyWorkspace& w = scratch.component_ws(c, comps_.size());

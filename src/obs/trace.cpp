@@ -1,0 +1,170 @@
+#include "obs/trace.hpp"
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace parlap::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+/// One thread's event store. `size` is written by the owning thread
+/// only (release) and read at flush time (acquire); events below the
+/// published size are immutable. The tracer owns the buffer, so a
+/// thread may exit before its events are flushed.
+struct Tracer::Buffer {
+  std::uint32_t tid = 0;
+  std::atomic<std::size_t> size{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::vector<TraceEvent> events;
+};
+
+namespace {
+
+/// Registered buffers, append-only for the process lifetime: clear()
+/// resets contents but never deallocates, so the thread-local pointers
+/// below can never dangle.
+struct Registry {
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<Tracer::Buffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // immortal: worker threads may
+  return *r;                          // record during static teardown
+}
+
+thread_local Tracer::Buffer* tls_buffer = nullptr;
+
+void write_escaped(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';  // span names are literals; control chars are a bug
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer;  // immortal, same reason as above
+  return *tracer;
+}
+
+Tracer::Buffer* Tracer::buffer_for_thread() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  auto buffer = std::make_unique<Buffer>();
+  buffer->tid = reg.next_tid++;
+  buffer->events.resize(kBufferCapacity);
+  Buffer* raw = buffer.get();
+  reg.buffers.push_back(std::move(buffer));
+  tls_buffer = raw;
+  return raw;
+}
+
+void Tracer::record(const TraceEvent& ev) noexcept {
+  Buffer* buffer = tls_buffer;
+  if (buffer == nullptr) buffer = buffer_for_thread();
+  const std::size_t i = buffer->size.load(std::memory_order_relaxed);
+  if (i >= kBufferCapacity) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events[i] = ev;
+  buffer->events[i].tid = buffer->tid;
+  buffer->size.store(i + 1, std::memory_order_release);
+}
+
+std::size_t Tracer::event_count() const {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  std::size_t total = 0;
+  for (const auto& b : reg.buffers) {
+    total += b->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  std::uint64_t total = 0;
+  for (const auto& b : reg.buffers) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  for (const auto& b : reg.buffers) {
+    b->size.store(0, std::memory_order_release);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::write_chrome(std::ostream& os) const {
+  Registry& reg = registry();
+  const std::scoped_lock lock(reg.mutex);
+  // Timestamps are microseconds on the steady clock — values around
+  // 1e12; default stream precision (6 significant digits) would
+  // collapse them onto each other.
+  const std::streamsize old_precision = os.precision(17);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& b : reg.buffers) {
+    const std::size_t n = b->size.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& ev = b->events[i];
+      if (!first) os << ',';
+      first = false;
+      os << "\n{\"name\":";
+      write_escaped(os, ev.name);
+      os << ",\"cat\":";
+      write_escaped(os, ev.cat);
+      // Microsecond timestamps are the trace-event contract; fractional
+      // keeps the ns resolution.
+      os << ",\"ph\":\"X\",\"ts\":" << static_cast<double>(ev.ts_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1e3
+         << ",\"pid\":1,\"tid\":" << ev.tid << ",\"args\":{\"span_id\":"
+         << ev.span_id;
+      for (std::uint32_t a = 0; a < ev.nargs; ++a) {
+        os << ',';
+        write_escaped(os, ev.args[a].key);
+        os << ':' << ev.args[a].value;
+      }
+      os << "}}";
+    }
+  }
+  os << "\n]}\n";
+  os.precision(old_precision);
+}
+
+void ScopedSpan::finish() noexcept {
+  Tracer& tracer = Tracer::instance();
+  // Tracing switched off mid-span: drop rather than record a span that
+  // a concurrent flush may be reading past.
+  if (!Tracer::enabled()) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.span_id = tracer.next_span_id();
+  ev.ts_ns = start_ns_;
+  ev.dur_ns = steady_now_ns() - start_ns_;
+  ev.nargs = nargs_;
+  for (std::uint32_t a = 0; a < nargs_; ++a) ev.args[a] = args_[a];
+  tracer.record(ev);
+}
+
+}  // namespace parlap::obs

@@ -1,0 +1,179 @@
+// Span tracer — per-thread buffers of timestamped spans, flushed to
+// Chrome trace-event JSON (load the file at chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Design constraints, in order:
+//
+//   1. The disabled path is free. `PARLAP_TRACE_SPAN(...)` compiles to
+//      one relaxed atomic load and a branch when tracing is off — no
+//      allocation, no lock, no clock read — so spans stay compiled into
+//      release builds permanently (bench_e18_obs_overhead holds the
+//      line; tests/obs/trace_test.cpp asserts the zero-allocation
+//      contract).
+//   2. The enabled hot path is lock-free. Each recording thread owns a
+//      fixed-capacity event buffer; appending is two relaxed atomic ops
+//      on indices the owning thread alone writes. The tracer's mutex is
+//      taken only on a thread's *first* span (buffer registration) and
+//      at flush time.
+//   3. Overflow drops, never blocks. A full buffer counts the dropped
+//      span and the solve proceeds at full speed; `dropped()` reports
+//      the loss so a truncated trace is never mistaken for a complete
+//      one.
+//
+// Span names and categories must be string literals (or otherwise
+// outlive the tracer): events store the pointers, not copies. Numeric
+// key/value args ride along (kMaxArgs per span); every span gets a
+// process-unique id. docs/OBSERVABILITY.md lists the span taxonomy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+#include "support/timer.hpp"
+
+namespace parlap::obs {
+
+/// One finished span. Fixed-size POD so per-thread buffers are flat
+/// arrays the owning thread appends to without allocation.
+struct TraceEvent {
+  const char* name = nullptr;  ///< literal
+  const char* cat = nullptr;   ///< literal
+  std::uint64_t span_id = 0;   ///< process-unique
+  std::uint64_t ts_ns = 0;     ///< steady_now_ns() at span begin
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< tracer-assigned thread index
+  std::uint32_t nargs = 0;
+  static constexpr std::uint32_t kMaxArgs = 4;
+  struct Arg {
+    const char* key;  ///< literal
+    double value;
+  } args[kMaxArgs];
+};
+
+/// Process-wide trace collector (singleton). Threads register lazily on
+/// their first recorded span; buffers are owned by the tracer and live
+/// until process exit, so a thread may exit while its events await
+/// flushing. enable()/clear()/write_chrome() are meant for the
+/// single-threaded edges of a run (CLI startup/shutdown, test
+/// setup) — flush after the recording threads are quiescent.
+class Tracer {
+ public:
+  /// Events a single thread can hold before dropping.
+  static constexpr std::size_t kBufferCapacity = std::size_t{1} << 16;
+
+  static Tracer& instance();
+
+  /// The disabled-path gate: one relaxed load, inlined into every span
+  /// constructor.
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void enable() noexcept { enabled_.store(true, std::memory_order_release); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_release); }
+
+  /// Appends one finished span for the calling thread (registers the
+  /// thread's buffer on first use). Called by ScopedSpan, not directly.
+  void record(const TraceEvent& ev) noexcept;
+
+  /// Next process-unique span id.
+  [[nodiscard]] std::uint64_t next_span_id() noexcept {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Recorded events across all threads (drops excluded).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Spans lost to full buffers since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Forgets recorded events and drop counts. Thread buffers stay
+  /// registered (and allocated) for reuse.
+  void clear();
+
+  /// Writes the Chrome trace-event JSON document ({"traceEvents": [...]},
+  /// "X" complete events, microsecond timestamps).
+  void write_chrome(std::ostream& os) const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  struct Buffer;  ///< defined in trace.cpp (registration bookkeeping)
+
+ private:
+  Tracer() = default;
+  Buffer* buffer_for_thread();
+
+  static std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> next_span_id_{1};
+};
+
+/// RAII span. Construction snapshots the clock when tracing is enabled;
+/// destruction records the completed event (if tracing was switched off
+/// mid-span, the event is dropped at record time). Numeric args can be
+/// attached any time before destruction:
+///
+///   PARLAP_TRACE_SPAN("build.five_dd", "build");
+///   PARLAP_TRACE_SPAN_N(span, "solve", "solve");
+///   span.arg("iterations", iters);
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat) noexcept {
+    if (Tracer::enabled()) [[unlikely]] {
+      active_ = true;
+      name_ = name;
+      cat_ = cat;
+      start_ns_ = steady_now_ns();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (active_) [[unlikely]] { finish(); }
+  }
+
+  /// Attaches a numeric key/value (literal key). No-op when inactive;
+  /// args beyond TraceEvent::kMaxArgs are ignored.
+  void arg(const char* key, double value) noexcept {
+    if (active_ && nargs_ < TraceEvent::kMaxArgs) {
+      args_[nargs_].key = key;
+      args_[nargs_].value = value;
+      ++nargs_;
+    }
+  }
+
+  /// Closes the span before scope exit (for sequential phases sharing
+  /// one scope). Idempotent; the destructor becomes a no-op.
+  void end() noexcept {
+    if (active_) [[unlikely]] {
+      finish();
+      active_ = false;
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void finish() noexcept;
+
+  bool active_ = false;
+  std::uint32_t nargs_ = 0;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  TraceEvent::Arg args_[TraceEvent::kMaxArgs];
+};
+
+}  // namespace parlap::obs
+
+#define PARLAP_OBS_CONCAT2(a, b) a##b
+#define PARLAP_OBS_CONCAT(a, b) PARLAP_OBS_CONCAT2(a, b)
+
+/// Anonymous span covering the enclosing scope.
+#define PARLAP_TRACE_SPAN(name, cat)                                     \
+  const ::parlap::obs::ScopedSpan PARLAP_OBS_CONCAT(parlap_trace_span_,  \
+                                                    __LINE__)((name), (cat))
+
+/// Named span, for attaching args before it closes.
+#define PARLAP_TRACE_SPAN_N(var, name, cat) \
+  ::parlap::obs::ScopedSpan var((name), (cat))

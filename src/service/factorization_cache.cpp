@@ -4,9 +4,40 @@
 #include <bit>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace parlap::service {
+
+namespace {
+
+/// Process-wide cache metrics (summed across cache instances; the
+/// per-instance Stats stay the per-batch source of truth). References
+/// resolved once — the hot path never touches the registry map.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& waits;
+  obs::LatencyHistogram& build_seconds;
+  obs::LatencyHistogram& wait_seconds;
+
+  static CacheMetrics& get() {
+    static CacheMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return new CacheMetrics{reg.counter("parlap.cache.hits"),
+                              reg.counter("parlap.cache.misses"),
+                              reg.counter("parlap.cache.evictions"),
+                              reg.counter("parlap.cache.single_flight_waits"),
+                              reg.histogram("parlap.cache.build_seconds"),
+                              reg.histogram("parlap.cache.wait_seconds")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 std::size_t FactorizationKeyHash::operator()(
     const FactorizationKey& k) const {
@@ -28,22 +59,63 @@ FactorizationCache::FactorizationCache(EdgeId budget_entries)
 std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
     const FactorizationKey& key,
     const std::function<std::unique_ptr<AnySolver>()>& factory) {
+  PARLAP_TRACE_SPAN_N(lookup_span, "cache.lookup", "cache");
+  CacheMetrics& metrics = CacheMetrics::get();
+  std::uint64_t wait_began_ns = 0;  // 0: never blocked on a builder
+
   std::unique_lock lock(mutex_);
   while (true) {
     const auto it = entries_.find(key);
     if (it == entries_.end()) break;  // miss: become the builder
     if (!it->second.building) {
-      ++stats_.hits;
+      {
+        const StatsUpdate update(stats_);
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        if (wait_began_ns != 0) {
+          stats_.single_flight_waits.fetch_add(1, std::memory_order_relaxed);
+          const double waited =
+              static_cast<double>(steady_now_ns() - wait_began_ns) * 1e-9;
+          // Writers are serialized by mutex_; load+store is enough.
+          stats_.single_flight_wait_seconds.store(
+              stats_.single_flight_wait_seconds.load(
+                  std::memory_order_relaxed) +
+                  waited,
+              std::memory_order_relaxed);
+          metrics.waits.add();
+          metrics.wait_seconds.record_seconds(waited);
+        }
+      }
+      metrics.hits.add();
+      lookup_span.arg("hit", 1.0);
       it->second.last_use = ++tick_;
       return {it->second.solver, true};
     }
     // Someone else is factorizing this key; wait for the publication
     // (or for the build to fail, which erases the entry and we retry as
     // the builder).
+    if (wait_began_ns == 0) wait_began_ns = steady_now_ns();
+    PARLAP_TRACE_SPAN("cache.wait", "cache");
     cv_.wait(lock);
   }
 
-  ++stats_.misses;
+  {
+    const StatsUpdate update(stats_);
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    if (wait_began_ns != 0) {
+      // Waited on a builder whose build failed, then took over.
+      stats_.single_flight_waits.fetch_add(1, std::memory_order_relaxed);
+      const double waited =
+          static_cast<double>(steady_now_ns() - wait_began_ns) * 1e-9;
+      stats_.single_flight_wait_seconds.store(
+          stats_.single_flight_wait_seconds.load(std::memory_order_relaxed) +
+              waited,
+          std::memory_order_relaxed);
+      metrics.waits.add();
+      metrics.wait_seconds.record_seconds(waited);
+    }
+  }
+  metrics.misses.add();
+  lookup_span.arg("hit", 0.0);
   {
     Entry placeholder;
     placeholder.building = true;
@@ -54,6 +126,7 @@ std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
   std::shared_ptr<AnySolver> solver;
   const WallTimer build_timer;
   try {
+    PARLAP_TRACE_SPAN("cache.build", "cache");
     solver = factory();
   } catch (...) {
     lock.lock();
@@ -62,24 +135,32 @@ std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
     throw;
   }
   const double build_seconds = build_timer.seconds();
+  metrics.build_seconds.record_seconds(build_seconds);
 
   lock.lock();
-  stats_.build_seconds += build_seconds;
   Entry& e = entries_.at(key);
   e.solver = solver;
   e.building = false;
   e.cost = std::max<EdgeId>(1, solver->stored_entries());
   e.last_use = ++tick_;
-  stats_.resident_entries += e.cost;
-  ++stats_.resident_count;
-  evict_to_budget_locked();
+  {
+    const StatsUpdate update(stats_);
+    stats_.build_seconds.store(
+        stats_.build_seconds.load(std::memory_order_relaxed) + build_seconds,
+        std::memory_order_relaxed);
+    stats_.resident_entries.fetch_add(static_cast<std::int64_t>(e.cost),
+                                      std::memory_order_relaxed);
+    stats_.resident_count.fetch_add(1, std::memory_order_relaxed);
+    evict_to_budget_locked();
+  }
   cv_.notify_all();
   return {std::move(solver), false};
 }
 
 void FactorizationCache::evict_to_budget_locked() {
   if (budget_ == 0) return;
-  while (stats_.resident_entries > budget_) {
+  while (stats_.resident_entries.load(std::memory_order_relaxed) >
+         static_cast<std::int64_t>(budget_)) {
     // Least-recently-used completed entry — but never the most recent
     // one, so a single over-budget factorization is still cached.
     auto victim = entries_.end();
@@ -93,16 +174,71 @@ void FactorizationCache::evict_to_budget_locked() {
       }
     }
     if (completed <= 1 || victim == entries_.end()) return;
-    stats_.resident_entries -= victim->second.cost;
-    --stats_.resident_count;
-    ++stats_.evictions;
+    stats_.resident_entries.fetch_sub(
+        static_cast<std::int64_t>(victim->second.cost),
+        std::memory_order_relaxed);
+    stats_.resident_count.fetch_sub(1, std::memory_order_relaxed);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::get().evictions.add();
     entries_.erase(victim);
   }
 }
 
+// GCC spells TSan detection __SANITIZE_THREAD__; clang __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define PARLAP_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARLAP_TSAN_BUILD 1
+#endif
+#endif
+
 FactorizationCache::Stats FactorizationCache::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+#if defined(PARLAP_TSAN_BUILD)
+  // TSan forbids the acquire fence the seqlock read relies on
+  // (-Werror=tsan); under the sanitizer, take the writer mutex instead
+  // — same torn-free snapshot, just serialized against updates.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out;
+  out.hits = stats_.hits.load(std::memory_order_relaxed);
+  out.misses = stats_.misses.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.resident_entries = static_cast<EdgeId>(
+      stats_.resident_entries.load(std::memory_order_relaxed));
+  out.resident_count = static_cast<std::size_t>(
+      stats_.resident_count.load(std::memory_order_relaxed));
+  out.build_seconds = stats_.build_seconds.load(std::memory_order_relaxed);
+  out.single_flight_waits =
+      stats_.single_flight_waits.load(std::memory_order_relaxed);
+  out.single_flight_wait_seconds =
+      stats_.single_flight_wait_seconds.load(std::memory_order_relaxed);
+  return out;
+#else
+  // Seqlock read: no mutex, so a reporting thread can sample stats
+  // while workers are mid-batch without serializing against builds.
+  // Retry until the generation is even (no writer) and unchanged
+  // across the field reads (no writer slipped in) — then every field
+  // belongs to one update and cross-field invariants hold.
+  while (true) {
+    const std::uint64_t g1 = stats_.gen.load(std::memory_order_acquire);
+    if ((g1 & 1) != 0) continue;
+    Stats out;
+    out.hits = stats_.hits.load(std::memory_order_relaxed);
+    out.misses = stats_.misses.load(std::memory_order_relaxed);
+    out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+    out.resident_entries = static_cast<EdgeId>(
+        stats_.resident_entries.load(std::memory_order_relaxed));
+    out.resident_count = static_cast<std::size_t>(
+        stats_.resident_count.load(std::memory_order_relaxed));
+    out.build_seconds = stats_.build_seconds.load(std::memory_order_relaxed);
+    out.single_flight_waits =
+        stats_.single_flight_waits.load(std::memory_order_relaxed);
+    out.single_flight_wait_seconds =
+        stats_.single_flight_wait_seconds.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (stats_.gen.load(std::memory_order_relaxed) == g1) return out;
+  }
+#endif
 }
 
 }  // namespace parlap::service

@@ -23,6 +23,7 @@
 // one factorization, not workers-many.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -57,6 +58,10 @@ struct FactorizationKeyHash {
 class FactorizationCache {
  public:
   /// Counters since construction plus the current resident footprint.
+  /// Read via stats(), which snapshots every field under one atomic
+  /// generation: the invariants between fields (hits + misses ==
+  /// lookups, resident_count consistent with resident_entries) hold in
+  /// every snapshot a concurrent reader can observe — never torn.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;      ///< factorizations performed
@@ -66,6 +71,14 @@ class FactorizationCache {
     /// Wall-clock seconds spent inside miss factories (cache-miss cost
     /// attribution: what the batch paid to build rather than to solve).
     double build_seconds = 0.0;
+    /// Single-flight waits: callers that blocked on another caller's
+    /// in-progress factorization of the same key, and for how long.
+    std::uint64_t single_flight_waits = 0;
+    double single_flight_wait_seconds = 0.0;
+
+    [[nodiscard]] std::uint64_t lookups() const noexcept {
+      return hits + misses;
+    }
   };
 
   /// `budget_entries` caps the resident stored_entries total; 0 means
@@ -86,6 +99,8 @@ class FactorizationCache {
       const FactorizationKey& key,
       const std::function<std::unique_ptr<AnySolver>()>& factory);
 
+  /// Lock-free torn-proof snapshot (seqlock read: retries while a
+  /// writer is mid-update, so all fields come from one generation).
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] EdgeId budget_entries() const noexcept { return budget_; }
 
@@ -97,6 +112,41 @@ class FactorizationCache {
     bool building = false;
   };
 
+  /// Seqlock-published counters. Writers (always holding mutex_, so
+  /// serialized) bump gen to odd, mutate, bump back to even; stats()
+  /// readers retry until they observe one even generation on both
+  /// sides of the field reads. Fields are relaxed atomics so the
+  /// racing reads the retry loop discards are still well-defined.
+  struct SharedStats {
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::int64_t> resident_entries{0};
+    std::atomic<std::uint64_t> resident_count{0};
+    std::atomic<double> build_seconds{0.0};
+    std::atomic<std::uint64_t> single_flight_waits{0};
+    std::atomic<double> single_flight_wait_seconds{0.0};
+  };
+
+  /// RAII odd/even generation bump around a writer's field updates.
+  class StatsUpdate {
+   public:
+    explicit StatsUpdate(SharedStats& s) noexcept : s_(s) {
+      s_.gen.store(s_.gen.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+    }
+    ~StatsUpdate() {
+      s_.gen.store(s_.gen.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+    }
+    StatsUpdate(const StatsUpdate&) = delete;
+    StatsUpdate& operator=(const StatsUpdate&) = delete;
+
+   private:
+    SharedStats& s_;
+  };
+
   void evict_to_budget_locked();
 
   const EdgeId budget_;
@@ -104,7 +154,7 @@ class FactorizationCache {
   std::condition_variable cv_;
   std::unordered_map<FactorizationKey, Entry, FactorizationKeyHash> entries_;
   std::uint64_t tick_ = 0;
-  Stats stats_;
+  SharedStats stats_;
 };
 
 }  // namespace parlap::service

@@ -13,15 +13,40 @@
 #include "api/graph_source.hpp"
 #include "api/rhs.hpp"
 #include "api/solver_registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/for_each.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
-#include "support/stats.hpp"
 #include "support/timer.hpp"
 
 namespace parlap::service {
 
 namespace {
+
+/// Process-wide engine metrics (cumulative across batches and engine
+/// instances; per-batch EngineStats carry the per-run view). Resolved
+/// once so workers never touch the registry map.
+struct EngineMetrics {
+  obs::Counter& jobs;
+  obs::Counter& panels;
+  obs::LatencyHistogram& solve_seconds;
+  obs::LatencyHistogram& queue_seconds;
+  obs::LatencyHistogram& task_seconds;
+
+  static EngineMetrics& get() {
+    static EngineMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return new EngineMetrics{
+          reg.counter("parlap.engine.jobs"),
+          reg.counter("parlap.engine.panels"),
+          reg.histogram("parlap.engine.solve_seconds"),
+          reg.histogram("parlap.engine.queue_wait_seconds"),
+          reg.histogram("parlap.engine.task_seconds")};
+    }();
+    return *m;
+  }
+};
 
 /// Stable 64-bit hash of a string via the shared fingerprint mixer.
 std::uint64_t hash_string(const std::string& s) {
@@ -334,7 +359,9 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
   BatchResult batch;
   batch.jobs.resize(jobs.size());
   const FactorizationCache::Stats cache_before = cache_.stats();
+  PARLAP_TRACE_SPAN_N(batch_span, "engine.batch", "queue");
   const WallTimer batch_timer;
+  const std::uint64_t batch_start_ns = steady_now_ns();
 
   // Task list: at block_width 1 every job is its own task (the scalar
   // path, unchanged); otherwise jobs are grouped by panel_group_key in
@@ -384,6 +411,15 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
       const std::size_t t = next.fetch_add(1);
       if (t >= tasks.size()) break;
       const std::vector<std::size_t>& members = tasks[t];
+      // Queue wait: batch submission -> this pickup. Recorded per task
+      // so the percentiles below see the whole backlog distribution.
+      const double queue_seconds =
+          static_cast<double>(steady_now_ns() - batch_start_ns) * 1e-9;
+      PARLAP_TRACE_SPAN_N(task_span, "engine.task", "queue");
+      task_span.arg("task", static_cast<double>(t));
+      task_span.arg("width", static_cast<double>(members.size()));
+      task_span.arg("queue_ms", queue_seconds * 1e3);
+      const WallTimer task_timer;
       if (members.size() == 1) {
         batch.jobs[members.front()] = run_job(jobs[members.front()]);
         PanelStats& panel = batch.panels[t];
@@ -396,6 +432,8 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
       } else {
         batch.panels[t] = run_panel_task(jobs, members, batch.jobs);
       }
+      batch.panels[t].queue_seconds = queue_seconds;
+      batch.panels[t].exec_seconds = task_timer.seconds();
     }
   };
 
@@ -407,8 +445,13 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
   EngineStats& stats = batch.stats;
   stats.jobs = static_cast<std::int64_t>(jobs.size());
   stats.wall_seconds = batch_timer.seconds();
-  std::vector<double> solve_times;
-  solve_times.reserve(jobs.size());
+  // Latency digests: per-batch histograms feed EngineStats, and every
+  // sample is mirrored into the process-wide registry so a long-lived
+  // engine's cumulative view (the future serve daemon's /metrics)
+  // accrues for free.
+  EngineMetrics& metrics = EngineMetrics::get();
+  obs::LatencyHistogram solve_hist;
+  obs::LatencyHistogram queue_hist;
   for (const JobResult& r : batch.jobs) {
     if (!r.ok) {
       ++stats.failed;
@@ -416,16 +459,26 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
     }
     ++stats.succeeded;
     if (r.report.converged) ++stats.converged;
-    solve_times.push_back(r.report.solve_seconds);
+    solve_hist.record_seconds(r.report.solve_seconds);
+    metrics.solve_seconds.record_seconds(r.report.solve_seconds);
   }
+  for (const PanelStats& p : batch.panels) {
+    queue_hist.record_seconds(p.queue_seconds);
+    metrics.queue_seconds.record_seconds(p.queue_seconds);
+    metrics.task_seconds.record_seconds(p.exec_seconds);
+  }
+  metrics.jobs.add(static_cast<std::uint64_t>(jobs.size()));
+  metrics.panels.add(batch.panels.size());
   if (stats.wall_seconds > 0.0) {
     stats.solves_per_second =
         static_cast<double>(stats.succeeded) / stats.wall_seconds;
   }
-  if (!solve_times.empty()) {
-    stats.p50_solve_seconds = percentile(solve_times, 0.5);
-    stats.p95_solve_seconds = percentile(solve_times, 0.95);
-  }
+  stats.p50_solve_seconds = solve_hist.percentile_seconds(0.50);
+  stats.p95_solve_seconds = solve_hist.percentile_seconds(0.95);
+  stats.p99_solve_seconds = solve_hist.percentile_seconds(0.99);
+  stats.p50_queue_seconds = queue_hist.percentile_seconds(0.50);
+  stats.p95_queue_seconds = queue_hist.percentile_seconds(0.95);
+  stats.p99_queue_seconds = queue_hist.percentile_seconds(0.99);
   stats.panels = static_cast<std::int64_t>(batch.panels.size());
   if (!batch.panels.empty()) {
     stats.panel_occupancy =
@@ -440,6 +493,16 @@ BatchResult SolveEngine::run(std::span<const SolveJob> jobs) {
   stats.cache.misses -= cache_before.misses;
   stats.cache.evictions -= cache_before.evictions;
   stats.cache.build_seconds -= cache_before.build_seconds;
+  stats.cache.single_flight_waits -= cache_before.single_flight_waits;
+  stats.cache.single_flight_wait_seconds -=
+      cache_before.single_flight_wait_seconds;
+  if (stats.cache.lookups() > 0) {
+    stats.cache_hit_rate = static_cast<double>(stats.cache.hits) /
+                           static_cast<double>(stats.cache.lookups());
+  }
+  batch_span.arg("jobs", static_cast<double>(stats.jobs));
+  batch_span.arg("panels", static_cast<double>(stats.panels));
+  batch_span.arg("workers", static_cast<double>(workers));
   return batch;
 }
 

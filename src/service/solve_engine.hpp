@@ -93,6 +93,11 @@ struct PanelStats {
   bool cache_hit = false;            ///< factorization came from cache
   double solve_seconds = 0.0;        ///< summed per-RHS solve seconds
   double apply_seconds = 0.0;        ///< summed per-RHS apply seconds
+  /// Queue wait: batch start -> a worker picking this task up. With
+  /// more tasks than workers this is the backlog signal the ROADMAP's
+  /// serve daemon will export as queue depth/latency.
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;  ///< wall time inside the task
 };
 
 /// Aggregate batch telemetry.
@@ -103,8 +108,19 @@ struct EngineStats {
   std::int64_t failed = 0;     ///< !ok
   double wall_seconds = 0.0;       ///< whole batch
   double solves_per_second = 0.0;  ///< succeeded / wall_seconds
+  /// Latency percentiles, derived from obs::LatencyHistogram buckets
+  /// (log-bucketed: monotone in q, <= 12.5% above the exact order
+  /// statistic) rather than a sort — the same digest the registry
+  /// exports, so batch JSON and live metrics agree by construction.
   double p50_solve_seconds = 0.0;  ///< per-job solve_seconds percentiles
   double p95_solve_seconds = 0.0;
+  double p99_solve_seconds = 0.0;
+  double p50_queue_seconds = 0.0;  ///< per-task queue-wait percentiles
+  double p95_queue_seconds = 0.0;
+  double p99_queue_seconds = 0.0;
+  /// Panel-level hit fraction of THIS batch: cache.hits / lookups()
+  /// (0 when the batch performed no lookups).
+  double cache_hit_rate = 0.0;
   std::int64_t panels = 0;         ///< solve tasks (width-1 included)
   /// Mean panel fill: jobs / (panels * block_width). 1.0 when every
   /// panel is full (always, at block_width 1).

@@ -1,27 +1,41 @@
 // Wall-clock timing utilities for benches and examples.
+//
+// Every wall-clock measurement in the tree — WallTimer, the obs span
+// tracer, and the obs metrics histograms — reads the one steady clock
+// below, so durations from different subsystems are directly
+// comparable and no caller re-implements its own clock choice.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace parlap {
+
+/// Nanoseconds on the process-wide monotonic clock. The single time
+/// source for all timing in the tree.
+[[nodiscard]] inline std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_ns_(steady_now_ns()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ns_ = steady_now_ns(); }
 
   /// Seconds since construction or last reset().
   [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(steady_now_ns() - start_ns_) * 1e-9;
   }
 
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace parlap

@@ -205,7 +205,7 @@ def run_checks(cli, data, fixture, tmp):
 
     if "4" in batch_docs:
         doc = batch_docs["4"]
-        check(doc.get("schema") == "parlap-cli-batch-v2", "batch: schema tag")
+        check(doc.get("schema") == "parlap-cli-batch-v3", "batch: schema tag")
         check(doc.get("all_converged") is True, "batch: all jobs converged")
         check(doc.get("cache", {}).get("hits", 0) > 0,
               "batch: repeated graphs produce cache hits")
@@ -224,6 +224,29 @@ def run_checks(cli, data, fixture, tmp):
               "batch: miss cost attributed in cache.build_seconds")
         check(len(doc.get("panels", [])) == agg.get("jobs"),
               "batch: per-panel telemetry present")
+        check(agg.get("p99_solve_seconds", 0) >= agg.get("p95_solve_seconds", 1),
+              "batch: p99 >= p95")
+        metrics = doc.get("metrics", {})
+        solve_m = metrics.get("solve_seconds", {})
+        queue_m = metrics.get("queue_wait_seconds", {})
+        check(solve_m.get("count", 0) == agg.get("jobs"),
+              "batch: metrics.solve_seconds counts every job")
+        check(0 <= solve_m.get("p50", -1) <= solve_m.get("p95", -1)
+              <= solve_m.get("p99", -1),
+              "batch: metrics solve percentiles monotone")
+        check(queue_m.get("count", 0) == agg.get("panels"),
+              "batch: metrics.queue_wait_seconds counts every task")
+        check(0 <= queue_m.get("p50", -1) <= queue_m.get("p95", -1)
+              <= queue_m.get("p99", -1),
+              "batch: metrics queue percentiles monotone")
+        check(0.0 <= metrics.get("cache_hit_rate", -1) <= 1.0,
+              "batch: metrics.cache_hit_rate in [0, 1]")
+        check(doc.get("cache", {}).get("single_flight_waits", -1) >= 0,
+              "batch: cache.single_flight_waits present")
+        for pn in doc.get("panels", []):
+            check(pn.get("queue_seconds", -1) >= 0
+                  and pn.get("exec_seconds", -1) >= 0,
+                  "batch: panel queue/exec seconds present")
         for job in doc.get("jobs", []):
             check("build_seconds" in job and "build_arena_allocations" in job,
                   f"batch: job {job.get('id')} carries build-cost fields")
@@ -266,6 +289,27 @@ def run_checks(cli, data, fixture, tmp):
                   and ja.get("iterations") == jb.get("iterations")
                   and ja.get("relative_residual") == jb.get("relative_residual"),
                   f"batch: job {ja.get('id')} identical at block width 1 vs 4")
+
+    # --- batch: span tracing (--trace-out) -------------------------------
+    trace_path = tmp / "trace.json"
+    traced_json = tmp / "batch_traced.json"
+    p = run(cli, "batch", "--jobs", str(jobs_file), "--workers", "2",
+            "--block-width", "4", "--trace-out", str(trace_path),
+            "--json", str(traced_json))
+    check(p.returncode == 0,
+          f"batch --trace-out: exit 0 (got {p.returncode}: {p.stderr.strip()})")
+    if p.returncode == 0:
+        trace = json.loads(trace_path.read_text())
+        events = trace.get("traceEvents", [])
+        check(len(events) > 0, "trace: events recorded")
+        cats = {ev.get("cat") for ev in events}
+        for cat in ("build", "apply", "cache", "queue", "cli"):
+            check(cat in cats, f"trace: category {cat} present")
+        bad = [ev for ev in events
+               if ev.get("ph") != "X"
+               or not isinstance(ev.get("ts"), (int, float))
+               or not isinstance(ev.get("dur"), (int, float))]
+        check(not bad, f"trace: all {len(events)} events are complete events")
 
     p = run(cli, "batch", "--jobs", str(data / "nope.jsonl"))
     check(p.returncode == 3, f"batch missing job file: exit 3 (got {p.returncode})")

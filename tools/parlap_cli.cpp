@@ -38,6 +38,8 @@
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
 #include "harness/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/job_file.hpp"
 #include "service/solve_engine.hpp"
 #include "support/table.hpp"
@@ -196,6 +198,73 @@ std::ofstream open_output(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability export (--trace-out / --metrics)
+// ---------------------------------------------------------------------------
+
+/// Shared tracing/metrics flags (solve and batch). Construction arms
+/// the tracer (and zeroes the metrics registry, so the export covers
+/// this run alone); finish() flushes the trace file and prints the
+/// metrics table. Tracing stays disabled — a compiled-in span is one
+/// predicted branch — unless --trace-out is given.
+struct ObsOptions {
+  std::string trace_path;  ///< --trace-out FILE (empty: tracing off)
+  bool metrics = false;    ///< --metrics: human summary table
+
+  static ObsOptions take(Args& args) {
+    ObsOptions obs;
+    obs.trace_path = args.take_value("--trace-out").value_or("");
+    obs.metrics = args.take_flag("--metrics");
+    if (!obs.trace_path.empty()) {
+      obs::Tracer::instance().clear();
+      obs::Tracer::instance().enable();
+    }
+    if (obs.metrics) obs::MetricsRegistry::global().reset();
+    return obs;
+  }
+
+  void finish() const {
+    if (!trace_path.empty()) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      tracer.disable();
+      std::ofstream os = open_output(trace_path);
+      tracer.write_chrome(os);
+      std::cerr << "parlap_cli: wrote " << tracer.event_count()
+                << " trace event(s) to " << trace_path;
+      if (tracer.dropped() > 0) {
+        std::cerr << " (" << tracer.dropped()
+                  << " dropped: per-thread buffers filled)";
+      }
+      std::cerr << "\n";
+    }
+    if (metrics) print_metrics_table();
+  }
+
+  static void print_metrics_table() {
+    const std::vector<obs::MetricSample> samples =
+        obs::MetricsRegistry::global().snapshot();
+    TextTable table("metrics: process-wide registry (this run)");
+    table.set_header({"metric", "kind", "value", "count", "p50_ms", "p95_ms",
+                      "p99_ms"},
+                     4);
+    for (const obs::MetricSample& s : samples) {
+      const char* kind = "counter";
+      if (s.kind == obs::MetricSample::Kind::kRealCounter) kind = "sum";
+      if (s.kind == obs::MetricSample::Kind::kGauge) kind = "gauge";
+      if (s.kind == obs::MetricSample::Kind::kHistogram) kind = "histogram";
+      if (s.kind == obs::MetricSample::Kind::kHistogram) {
+        table.add_row({s.name, std::string(kind), s.value,
+                       static_cast<std::int64_t>(s.count), s.p50 * 1e3,
+                       s.p95 * 1e3, s.p99 * 1e3});
+      } else {
+        table.add_row({s.name, std::string(kind), s.value, std::string(""),
+                       std::string(""), std::string(""), std::string("")});
+      }
+    }
+    table.print(std::cout);
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Build-phase telemetry rendering (--build-stats)
 // ---------------------------------------------------------------------------
 
@@ -297,6 +366,7 @@ int cmd_solve(Args& args) {
   }
   const bool project_rhs = args.take_flag("--project-rhs");
   const bool build_stats = args.take_flag("--build-stats");
+  const ObsOptions obs = ObsOptions::take(args);
   const std::string out_path = args.take_value("--out").value_or("");
   const std::string json_path = args.take_value("--json").value_or("");
   SolverConfig config;
@@ -312,6 +382,7 @@ int cmd_solve(Args& args) {
         "--rhs, --rhs-demand, and --rhs-random are mutually exclusive");
   }
 
+  PARLAP_TRACE_SPAN_N(cli_span, "cli.solve", "cli");
   const Multigraph g = load_input(in);
   const Components comps = connected_components(g);
 
@@ -471,6 +542,8 @@ int cmd_solve(Args& args) {
     os << '\n';
   }
 
+  cli_span.end();
+  obs.finish();
   return all_converged ? kExitOk : kExitNotConverged;
 }
 
@@ -486,6 +559,7 @@ int cmd_batch(Args& args) {
   const bool keep_solutions = args.take_flag("--solutions");
   const std::string json_path = args.take_value("--json").value_or("");
   const std::string out_path = args.take_value("--out").value_or("");
+  const ObsOptions obs = ObsOptions::take(args);
   args.expect_empty();
   if (jobs_path.empty()) throw UsageError("batch requires --jobs FILE");
   if (workers < 1) throw UsageError("--workers must be >= 1");
@@ -515,6 +589,7 @@ int cmd_batch(Args& args) {
   std::cerr << "parlap_cli: batch " << jobs_path << ": " << jobs.size()
             << " job(s), " << workers << " worker(s), block width "
             << block_width << "\n";
+  PARLAP_TRACE_SPAN_N(cli_span, "cli.batch", "cli");
   const service::BatchResult batch = engine.run(jobs);
   const service::EngineStats& stats = batch.stats;
 
@@ -546,12 +621,18 @@ int cmd_batch(Args& args) {
             << stats.cache.build_seconds << " s factorizing, "
             << stats.panels << " panel(s) at occupancy "
             << stats.panel_occupancy << "\n";
+  std::cout << "batch: solve p50/p95/p99 " << stats.p50_solve_seconds << "/"
+            << stats.p95_solve_seconds << "/" << stats.p99_solve_seconds
+            << " s, queue wait p50/p95/p99 " << stats.p50_queue_seconds
+            << "/" << stats.p95_queue_seconds << "/"
+            << stats.p99_queue_seconds << " s, cache hit rate "
+            << stats.cache_hit_rate << "\n";
 
   if (!json_path.empty()) {
     std::ofstream os = open_output(json_path);
     bench::JsonWriter w(os);
     w.begin_object();
-    w.member("schema", "parlap-cli-batch-v2");
+    w.member("schema", "parlap-cli-batch-v3");
     write_json_metadata(w);
     w.member("jobs_file", jobs_path);
     w.member("workers", static_cast<std::int64_t>(workers));
@@ -568,6 +649,10 @@ int cmd_batch(Args& args) {
              static_cast<std::int64_t>(stats.cache.resident_count));
     // Miss cost attribution: wall seconds this batch spent factorizing.
     w.member("build_seconds", stats.cache.build_seconds);
+    w.member("single_flight_waits",
+             static_cast<std::int64_t>(stats.cache.single_flight_waits));
+    w.member("single_flight_wait_seconds",
+             stats.cache.single_flight_wait_seconds);
     w.end_object();
     w.key("aggregate");
     w.begin_object();
@@ -579,8 +664,34 @@ int cmd_batch(Args& args) {
     w.member("solves_per_second", stats.solves_per_second);
     w.member("p50_solve_seconds", stats.p50_solve_seconds);
     w.member("p95_solve_seconds", stats.p95_solve_seconds);
+    w.member("p99_solve_seconds", stats.p99_solve_seconds);
     w.member("panels", stats.panels);
     w.member("panel_occupancy", stats.panel_occupancy);
+    w.end_object();
+    // The v3 metrics block: latency digests from the obs histogram
+    // registry (log-bucketed percentiles, see docs/OBSERVABILITY.md)
+    // plus the batch's cache behavior as rates.
+    w.key("metrics");
+    w.begin_object();
+    w.key("solve_seconds");
+    w.begin_object();
+    w.member("count", stats.succeeded);
+    w.member("p50", stats.p50_solve_seconds);
+    w.member("p95", stats.p95_solve_seconds);
+    w.member("p99", stats.p99_solve_seconds);
+    w.end_object();
+    w.key("queue_wait_seconds");
+    w.begin_object();
+    w.member("count", stats.panels);
+    w.member("p50", stats.p50_queue_seconds);
+    w.member("p95", stats.p95_queue_seconds);
+    w.member("p99", stats.p99_queue_seconds);
+    w.end_object();
+    w.member("cache_hit_rate", stats.cache_hit_rate);
+    w.member("cache_single_flight_waits",
+             static_cast<std::int64_t>(stats.cache.single_flight_waits));
+    w.member("cache_single_flight_wait_seconds",
+             stats.cache.single_flight_wait_seconds);
     w.end_object();
     // One entry per solved panel (width-1 singletons included):
     // occupancy and per-panel apply cost read directly from the list.
@@ -592,6 +703,8 @@ int cmd_batch(Args& args) {
       w.member("cache_hit", p.cache_hit);
       w.member("solve_seconds", p.solve_seconds);
       w.member("apply_seconds", p.apply_seconds);
+      w.member("queue_seconds", p.queue_seconds);
+      w.member("exec_seconds", p.exec_seconds);
       w.key("jobs");
       w.begin_array();
       for (const std::string& id : p.job_ids) w.value(id);
@@ -658,6 +771,8 @@ int cmd_batch(Args& args) {
     }
   }
 
+  cli_span.end();
+  obs.finish();
   return all_converged ? kExitOk : kExitNotConverged;
 }
 
@@ -865,9 +980,11 @@ void print_usage(std::ostream& os) {
         "                       [--project-rhs] [--split-scale X]\n"
         "                       [--max-iterations N] [--out FILE] [--json FILE]\n"
         "                       [--build-stats] [--list-methods]\n"
+        "                       [--trace-out FILE] [--metrics]\n"
         "batch:                 --jobs FILE.jsonl [--workers N]\n"
         "                       [--block-width K] [--cache-budget ENTRIES]\n"
         "                       [--json FILE] [--solutions --out DIR]\n"
+        "                       [--trace-out FILE] [--metrics]\n"
         "info:                  [--json FILE]\n"
         "gen:                   --gen SPEC --out FILE [--format mtx|edgelist]\n"
         "bench:                 [--family F] [--sizes a,b,c] [--method NAME]\n"

@@ -53,6 +53,20 @@ struct SolveJob {
   bool project_rhs = false;
 };
 
+class JsonValue;
+
+/// Parses one already-parsed job object — the request shape shared by
+/// JSONL batch files and the parlap_serve wire protocol. `where`
+/// prefixes error messages ("job file line 7", "request"); `default_id`
+/// is applied when the object carries no "id". With `allow_type_field`
+/// the envelope key "type" is exempt from the unknown-field check (the
+/// serve protocol's request discriminator rides in the same object).
+/// Throws std::invalid_argument on schema violations.
+[[nodiscard]] SolveJob parse_job_object(const JsonValue& doc,
+                                        const std::string& where,
+                                        const std::string& default_id,
+                                        bool allow_type_field = false);
+
 /// Parses a whole JSONL stream. Throws std::invalid_argument naming the
 /// offending line number for malformed JSON, unknown fields, missing
 /// `graph`, or duplicate ids.

@@ -268,6 +268,8 @@ JobResult SolveEngine::run_job(const SolveJob& job) {
   return result;
 }
 
+JobResult SolveEngine::run_one(const SolveJob& job) { return run_job(job); }
+
 PanelStats SolveEngine::run_panel_task(std::span<const SolveJob> jobs,
                                        std::span<const std::size_t> members,
                                        std::span<JobResult> results) {

@@ -150,6 +150,18 @@ class SolveEngine {
   /// the factorization cache persists across batches.
   [[nodiscard]] BatchResult run(std::span<const SolveJob> jobs);
 
+  /// Runs ONE job synchronously on the calling thread — the per-request
+  /// path of the parlap_serve daemon, whose own worker pool replaces the
+  /// batch pool above. Safe from any number of threads concurrently:
+  /// graph loads and factorizations share the engine's caches (with
+  /// single-flight builds), and the result is the same pure function of
+  /// the job as in a batch run, so serve and batch traffic for the same
+  /// job yield bit-identical solution hashes. Never throws: failures
+  /// come back as JobResult::ok == false. EngineOptions::workers does
+  /// not limit run_one callers; inner OpenMP parallelism is whatever
+  /// the calling thread has configured.
+  [[nodiscard]] JobResult run_one(const SolveJob& job);
+
   [[nodiscard]] const EngineOptions& options() const noexcept {
     return options_;
   }

@@ -1,0 +1,127 @@
+"""Overload/backpressure suite for parlap_serve.
+
+argv: <parlap_serve binary>
+
+Floods the daemon far past its admission limit with slow solves and
+checks the shed-load contract: overloaded responses come back promptly
+(they never wait behind the solve backlog), carry the configured
+retry_after_ms, every ADMITTED job still completes with a real result,
+and the daemon's own stats reconcile with what the clients observed —
+admitted + shed == sent, completed == admitted, p99 solve latency is a
+real measurement.
+"""
+
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from serve_client import Checker, ServeDaemon, fast_job, slow_job
+
+QUEUE_LIMIT = 6
+
+
+def flood_client(d, k, n_jobs, out, lock):
+    shed, ok, err = 0, 0, 0
+    max_shed_latency = 0.0
+    with d.connect() as cl:
+        pending = 0
+        for i in range(n_jobs):
+            t0 = time.monotonic()
+            cl.send(slow_job("f%d_%d" % (k, i), seed=k * 100 + i))
+            pending += 1
+            # Read whatever has streamed back so far without blocking
+            # the flood: a shed answer must arrive fast even though
+            # solves are slow.
+            cl.sock.settimeout(0.0)
+            try:
+                while True:
+                    r = cl.recv(timeout=0.0)
+                    pending -= 1
+                    if r["status"] == "overloaded":
+                        shed += 1
+                        max_shed_latency = max(
+                            max_shed_latency, time.monotonic() - t0)
+                    elif r["status"] == "ok":
+                        ok += 1
+                    else:
+                        err += 1
+            except (BlockingIOError, TimeoutError):
+                pass
+        while pending > 0:
+            r = cl.recv(timeout=600.0)
+            pending -= 1
+            if r["status"] == "overloaded":
+                shed += 1
+            elif r["status"] == "ok":
+                ok += 1
+            else:
+                err += 1
+    with lock:
+        out.append({"shed": shed, "ok": ok, "err": err,
+                    "max_shed_latency": max_shed_latency})
+
+
+def main():
+    binary = sys.argv[1]
+    c = Checker()
+    clients, per_client = 3, 14
+    results, lock = [], threading.Lock()
+    with ServeDaemon(binary, workers=1,
+                     extra_args=["--queue-limit", str(QUEUE_LIMIT),
+                                 "--retry-after-ms", "55"]) as d:
+        threads = [threading.Thread(target=flood_client,
+                                    args=(d, k, per_client, results, lock))
+                   for k in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        st = d.stats()
+        total = clients * per_client
+        shed = sum(r["shed"] for r in results)
+        ok = sum(r["ok"] for r in results)
+        err = sum(r["err"] for r in results)
+        c.check(err == 0, "no job failed outright (%d errors)" % err)
+        c.check(ok + shed == total,
+                "every request answered exactly once (%d ok + %d shed != %d)"
+                % (ok, shed, total))
+        c.check(shed > 0,
+                "flooding %d slow jobs past a queue limit of %d shed some"
+                % (total, QUEUE_LIMIT))
+        c.check(ok > 0, "some jobs were admitted and completed")
+
+        # Server-side accounting reconciles with the client view.
+        cs = st["counters"]
+        c.check(cs["shed"] == shed,
+                "stats shed (%d) == client-observed shed (%d)"
+                % (cs["shed"], shed))
+        c.check(cs["admitted"] == ok,
+                "stats admitted (%d) == client-observed completions (%d)"
+                % (cs["admitted"], ok))
+        c.check(cs["completed"] == ok,
+                "every admitted job completed (%d vs %d)"
+                % (cs["completed"], ok))
+        c.check(st["queue_depth"] == 0 and st["in_flight"] == 0,
+                "queue empty after the flood")
+        c.check(st["solve_seconds"]["count"] == ok,
+                "p99 digest counts every completed solve")
+        c.check(st["solve_seconds"]["p99"] > 0.0,
+                "p99 solve latency is a real measurement")
+        c.check(st["queue_wait_seconds"]["p99"] > 0.0,
+                "queue-wait p99 recorded under backlog")
+
+        # Shed responses overtook the solve backlog: with a 1-worker
+        # daemon chewing slow jobs, waiting for a solve slot would take
+        # whole seconds; the shed answer must arrive in well under one.
+        worst = max(r["max_shed_latency"] for r in results)
+        c.check(worst < 2.0,
+                "slowest shed answer took %.3fs (must not queue behind "
+                "solves)" % worst)
+    c.finish("serve_overload_test")
+
+
+if __name__ == "__main__":
+    main()

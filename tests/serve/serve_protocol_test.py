@@ -1,0 +1,229 @@
+"""Black-box protocol suite for parlap_serve.
+
+argv: <parlap_serve binary> <parlap_cli binary>
+
+Covers the serving contract of docs/SERVING.md end to end against the
+real binary: request/response framing, streamed per-job results,
+concurrent clients with a mixed workload, round-robin fairness, and
+the determinism acceptance property — the same job set run through
+`parlap_cli batch` and through concurrent serve clients (shuffled
+arrival order, several workers) yields bit-identical solution hashes.
+"""
+
+import json
+import os
+import random
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from serve_client import Checker, ServeClient, ServeDaemon, fast_job, slow_job
+
+HASH_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def test_basics(c, binary):
+    with ServeDaemon(binary, workers=2) as d:
+        with d.connect() as cl:
+            pong = cl.request({"type": "ping"})
+            c.check(pong.get("type") == "pong", "ping answered with pong")
+
+            r = cl.request(fast_job("one"))
+            c.check(r.get("status") == "ok", "solve status ok: %r" % r)
+            c.check(r.get("id") == "one", "result carries the request id")
+            c.check(r.get("converged") is True, "solve converged")
+            c.check(HASH_RE.match(r.get("solution_hash", "")),
+                    "solution_hash is 16 hex chars")
+            for key in ("iterations", "relative_residual", "solve_seconds",
+                        "wall_seconds", "queue_seconds", "cache_hit"):
+                c.check(key in r, "result has %s" % key)
+
+            st = cl.request({"type": "stats"})
+            c.check(st.get("status") == "ok", "stats status ok")
+            c.check(st.get("queue_depth") == 0, "stats queue_depth settles to 0")
+            for key in ("p50", "p95", "p99", "count", "mean"):
+                c.check(key in st.get("solve_seconds", {}),
+                        "stats solve_seconds has %s" % key)
+                c.check(key in st.get("queue_wait_seconds", {}),
+                        "stats queue_wait_seconds has %s" % key)
+            c.check("hit_rate" in st.get("cache", {}),
+                    "stats cache has hit_rate")
+            c.check(st["counters"]["completed"] >= 1,
+                    "stats counters count the solve")
+
+
+def test_streaming(c, binary):
+    """Pipelined requests stream results back as they complete."""
+    with ServeDaemon(binary, workers=2) as d:
+        with d.connect() as cl:
+            n = 6
+            for i in range(n):
+                cl.send(fast_job("s%d" % i, seed=i))
+            got = {}
+            for _ in range(n):
+                r = cl.recv()
+                got[r["id"]] = r
+            c.check(sorted(got) == ["s%d" % i for i in range(n)],
+                    "all pipelined jobs answered exactly once")
+            c.check(all(r["status"] == "ok" for r in got.values()),
+                    "all pipelined jobs succeeded")
+
+
+def test_concurrent_mixed(c, binary):
+    """>= 4 concurrent clients, mixed workload, per-client bookkeeping."""
+    clients = 5
+    per_client = 4
+    failures = []
+
+    def client_main(k):
+        try:
+            with d.connect() as cl:
+                sent = []
+                for j in range(per_client):
+                    jid = "c%d_j%d" % (k, j)
+                    if j == per_client - 1:
+                        # One intentionally failing job per client: the
+                        # engine reports it as a structured error result.
+                        req = fast_job(jid)
+                        req["method"] = "no-such-method"
+                    elif j % 2 == 0:
+                        req = fast_job(jid, seed=7)  # shared -> cache hits
+                    else:
+                        req = slow_job(jid, seed=k, n=24, eps=1e-6)
+                    cl.send(req)
+                    sent.append(jid)
+                got = {}
+                for _ in sent:
+                    r = cl.recv()
+                    got[r["id"]] = r
+                if sorted(got) != sorted(sent):
+                    failures.append("client %d: ids %s != %s"
+                                    % (k, sorted(got), sorted(sent)))
+                bad = sent[-1]
+                if got[bad]["status"] != "error":
+                    failures.append("client %d: bad method not an error" % k)
+                for jid in sent[:-1]:
+                    if got[jid]["status"] != "ok":
+                        failures.append("client %d: %s not ok: %r"
+                                        % (k, jid, got[jid]))
+        except Exception as e:  # noqa: BLE001 - collected for the report
+            failures.append("client %d: %r" % (k, e))
+
+    with ServeDaemon(binary, workers=3) as d:
+        threads = [threading.Thread(target=client_main, args=(k,))
+                   for k in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        st = d.stats()
+    c.check(not failures, "concurrent mixed workload: %s" % failures[:3])
+    c.check(st["counters"]["completed"] >= clients * per_client,
+            "stats counted every completed job")
+
+
+def test_fairness(c, binary):
+    """A one-job client is not stuck behind a flooding client."""
+    with ServeDaemon(binary, workers=1) as d:
+        flood = d.connect()
+        n_flood = 10
+        for i in range(n_flood):
+            flood.send(slow_job("flood%d" % i, seed=i))
+        # Wait until the backlog is real.
+        import time
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if d.stats()["queue_depth"] >= n_flood - 2:
+                break
+            time.sleep(0.05)
+        with d.connect() as quick:
+            quick.send(fast_job("quick"))
+            r = quick.recv(timeout=120.0)
+            c.check(r["id"] == "quick" and r["status"] == "ok",
+                    "quick client got its result")
+            depth_after = d.stats()["queue_depth"]
+            c.check(depth_after >= 1,
+                    "round-robin served the quick client ahead of the "
+                    "flood backlog (depth after: %d)" % depth_after)
+        for _ in range(n_flood):
+            r = flood.recv(timeout=300.0)
+            c.check(r["status"] == "ok", "flood job %s ok" % r.get("id"))
+        flood.close()
+
+
+def test_determinism_vs_batch(c, serve_bin, cli_bin):
+    """Same jobs via batch CLI and via concurrent serve clients give
+    bit-identical solution hashes, any worker count / arrival order."""
+    jobs = []
+    for i in range(3):
+        jobs.append({"id": "g%d" % i, "graph": "grid2d:16,16",
+                     "method": "parlap", "eps": 1e-7, "seed": i,
+                     "rhs": "random"})
+    jobs.append({"id": "ws", "graph": "ws:150,4,0.2", "method": "parlap",
+                 "eps": 1e-7, "seed": 11})
+    jobs.append({"id": "cg", "graph": "gnm:120,480", "method": "cg",
+                 "eps": 1e-7, "seed": 3})
+    jobs.append({"id": "dem", "graph": "grid2d:16,16", "method": "parlap",
+                 "eps": 1e-7, "seed": 5, "rhs": "demand:0,100"})
+
+    with tempfile.TemporaryDirectory(prefix="pls_det_") as tmp:
+        jobs_path = os.path.join(tmp, "jobs.jsonl")
+        json_path = os.path.join(tmp, "batch.json")
+        with open(jobs_path, "w") as f:
+            for j in jobs:
+                f.write(json.dumps(j) + "\n")
+        subprocess.run(
+            [cli_bin, "batch", "--jobs", jobs_path, "--workers", "2",
+             "--cache-budget", "1000000", "--json", json_path],
+            check=True, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        with open(json_path) as f:
+            batch = json.load(f)
+    batch_hashes = {j["id"]: j["solution_hash"] for j in batch["jobs"]}
+    c.check(len(batch_hashes) == len(jobs), "batch solved every job")
+
+    serve_hashes = {}
+    lock = threading.Lock()
+
+    def submit(my_jobs):
+        with d.connect() as cl:
+            for j in my_jobs:
+                req = dict(j)
+                req["type"] = "solve"
+                cl.send(req)
+            for _ in my_jobs:
+                r = cl.recv(timeout=300.0)
+                with lock:
+                    serve_hashes[r["id"]] = r.get("solution_hash")
+
+    with ServeDaemon(serve_bin, workers=3) as d:
+        shuffled = list(jobs)
+        random.Random(0xC0FFEE).shuffle(shuffled)
+        thirds = [shuffled[0::3], shuffled[1::3], shuffled[2::3]]
+        threads = [threading.Thread(target=submit, args=(part,))
+                   for part in thirds]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    c.check(serve_hashes == batch_hashes,
+            "serve hashes match batch hashes: %r vs %r"
+            % (serve_hashes, batch_hashes))
+
+
+def main():
+    serve_bin, cli_bin = sys.argv[1], sys.argv[2]
+    c = Checker()
+    test_basics(c, serve_bin)
+    test_streaming(c, serve_bin)
+    test_concurrent_mixed(c, serve_bin)
+    test_fairness(c, serve_bin)
+    test_determinism_vs_batch(c, serve_bin, cli_bin)
+    c.finish("serve_protocol_test")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,238 @@
+// parlap_serve — network solve daemon over SolveServer.
+//
+// Binds a unix-domain socket (and optionally a loopback TCP port) and
+// serves newline-delimited JSON solve requests — the `parlap_cli batch`
+// job shape promoted to a long-running service with a shared
+// factorization cache, bounded admission, per-client fairness, and
+// graceful drain on SIGTERM/SIGINT or a {"type":"shutdown"} request.
+// docs/SERVING.md is the protocol reference.
+//
+// Exit codes: 0 clean drain, 2 usage error, 3 startup/runtime failure.
+#include <csignal>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/server.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace parlap;
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitRuntime = 3;
+
+constexpr const char* kUsage = R"(usage: parlap_serve --socket PATH [options]
+
+Listeners (at least one required):
+  --socket PATH          unix-domain socket path
+  --tcp PORT             loopback TCP port (0 picks a free port)
+
+Capacity:
+  --workers N            solver worker threads (default 1)
+  --queue-limit N        max queued jobs before shedding (default 256)
+  --max-queued-bytes B   max request bytes queued or executing (default 8 MiB)
+  --max-line-bytes B     max request line length (default 1 MiB)
+  --idle-timeout-ms T    reap sessions silent this long (default 0 = never)
+  --retry-after-ms T     hint in overloaded responses (default 100)
+  --cache-budget E       factorization cache budget in edge entries (0 = off)
+  --graph-cache N        loaded-graph LRU bound (default 32)
+
+Observability:
+  --trace-out FILE       write a Chrome trace on exit (serve.* spans)
+  --metrics              print the metrics table on exit
+
+The daemon prints a "listening" line to stderr once ready and serves
+until SIGTERM/SIGINT or a {"type":"shutdown"} request, then drains:
+in-flight and queued jobs finish, new solves are rejected, responses
+flush, and the process exits 0.  See docs/SERVING.md.
+)";
+
+service::SolveServer* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
+}
+
+std::int64_t parse_int_flag(std::vector<std::string>& args,
+                            const std::string& flag, std::int64_t fallback) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return fallback;
+  const auto val = std::next(it);
+  if (val == args.end()) {
+    throw std::invalid_argument("option " + flag + " needs a value");
+  }
+  std::int64_t out = 0;
+  try {
+    std::size_t used = 0;
+    out = std::stoll(*val, &used);
+    if (used != val->size()) throw std::invalid_argument(*val);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option " + flag + ": '" + *val +
+                                "' is not an integer");
+  }
+  args.erase(it, std::next(val));
+  return out;
+}
+
+std::string parse_string_flag(std::vector<std::string>& args,
+                              const std::string& flag) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return "";
+  const auto val = std::next(it);
+  if (val == args.end()) {
+    throw std::invalid_argument("option " + flag + " needs a value");
+  }
+  std::string out = *val;
+  args.erase(it, std::next(val));
+  return out;
+}
+
+bool parse_bool_flag(std::vector<std::string>& args, const std::string& flag) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return false;
+  args.erase(it);
+  return true;
+}
+
+void print_metrics_table() {
+  const std::vector<obs::MetricSample> samples =
+      obs::MetricsRegistry::global().snapshot();
+  TextTable table("metrics: process-wide registry (this run)");
+  table.set_header(
+      {"metric", "kind", "value", "count", "p50_ms", "p95_ms", "p99_ms"}, 4);
+  for (const obs::MetricSample& s : samples) {
+    const char* kind = "counter";
+    if (s.kind == obs::MetricSample::Kind::kRealCounter) kind = "sum";
+    if (s.kind == obs::MetricSample::Kind::kGauge) kind = "gauge";
+    if (s.kind == obs::MetricSample::Kind::kHistogram) kind = "histogram";
+    if (s.kind == obs::MetricSample::Kind::kHistogram) {
+      table.add_row({s.name, std::string(kind), s.value,
+                     static_cast<std::int64_t>(s.count), s.p50 * 1e3,
+                     s.p95 * 1e3, s.p99 * 1e3});
+    } else {
+      table.add_row({s.name, std::string(kind), s.value, std::string(""),
+                     std::string(""), std::string(""), std::string("")});
+    }
+  }
+  table.print(std::cout);
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (parse_bool_flag(args, "--help") || parse_bool_flag(args, "-h")) {
+    std::cout << kUsage;
+    return kExitOk;
+  }
+
+  service::ServerOptions opt;
+  opt.socket_path = parse_string_flag(args, "--socket");
+  opt.tcp_port = static_cast<int>(parse_int_flag(args, "--tcp", -1));
+  opt.workers = static_cast<int>(parse_int_flag(args, "--workers", 1));
+  opt.max_queue_depth = static_cast<std::size_t>(
+      parse_int_flag(args, "--queue-limit", 256));
+  opt.max_queued_bytes = static_cast<std::size_t>(parse_int_flag(
+      args, "--max-queued-bytes",
+      static_cast<std::int64_t>(opt.max_queued_bytes)));
+  opt.max_line_bytes = static_cast<std::size_t>(parse_int_flag(
+      args, "--max-line-bytes",
+      static_cast<std::int64_t>(opt.max_line_bytes)));
+  opt.idle_timeout_ms =
+      static_cast<int>(parse_int_flag(args, "--idle-timeout-ms", 0));
+  opt.retry_after_ms =
+      static_cast<int>(parse_int_flag(args, "--retry-after-ms", 100));
+  opt.cache_budget_entries =
+      static_cast<EdgeId>(parse_int_flag(args, "--cache-budget", 0));
+  opt.graph_cache_limit =
+      static_cast<std::size_t>(parse_int_flag(args, "--graph-cache", 32));
+  const std::string trace_path = parse_string_flag(args, "--trace-out");
+  const bool metrics = parse_bool_flag(args, "--metrics");
+  if (!args.empty()) {
+    throw std::invalid_argument("unrecognized option '" + args.front() + "'");
+  }
+  if (opt.socket_path.empty() && opt.tcp_port < 0) {
+    throw std::invalid_argument("--socket PATH or --tcp PORT is required");
+  }
+  if (opt.workers < 1) {
+    throw std::invalid_argument("--workers must be >= 1");
+  }
+  if (opt.tcp_port > 65535) {
+    throw std::invalid_argument("--tcp port out of range");
+  }
+  if (opt.idle_timeout_ms < 0 || opt.retry_after_ms < 0) {
+    throw std::invalid_argument("timeouts must be non-negative");
+  }
+
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().enable();
+  }
+  if (metrics) obs::MetricsRegistry::global().reset();
+
+  service::SolveServer server(opt);
+  server.start();
+
+  // Drain cleanly on SIGTERM/SIGINT; a client vanishing mid-write must
+  // surface as EPIPE on that socket, not kill the process.
+  g_server = &server;
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "parlap_serve: listening";
+  if (!opt.socket_path.empty()) {
+    std::cerr << " on " << opt.socket_path;
+  }
+  if (server.bound_tcp_port() >= 0) {
+    std::cerr << (opt.socket_path.empty() ? " on" : " and")
+              << " tcp port " << server.bound_tcp_port();
+  }
+  std::cerr << ", " << opt.workers << " worker(s), queue limit "
+            << opt.max_queue_depth << "\n"
+            << std::flush;
+
+  server.serve();
+  g_server = nullptr;
+
+  std::cerr << "parlap_serve: drained after " << server.completed_jobs()
+            << " job(s), exiting\n";
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    tracer.disable();
+    std::ofstream os(trace_path);
+    if (!os.good()) {
+      throw std::runtime_error("cannot open " + trace_path + " for writing");
+    }
+    tracer.write_chrome(os);
+    std::cerr << "parlap_serve: wrote " << tracer.event_count()
+              << " trace event(s) to " << trace_path << "\n";
+  }
+  if (metrics) print_metrics_table();
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "parlap_serve: " << e.what() << "\n\n" << kUsage;
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "parlap_serve: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+}

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition output from GET /metrics.
+
+Stdlib-only structural checker for the scrape payload the serve daemon
+renders (docs/OBSERVABILITY.md "Prometheus exposition"): every sample
+line parses as `name{labels} value`, every series is preceded by
+matching # HELP / # TYPE comments, histogram buckets are cumulative and
+monotone in `le` with the +Inf bucket equal to `_count`, counters end
+in `_total`, and the serve request-path families are present so CI
+notices if the daemon stops exporting them.
+
+Usage:
+  scripts/check_exposition.py metrics.txt [--require-series a,b]
+                              [--no-default-series]
+
+Reads stdin when the file argument is "-". Exits non-zero with a line
+per problem on failure.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+# Metric families the serve daemon must always export (the names are a
+# stability contract — see the table in docs/OBSERVABILITY.md).
+DEFAULT_REQUIRED = [
+    "parlap_serve_requests_total",
+    "parlap_serve_completed_total",
+    "parlap_serve_shed_total",
+    "parlap_serve_queue_depth",
+    "parlap_serve_solve_seconds",
+    "parlap_serve_queue_wait_seconds",
+]
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<ts>-?\d+))?$")
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def parse_le(labels):
+    """The le="..." bound from a bucket label set, as a float."""
+    for part in labels.split(","):
+        if part.startswith('le="') and part.endswith('"'):
+            raw = part[4:-1]
+            return math.inf if raw == "+Inf" else float(raw)
+    return None
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(lines, errors):
+    """Returns {family: type} for every series seen."""
+    helped = set()
+    typed = {}
+    seen = {}
+    # family -> list of (le, value) / sum / count for histogram checks
+    buckets = {}
+    counts = {}
+
+    for i, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.fullmatch(parts[2]):
+                errors.append(f"line {i}: malformed HELP: {line!r}")
+                continue
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if (len(parts) != 4 or not NAME_RE.fullmatch(parts[2])
+                    or parts[3] not in
+                    ("counter", "gauge", "histogram", "summary", "untyped")):
+                errors.append(f"line {i}: malformed TYPE: {line!r}")
+                continue
+            if parts[2] in typed:
+                errors.append(f"line {i}: duplicate TYPE for {parts[2]}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {i}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels = m.group("labels")
+        if labels:
+            for part in labels.split(","):
+                if not LABEL_RE.match(part):
+                    errors.append(f"line {i}: bad label {part!r}")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            if m.group("value") not in ("+Inf", "-Inf", "NaN"):
+                errors.append(f"line {i}: bad value {m.group('value')!r}")
+                continue
+            value = float(m.group("value").replace("Inf", "inf"))
+        family = base_family(name)
+        seen[family] = typed.get(family, "untyped")
+        if family not in typed:
+            errors.append(f"line {i}: sample {name} has no # TYPE")
+        if family not in helped:
+            errors.append(f"line {i}: sample {name} has no # HELP")
+        if typed.get(family) == "counter" and not name.endswith("_total"):
+            errors.append(f"line {i}: counter {name} must end in _total")
+        if typed.get(family) == "counter" and value < 0:
+            errors.append(f"line {i}: counter {name} is negative")
+        if name.endswith("_bucket"):
+            le = parse_le(labels or "")
+            if le is None:
+                errors.append(f"line {i}: bucket {name} has no le label")
+            else:
+                buckets.setdefault(family, []).append((i, le, value))
+        elif name.endswith("_count") and typed.get(family) == "histogram":
+            counts[family] = (i, value)
+
+    for family, rows in buckets.items():
+        prev = -1.0
+        prev_le = -math.inf
+        for i, le, value in rows:
+            if le <= prev_le:
+                errors.append(f"line {i}: {family} buckets not sorted by le")
+            if value < prev:
+                errors.append(
+                    f"line {i}: {family} bucket le={le} count {value} "
+                    f"below previous {prev} (buckets are cumulative)")
+            prev, prev_le = value, le
+        if not rows or rows[-1][1] != math.inf:
+            errors.append(f"{family}: missing +Inf bucket")
+        elif family in counts and rows[-1][2] != counts[family][1]:
+            errors.append(
+                f"{family}: +Inf bucket {rows[-1][2]} != _count "
+                f"{counts[family][1]}")
+        if family not in counts:
+            errors.append(f"{family}: histogram has no _count sample")
+
+    return seen
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("metrics", help="exposition text file, or - for stdin")
+    ap.add_argument("--require-series", default="",
+                    help="comma-separated families that must appear "
+                         "(added to the serve defaults)")
+    ap.add_argument("--no-default-series", action="store_true",
+                    help="skip the default parlap_serve_* requirements")
+    opts = ap.parse_args()
+
+    try:
+        if opts.metrics == "-":
+            text = sys.stdin.read()
+        else:
+            with open(opts.metrics, encoding="utf-8") as f:
+                text = f.read()
+    except OSError as e:
+        print(f"error: {opts.metrics}: {e}", file=sys.stderr)
+        return 1
+
+    errors = []
+    seen = check(text.split("\n"), errors)
+
+    required = [] if opts.no_default_series else list(DEFAULT_REQUIRED)
+    required += [s for s in opts.require_series.split(",") if s]
+    for family in required:
+        # Counters are registered without the _total suffix; accept both.
+        if family not in seen and family.removesuffix("_total") not in seen:
+            errors.append(f"required series {family!r} absent")
+
+    if errors:
+        for e in errors[:40]:
+            print(f"error: {opts.metrics}: {e}", file=sys.stderr)
+        if len(errors) > 40:
+            print(f"error: ... {len(errors) - 40} more", file=sys.stderr)
+        return 1
+    print(f"{opts.metrics}: {len(seen)} series OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,14 @@ actually recorded spans.
 Usage:
   scripts/check_trace.py trace.json [--require-cats build,apply,cache]
                          [--min-events N]
+                         [--require-request-ids serve]
+                         [--request-id-exempt serve.drain]
+
+--require-request-ids asserts that every span in the listed categories
+carries a positive numeric "args.request_id" (the admission-minted
+correlation id the serve daemon threads through its workers), except
+spans named in --request-id-exempt (default "serve.drain" — the drain
+sequence runs outside any request).
 
 Exits non-zero with a line per problem on failure.
 """
@@ -61,6 +69,12 @@ def main():
                     help="comma-separated categories that must appear")
     ap.add_argument("--min-events", type=int, default=1,
                     help="minimum number of events (default 1)")
+    ap.add_argument("--require-request-ids", default="",
+                    help="comma-separated categories whose spans must "
+                         "carry a positive args.request_id")
+    ap.add_argument("--request-id-exempt", default="serve.drain",
+                    help="comma-separated span names exempt from the "
+                         "request-id requirement (default: serve.drain)")
     opts = ap.parse_args()
 
     errors = []
@@ -80,14 +94,31 @@ def main():
         errors.append(f"only {len(events)} event(s), "
                       f"want >= {opts.min_events}")
 
+    rid_cats = set(c for c in opts.require_request_ids.split(",") if c)
+    rid_exempt = set(n for n in opts.request_id_exempt.split(",") if n)
+    rid_checked = 0
+
     cats = set()
     for i, ev in enumerate(events):
         cat = check_event(ev, i, errors)
         if cat:
             cats.add(cat)
+        if (cat in rid_cats and isinstance(ev, dict)
+                and ev.get("name") not in rid_exempt):
+            rid_checked += 1
+            args = ev.get("args")
+            rid = args.get("request_id") if isinstance(args, dict) else None
+            if not isinstance(rid, Number) or isinstance(rid, bool) or rid <= 0:
+                errors.append(f"event {i} ({ev.get('name')}): "
+                              f"args.request_id is {rid!r}, want a "
+                              "positive number")
         if len(errors) > 20:
             errors.append("... further problems suppressed")
             break
+
+    if rid_cats and rid_checked == 0:
+        errors.append("--require-request-ids matched no spans "
+                      f"(cats: {', '.join(sorted(rid_cats))})")
 
     required = [c for c in opts.require_cats.split(",") if c]
     for cat in required:

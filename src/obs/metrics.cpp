@@ -39,6 +39,17 @@ std::uint64_t LatencyHistogram::bucket_upper_ns(std::size_t b) noexcept {
   return lower + ((std::uint64_t{1} << (o - 4)) - 1);
 }
 
+void LatencyHistogram::merge_from(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+}
+
 void LatencyHistogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -115,6 +126,10 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     s.p95 = h->percentile_seconds(0.95);
     s.p99 = h->percentile_seconds(0.99);
     s.mean = h->mean_seconds();
+    s.buckets.resize(LatencyHistogram::kBuckets);
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      s.buckets[b] = h->bucket_count(b);
+    }
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),

@@ -128,6 +128,11 @@ class LatencyHistogram {
     return buckets_[b].load(std::memory_order_relaxed);
   }
 
+  /// Adds another histogram's buckets/count/sum into this one (relaxed
+  /// reads of `other`, relaxed adds here). Exact once `other`'s writers
+  /// are quiescent — the windowed-view merge path.
+  void merge_from(const LatencyHistogram& other) noexcept;
+
   void reset() noexcept;
 
   /// [0, kBuckets): ns < 8 maps exactly; otherwise the octave
@@ -162,6 +167,9 @@ struct MetricSample {
   double p95 = 0.0;
   double p99 = 0.0;
   double mean = 0.0;
+  /// Histograms only: all kBuckets fine bucket counts, so exporters
+  /// (Prometheus exposition) can re-bucket onto their own ladder.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Name -> instrument map. instance-per-scope is possible, but the

@@ -38,6 +38,8 @@ Registry& registry() {
 
 thread_local Tracer::Buffer* tls_buffer = nullptr;
 
+thread_local std::uint64_t tls_request_id = 0;
+
 void write_escaped(std::ostream& os, const char* s) {
   os << '"';
   for (; *s != '\0'; ++s) {
@@ -54,6 +56,15 @@ void write_escaped(std::ostream& os, const char* s) {
 }
 
 }  // namespace
+
+std::uint64_t current_request_id() noexcept { return tls_request_id; }
+
+RequestIdScope::RequestIdScope(std::uint64_t request_id) noexcept
+    : saved_(tls_request_id) {
+  tls_request_id = request_id;
+}
+
+RequestIdScope::~RequestIdScope() { tls_request_id = saved_; }
 
 Tracer& Tracer::instance() {
   static Tracer* tracer = new Tracer;  // immortal, same reason as above

@@ -108,6 +108,28 @@ class Tracer {
   std::atomic<std::uint64_t> next_span_id_{1};
 };
 
+/// The calling thread's current request id (0 when outside any
+/// request). Spans opened while a RequestIdScope is live pick the id up
+/// automatically as a "request_id" arg, so one grep of the trace
+/// reconstructs every span a request touched across the server, engine,
+/// cache, and solver layers.
+[[nodiscard]] std::uint64_t current_request_id() noexcept;
+
+/// RAII binding of a request id to the calling thread. Nests (the
+/// previous id is restored on destruction) so a worker serving request
+/// B inside a callback of request A re-tags correctly.
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(std::uint64_t request_id) noexcept;
+  ~RequestIdScope();
+
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
 /// RAII span. Construction snapshots the clock when tracing is enabled;
 /// destruction records the completed event (if tracing was switched off
 /// mid-span, the event is dropped at record time). Numeric args can be
@@ -123,6 +145,11 @@ class ScopedSpan {
       active_ = true;
       name_ = name;
       cat_ = cat;
+      if (const std::uint64_t rid = current_request_id(); rid != 0) {
+        args_[0].key = "request_id";
+        args_[0].value = static_cast<double>(rid);
+        nargs_ = 1;
+      }
       start_ns_ = steady_now_ns();
     }
   }

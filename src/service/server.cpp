@@ -18,8 +18,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "parallel/for_each.hpp"
 #include "service/json.hpp"
 #include "support/check.hpp"
@@ -94,6 +96,28 @@ void append_histogram_digest(std::string& out, const char* key,
   out += '}';
 }
 
+/// The stats "window" block and the windowed instruments report this
+/// span (docs/SERVING.md documents the 60s contract).
+constexpr std::uint64_t kStatsWindowNs = 60'000'000'000ull;
+
+/// Same shape as append_histogram_digest, from a window digest.
+void append_window_digest(std::string& out, const char* key,
+                          const obs::WindowDigest& d) {
+  out += '"';
+  out += key;
+  out += "\":{\"count\":";
+  out += std::to_string(d.count);
+  out += ",\"mean\":";
+  append_json_number(out, d.mean);
+  out += ",\"p50\":";
+  append_json_number(out, d.p50);
+  out += ",\"p95\":";
+  append_json_number(out, d.p95);
+  out += ",\"p99\":";
+  append_json_number(out, d.p99);
+  out += '}';
+}
+
 void set_nonblocking_cloexec(int fd) {
   ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
   ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
@@ -114,6 +138,15 @@ struct SolveServer::Session {
   std::string wbuf;  ///< responses awaiting socket space
   bool discarding = false;  ///< inside an oversized line, skip to '\n'
   bool broken = false;      ///< close at the next sweep
+  /// HTTP scrape state: a line starting "GET " / "HEAD " flips the
+  /// session into header mode; the blank header terminator triggers the
+  /// response and close_after_flush retires the connection once the
+  /// bytes are out (HTTP clients expect Connection: close semantics,
+  /// unlike the long-lived JSON sessions).
+  bool http = false;
+  bool http_head = false;
+  bool close_after_flush = false;
+  std::string http_target;
   std::uint64_t last_activity_ns = 0;
   std::uint64_t requests = 0;  ///< request lines parsed (default ids)
   std::size_t pending = 0;     ///< jobs admitted, result not yet queued to wbuf
@@ -121,6 +154,7 @@ struct SolveServer::Session {
 
 struct SolveServer::PendingJob {
   std::uint64_t session_id = 0;
+  std::uint64_t request_id = 0;
   SolveJob job;
   std::size_t bytes = 0;  ///< request line size, held until completion
   std::uint64_t enqueue_ns = 0;
@@ -144,10 +178,17 @@ struct SolveServer::ServeMetrics {
   obs::Counter& errors;
   obs::Counter& completed;
   obs::Counter& idle_reaped;
+  obs::Counter& scrapes;
   obs::Gauge& queue_depth;
   obs::Gauge& queued_bytes;
   obs::LatencyHistogram& solve_seconds;
   obs::LatencyHistogram& queue_wait_seconds;
+  /// Rolling last-60s views the stats window block reads; fed next to
+  /// the lifetime instruments above on the same record points.
+  obs::WindowedHistogram solve_window{};
+  obs::WindowedHistogram queue_wait_window{};
+  obs::WindowedCounter completed_window{};
+  obs::WindowedCounter shed_window{};
 
   static ServeMetrics& get() {
     static ServeMetrics* m = [] {
@@ -160,6 +201,7 @@ struct SolveServer::ServeMetrics {
                               reg.counter("parlap.serve.errors"),
                               reg.counter("parlap.serve.completed"),
                               reg.counter("parlap.serve.idle_reaped"),
+                              reg.counter("parlap.serve.scrapes"),
                               reg.gauge("parlap.serve.queue_depth"),
                               reg.gauge("parlap.serve.queued_bytes"),
                               reg.histogram("parlap.serve.solve_seconds"),
@@ -174,7 +216,9 @@ struct SolveServer::ServeMetrics {
 // ---------------------------------------------------------------------------
 
 SolveServer::SolveServer(ServerOptions options)
-    : options_(std::move(options)), metrics_(&ServeMetrics::get()) {
+    : options_(std::move(options)),
+      metrics_(&ServeMetrics::get()),
+      event_log_(options_.event_log_path) {
   PARLAP_CHECK_MSG(options_.workers >= 1,
                    "SolveServer needs at least one worker, got "
                        << options_.workers);
@@ -281,6 +325,18 @@ void SolveServer::start() {
   }
   start_ns_ = steady_now_ns();
   started_ = true;
+  if (event_log_.enabled()) {
+    std::string ev = "{\"event\":\"server_start\",\"ts\":";
+    append_json_number(ev, obs::unix_now_seconds());
+    ev += ",\"workers\":";
+    ev += std::to_string(options_.workers);
+    ev += ",\"socket\":";
+    append_json_string(ev, options_.socket_path);
+    ev += ",\"tcp_port\":";
+    ev += std::to_string(tcp_port_);
+    ev += '}';
+    event_log_.append(ev);
+  }
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_main(); });
@@ -337,18 +393,27 @@ void SolveServer::worker_main() {
     const double queue_seconds =
         static_cast<double>(steady_now_ns() - pj.enqueue_ns) * 1e-9;
     metrics_->queue_wait_seconds.record_seconds(queue_seconds);
+    metrics_->queue_wait_window.record_seconds(queue_seconds);
     JobResult result;
     {
+      // Every span this request touches — serve.solve here plus the
+      // engine/cache/solver spans under run_one — picks the request id
+      // up from the scope as a "request_id" arg.
+      const obs::RequestIdScope rid_scope(pj.request_id);
       PARLAP_TRACE_SPAN_N(span, "serve.solve", "serve");
       span.arg("queue_ms", queue_seconds * 1e3);
       result = engine_->run_one(pj.job);
       span.arg("ok", result.ok ? 1.0 : 0.0);
     }
     metrics_->solve_seconds.record_seconds(result.wall_seconds);
+    metrics_->solve_window.record_seconds(result.wall_seconds);
     metrics_->completed.add();
+    metrics_->completed_window.add();
 
     std::string line = "{\"type\":\"result\",\"id\":";
     append_json_string(line, result.id);
+    line += ",\"request_id\":";
+    line += std::to_string(pj.request_id);
     if (result.ok) {
       line += ",\"status\":\"ok\",\"cache_hit\":";
       line += result.cache_hit ? "true" : "false";
@@ -364,13 +429,52 @@ void SolveServer::worker_main() {
       append_json_number(line, result.wall_seconds);
       line += ",\"queue_seconds\":";
       append_json_number(line, queue_seconds);
-      line += ",\"solution_hash\":\"";
+      line += ",\"timings\":{\"queue_wait_ms\":";
+      append_json_number(line, queue_seconds * 1e3);
+      line += ",\"cache\":\"";
+      line += result.cache_hit ? "hit" : "miss";
+      line += "\",\"build_ms\":";
+      append_json_number(line, result.build_seconds * 1e3);
+      line += ",\"solve_ms\":";
+      append_json_number(line, result.report.solve_seconds * 1e3);
+      line += "},\"solution_hash\":\"";
       line += hex_hash(result.solution_hash);
       line += "\"}";
     } else {
       line += ",\"status\":\"error\",\"error\":";
       append_json_string(line, result.error);
       line += '}';
+    }
+
+    // Slow-request journal: every completed solve at or past the
+    // --slow-ms wall threshold (0 = all) gets one JSONL event.
+    if (event_log_.enabled() && result.wall_seconds * 1e3 >= options_.slow_ms) {
+      std::string ev = "{\"event\":\"request\",\"ts\":";
+      append_json_number(ev, obs::unix_now_seconds());
+      ev += ",\"request_id\":";
+      ev += std::to_string(pj.request_id);
+      ev += ",\"id\":";
+      append_json_string(ev, result.id);
+      ev += ",\"session\":";
+      ev += std::to_string(pj.session_id);
+      ev += ",\"status\":\"";
+      ev += result.ok ? "ok" : "error";
+      ev += "\",\"cache\":\"";
+      ev += result.cache_hit ? "hit" : "miss";
+      ev += "\",\"queue_wait_ms\":";
+      append_json_number(ev, queue_seconds * 1e3);
+      ev += ",\"build_ms\":";
+      append_json_number(ev, result.build_seconds * 1e3);
+      ev += ",\"solve_ms\":";
+      append_json_number(ev, result.report.solve_seconds * 1e3);
+      ev += ",\"wall_ms\":";
+      append_json_number(ev, result.wall_seconds * 1e3);
+      if (!result.ok) {
+        ev += ",\"error\":";
+        append_json_string(ev, result.error);
+      }
+      ev += '}';
+      event_log_.append(ev);
     }
 
     // Publish the result BEFORE releasing the in-flight slot: once
@@ -404,14 +508,17 @@ void SolveServer::serve() {
     }
     deliver_completed();
 
-    // Sweep sessions that broke (EOF, write error) or finished
-    // flushing after a protocol violation.
+    // Sweep sessions that broke (EOF, write error), finished flushing
+    // after a protocol violation, or completed an HTTP exchange.
     std::vector<std::uint64_t> dead;
     for (const auto& [id, s] : sessions_) {
       if (s->broken && s->pending == 0) dead.push_back(id);
       // A broken session with jobs still in flight keeps its slot until
       // the results come back (and are dropped), so accounting stays
       // exact — but its queued jobs are purged right away below.
+      else if (s->close_after_flush && s->wbuf.empty() && s->pending == 0) {
+        dead.push_back(id);
+      }
     }
     for (const std::uint64_t id : dead) close_session(id, "closed");
     reap_idle_sessions();
@@ -484,10 +591,35 @@ void SolveServer::serve() {
     workers_.clear();
   }
   if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  if (event_log_.enabled()) {
+    std::string ev = "{\"event\":\"drain_complete\",\"ts\":";
+    append_json_number(ev, obs::unix_now_seconds());
+    ev += ",\"completed\":";
+    ev += std::to_string(completed_count_.load(std::memory_order_relaxed));
+    ev += '}';
+    event_log_.append(ev);
+  }
 }
 
 void SolveServer::begin_drain() {
   draining_ = true;
+  if (event_log_.enabled()) {
+    std::size_t depth = 0;
+    std::size_t inflight = 0;
+    {
+      const std::scoped_lock lock(queue_mutex_);
+      depth = queued_jobs_;
+      inflight = in_flight_;
+    }
+    std::string ev = "{\"event\":\"drain_begin\",\"ts\":";
+    append_json_number(ev, obs::unix_now_seconds());
+    ev += ",\"queued\":";
+    ev += std::to_string(depth);
+    ev += ",\"in_flight\":";
+    ev += std::to_string(inflight);
+    ev += '}';
+    event_log_.append(ev);
+  }
   if (unix_fd_ >= 0) {
     ::close(unix_fd_);
     unix_fd_ = -1;
@@ -629,9 +761,28 @@ void SolveServer::read_ready(Session& s) {
 }
 
 void SolveServer::handle_line(Session& s, const std::string& line) {
+  // HTTP header mode: swallow header lines until the blank terminator,
+  // then answer the scrape. Checked before the blank-line skip below —
+  // the blank line IS the HTTP signal.
+  if (s.http) {
+    if (s.close_after_flush) return;  // response sent; ignore trailing bytes
+    if (line.find_first_not_of(" \t") == std::string::npos) respond_http(s);
+    return;
+  }
+  if (line.compare(0, 4, "GET ") == 0 || line.compare(0, 5, "HEAD ") == 0) {
+    s.http = true;
+    s.http_head = line[0] == 'H';
+    const std::size_t start = line.find(' ') + 1;
+    const std::size_t end = line.find(' ', start);
+    s.http_target = line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    return;
+  }
   if (line.find_first_not_of(" \t") == std::string::npos) return;
   ++s.requests;
   metrics_->requests.add();
+  const std::uint64_t rid = next_request_id_++;
+  const obs::RequestIdScope rid_scope(rid);
   PARLAP_TRACE_SPAN_N(span, "serve.request", "serve");
 
   JsonValue doc;
@@ -671,6 +822,22 @@ void SolveServer::handle_line(Session& s, const std::string& line) {
     respond(s, stats_response());
     return;
   }
+  if (type == "metrics") {
+    // The exposition payload inline over the JSON protocol — identical
+    // bytes to a GET /metrics scrape, for clients already connected.
+    PARLAP_TRACE_SPAN("serve.scrape", "serve");
+    metrics_->scrapes.add();
+    const std::string text =
+        obs::render_prometheus(obs::MetricsRegistry::global().snapshot());
+    std::string out = "{\"type\":\"metrics\",\"status\":\"ok\""
+                      ",\"content_type\":";
+    append_json_string(out, obs::kPrometheusContentType);
+    out += ",\"text\":";
+    append_json_string(out, text);
+    out += '}';
+    respond(s, std::move(out));
+    return;
+  }
   if (type == "shutdown") {
     respond(s, "{\"type\":\"shutdown\",\"status\":\"ok\"}");
     request_drain();
@@ -680,7 +847,8 @@ void SolveServer::handle_line(Session& s, const std::string& line) {
     metrics_->errors.add();
     std::string out = "{\"type\":\"error\",\"status\":\"error\",\"error\":";
     append_json_string(out, "unknown request type '" + type +
-                               "' (want solve, stats, ping, shutdown)");
+                               "' (want solve, stats, metrics, ping, "
+                               "shutdown)");
     out += '}';
     respond(s, std::move(out));
     return;
@@ -706,15 +874,18 @@ void SolveServer::handle_line(Session& s, const std::string& line) {
     respond(s, std::move(out));
     return;
   }
-  handle_solve(s, std::move(job), line.size());
+  handle_solve(s, std::move(job), line.size(), rid);
 }
 
 void SolveServer::handle_solve(Session& s, SolveJob job,
-                               std::size_t line_bytes) {
+                               std::size_t line_bytes,
+                               std::uint64_t request_id) {
   if (draining_) {
     metrics_->rejected.add();
     std::string out = "{\"type\":\"result\",\"id\":";
     append_json_string(out, job.id);
+    out += ",\"request_id\":";
+    out += std::to_string(request_id);
     out += ",\"status\":\"rejected\",\"error\":\"server is draining\"}";
     respond(s, std::move(out));
     return;
@@ -730,6 +901,7 @@ void SolveServer::handle_solve(Session& s, SolveJob job,
     } else {
       PendingJob pj;
       pj.session_id = s.id;
+      pj.request_id = request_id;
       pj.bytes = line_bytes;
       pj.enqueue_ns = steady_now_ns();
       const std::string id = job.id;
@@ -750,8 +922,23 @@ void SolveServer::handle_solve(Session& s, SolveJob job,
   // Shed load: answer immediately with a retry hint instead of letting
   // the backlog (and the client's tail latency) grow without bound.
   metrics_->shed.add();
+  metrics_->shed_window.add();
+  if (event_log_.enabled()) {
+    std::string ev = "{\"event\":\"shed\",\"ts\":";
+    append_json_number(ev, obs::unix_now_seconds());
+    ev += ",\"request_id\":";
+    ev += std::to_string(request_id);
+    ev += ",\"id\":";
+    append_json_string(ev, job.id);
+    ev += ",\"queue_depth\":";
+    ev += std::to_string(depth_seen);
+    ev += '}';
+    event_log_.append(ev);
+  }
   std::string out = "{\"type\":\"result\",\"id\":";
   append_json_string(out, job.id);
+  out += ",\"request_id\":";
+  out += std::to_string(request_id);
   out += ",\"status\":\"overloaded\",\"error\":\"admission queue full\""
          ",\"retry_after_ms\":";
   out += std::to_string(options_.retry_after_ms);
@@ -759,6 +946,49 @@ void SolveServer::handle_solve(Session& s, SolveJob job,
   out += std::to_string(depth_seen);
   out += '}';
   respond(s, std::move(out));
+}
+
+void SolveServer::respond_http(Session& s) {
+  // One request per connection, Connection: close — the minimal
+  // HTTP/1.1 a Prometheus scraper or curl needs, embedded in the
+  // line-oriented protocol handler (the request line and headers are
+  // newline-delimited too).
+  const std::uint64_t rid = next_request_id_++;
+  const obs::RequestIdScope rid_scope(rid);
+  PARLAP_TRACE_SPAN_N(span, "serve.scrape", "serve");
+  metrics_->scrapes.add();
+
+  std::string body;
+  std::string status = "200 OK";
+  std::string content_type = obs::kPrometheusContentType;
+  const std::string& target = s.http_target;
+  const bool is_metrics =
+      target == "/metrics" || target.compare(0, 9, "/metrics?") == 0;
+  if (is_metrics) {
+    body = obs::render_prometheus(obs::MetricsRegistry::global().snapshot());
+  } else if (target == "/stats" || target.compare(0, 7, "/stats?") == 0) {
+    body = stats_response();
+    body += '\n';
+    content_type = "application/json";
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found (try /metrics or /stats)\n";
+  }
+  span.arg("status", status[0] == '2' ? 200.0 : 404.0);
+  span.arg("bytes", static_cast<double>(body.size()));
+
+  std::string resp = "HTTP/1.1 ";
+  resp += status;
+  resp += "\r\nContent-Type: ";
+  resp += content_type;
+  resp += "\r\nContent-Length: ";
+  resp += std::to_string(body.size());
+  resp += "\r\nConnection: close\r\n\r\n";
+  if (!s.http_head) resp += body;
+  s.wbuf += resp;
+  s.close_after_flush = true;
+  flush_session(s);
 }
 
 std::string SolveServer::stats_response() {
@@ -797,6 +1027,58 @@ std::string SolveServer::stats_response() {
   out += std::to_string(inflight);
   out += ",\"sessions\":";
   out += std::to_string(sessions_.size());
+  // Config echo: black-box suites read the launch configuration from
+  // here instead of hard-coding the daemon's flags.
+  out += ",\"config\":{\"workers\":";
+  out += std::to_string(options_.workers);
+  out += ",\"queue_limit\":";
+  out += std::to_string(options_.max_queue_depth);
+  out += ",\"max_queued_bytes\":";
+  out += std::to_string(options_.max_queued_bytes);
+  out += ",\"max_line_bytes\":";
+  out += std::to_string(options_.max_line_bytes);
+  out += ",\"idle_timeout_ms\":";
+  out += std::to_string(options_.idle_timeout_ms);
+  out += ",\"retry_after_ms\":";
+  out += std::to_string(options_.retry_after_ms);
+  out += ",\"cache_budget_entries\":";
+  out += std::to_string(options_.cache_budget_entries);
+  out += ",\"graph_cache_limit\":";
+  out += std::to_string(options_.graph_cache_limit);
+  out += ",\"tcp_port\":";
+  out += std::to_string(tcp_port_);
+  out += ",\"socket\":";
+  append_json_string(out, options_.socket_path);
+  out += ",\"slow_ms\":";
+  append_json_number(out, options_.slow_ms);
+  out += ",\"event_log\":";
+  append_json_string(out, options_.event_log_path);
+  out += '}';
+  // Rolling last-60s view next to the lifetime digests below, so a
+  // dashboard can tell "slow now" from "slow once, long ago".
+  const obs::WindowDigest wsolve =
+      metrics_->solve_window.digest(kStatsWindowNs);
+  const obs::WindowDigest wqueue =
+      metrics_->queue_wait_window.digest(kStatsWindowNs);
+  const std::uint64_t wcompleted =
+      metrics_->completed_window.sum(kStatsWindowNs);
+  const std::uint64_t wshed = metrics_->shed_window.sum(kStatsWindowNs);
+  // Divide (exact for powers of ten) instead of scaling by 1e-9 so the
+  // 60s window serializes as "60", not "60.000000000000007".
+  const double window_seconds = static_cast<double>(kStatsWindowNs) / 1e9;
+  out += ",\"window\":{\"window_seconds\":";
+  append_json_number(out, window_seconds);
+  out += ",\"completed\":";
+  out += std::to_string(wcompleted);
+  out += ",\"shed\":";
+  out += std::to_string(wshed);
+  out += ",\"throughput_per_second\":";
+  append_json_number(out, static_cast<double>(wcompleted) / window_seconds);
+  out += ',';
+  append_window_digest(out, "solve_seconds", wsolve);
+  out += ',';
+  append_window_digest(out, "queue_wait_seconds", wqueue);
+  out += '}';
   out += ",\"counters\":{";
   out += "\"sessions\":" + std::to_string(metrics_->sessions.value());
   out += ",\"requests\":" + std::to_string(metrics_->requests.value());
@@ -806,6 +1088,7 @@ std::string SolveServer::stats_response() {
   out += ",\"rejected\":" + std::to_string(metrics_->rejected.value());
   out += ",\"errors\":" + std::to_string(metrics_->errors.value());
   out += ",\"idle_reaped\":" + std::to_string(metrics_->idle_reaped.value());
+  out += ",\"scrapes\":" + std::to_string(metrics_->scrapes.value());
   out += "},";
   append_histogram_digest(out, "solve_seconds", metrics_->solve_seconds);
   out += ',';

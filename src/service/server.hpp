@@ -35,8 +35,15 @@
 // the server adds the serve.* span category and the parlap.serve.*
 // metrics (docs/OBSERVABILITY.md), and answers {"type":"stats"} with
 // live queue depth, p50/p95/p99 solve + queue-wait latency straight
-// from the MetricsRegistry histograms, and cache hit rates from
-// FactorizationCache::Stats.
+// from the MetricsRegistry histograms (lifetime AND last-60s window),
+// cache hit rates from FactorizationCache::Stats, and a config echo.
+// The same listeners also speak just enough HTTP/1.1 to serve
+// `GET /metrics` — the full registry in Prometheus text format — and a
+// JSON `{"type":"metrics"}` verb returns the identical payload inline.
+// Every admitted request carries a server-minted request id: echoed in
+// its response next to a timing breakdown, attached as a span arg to
+// every span the request touches (server, engine, cache, solver), and
+// stamped on its slow-request event-log line (`--event-log`/`--slow-ms`).
 //
 // Threading: one I/O thread (the serve() caller) owns all sockets and
 // session state; `workers` solver threads share only the admission
@@ -57,6 +64,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "service/solve_engine.hpp"
 
 namespace parlap::service {
@@ -87,6 +95,12 @@ struct ServerOptions {
   /// unflushed are reaped (0 = never).
   int idle_timeout_ms = 0;
   int retry_after_ms = 100;  ///< hint in shed-load responses
+  /// JSONL event-log path ("" = off): lifecycle events plus one
+  /// "request" event per completed solve at least slow_ms wall
+  /// milliseconds (0 logs every completed solve). docs/SERVING.md
+  /// documents the schema.
+  std::string event_log_path;
+  double slow_ms = 0.0;
 };
 
 class SolveServer {
@@ -130,7 +144,9 @@ class SolveServer {
   void accept_ready(int listen_fd);
   void read_ready(Session& s);
   void handle_line(Session& s, const std::string& line);
-  void handle_solve(Session& s, SolveJob job, std::size_t line_bytes);
+  void handle_solve(Session& s, SolveJob job, std::size_t line_bytes,
+                    std::uint64_t request_id);
+  void respond_http(Session& s);
   [[nodiscard]] std::string stats_response();
   void respond(Session& s, std::string line);
   void flush_session(Session& s);
@@ -159,6 +175,10 @@ class SolveServer {
   std::uint64_t start_ns_ = 0;
 
   std::uint64_t next_session_id_ = 1;  ///< I/O thread only
+  /// Request ids are minted at admission on the I/O thread and ride
+  /// every span (obs::RequestIdScope) and response of that request.
+  std::uint64_t next_request_id_ = 1;  ///< I/O thread only
+  obs::EventLog event_log_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
 
   /// Admission queue (queue_mutex_): per-session FIFOs plus the

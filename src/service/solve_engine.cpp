@@ -250,9 +250,11 @@ JobResult SolveEngine::run_job(const SolveJob& job) {
     config.split_scale = job.split_scale;
     config.max_iterations = job.max_iterations;
     const Multigraph& graph = *loaded->graph;
+    const WallTimer factor_timer;
     const auto [solver, hit] = cache_.get_or_create(key, [&] {
       return SolverRegistry::instance().create(job.method, graph, config);
     });
+    result.build_seconds = factor_timer.seconds();
     result.cache_hit = hit;
 
     Vector x(static_cast<std::size_t>(n), 0.0);
@@ -323,9 +325,11 @@ PanelStats SolveEngine::run_panel_task(std::span<const SolveJob> jobs,
       config.split_scale = lead.split_scale;
       config.max_iterations = lead.max_iterations;
       const Multigraph& graph = *loaded->graph;
+      const WallTimer factor_timer;
       const auto [solver, hit] = cache_.get_or_create(key, [&] {
         return SolverRegistry::instance().create(lead.method, graph, config);
       });
+      const double factor_seconds = factor_timer.seconds();
       panel.cache_hit = hit;
 
       std::vector<Vector> xs(survivors.size());
@@ -334,6 +338,8 @@ PanelStats SolveEngine::run_panel_task(std::span<const SolveJob> jobs,
       for (std::size_t j = 0; j < survivors.size(); ++j) {
         JobResult& result = results[survivors[j]];
         result.cache_hit = hit;
+        result.build_seconds =
+            factor_seconds / static_cast<double>(survivors.size());
         result.report = reports[j];
         result.solution_hash = hash_solution(xs[j]);
         if (options_.keep_solutions) result.solution = std::move(xs[j]);

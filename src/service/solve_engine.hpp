@@ -61,6 +61,9 @@ struct JobResult {
   bool cache_hit = false;   ///< factorization came from the cache
   RunReport report;         ///< zero-initialized when !ok
   double wall_seconds = 0;  ///< load + factor-or-hit + solve, this job
+  /// Time spent obtaining the factorization (cold build, single-flight
+  /// wait, or cache lookup) — the serve daemon's per-request "build_ms".
+  double build_seconds = 0;
   /// Order-independent fingerprint of the solution bits (fingerprint_mix
   /// chain); lets callers assert bit-identical results across worker
   /// counts without shipping the vectors.

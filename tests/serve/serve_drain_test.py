@@ -6,9 +6,13 @@ SIGTERM mid-burst must behave like a polite landlord: every job already
 admitted (queued or in flight) finishes and its result line is flushed,
 NEW solve requests are rejected with a structured response, and the
 process exits 0. The daemon's --trace-out file must then pass
-scripts/check_trace.py with the serve.* span categories present.
+scripts/check_trace.py with the serve.* span categories present and a
+request_id on every serve-cat span (the drain span excepted), and its
+--metrics-out snapshot must be a parseable JSON registry dump whose
+counts reconcile with the burst.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -19,9 +23,10 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from serve_client import Checker, ServeDaemon, fast_job, slow_job
 
 
-def test_sigterm_mid_burst(c, binary, trace_path):
+def test_sigterm_mid_burst(c, binary, trace_path, metrics_path):
     with ServeDaemon(binary, workers=2,
-                     extra_args=["--trace-out", trace_path]) as d:
+                     extra_args=["--trace-out", trace_path,
+                                 "--metrics-out", metrics_path]) as d:
         with d.connect() as cl:
             n = 8
             for i in range(n):
@@ -86,15 +91,40 @@ def test_trace_file(c, trace_path, scripts_dir):
     c.check(os.path.exists(trace_path), "daemon wrote the trace file")
     check = subprocess.run(
         [sys.executable, os.path.join(scripts_dir, "check_trace.py"),
-         trace_path, "--require-cats", "serve", "--min-events", "8"],
+         trace_path, "--require-cats", "serve", "--min-events", "8",
+         "--require-request-ids", "serve"],
         capture_output=True, text=True)
     c.check(check.returncode == 0,
-            "check_trace.py accepts the serve trace: %s%s"
-            % (check.stdout, check.stderr))
+            "check_trace.py accepts the serve trace (request ids on "
+            "every serve span): %s%s" % (check.stdout, check.stderr))
     with open(trace_path) as f:
         blob = f.read()
     for span in ("serve.request", "serve.solve", "serve.drain"):
         c.check(span in blob, "trace contains %s spans" % span)
+
+
+def test_metrics_snapshot(c, metrics_path, n_burst):
+    """The post-drain --metrics-out snapshot is quiescent and exact."""
+    c.check(os.path.exists(metrics_path), "daemon wrote the metrics file")
+    try:
+        with open(metrics_path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        c.check(False, "metrics snapshot parses as JSON: %s" % e)
+        return
+    c.check(doc.get("schema") == "parlap-metrics-v1",
+            "snapshot schema tag: %r" % doc.get("schema"))
+    by_name = {m["name"]: m for m in doc.get("metrics", [])}
+    completed = by_name.get("parlap.serve.completed", {})
+    c.check(completed.get("value") == n_burst,
+            "snapshot completed (%r) == %d admitted burst jobs"
+            % (completed.get("value"), n_burst))
+    solve = by_name.get("parlap.serve.solve_seconds", {})
+    c.check(solve.get("kind") == "histogram"
+            and solve.get("count") == n_burst and solve.get("p99", 0) > 0,
+            "snapshot solve histogram counts the burst: %r" % solve)
+    c.check(by_name.get("parlap.serve.rejected", {}).get("value") == 1,
+            "snapshot counts the one post-SIGTERM rejection")
 
 
 def main():
@@ -102,8 +132,10 @@ def main():
     c = Checker()
     with tempfile.TemporaryDirectory(prefix="pls_drain_") as tmp:
         trace_path = os.path.join(tmp, "serve_trace.json")
-        test_sigterm_mid_burst(c, binary, trace_path)
+        metrics_path = os.path.join(tmp, "serve_metrics.json")
+        test_sigterm_mid_burst(c, binary, trace_path, metrics_path)
         test_trace_file(c, trace_path, scripts_dir)
+        test_metrics_snapshot(c, metrics_path, n_burst=8)
     test_shutdown_request(c, binary)
     c.finish("serve_drain_test")
 

@@ -93,6 +93,19 @@ def main():
                 % (total, QUEUE_LIMIT))
         c.check(ok > 0, "some jobs were admitted and completed")
 
+        # The daemon echoes its deployed limits in-band — assert against
+        # the echo instead of re-hard-coding the launch flags here.
+        cfg = st["config"]
+        c.check(cfg["queue_limit"] == QUEUE_LIMIT,
+                "config echo reports the queue limit (%r)"
+                % cfg.get("queue_limit"))
+        c.check(cfg["retry_after_ms"] == 55,
+                "config echo reports retry_after_ms (%r)"
+                % cfg.get("retry_after_ms"))
+        c.check(cfg["workers"] == 1,
+                "config echo reports the worker count (%r)"
+                % cfg.get("workers"))
+
         # Server-side accounting reconciles with the client view.
         cs = st["counters"]
         c.check(cs["shed"] == shed,

@@ -1,11 +1,14 @@
 """Black-box protocol suite for parlap_serve.
 
-argv: <parlap_serve binary> <parlap_cli binary>
+argv: <parlap_serve binary> <parlap_cli binary> <scripts dir>
 
 Covers the serving contract of docs/SERVING.md end to end against the
 real binary: request/response framing, streamed per-job results,
-concurrent clients with a mixed workload, round-robin fairness, and
-the determinism acceptance property — the same job set run through
+concurrent clients with a mixed workload, round-robin fairness, the
+telemetry plane (unique request ids with per-phase timings, rolling
+window stats reconciling with client-observed counts, and a Prometheus
+/metrics scrape validated by scripts/check_exposition.py), and the
+determinism acceptance property — the same job set run through
 `parlap_cli batch` and through concurrent serve clients (shuffled
 arrival order, several workers) yields bit-identical solution hashes.
 """
@@ -14,6 +17,7 @@ import json
 import os
 import random
 import re
+import socket
 import subprocess
 import sys
 import tempfile
@@ -154,6 +158,126 @@ def test_fairness(c, binary):
         flood.close()
 
 
+def test_request_ids_and_window(c, binary):
+    """Every response carries a unique admission-minted request id with
+    a timing breakdown, and the last-60s window stats reconcile with
+    what this client observed."""
+    with ServeDaemon(binary, workers=2) as d:
+        with d.connect() as cl:
+            n = 5
+            for i in range(n):
+                cl.send(fast_job("rid%d" % i, seed=i))
+            rids = []
+            for _ in range(n):
+                r = cl.recv()
+                c.check(r.get("status") == "ok", "rid job ok: %r" % r)
+                rid = r.get("request_id")
+                c.check(isinstance(rid, int) and rid > 0,
+                        "result carries a positive request_id: %r" % rid)
+                rids.append(rid)
+                t = r.get("timings", {})
+                for key in ("queue_wait_ms", "build_ms", "solve_ms"):
+                    c.check(isinstance(t.get(key), (int, float))
+                            and t[key] >= 0,
+                            "timings.%s is a non-negative number: %r"
+                            % (key, t.get(key)))
+                c.check(t.get("cache") in ("hit", "miss"),
+                        "timings.cache is hit|miss: %r" % t.get("cache"))
+            c.check(len(set(rids)) == n,
+                    "request ids are unique: %r" % rids)
+
+            # A shed/rejected answer is correlatable the same way.
+            st = cl.request({"type": "stats"})
+            w = st.get("window", {})
+            c.check(w.get("window_seconds") == 60,
+                    "window covers 60s: %r" % w.get("window_seconds"))
+            # Run began seconds ago, so everything is inside the window.
+            c.check(w.get("completed") == n,
+                    "window completed (%r) reconciles with the %d solves "
+                    "this client saw" % (w.get("completed"), n))
+            c.check(w.get("shed") == 0, "nothing shed in this run")
+            c.check(w.get("solve_seconds", {}).get("count") == n,
+                    "window solve digest counts every solve")
+            c.check(w.get("solve_seconds", {}).get("p99", 0) > 0,
+                    "window p99 is a real measurement")
+            c.check(st["solve_seconds"]["count"] == n,
+                    "lifetime digest agrees with the window this early")
+
+
+def http_get(port, target, payload_limit=4 << 20):
+    """Raw HTTP/1.1 GET against the daemon's TCP listener; returns
+    (status_line, headers dict, body bytes)."""
+    s = socket.create_connection(("127.0.0.1", port), timeout=30.0)
+    try:
+        s.sendall(("GET %s HTTP/1.1\r\nHost: localhost\r\n"
+                   "Connection: close\r\n\r\n" % target).encode())
+        data = b""
+        while len(data) < payload_limit:
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    finally:
+        s.close()
+    head, _, body = data.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return lines[0], headers, body
+
+
+def test_metrics_exposition(c, binary, scripts_dir):
+    """GET /metrics during live traffic is a valid Prometheus scrape,
+    and the TCP port comes from the stats config echo — not a flag the
+    test hard-codes."""
+    with ServeDaemon(binary, workers=2, extra_args=["--tcp", "0"]) as d:
+        with d.connect() as cl:
+            for i in range(3):
+                cl.send(fast_job("m%d" % i, seed=i))
+            for _ in range(3):
+                cl.recv()
+
+        port = d.stats()["config"]["tcp_port"]
+        c.check(isinstance(port, int) and port > 0,
+                "stats config echoes the bound tcp port: %r" % port)
+
+        status, headers, body = http_get(port, "/metrics")
+        c.check(status.startswith("HTTP/1.1 200"),
+                "GET /metrics is 200: %r" % status)
+        c.check(headers.get("content-type", "").startswith(
+                    "text/plain; version=0.0.4"),
+                "scrape content type: %r" % headers.get("content-type"))
+        c.check(headers.get("content-length") == str(len(body)),
+                "content-length matches the body")
+
+        check = subprocess.run(
+            [sys.executable,
+             os.path.join(scripts_dir, "check_exposition.py"), "-"],
+            input=body.decode(), capture_output=True, text=True)
+        c.check(check.returncode == 0,
+                "check_exposition.py accepts the scrape: %s%s"
+                % (check.stdout, check.stderr))
+        c.check(b"parlap_serve_completed_total 3" in body,
+                "scrape counts the three completed solves")
+
+        # /stats over HTTP and the JSON metrics verb serve the same data.
+        status, headers, stats_body = http_get(port, "/stats")
+        c.check(status.startswith("HTTP/1.1 200"), "GET /stats is 200")
+        c.check(json.loads(stats_body)["counters"]["completed"] == 3,
+                "HTTP stats agree with the JSON protocol")
+        with d.connect() as cl:
+            m = cl.request({"type": "metrics"})
+            c.check(m.get("status") == "ok"
+                    and "parlap_serve_requests_total" in m.get("text", ""),
+                    "metrics verb returns the exposition inline")
+
+        status, _, body404 = http_get(port, "/nope")
+        c.check(status.startswith("HTTP/1.1 404"),
+                "unknown target is a 404: %r" % status)
+
+
 def test_determinism_vs_batch(c, serve_bin, cli_bin):
     """Same jobs via batch CLI and via concurrent serve clients give
     bit-identical solution hashes, any worker count / arrival order."""
@@ -215,12 +339,14 @@ def test_determinism_vs_batch(c, serve_bin, cli_bin):
 
 
 def main():
-    serve_bin, cli_bin = sys.argv[1], sys.argv[2]
+    serve_bin, cli_bin, scripts_dir = sys.argv[1], sys.argv[2], sys.argv[3]
     c = Checker()
     test_basics(c, serve_bin)
     test_streaming(c, serve_bin)
     test_concurrent_mixed(c, serve_bin)
     test_fairness(c, serve_bin)
+    test_request_ids_and_window(c, serve_bin)
+    test_metrics_exposition(c, serve_bin, scripts_dir)
     test_determinism_vs_batch(c, serve_bin, cli_bin)
     c.finish("serve_protocol_test")
 

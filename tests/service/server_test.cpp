@@ -14,7 +14,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -261,6 +264,126 @@ TEST(SolveServer, DrainFinishesInFlightThenCloses) {
   EXPECT_EQ(ok, 4);        // every admitted job completed and flushed
   EXPECT_EQ(c.read_line(5000), "");  // then the server closed the socket
   EXPECT_EQ(server->completed_jobs(), 4u);
+}
+
+std::uint64_t extract_request_id(const std::string& line) {
+  const std::string key = "\"request_id\":";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + at + key.size(), nullptr, 10);
+}
+
+TEST(SolveServer, SolveResponsesCarryUniqueRequestIdsAndTimings) {
+  const std::string path = test_socket_path();
+  TestServer server(base_options(path));
+  Client c(path);
+  ASSERT_TRUE(c.connected());
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) {
+    c.send_line(R"({"type":"solve","id":"r)" + std::to_string(i) +
+                R"(","graph":"grid2d:12,12","eps":1e-6,"seed":7})");
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::string r = c.read_line();
+    ASSERT_TRUE(has_field(r, "\"status\":\"ok\"")) << r;
+    // Every result carries the admission-minted request id plus the
+    // phase breakdown (queue wait / cache verdict / build / solve).
+    const std::uint64_t rid = extract_request_id(r);
+    EXPECT_GT(rid, 0u) << r;
+    ids.push_back(rid);
+    EXPECT_TRUE(has_field(r, "\"timings\":{\"queue_wait_ms\":")) << r;
+    EXPECT_TRUE(has_field(r, "\"solve_ms\":")) << r;
+    EXPECT_TRUE(has_field(r, "\"cache\":\"")) << r;
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(SolveServer, MetricsVerbReturnsPrometheusText) {
+  const std::string path = test_socket_path();
+  TestServer server(base_options(path));
+  Client c(path);
+  ASSERT_TRUE(c.connected());
+
+  c.send_line(kJobA);
+  ASSERT_TRUE(has_field(c.read_line(), "\"status\":\"ok\""));
+
+  c.send_line(R"({"type":"metrics"})");
+  const std::string r = c.read_line();
+  ASSERT_TRUE(has_field(r, "\"type\":\"metrics\"")) << r;
+  EXPECT_TRUE(has_field(r, "\"status\":\"ok\"")) << r;
+  EXPECT_TRUE(
+      has_field(r, "\"content_type\":\"text/plain; version=0.0.4"))
+      << r;
+  // The escaped exposition text rides in "text": spot-check the serve
+  // families and the histogram framing (names are a stability contract,
+  // see docs/OBSERVABILITY.md).
+  EXPECT_TRUE(has_field(r, "parlap_serve_requests_total")) << r;
+  EXPECT_TRUE(has_field(r, "parlap_serve_completed_total")) << r;
+  EXPECT_TRUE(has_field(r, "parlap_serve_solve_seconds_bucket")) << r;
+  EXPECT_TRUE(has_field(r, "# TYPE parlap_serve_requests_total counter"))
+      << r;
+}
+
+TEST(SolveServer, HttpScrapeOverJsonListener) {
+  const std::string path = test_socket_path();
+  TestServer server(base_options(path));
+  Client c(path);
+  ASSERT_TRUE(c.connected());
+
+  // A raw HTTP/1.1 GET on the same listener: the first line flips the
+  // session into scrape mode, the blank line after the headers fires
+  // the response, and the server closes when the reply is flushed.
+  c.send_line("GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r");
+  std::string all;
+  for (std::string line = c.read_line(); !line.empty();
+       line = c.read_line(5000)) {
+    all += line;
+    all += '\n';
+  }
+  EXPECT_EQ(all.compare(0, 15, "HTTP/1.1 200 OK"), 0) << all;
+  EXPECT_TRUE(has_field(all, "Content-Type: text/plain; version=0.0.4"))
+      << all;
+  EXPECT_TRUE(has_field(all, "Connection: close")) << all;
+  EXPECT_TRUE(has_field(all, "# TYPE parlap_serve_requests_total counter"))
+      << all;
+
+  // An unknown target is a structured 404, not a dropped connection.
+  Client c2(path);
+  ASSERT_TRUE(c2.connected());
+  c2.send_line("GET /nope HTTP/1.1\r\n\r");
+  EXPECT_EQ(c2.read_line().compare(0, 22, "HTTP/1.1 404 Not Found"), 0);
+}
+
+TEST(SolveServer, StatsEchoesConfigAndWindow) {
+  const std::string path = test_socket_path();
+  ServerOptions opt = base_options(path);
+  opt.max_queue_depth = 99;
+  opt.slow_ms = 12.5;
+  TestServer server(opt);
+  Client c(path);
+  ASSERT_TRUE(c.connected());
+
+  c.send_line(kJobA);
+  ASSERT_TRUE(has_field(c.read_line(), "\"status\":\"ok\""));
+
+  c.send_line(R"({"type":"stats"})");
+  const std::string stats = c.read_line();
+  // The config echo lets clients and harnesses learn the deployed
+  // limits in-band instead of hard-coding launch flags.
+  EXPECT_TRUE(has_field(stats, "\"config\":{")) << stats;
+  EXPECT_TRUE(has_field(stats, "\"workers\":2")) << stats;
+  EXPECT_TRUE(has_field(stats, "\"queue_limit\":99")) << stats;
+  EXPECT_TRUE(has_field(stats, "\"slow_ms\":12.5")) << stats;
+  // And the rolling window reports alongside lifetime. The registry is
+  // process-global, so earlier tests in this binary contribute too —
+  // assert at least this test's solve landed in the last-60s view.
+  EXPECT_TRUE(has_field(stats, "\"window_seconds\":60")) << stats;
+  const std::string wkey = "\"window\":{\"window_seconds\":60,\"completed\":";
+  const std::size_t at = stats.find(wkey);
+  ASSERT_NE(at, std::string::npos) << stats;
+  EXPECT_GE(std::strtoull(stats.c_str() + at + wkey.size(), nullptr, 10), 1u);
 }
 
 TEST(SolveServer, DisconnectPurgesQueuedJobs) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/server.hpp"
@@ -51,6 +52,13 @@ Capacity:
 Observability:
   --trace-out FILE       write a Chrome trace on exit (serve.* spans)
   --metrics              print the metrics table on exit
+  --metrics-out FILE     write a final metrics JSON snapshot after drain
+  --event-log FILE       append JSONL lifecycle + slow-request events
+  --slow-ms T            event-log only solves >= T wall ms (default 0 = all)
+
+Live telemetry (no flags needed): GET /metrics on either listener
+returns the registry in Prometheus text format; {"type":"metrics"} and
+{"type":"stats"} return it over the JSON protocol.
 
 The daemon prints a "listening" line to stderr once ready and serves
 until SIGTERM/SIGINT or a {"type":"shutdown"} request, then drains:
@@ -94,6 +102,27 @@ std::string parse_string_flag(std::vector<std::string>& args,
     throw std::invalid_argument("option " + flag + " needs a value");
   }
   std::string out = *val;
+  args.erase(it, std::next(val));
+  return out;
+}
+
+double parse_double_flag(std::vector<std::string>& args,
+                         const std::string& flag, double fallback) {
+  const auto it = std::find(args.begin(), args.end(), flag);
+  if (it == args.end()) return fallback;
+  const auto val = std::next(it);
+  if (val == args.end()) {
+    throw std::invalid_argument("option " + flag + " needs a value");
+  }
+  double out = 0.0;
+  try {
+    std::size_t used = 0;
+    out = std::stod(*val, &used);
+    if (used != val->size()) throw std::invalid_argument(*val);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option " + flag + ": '" + *val +
+                                "' is not a number");
+  }
   args.erase(it, std::next(val));
   return out;
 }
@@ -155,7 +184,10 @@ int run(int argc, char** argv) {
       static_cast<EdgeId>(parse_int_flag(args, "--cache-budget", 0));
   opt.graph_cache_limit =
       static_cast<std::size_t>(parse_int_flag(args, "--graph-cache", 32));
+  opt.event_log_path = parse_string_flag(args, "--event-log");
+  opt.slow_ms = parse_double_flag(args, "--slow-ms", 0.0);
   const std::string trace_path = parse_string_flag(args, "--trace-out");
+  const std::string metrics_out = parse_string_flag(args, "--metrics-out");
   const bool metrics = parse_bool_flag(args, "--metrics");
   if (!args.empty()) {
     throw std::invalid_argument("unrecognized option '" + args.front() + "'");
@@ -171,6 +203,9 @@ int run(int argc, char** argv) {
   }
   if (opt.idle_timeout_ms < 0 || opt.retry_after_ms < 0) {
     throw std::invalid_argument("timeouts must be non-negative");
+  }
+  if (opt.slow_ms < 0) {
+    throw std::invalid_argument("--slow-ms must be non-negative");
   }
 
   if (!trace_path.empty()) {
@@ -218,6 +253,19 @@ int run(int argc, char** argv) {
     tracer.write_chrome(os);
     std::cerr << "parlap_serve: wrote " << tracer.event_count()
               << " trace event(s) to " << trace_path << "\n";
+  }
+  if (!metrics_out.empty()) {
+    // Final snapshot AFTER the drain: every worker is joined, so the
+    // registry is quiescent and the counts are exact.
+    std::ofstream os(metrics_out);
+    if (!os.good()) {
+      throw std::runtime_error("cannot open " + metrics_out +
+                               " for writing");
+    }
+    os << obs::render_metrics_json(obs::MetricsRegistry::global().snapshot())
+       << "\n";
+    std::cerr << "parlap_serve: wrote metrics snapshot to " << metrics_out
+              << "\n";
   }
   if (metrics) print_metrics_table();
   return kExitOk;

@@ -11,6 +11,14 @@
 //
 // Secondary cases measure end-to-end blocked solves (solve_many at
 // width 1 vs 8) on the largest family.
+//
+// Since the SIMD dispatch layer (linalg/kernels), every case carries the
+// dispatch level it ran at ("simd" column / simd_level metric), and each
+// width is ALSO measured with dispatch forced to scalar
+// ("<spec>/width:N/simd:scalar" cases) — the active-vs-scalar ratio at
+// width >= 8 is the end-to-end evidence for the per-RHS apply-cost
+// acceptance gate (ns/row detail lives in E19). Active-dispatch cases
+// keep their PR-8 names so baselines stay comparable across the change.
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +26,7 @@
 #include "api/graph_source.hpp"
 #include "common.hpp"
 #include "core/solver.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/panel.hpp"
 
 using namespace parlap;
@@ -37,11 +46,15 @@ int main() {
       "gnm:" + std::to_string(scale * 4) + "," + std::to_string(scale * 16),
   };
 
+  const kernels::SimdLevel active_level = kernels::active_simd_level();
+  const char* active_name = kernels::simd_level_name(active_level);
+
   TextTable table("E17 blocked apply — " + std::to_string(total_rhs) +
-                  " rhs per graph, widths 1/4/8/16");
-  table.set_header({"graph", "width", "apply_s_per_rhs", "rhs_per_s",
-                    "speedup_vs_w1"},
-                   5);
+                  " rhs per graph, widths 1/4/8/16, dispatch " +
+                  active_name);
+  table.set_header({"graph", "width", "simd", "apply_s_per_rhs", "rhs_per_s",
+                    "speedup_vs_w1", "speedup_vs_scalar"},
+                   6);
 
   for (const std::string& spec : graphs) {
     const Multigraph g = make_generated_graph(spec, 17);
@@ -67,24 +80,53 @@ int main() {
         panels.push_back(std::move(p));
       }
       Panel out;
-      const std::vector<double> samples = measure(reps, /*warmup=*/1, [&] {
+      const auto run_applies = [&] {
         for (const Panel& p : panels) solver.apply_preconditioner(p, out);
-      });
+      };
+      // Same workload twice: once with dispatch forced to scalar, once
+      // at the active level. The scalar run goes first so the active
+      // run leaves the process in its configured state.
+      double per_rhs_scalar = 0.0;
+      if (active_level != kernels::SimdLevel::kScalar) {
+        kernels::set_simd_level(kernels::SimdLevel::kScalar);
+        const std::vector<double> samples =
+            measure(reps, /*warmup=*/1, run_applies);
+        kernels::set_simd_level(active_level);
+        per_rhs_scalar =
+            summarize(samples).median / static_cast<double>(total_rhs);
+        reporter().record(
+            spec + "/width:" + std::to_string(width) + "/simd:scalar",
+            {{"n", static_cast<double>(n)},
+             {"width", static_cast<double>(width)},
+             {"rhs", static_cast<double>(total_rhs)},
+             {"simd_level", 0.0},
+             {"apply_s_per_rhs", per_rhs_scalar}},
+            samples);
+      }
+      const std::vector<double> samples =
+          measure(reps, /*warmup=*/1, run_applies);
       const TimingSummary summary = summarize(samples);
       const double per_rhs =
           summary.median / static_cast<double>(total_rhs);
       if (width == 1) per_rhs_w1 = per_rhs;
       const double speedup = per_rhs > 0.0 ? per_rhs_w1 / per_rhs : 0.0;
-      table.add_row({spec, static_cast<std::int64_t>(width), per_rhs,
-                     per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, speedup});
+      const double vs_scalar =
+          per_rhs > 0.0 && per_rhs_scalar > 0.0 ? per_rhs_scalar / per_rhs
+                                                : 0.0;
+      table.add_row({spec, static_cast<std::int64_t>(width), active_name,
+                     per_rhs, per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, speedup,
+                     vs_scalar});
       reporter().record(
           spec + "/width:" + std::to_string(width),
           {{"n", static_cast<double>(n)},
            {"width", static_cast<double>(width)},
            {"rhs", static_cast<double>(total_rhs)},
+           {"simd_level",
+            static_cast<double>(static_cast<int>(active_level))},
            {"apply_s_per_rhs", per_rhs},
            {"rhs_per_second", per_rhs > 0.0 ? 1.0 / per_rhs : 0.0},
-           {"speedup_vs_w1", speedup}},
+           {"speedup_vs_w1", speedup},
+           {"speedup_vs_scalar", vs_scalar}},
           samples);
     }
   }
@@ -111,7 +153,8 @@ int main() {
       const double per_rhs =
           summary.median / static_cast<double>(total_rhs);
       table.add_row({spec + " solve", static_cast<std::int64_t>(width),
-                     per_rhs, per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, 0.0});
+                     active_name, per_rhs,
+                     per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, 0.0, 0.0});
       reporter().record(spec + "/solve_many/width:" + std::to_string(width),
                         {{"width", static_cast<double>(width)},
                          {"rhs", static_cast<double>(total_rhs)},

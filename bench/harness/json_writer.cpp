@@ -12,6 +12,9 @@
 #include <iostream>
 #include <ostream>
 
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/numa.hpp"
+
 #ifndef PARLAP_GIT_COMMIT
 #define PARLAP_GIT_COMMIT "unknown"
 #endif
@@ -197,6 +200,17 @@ RunMetadata collect_metadata() {
   md.build_type = PARLAP_BUILD_TYPE;
   md.threads = omp_get_max_threads();
   md.smoke = smoke();
+
+  md.cpu_model = getenv_or("PARLAP_BENCH_CPU_MODEL", "");
+  md.cpu_flags = getenv_or("PARLAP_BENCH_CPU_FLAGS", "");
+  const char* nodes_env = std::getenv("PARLAP_BENCH_NUMA_NODES");
+  if (nodes_env != nullptr && *nodes_env != '\0') {
+    md.numa_nodes = std::max(1, std::atoi(nodes_env));
+  } else {
+    md.numa_nodes = kernels::numa_node_count();
+  }
+  md.simd_detected = kernels::simd_level_name(kernels::detected_simd_level());
+  md.simd_active = kernels::simd_level_name(kernels::active_simd_level());
   return md;
 }
 
@@ -252,6 +266,14 @@ void BenchReporter::write(std::ostream& out) const {
   w.member("build_type", md.build_type);
   w.member("threads", md.threads);
   w.member("smoke", md.smoke);
+  w.key("host");
+  w.begin_object();
+  w.member("cpu_model", md.cpu_model);
+  w.member("cpu_flags", md.cpu_flags);
+  w.member("numa_nodes", md.numa_nodes);
+  w.member("simd_detected", md.simd_detected);
+  w.member("simd_active", md.simd_active);
+  w.end_object();
   w.end_object();
 
   w.key("cases");

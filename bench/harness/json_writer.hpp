@@ -124,6 +124,16 @@ struct RunMetadata {
   std::string build_type;
   int threads = 1;  // omp_get_max_threads() at collection time
   bool smoke = false;
+  // Host facts for the meta.host block: CPU model/flags come from
+  // $PARLAP_BENCH_CPU_MODEL / $PARLAP_BENCH_CPU_FLAGS (run_benches.sh
+  // reads /proc/cpuinfo), node count from $PARLAP_BENCH_NUMA_NODES or
+  // sysfs; simd_detected/simd_active come straight from the dispatcher,
+  // so a report shows which ISA produced its numbers.
+  std::string cpu_model;
+  std::string cpu_flags;
+  int numa_nodes = 1;
+  std::string simd_detected;
+  std::string simd_active;
 };
 
 [[nodiscard]] RunMetadata collect_metadata();

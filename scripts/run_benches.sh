@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the E1-E18 experiment binaries and collects one machine-readable
+# Runs the E1-E19 experiment binaries and collects one machine-readable
 # BENCH_E<k>.json per experiment (schema: bench/harness/json_writer.hpp),
 # tagged with the current commit, so perf changes can be proven against a
 # recorded trajectory.
@@ -62,6 +62,30 @@ mkdir -p "$OUT_DIR"
 export PARLAP_GIT_COMMIT="$COMMIT"
 [[ "$SMOKE" == 1 ]] && export PARLAP_SMOKE=1
 
+# Host CPU metadata, recorded by the harness into every report's
+# meta.host block (bench/harness/json_writer.cpp) so a JSON file says
+# what silicon produced it — the SIMD dispatch numbers (E17/E19) are
+# meaningless without the ISA the host actually has.
+CPU_MODEL="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo \
+    2>/dev/null || true)"
+# Just the vector-ISA flags the dispatcher cares about, not the full set.
+CPU_FLAGS="$(awk '/^flags/ {for (i = 1; i <= NF; i++)
+      if ($i ~ /^(sse4_2|avx|avx2|fma|avx512[a-z0-9]*)$/) printf "%s ", $i;
+    exit}' /proc/cpuinfo 2>/dev/null | sed 's/ $//' || true)"
+NUMA_NODES=""
+if command -v numactl > /dev/null 2>&1; then
+  NUMA_NODES="$(numactl --hardware 2>/dev/null \
+      | awk '/^available:/ {print $2; exit}' || true)"
+fi
+if [[ -z "$NUMA_NODES" ]]; then
+  NUMA_NODES="$(ls -d /sys/devices/system/node/node[0-9]* 2>/dev/null \
+      | wc -l)"
+  [[ "$NUMA_NODES" -ge 1 ]] || NUMA_NODES=1
+fi
+export PARLAP_BENCH_CPU_MODEL="$CPU_MODEL"
+export PARLAP_BENCH_CPU_FLAGS="$CPU_FLAGS"
+export PARLAP_BENCH_NUMA_NODES="$NUMA_NODES"
+
 # Experiment id -> binary stem.
 EXPERIMENTS=(
   "E1 bench_e1_work_scaling"
@@ -82,6 +106,7 @@ EXPERIMENTS=(
   "E16 bench_e16_build"
   "E17 bench_e17_blocked_apply"
   "E18 bench_e18_obs_overhead"
+  "E19 bench_e19_kernel_dispatch"
 )
 
 wants() {  # wants E5 -> 0 iff selected by --only (or no filter)

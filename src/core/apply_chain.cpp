@@ -1,8 +1,10 @@
 #include "core/apply_chain.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "linalg/kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/for_each.hpp"
@@ -13,11 +15,10 @@ namespace parlap {
 
 namespace {
 
-/// Column-chunk width of the row kernels: per row, up to kColChunk
-/// columns accumulate in a stack buffer while the row's CSR entries are
-/// streamed once. Each column's arithmetic order is exactly the scalar
-/// kernel's, whatever the chunking.
-constexpr std::size_t kColChunk = 8;
+/// Cap on the bytes prefetched per packed array per level: enough for
+/// every real level's index slice, bounded so a pathological level can't
+/// flood the prefetch queue.
+constexpr std::size_t kMaxPrefetchBytes = std::size_t{64} * 1024;
 
 }  // namespace
 
@@ -26,7 +27,13 @@ void ApplyChain::finalize(std::span<const EliminationLevel> staging,
                           int jacobi_terms, std::uint64_t build_id) {
   PARLAP_CHECK(levels_.empty());  // finalize() runs once per chain
   n0_ = n0;
-  base_pinv_ = std::move(base_pinv);
+  // The dense base solve is the last persistent apply-path array: copy it
+  // out of the (unaligned) DenseMatrix so it shares the packed arrays'
+  // alignment and first-touch placement.
+  base_pinv_.resize(static_cast<std::size_t>(base_n) *
+                    static_cast<std::size_t>(base_n));
+  std::copy(base_pinv.data(), base_pinv.data() + base_pinv_.size(),
+            base_pinv_.data());
   base_n_ = base_n;
   jacobi_terms_ = jacobi_terms;
   build_id_ = build_id;
@@ -43,6 +50,9 @@ void ApplyChain::finalize(std::span<const EliminationLevel> staging,
     data_total += lvl.ff.nbr.size() + lvl.fc.nbr.size() + lvl.cf.nbr.size();
   }
   levels_.reserve(staging.size());
+  // AlignedBuffer growth first-touches the pages under the active
+  // NumaPolicy: finalize runs on the engine worker that will traverse
+  // the chain, so "local" placement lands the arrays on its node.
   f_lists_.resize(nf_total);
   c_lists_.resize(nc_total);
   inv_x_.resize(nf_total);
@@ -97,8 +107,8 @@ void ApplyChain::prepare_workspace(ApplyWorkspace& ws,
   // unsized for a wider panel.
   if (ws.prepared_for == build_id_ && ws.prepared_cols == cols) return;
   const std::size_t d = levels_.size();
-  ws.level_vec.assign(d + 1, {});
-  ws.level_yf.assign(d, {});
+  ws.level_vec.resize(d + 1);
+  ws.level_yf.resize(d);
   std::size_t max_nf = 1;
   for (std::size_t k = 0; k < d; ++k) {
     ws.level_vec[k].resize(static_cast<std::size_t>(levels_[k].n) * cols);
@@ -121,7 +131,9 @@ void ApplyChain::jacobi_solve(const Level& lvl, const double* b_f,
                               ApplyWorkspace& ws) const {
   // Z b = sum_{i=0}^{l} X^-1 (-Y X^-1)^i b via the recurrence
   // x^(i) = X^-1 b - X^-1 Y x^(i-1)   (Algorithm 2, Jacobi procedure),
-  // run on all `cols` columns per CSR sweep.
+  // run on all `cols` columns per CSR sweep. Buffers are interleaved
+  // (row i's columns contiguous); the sweep itself is the dispatched
+  // csr_jacobi kernel.
   const auto nf = static_cast<std::size_t>(lvl.nf);
   const double* inv_x = inv_x_.data() + lvl.f_base;
   const double* y_diag = y_diag_.data() + lvl.f_base;
@@ -129,57 +141,25 @@ void ApplyChain::jacobi_solve(const Level& lvl, const double* b_f,
   double* xb = ws.jac_b.data();
   double* cur = ws.jac_cur.data();
   double* tmp = ws.jac_tmp.data();
+  const kernels::KernelTable& kt = kernels::active();
 
   parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
     for (std::size_t c = 0; c < cols; ++c) {
-      xb[c * nf + i] = inv_x[i] * b_f[c * nf + i];
-      cur[c * nf + i] = xb[c * nf + i];
+      xb[i * cols + c] = inv_x[i] * b_f[i * cols + c];
+      cur[i * cols + c] = xb[i * cols + c];
     }
   });
   for (int it = 1; it <= jacobi_terms_; ++it) {
-    // tmp = xb - X^-1 (Y cur), one CSR sweep for every column. cols == 1
-    // keeps a scalar accumulator in a register (the hot path of every
-    // single-RHS solve); wider panels chunk columns through a small
-    // stack buffer — both orders are the scalar order per column.
-    if (cols == 1) {
-      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-        const EdgeId lo = off[i];
-        const EdgeId hi = off[i + 1];
-        double acc = y_diag[i] * cur[i];
-        for (EdgeId p = lo; p < hi; ++p) {
-          acc -= w_[static_cast<std::size_t>(p)] *
-                 cur[static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)])];
-        }
-        tmp[i] = xb[i] - inv_x[i] * acc;
-      });
-    } else {
-      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-        const EdgeId lo = off[i];
-        const EdgeId hi = off[i + 1];
-        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
-          const std::size_t cw = std::min(kColChunk, cols - c0);
-          double acc[kColChunk];
-          for (std::size_t cc = 0; cc < cw; ++cc) {
-            acc[cc] = y_diag[i] * cur[(c0 + cc) * nf + i];
-          }
-          for (EdgeId p = lo; p < hi; ++p) {
-            const auto t = static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)]);
-            const Weight wp = w_[static_cast<std::size_t>(p)];
-            for (std::size_t cc = 0; cc < cw; ++cc) {
-              acc[cc] -= wp * cur[(c0 + cc) * nf + t];
-            }
-          }
-          for (std::size_t cc = 0; cc < cw; ++cc) {
-            tmp[(c0 + cc) * nf + i] = xb[(c0 + cc) * nf + i] - inv_x[i] * acc[cc];
-          }
-        }
-      });
-    }
+    // tmp = xb - X^-1 (Y cur), one CSR sweep for every column; each
+    // column's arithmetic order is the scalar kernel's at every dispatch
+    // level (lane = column, no FMA).
+    kernels::for_row_blocks(nf, [&](std::size_t lo, std::size_t hi) {
+      kt.csr_jacobi(lo, hi, cols, off, nbr_.data(), w_.data(), inv_x, y_diag,
+                    xb, cur, tmp);
+    });
     std::swap(cur, tmp);
   }
-  parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-    for (std::size_t c = 0; c < cols; ++c) out[c * nf + i] = cur[c * nf + i];
-  });
+  std::memcpy(out, cur, nf * cols * sizeof(double));
 }
 
 void ApplyChain::apply(std::span<const double> b, std::span<double> y,
@@ -196,6 +176,28 @@ void ApplyChain::apply(const Panel& b, Panel& y, ApplyWorkspace& ws) const {
   apply_cols(b.data(), y.data(), b.cols(), b.rows(), ws);
 }
 
+void ApplyChain::prefetch_level(std::size_t k) const {
+  const Level& lvl = levels_[k];
+  const auto nf = static_cast<std::size_t>(lvl.nf);
+  const auto nc = static_cast<std::size_t>(lvl.nc);
+  const auto cap = [](std::size_t bytes) {
+    return std::min(bytes, kMaxPrefetchBytes);
+  };
+  kernels::prefetch_bytes(f_lists_.data() + lvl.f_base, cap(nf * sizeof(Vertex)));
+  kernels::prefetch_bytes(c_lists_.data() + lvl.c_base, cap(nc * sizeof(Vertex)));
+  kernels::prefetch_bytes(inv_x_.data() + lvl.f_base, cap(nf * sizeof(double)));
+  kernels::prefetch_bytes(y_diag_.data() + lvl.f_base, cap(nf * sizeof(double)));
+  // The three offset rows are packed consecutively (ff, fc, cf), as is
+  // the level's nbr_/w_ data range they delimit.
+  const std::size_t off_len = 2 * (nf + 1) + nc + 1;
+  kernels::prefetch_bytes(off_.data() + lvl.ff_off, cap(off_len * sizeof(EdgeId)));
+  const auto data_lo = static_cast<std::size_t>(off_[lvl.ff_off]);
+  const auto data_hi = static_cast<std::size_t>(off_[lvl.cf_off + nc]);
+  const std::size_t data_len = data_hi - data_lo;
+  kernels::prefetch_bytes(nbr_.data() + data_lo, cap(data_len * sizeof(Vertex)));
+  kernels::prefetch_bytes(w_.data() + data_lo, cap(data_len * sizeof(Weight)));
+}
+
 void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
                             std::size_t ld, ApplyWorkspace& ws) const {
   PARLAP_TRACE_SPAN_N(apply_span, "chain.apply", "apply");
@@ -205,9 +207,15 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
   prepare_workspace(ws, cols);
   const std::size_t d = levels_.size();
   const auto n0 = static_cast<std::size_t>(n0_);
+  const kernels::KernelTable& kt = kernels::active();
 
-  for (std::size_t c = 0; c < cols; ++c) {
-    std::copy(b + c * ld, b + c * ld + n0, ws.level_vec[0].data() + c * n0);
+  // Panel (column-major, leading dimension ld) -> interleaved workspace.
+  // cols == 1 degenerates to a straight copy.
+  {
+    double* v0 = ws.level_vec[0].data();
+    parallel_for(std::size_t{0}, n0, [&](std::size_t i) {
+      for (std::size_t c = 0; c < cols; ++c) v0[i * cols + c] = b[c * ld + i];
+    });
   }
 
   // Forward substitution (Algorithm 2, lines 3-5).
@@ -216,7 +224,6 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     level_span.arg("level", static_cast<double>(k));
     level_span.arg("dir", 0.0);  // forward substitution
     const Level& lvl = levels_[k];
-    const auto n = static_cast<std::size_t>(lvl.n);
     const auto nf = static_cast<std::size_t>(lvl.nf);
     const auto nc = static_cast<std::size_t>(lvl.nc);
     const double* vec = ws.level_vec[k].data();
@@ -224,54 +231,26 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     const Vertex* f_list = f_lists_.data() + lvl.f_base;
     const Vertex* c_list = c_lists_.data() + lvl.c_base;
 
-    // y_F = Z^(k) b_F
+    // Pull the NEXT level's packed slices toward the cache while this
+    // level's sweeps run out of the current one.
+    if (k + 1 < d) prefetch_level(k + 1);
+
+    // y_F = Z^(k) b_F — gather the F rows (contiguous per row in the
+    // interleaved layout), then the Jacobi series.
     double* bf = ws.scratch_f.data();
     parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
       const auto fi = static_cast<std::size_t>(f_list[i]);
-      for (std::size_t c = 0; c < cols; ++c) {
-        bf[c * nf + i] = vec[c * n + fi];
-      }
+      std::memcpy(bf + i * cols, vec + fi * cols, cols * sizeof(double));
     });
     jacobi_solve(lvl, bf, yf, cols, ws);
 
     // b^(k+1) = y_C = b_C - L_CF y_F = b_C + sum_{c~f} w * y_F[f]
     double* next = ws.level_vec[k + 1].data();
     const EdgeId* cf_off = off_.data() + lvl.cf_off;
-    if (cols == 1) {
-      parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
-        double acc = vec[static_cast<std::size_t>(c_list[j])];
-        const EdgeId lo = cf_off[j];
-        const EdgeId hi = cf_off[j + 1];
-        for (EdgeId p = lo; p < hi; ++p) {
-          acc += w_[static_cast<std::size_t>(p)] *
-                 yf[static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)])];
-        }
-        next[j] = acc;
-      });
-    } else {
-      parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
-        const auto cj = static_cast<std::size_t>(c_list[j]);
-        const EdgeId lo = cf_off[j];
-        const EdgeId hi = cf_off[j + 1];
-        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
-          const std::size_t cw = std::min(kColChunk, cols - c0);
-          double acc[kColChunk];
-          for (std::size_t cc = 0; cc < cw; ++cc) {
-            acc[cc] = vec[(c0 + cc) * n + cj];
-          }
-          for (EdgeId p = lo; p < hi; ++p) {
-            const auto t = static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)]);
-            const Weight wp = w_[static_cast<std::size_t>(p)];
-            for (std::size_t cc = 0; cc < cw; ++cc) {
-              acc[cc] += wp * yf[(c0 + cc) * nf + t];
-            }
-          }
-          for (std::size_t cc = 0; cc < cw; ++cc) {
-            next[(c0 + cc) * nc + j] = acc[cc];
-          }
-        }
-      });
-    }
+    kernels::for_row_blocks(nc, [&](std::size_t lo, std::size_t hi) {
+      kt.csr_fwd(lo, hi, cols, cf_off, nbr_.data(), w_.data(), c_list, vec,
+                 yf, next);
+    });
   }
 
   // Base solve x^(d) = L_{G^(d)}^+ b^(d) (Algorithm 2, line 6): row-dot
@@ -280,33 +259,10 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     const auto bn = static_cast<std::size_t>(base_n_);
     const double* in = ws.level_vec[d].data();
     double* out = ws.base_out.data();
-    if (cols == 1) {
-      parallel_for(std::size_t{0}, bn, [&](std::size_t i) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < bn; ++j) {
-          acc += base_pinv_(static_cast<int>(i), static_cast<int>(j)) * in[j];
-        }
-        out[i] = acc;
-      });
-    } else {
-      parallel_for(std::size_t{0}, bn, [&](std::size_t i) {
-        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
-          const std::size_t cw = std::min(kColChunk, cols - c0);
-          double acc[kColChunk] = {};
-          for (std::size_t j = 0; j < bn; ++j) {
-            const double a =
-                base_pinv_(static_cast<int>(i), static_cast<int>(j));
-            for (std::size_t cc = 0; cc < cw; ++cc) {
-              acc[cc] += a * in[(c0 + cc) * bn + j];
-            }
-          }
-          for (std::size_t cc = 0; cc < cw; ++cc) {
-            out[(c0 + cc) * bn + i] = acc[cc];
-          }
-        }
-      });
-    }
-    std::copy(out, out + bn * cols, ws.level_vec[d].data());
+    kernels::for_row_blocks(bn, [&](std::size_t lo, std::size_t hi) {
+      kt.dense_rows(lo, hi, cols, bn, base_pinv_.data(), in, out);
+    });
+    std::memcpy(ws.level_vec[d].data(), out, bn * cols * sizeof(double));
   }
 
   // Backward substitution (lines 7-8): x_F = y_F - Z^(k) (L_FC x_C).
@@ -315,7 +271,6 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     level_span.arg("level", static_cast<double>(k));
     level_span.arg("dir", 1.0);  // backward substitution
     const Level& lvl = levels_[k];
-    const auto n = static_cast<std::size_t>(lvl.n);
     const auto nf = static_cast<std::size_t>(lvl.nf);
     const auto nc = static_cast<std::size_t>(lvl.nc);
     const double* xc = ws.level_vec[k + 1].data();
@@ -324,59 +279,35 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     const Vertex* f_list = f_lists_.data() + lvl.f_base;
     const Vertex* c_list = c_lists_.data() + lvl.c_base;
 
+    // Walking back up the chain: the PREVIOUS level's slices are next.
+    if (k > 0) prefetch_level(k - 1);
+
     double* tf = ws.scratch_f.data();
     const EdgeId* fc_off = off_.data() + lvl.fc_off;
-    if (cols == 1) {
-      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-        const EdgeId lo = fc_off[i];
-        const EdgeId hi = fc_off[i + 1];
-        double acc = 0.0;
-        for (EdgeId p = lo; p < hi; ++p) {
-          acc -= w_[static_cast<std::size_t>(p)] *
-                 xc[static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)])];
-        }
-        tf[i] = acc;  // (L_FC x_C)_f
-      });
-    } else {
-      parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
-        const EdgeId lo = fc_off[i];
-        const EdgeId hi = fc_off[i + 1];
-        for (std::size_t c0 = 0; c0 < cols; c0 += kColChunk) {
-          const std::size_t cw = std::min(kColChunk, cols - c0);
-          double acc[kColChunk] = {};
-          for (EdgeId p = lo; p < hi; ++p) {
-            const auto t = static_cast<std::size_t>(nbr_[static_cast<std::size_t>(p)]);
-            const Weight wp = w_[static_cast<std::size_t>(p)];
-            for (std::size_t cc = 0; cc < cw; ++cc) {
-              acc[cc] -= wp * xc[(c0 + cc) * nc + t];
-            }
-          }
-          for (std::size_t cc = 0; cc < cw; ++cc) {
-            tf[(c0 + cc) * nf + i] = acc[cc];  // (L_FC x_C)_f
-          }
-        }
-      });
-    }
+    kernels::for_row_blocks(nf, [&](std::size_t lo, std::size_t hi) {
+      kt.csr_bwd(lo, hi, cols, fc_off, nbr_.data(), w_.data(), xc, tf);
+    });
     double* zf = ws.scratch_f2.data();
     jacobi_solve(lvl, tf, zf, cols, ws);
 
     parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
       const auto fi = static_cast<std::size_t>(f_list[i]);
       for (std::size_t c = 0; c < cols; ++c) {
-        out[c * n + fi] = yf[c * nf + i] - zf[c * nf + i];
+        out[fi * cols + c] = yf[i * cols + c] - zf[i * cols + c];
       }
     });
     parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
       const auto cj = static_cast<std::size_t>(c_list[j]);
-      for (std::size_t c = 0; c < cols; ++c) {
-        out[c * n + cj] = xc[c * nc + j];
-      }
+      std::memcpy(out + cj * cols, xc + j * cols, cols * sizeof(double));
     });
   }
 
-  for (std::size_t c = 0; c < cols; ++c) {
-    std::copy(ws.level_vec[0].data() + c * n0,
-              ws.level_vec[0].data() + (c + 1) * n0, y + c * ld);
+  // Interleaved workspace -> panel (column-major, leading dimension ld).
+  {
+    const double* v0 = ws.level_vec[0].data();
+    parallel_for(std::size_t{0}, n0, [&](std::size_t i) {
+      for (std::size_t c = 0; c < cols; ++c) y[c * ld + i] = v0[i * cols + c];
+    });
   }
 
   // Cumulative process-wide apply telemetry (references cached; the

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "linalg/kernels/aligned_buffer.hpp"
 #include "linalg/panel.hpp"
 #include "support/types.hpp"
 
@@ -61,13 +62,26 @@ struct EliminationLevel {
 /// panel width, so scratch prepared for k=1 is never reused unsized for
 /// a k=8 panel. (The id is an id, not an address: a chain reallocated at
 /// a dead chain's address can never match stale scratch.)
+///
+/// Buffers hold k-column panels INTERLEAVED — element (i, c) lives at
+/// i*cols + c, so one row's column values are contiguous and the SIMD
+/// kernels (linalg/kernels/) load them with one vector instruction. At
+/// cols == 1 the layout degenerates to the plain vector layout, so the
+/// k=1 addressing is byte-for-byte the pre-blocking layout. Storage is
+/// 64-byte-aligned AlignedBuffer, first-touched under the active
+/// NumaPolicy on the preparing (worker) thread.
 class ApplyWorkspace {
  public:
-  std::vector<std::vector<double>> level_vec;  ///< n_k x cols per level, +base
-  std::vector<std::vector<double>> level_yf;   ///< nf_k x cols per level
-  std::vector<double> jac_b, jac_cur, jac_tmp; ///< Jacobi scratch, max_nf x cols
-  std::vector<double> scratch_f, scratch_f2;   ///< gather/apply scratch
-  std::vector<double> base_out;                ///< base_n x cols
+  /// n_k x cols per level, + base level.
+  std::vector<kernels::AlignedBuffer<double>> level_vec;
+  /// nf_k x cols per level.
+  std::vector<kernels::AlignedBuffer<double>> level_yf;
+  /// Jacobi scratch, max_nf x cols each.
+  kernels::AlignedBuffer<double> jac_b, jac_cur, jac_tmp;
+  /// Gather/apply scratch, max_nf x cols each.
+  kernels::AlignedBuffer<double> scratch_f, scratch_f2;
+  /// base_n x cols.
+  kernels::AlignedBuffer<double> base_out;
   std::uint64_t prepared_for = 0;  ///< build id the sizes above match
   std::size_t prepared_cols = 0;   ///< block width the sizes above match
 };
@@ -113,26 +127,29 @@ class ApplyChain {
     return levels_;
   }
   [[nodiscard]] std::span<const Vertex> f_lists() const noexcept {
-    return f_lists_;
+    return {f_lists_.data(), f_lists_.size()};
   }
   [[nodiscard]] std::span<const Vertex> c_lists() const noexcept {
-    return c_lists_;
+    return {c_lists_.data(), c_lists_.size()};
   }
   [[nodiscard]] std::span<const double> inv_x() const noexcept {
-    return inv_x_;
+    return {inv_x_.data(), inv_x_.size()};
   }
   [[nodiscard]] std::span<const double> y_diag() const noexcept {
-    return y_diag_;
+    return {y_diag_.data(), y_diag_.size()};
   }
   [[nodiscard]] std::span<const EdgeId> offsets() const noexcept {
-    return off_;
+    return {off_.data(), off_.size()};
   }
   [[nodiscard]] std::span<const Vertex> columns() const noexcept {
-    return nbr_;
+    return {nbr_.data(), nbr_.size()};
   }
-  [[nodiscard]] std::span<const Weight> weights() const noexcept { return w_; }
-  [[nodiscard]] const DenseMatrix& base_pinv() const noexcept {
-    return base_pinv_;
+  [[nodiscard]] std::span<const Weight> weights() const noexcept {
+    return {w_.data(), w_.size()};
+  }
+  /// Row-major base_size() x base_size() dense pseudo-inverse.
+  [[nodiscard]] std::span<const double> base_pinv() const noexcept {
+    return {base_pinv_.data(), base_pinv_.size()};
   }
 
   /// y = W b (Algorithm 2) for one right-hand side.
@@ -154,16 +171,22 @@ class ApplyChain {
   void jacobi_solve(const Level& lvl, const double* b_f, double* out,
                     std::size_t cols, ApplyWorkspace& ws) const;
 
+  /// Prefetches level `k`'s packed slices (all six arrays) so the next
+  /// level's index data is in cache before its sweeps start.
+  void prefetch_level(std::size_t k) const;
+
   Vertex n0_ = 0;
   std::vector<Level> levels_;
-  std::vector<Vertex> f_lists_;
-  std::vector<Vertex> c_lists_;
-  std::vector<double> inv_x_;
-  std::vector<double> y_diag_;
-  std::vector<EdgeId> off_;  ///< absolute into nbr_ / w_
-  std::vector<Vertex> nbr_;
-  std::vector<Weight> w_;
-  DenseMatrix base_pinv_;
+  // Packed arrays: 64-byte-aligned, first-touched under the active
+  // NumaPolicy by the finalizing (worker) thread.
+  kernels::AlignedBuffer<Vertex> f_lists_;
+  kernels::AlignedBuffer<Vertex> c_lists_;
+  kernels::AlignedBuffer<double> inv_x_;
+  kernels::AlignedBuffer<double> y_diag_;
+  kernels::AlignedBuffer<EdgeId> off_;  ///< absolute into nbr_ / w_
+  kernels::AlignedBuffer<Vertex> nbr_;
+  kernels::AlignedBuffer<Weight> w_;
+  kernels::AlignedBuffer<double> base_pinv_;  ///< row-major base_n x base_n
   Vertex base_n_ = 0;
   int jacobi_terms_ = 1;
   std::uint64_t build_id_ = 0;

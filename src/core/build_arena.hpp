@@ -20,7 +20,11 @@
 // The per-level sub-CSRs and f/c lists are staged in arena-recycled
 // EliminationLevel buffers too; only the chain's own outputs — the
 // packed ApplyChain arrays and the dense base pseudo-inverse — are
-// allocated to persist.
+// allocated to persist. Those finalized arrays leave the arena through
+// ApplyChain::finalize into 64-byte-aligned kernels::AlignedBuffer
+// storage whose pages are first-touched under the active NUMA policy by
+// the finalizing worker thread — the arena itself stays plain-vector
+// scratch on whatever node grew it (see docs/PERFORMANCE.md).
 //
 // Telemetry: begin_build()/end_build() bracket one build and report how
 // many arena buffers had to grow (`BuildStats::arena_allocations` — zero

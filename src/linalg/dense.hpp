@@ -39,6 +39,9 @@ class DenseMatrix {
                  static_cast<std::size_t>(j)];
   }
 
+  /// Contiguous row-major storage (rows()*cols() doubles).
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
   [[nodiscard]] DenseMatrix transpose() const;
   [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
   [[nodiscard]] DenseMatrix add(const DenseMatrix& other, double scale = 1.0) const;

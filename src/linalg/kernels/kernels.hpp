@@ -1,0 +1,174 @@
+// Runtime-dispatched SIMD kernel layer for the apply hot loop.
+//
+// Every serving solve funnels through a handful of flat loops: the
+// column-major Panel kernels (axpy, per-column reductions, indexed
+// gather/scatter) and the interleaved sub-CSR sweeps of
+// ApplyChain::apply_cols (Jacobi iterations, the L_CF / L_FC block
+// applies, the dense base solve). This layer packages each of those as a
+// function pointer in a KernelTable, with three implementations —
+// scalar, AVX2, AVX-512 — selected ONCE per process by CPUID (or forced
+// via the PARLAP_SIMD env var / the --simd flag on parlap_cli and
+// parlap_serve).
+//
+// Bit-identity contract ("lane = column"): SIMD variants vectorize ONLY
+// across independent columns (or across independent output rows, for
+// pure copies). A lane always carries one column's arithmetic in exactly
+// the scalar order, every kernel translation unit is compiled with
+// -ffp-contract=off, and no FMA intrinsics are used — so every dispatch
+// level produces bit-identical outputs to the scalar reference, and the
+// k=1 / PR-5 panel bit-identity contract survives dispatch unchanged.
+// tests/linalg/kernel_dispatch_test.cpp enforces exact equality;
+// docs/PERFORMANCE.md documents the design rule.
+//
+// Kernels are SERIAL over a row range [lo, hi): callers own the
+// parallelization (for_row_blocks below), so OpenMP structure — and with
+// it the deterministic chunking of reductions — is identical at every
+// dispatch level.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "parallel/for_each.hpp"
+#include "support/types.hpp"
+
+namespace parlap::kernels {
+
+/// Instruction-set tiers the dispatcher can select. Order is capability
+/// order: a level implies all lower ones.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Lower-case level name ("scalar" / "avx2" / "avx512").
+[[nodiscard]] const char* simd_level_name(SimdLevel level) noexcept;
+
+/// Parses "scalar" / "avx2" / "avx512"; "auto" maps to the detected
+/// level. Unknown names return nullopt.
+[[nodiscard]] std::optional<SimdLevel> parse_simd_level(
+    std::string_view name) noexcept;
+
+/// Best level this CPU supports (CPUID, queried once).
+[[nodiscard]] SimdLevel detected_simd_level() noexcept;
+
+/// The level the process is currently dispatching to. Initialized on
+/// first use from $PARLAP_SIMD (default: the detected level).
+[[nodiscard]] SimdLevel active_simd_level() noexcept;
+
+/// Selects the dispatch level, clamping to detected_simd_level() (a
+/// request above the hardware's capability selects the detected level
+/// and returns the clamped value). Call at startup, before solves run.
+SimdLevel set_simd_level(SimdLevel level) noexcept;
+
+/// One ISA tier's kernel set. All row/column counts are element counts;
+/// layouts: "col-major" kernels address element (i, c) at c*ld + i
+/// (Panel layout), "interleaved" kernels at i*k + c (the apply-chain
+/// workspace layout, so a row's k column values are contiguous).
+struct KernelTable {
+  SimdLevel level = SimdLevel::kScalar;
+  const char* name = "scalar";
+
+  // --- column-major Panel kernels -----------------------------------------
+  /// Rows [lo, hi): y(i, c) += a * x(i, c) for every column with
+  /// mask[c] != 0 (mask == nullptr: all k columns).
+  void (*axpy_cols)(double a, const double* x, double* y, std::size_t lo,
+                    std::size_t hi, std::size_t ld, std::size_t k,
+                    const unsigned char* mask);
+  /// One reduction chunk: out[c] = sum_{i in [lo, hi)} a(i, c) * b(i, c),
+  /// accumulated in row order per column (the deterministic-dot order).
+  void (*chunk_dots)(const double* a, const double* b, std::size_t lo,
+                     std::size_t hi, std::size_t ld, std::size_t k,
+                     double* out);
+  /// Rows [lo, hi) of the index list: dst(i, c) = src(rows[i], c).
+  void (*gather_rows)(const double* src, std::size_t src_ld,
+                      const Vertex* rows, std::size_t lo, std::size_t hi,
+                      std::size_t dst_ld, std::size_t k, double* dst);
+  /// Rows [lo, hi) of the index list: dst(rows[i], c) = src(i, c).
+  void (*scatter_rows)(const double* src, std::size_t src_ld,
+                       const Vertex* rows, std::size_t lo, std::size_t hi,
+                       std::size_t dst_ld, std::size_t k, double* dst);
+
+  // --- interleaved apply-chain kernels ------------------------------------
+  /// One Jacobi iteration over rows [lo, hi) (absolute CSR offsets into
+  /// nbr/w): tmp(i, :) = xb(i, :) - inv_x[i] * (y_diag[i] * cur(i, :)
+  ///                                            - sum_p w[p] * cur(nbr[p], :)).
+  void (*csr_jacobi)(std::size_t lo, std::size_t hi, std::size_t k,
+                     const EdgeId* off, const Vertex* nbr, const Weight* w,
+                     const double* inv_x, const double* y_diag,
+                     const double* xb, const double* cur, double* tmp);
+  /// Forward elimination rows [lo, hi):
+  /// out(j, :) = seed(idx[j], :) + sum_p w[p] * src(nbr[p], :).
+  void (*csr_fwd)(std::size_t lo, std::size_t hi, std::size_t k,
+                  const EdgeId* off, const Vertex* nbr, const Weight* w,
+                  const Vertex* idx, const double* seed, const double* src,
+                  double* out);
+  /// Back-substitution rows [lo, hi):
+  /// out(i, :) = - sum_p w[p] * src(nbr[p], :).
+  void (*csr_bwd)(std::size_t lo, std::size_t hi, std::size_t k,
+                  const EdgeId* off, const Vertex* nbr, const Weight* w,
+                  const double* src, double* out);
+  /// Dense base solve rows [lo, hi) of an n x n row-major matrix:
+  /// out(i, :) = sum_j a[i*n + j] * in(j, :).
+  void (*dense_rows)(std::size_t lo, std::size_t hi, std::size_t k,
+                     std::size_t n, const double* a, const double* in,
+                     double* out);
+};
+
+/// The table for the active dispatch level (one relaxed atomic load).
+[[nodiscard]] const KernelTable& active() noexcept;
+
+/// The table for an explicit level (microbenchmarks / parity tests).
+/// Levels above detected_simd_level() fall back to the scalar table.
+[[nodiscard]] const KernelTable& table_for(SimdLevel level) noexcept;
+
+/// Whether `level`'s native table is compiled in AND supported by this
+/// CPU (table_for() returns the real table, not a fallback).
+[[nodiscard]] bool simd_level_available(SimdLevel level) noexcept;
+
+/// Reduction chunk length shared with vector_ops' deterministic dot:
+/// per-column chunk partials are accumulated serially and folded in
+/// chunk order, so panel reductions equal norm2/dot bit-for-bit.
+inline constexpr std::size_t kReductionChunk = std::size_t{1} << 14;
+
+/// Row-block width the drivers hand to the serial kernels; one OpenMP
+/// work item per block.
+inline constexpr std::size_t kRowBlock = 2048;
+
+/// Runs fn(lo, hi) over [0, n) in kRowBlock-sized blocks, in parallel
+/// when more than one block exists (outputs are per-row independent, so
+/// scheduling never affects results).
+template <typename Fn>
+void for_row_blocks(std::size_t n, Fn&& fn) {
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  if (blocks <= 1) {
+    if (n > 0) fn(std::size_t{0}, n);
+    return;
+  }
+  parallel_for(
+      std::size_t{0}, blocks,
+      [&](std::size_t b) {
+        fn(b * kRowBlock, std::min(n, (b + 1) * kRowBlock));
+      },
+      /*grain=*/2);
+}
+
+/// Best-effort software prefetch of [p, p + bytes), one touch per cache
+/// line, read-only with moderate temporal locality. Used by the chain
+/// apply to pull the NEXT level's packed CSR slices into cache while the
+/// current level is still computing.
+inline void prefetch_bytes(const void* p, std::size_t bytes) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t o = 0; o < bytes; o += 64) {
+    __builtin_prefetch(c + o, /*rw=*/0, /*locality=*/2);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace parlap::kernels

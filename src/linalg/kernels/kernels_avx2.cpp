@@ -1,0 +1,59 @@
+// AVX2 tier (4 doubles/lane). Compiled with -mavx2 -ffp-contract=off on
+// x86-64; elsewhere the table is absent and dispatch stays scalar.
+#include "linalg/kernels/kernels_tables.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "linalg/kernels/kernels_vec_impl.hpp"
+
+namespace parlap::kernels {
+
+namespace {
+
+struct V4 {
+  using reg = __m256d;
+  static constexpr std::size_t W = 4;
+  static reg zero() { return _mm256_setzero_pd(); }
+  static reg set1(double x) { return _mm256_set1_pd(x); }
+  static reg loadu(const double* p) { return _mm256_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  /// Lane l = p[l * stride] (column-major lane-per-column loads).
+  static reg gather_cols(const double* p, std::size_t stride) {
+    return _mm256_set_pd(p[3 * stride], p[2 * stride], p[stride], p[0]);
+  }
+  /// Lane l = base[idx[l]] (int32 row indices).
+  static reg gather_idx(const double* base, const Vertex* idx) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    return _mm256_i32gather_pd(base, vi, 8);
+  }
+  /// base[idx[l]] = lane l; AVX2 has no scatter, so stores are scalar.
+  static void scatter_idx(double* base, const Vertex* idx, reg v) {
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, v);
+    for (int l = 0; l < 4; ++l) {
+      base[static_cast<std::size_t>(idx[l])] = lanes[l];
+    }
+  }
+};
+
+constexpr KernelTable kTable = make_table<V4>(SimdLevel::kAvx2, "avx2");
+
+}  // namespace
+
+const KernelTable* avx2_table() noexcept { return &kTable; }
+
+}  // namespace parlap::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace parlap::kernels {
+const KernelTable* avx2_table() noexcept { return nullptr; }
+}  // namespace parlap::kernels
+
+#endif

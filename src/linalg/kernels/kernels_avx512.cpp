@@ -1,0 +1,60 @@
+// AVX-512 tier (8 doubles/lane). Compiled with -mavx512f -mavx512vl
+// -mavx512dq -mavx512bw -ffp-contract=off on x86-64; elsewhere the table
+// is absent and dispatch tops out at AVX2 or scalar.
+#include "linalg/kernels/kernels_tables.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include "linalg/kernels/kernels_vec_impl.hpp"
+
+namespace parlap::kernels {
+
+namespace {
+
+struct V8 {
+  using reg = __m512d;
+  static constexpr std::size_t W = 8;
+  static reg zero() { return _mm512_setzero_pd(); }
+  static reg set1(double x) { return _mm512_set1_pd(x); }
+  static reg loadu(const double* p) { return _mm512_loadu_pd(p); }
+  static void storeu(double* p, reg v) { _mm512_storeu_pd(p, v); }
+  static reg add(reg a, reg b) { return _mm512_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_pd(a, b); }
+  /// Lane l = p[l * stride] (column-major lane-per-column loads).
+  static reg gather_cols(const double* p, std::size_t stride) {
+    return _mm512_set_pd(p[7 * stride], p[6 * stride], p[5 * stride],
+                         p[4 * stride], p[3 * stride], p[2 * stride],
+                         p[stride], p[0]);
+  }
+  /// Lane l = base[idx[l]] (int32 row indices).
+  static reg gather_idx(const double* base, const Vertex* idx) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm512_i32gather_pd(vi, base, 8);
+  }
+  /// base[idx[l]] = lane l (hardware scatter; row lists are duplicate-free).
+  static void scatter_idx(double* base, const Vertex* idx, reg v) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    _mm512_i32scatter_pd(base, vi, v, 8);
+  }
+};
+
+constexpr KernelTable kTable = make_table<V8>(SimdLevel::kAvx512, "avx512");
+
+}  // namespace
+
+const KernelTable* avx512_table() noexcept { return &kTable; }
+
+}  // namespace parlap::kernels
+
+#else  // !defined(__AVX512F__)
+
+namespace parlap::kernels {
+const KernelTable* avx512_table() noexcept { return nullptr; }
+}  // namespace parlap::kernels
+
+#endif

@@ -1,0 +1,231 @@
+// Scalar reference kernels: the arithmetic ground truth every SIMD tier
+// must match bit-for-bit. Per column, each loop is the exact operation
+// order of the pre-dispatch ApplyChain / Panel code (and of vector_ops'
+// chunked dot): CSR sweeps stream each row's entries once per
+// kColChunk-wide column group with per-column accumulators, and k == 1
+// keeps the single-register accumulator of the original hot path.
+// Compiled with the library's baseline flags — no -march, no contraction
+// surprises.
+#include <algorithm>
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace parlap::kernels {
+
+namespace scalar_impl {
+
+namespace {
+/// Column-chunk width of the CSR row kernels (matches the pre-dispatch
+/// apply code): per row, up to kColChunk columns accumulate in a stack
+/// buffer while the row's entries stream once.
+constexpr std::size_t kColChunk = 8;
+}  // namespace
+
+void axpy_cols(double a, const double* x, double* y, std::size_t lo,
+               std::size_t hi, std::size_t ld, std::size_t k,
+               const unsigned char* mask) {
+  for (std::size_t c = 0; c < k; ++c) {
+    if (mask != nullptr && mask[c] == 0) continue;
+    const double* xc = x + c * ld;
+    double* yc = y + c * ld;
+    for (std::size_t i = lo; i < hi; ++i) yc[i] += a * xc[i];
+  }
+}
+
+void chunk_dots(const double* a, const double* b, std::size_t lo,
+                std::size_t hi, std::size_t ld, std::size_t k, double* out) {
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* ac = a + c * ld;
+    const double* bc = b + c * ld;
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += ac[i] * bc[i];
+    out[c] = s;
+  }
+}
+
+void gather_rows(const double* src, std::size_t src_ld, const Vertex* rows,
+                 std::size_t lo, std::size_t hi, std::size_t dst_ld,
+                 std::size_t k, double* dst) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    for (std::size_t c = 0; c < k; ++c) {
+      dst[c * dst_ld + i] = src[c * src_ld + r];
+    }
+  }
+}
+
+void scatter_rows(const double* src, std::size_t src_ld, const Vertex* rows,
+                  std::size_t lo, std::size_t hi, std::size_t dst_ld,
+                  std::size_t k, double* dst) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    for (std::size_t c = 0; c < k; ++c) {
+      dst[c * dst_ld + r] = src[c * src_ld + i];
+    }
+  }
+}
+
+void csr_jacobi(std::size_t lo, std::size_t hi, std::size_t k,
+                const EdgeId* off, const Vertex* nbr, const Weight* w,
+                const double* inv_x, const double* y_diag, const double* xb,
+                const double* cur, double* tmp) {
+  if (k == 1) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const EdgeId plo = off[i];
+      const EdgeId phi = off[i + 1];
+      double acc = y_diag[i] * cur[i];
+      for (EdgeId p = plo; p < phi; ++p) {
+        acc -= w[static_cast<std::size_t>(p)] *
+               cur[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])];
+      }
+      tmp[i] = xb[i] - inv_x[i] * acc;
+    }
+    return;
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    const EdgeId plo = off[i];
+    const EdgeId phi = off[i + 1];
+    for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
+      const std::size_t cw = std::min(kColChunk, k - c0);
+      double acc[kColChunk];
+      for (std::size_t cc = 0; cc < cw; ++cc) {
+        acc[cc] = y_diag[i] * cur[i * k + c0 + cc];
+      }
+      for (EdgeId p = plo; p < phi; ++p) {
+        const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
+        const Weight wp = w[static_cast<std::size_t>(p)];
+        for (std::size_t cc = 0; cc < cw; ++cc) {
+          acc[cc] -= wp * cur[t * k + c0 + cc];
+        }
+      }
+      for (std::size_t cc = 0; cc < cw; ++cc) {
+        tmp[i * k + c0 + cc] = xb[i * k + c0 + cc] - inv_x[i] * acc[cc];
+      }
+    }
+  }
+}
+
+void csr_fwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
+             const Vertex* nbr, const Weight* w, const Vertex* idx,
+             const double* seed, const double* src, double* out) {
+  if (k == 1) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const EdgeId plo = off[j];
+      const EdgeId phi = off[j + 1];
+      double acc = seed[static_cast<std::size_t>(idx[j])];
+      for (EdgeId p = plo; p < phi; ++p) {
+        acc += w[static_cast<std::size_t>(p)] *
+               src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])];
+      }
+      out[j] = acc;
+    }
+    return;
+  }
+  for (std::size_t j = lo; j < hi; ++j) {
+    const auto sj = static_cast<std::size_t>(idx[j]);
+    const EdgeId plo = off[j];
+    const EdgeId phi = off[j + 1];
+    for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
+      const std::size_t cw = std::min(kColChunk, k - c0);
+      double acc[kColChunk];
+      for (std::size_t cc = 0; cc < cw; ++cc) {
+        acc[cc] = seed[sj * k + c0 + cc];
+      }
+      for (EdgeId p = plo; p < phi; ++p) {
+        const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
+        const Weight wp = w[static_cast<std::size_t>(p)];
+        for (std::size_t cc = 0; cc < cw; ++cc) {
+          acc[cc] += wp * src[t * k + c0 + cc];
+        }
+      }
+      for (std::size_t cc = 0; cc < cw; ++cc) {
+        out[j * k + c0 + cc] = acc[cc];
+      }
+    }
+  }
+}
+
+void csr_bwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
+             const Vertex* nbr, const Weight* w, const double* src,
+             double* out) {
+  if (k == 1) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const EdgeId plo = off[i];
+      const EdgeId phi = off[i + 1];
+      double acc = 0.0;
+      for (EdgeId p = plo; p < phi; ++p) {
+        acc -= w[static_cast<std::size_t>(p)] *
+               src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])];
+      }
+      out[i] = acc;
+    }
+    return;
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    const EdgeId plo = off[i];
+    const EdgeId phi = off[i + 1];
+    for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
+      const std::size_t cw = std::min(kColChunk, k - c0);
+      double acc[kColChunk] = {};
+      for (EdgeId p = plo; p < phi; ++p) {
+        const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
+        const Weight wp = w[static_cast<std::size_t>(p)];
+        for (std::size_t cc = 0; cc < cw; ++cc) {
+          acc[cc] -= wp * src[t * k + c0 + cc];
+        }
+      }
+      for (std::size_t cc = 0; cc < cw; ++cc) {
+        out[i * k + c0 + cc] = acc[cc];
+      }
+    }
+  }
+}
+
+void dense_rows(std::size_t lo, std::size_t hi, std::size_t k, std::size_t n,
+                const double* a, const double* in, double* out) {
+  if (k == 1) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* row = a + i * n;
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += row[j] * in[j];
+      out[i] = acc;
+    }
+    return;
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double* row = a + i * n;
+    for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
+      const std::size_t cw = std::min(kColChunk, k - c0);
+      double acc[kColChunk] = {};
+      for (std::size_t j = 0; j < n; ++j) {
+        const double aj = row[j];
+        for (std::size_t cc = 0; cc < cw; ++cc) {
+          acc[cc] += aj * in[j * k + c0 + cc];
+        }
+      }
+      for (std::size_t cc = 0; cc < cw; ++cc) {
+        out[i * k + c0 + cc] = acc[cc];
+      }
+    }
+  }
+}
+
+}  // namespace scalar_impl
+
+const KernelTable& scalar_table() noexcept {
+  static constexpr KernelTable table{
+      SimdLevel::kScalar,
+      "scalar",
+      &scalar_impl::axpy_cols,
+      &scalar_impl::chunk_dots,
+      &scalar_impl::gather_rows,
+      &scalar_impl::scatter_rows,
+      &scalar_impl::csr_jacobi,
+      &scalar_impl::csr_fwd,
+      &scalar_impl::csr_bwd,
+      &scalar_impl::dense_rows,
+  };
+  return table;
+}
+
+}  // namespace parlap::kernels

@@ -1,0 +1,14 @@
+// Internal: per-tier table accessors wired together by dispatch.cpp.
+// The SIMD accessors return nullptr when the tier was not compiled in
+// (non-x86 target or a toolchain without the -m flags).
+#pragma once
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace parlap::kernels {
+
+const KernelTable& scalar_table() noexcept;
+const KernelTable* avx2_table() noexcept;
+const KernelTable* avx512_table() noexcept;
+
+}  // namespace parlap::kernels

@@ -1,0 +1,259 @@
+// Shared SIMD kernel bodies, templated over a vector trait V (one per
+// ISA tier: W=4 AVX2 doubles, W=8 AVX-512 doubles). Included ONLY by the
+// per-ISA translation units, which are compiled with the matching -m
+// flags plus -ffp-contract=off.
+//
+// The bit-identity discipline, concretely:
+//   * Interleaved kernels (csr_*, dense_rows) put one COLUMN per vector
+//     lane: a lane performs its column's adds/subs/muls in exactly the
+//     scalar order, and mul/add/sub intrinsics are never fused (no FMA
+//     intrinsics; contraction disabled), so lane results equal the
+//     scalar kernel bit-for-bit.
+//   * Column-major elementwise kernels (axpy_cols, gather/scatter)
+//     vectorize along rows — each element's arithmetic is independent,
+//     so packing cannot reorder anything.
+//   * chunk_dots must accumulate each column in ROW order (the
+//     deterministic-dot contract), so it vectorizes across columns with
+//     strided lane loads; the row-major accumulation order per lane is
+//     untouched.
+//   * Remainder columns (k % W) and rows fall back to the scalar
+//     pattern, which is the same arithmetic by construction.
+//   * Kernels that put one column per LANE (chunk_dots, csr_*,
+//     dense_rows) delegate k == 1 to the scalar reference outright: a
+//     single column fills no lanes, and the scalar table has dedicated
+//     single-column register fast paths the remainder loop here lacks —
+//     E19 measures the vector tail 15-50% slower at width 1. Same bits
+//     either way (scalar IS the reference); this keeps the width-1
+//     latency path as fast under auto dispatch as under --simd=scalar.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/kernels_tables.hpp"
+
+namespace parlap::kernels {
+
+template <class V>
+struct VecKernels {
+  using reg = typename V::reg;
+  static constexpr std::size_t W = V::W;
+
+  static void axpy_cols(double a, const double* x, double* y, std::size_t lo,
+                        std::size_t hi, std::size_t ld, std::size_t k,
+                        const unsigned char* mask) {
+    const reg av = V::set1(a);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (mask != nullptr && mask[c] == 0) continue;
+      const double* xc = x + c * ld;
+      double* yc = y + c * ld;
+      std::size_t i = lo;
+      for (; i + W <= hi; i += W) {
+        V::storeu(yc + i, V::add(V::loadu(yc + i), V::mul(av, V::loadu(xc + i))));
+      }
+      for (; i < hi; ++i) yc[i] += a * xc[i];
+    }
+  }
+
+  static void chunk_dots(const double* a, const double* b, std::size_t lo,
+                         std::size_t hi, std::size_t ld, std::size_t k,
+                         double* out) {
+    if (k == 1) {
+      scalar_table().chunk_dots(a, b, lo, hi, ld, k, out);
+      return;
+    }
+    std::size_t c0 = 0;
+    for (; c0 + W <= k; c0 += W) {
+      const double* ac = a + c0 * ld;
+      const double* bc = b + c0 * ld;
+      reg acc = V::zero();
+      for (std::size_t i = lo; i < hi; ++i) {
+        acc = V::add(acc, V::mul(V::gather_cols(ac + i, ld),
+                                 V::gather_cols(bc + i, ld)));
+      }
+      double lanes[W];
+      V::storeu(lanes, acc);
+      for (std::size_t l = 0; l < W; ++l) out[c0 + l] = lanes[l];
+    }
+    for (; c0 < k; ++c0) {
+      const double* ac = a + c0 * ld;
+      const double* bc = b + c0 * ld;
+      double s = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) s += ac[i] * bc[i];
+      out[c0] = s;
+    }
+  }
+
+  static void gather_rows(const double* src, std::size_t src_ld,
+                          const Vertex* rows, std::size_t lo, std::size_t hi,
+                          std::size_t dst_ld, std::size_t k, double* dst) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* sc = src + c * src_ld;
+      double* dc = dst + c * dst_ld;
+      std::size_t i = lo;
+      for (; i + W <= hi; i += W) {
+        V::storeu(dc + i, V::gather_idx(sc, rows + i));
+      }
+      for (; i < hi; ++i) dc[i] = sc[static_cast<std::size_t>(rows[i])];
+    }
+  }
+
+  static void scatter_rows(const double* src, std::size_t src_ld,
+                           const Vertex* rows, std::size_t lo, std::size_t hi,
+                           std::size_t dst_ld, std::size_t k, double* dst) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* sc = src + c * src_ld;
+      double* dc = dst + c * dst_ld;
+      std::size_t i = lo;
+      for (; i + W <= hi; i += W) {
+        V::scatter_idx(dc, rows + i, V::loadu(sc + i));
+      }
+      for (; i < hi; ++i) dc[static_cast<std::size_t>(rows[i])] = sc[i];
+    }
+  }
+
+  static void csr_jacobi(std::size_t lo, std::size_t hi, std::size_t k,
+                         const EdgeId* off, const Vertex* nbr, const Weight* w,
+                         const double* inv_x, const double* y_diag,
+                         const double* xb, const double* cur, double* tmp) {
+    if (k == 1) {
+      scalar_table().csr_jacobi(lo, hi, k, off, nbr, w, inv_x, y_diag, xb,
+                                cur, tmp);
+      return;
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      const EdgeId plo = off[i];
+      const EdgeId phi = off[i + 1];
+      const reg yd = V::set1(y_diag[i]);
+      const reg xi = V::set1(inv_x[i]);
+      std::size_t c0 = 0;
+      for (; c0 + W <= k; c0 += W) {
+        reg acc = V::mul(yd, V::loadu(cur + i * k + c0));
+        for (EdgeId p = plo; p < phi; ++p) {
+          const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
+          const reg wp = V::set1(w[static_cast<std::size_t>(p)]);
+          acc = V::sub(acc, V::mul(wp, V::loadu(cur + t * k + c0)));
+        }
+        V::storeu(tmp + i * k + c0,
+                  V::sub(V::loadu(xb + i * k + c0), V::mul(xi, acc)));
+      }
+      for (; c0 < k; ++c0) {
+        double acc = y_diag[i] * cur[i * k + c0];
+        for (EdgeId p = plo; p < phi; ++p) {
+          acc -= w[static_cast<std::size_t>(p)] *
+                 cur[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]) * k + c0];
+        }
+        tmp[i * k + c0] = xb[i * k + c0] - inv_x[i] * acc;
+      }
+    }
+  }
+
+  static void csr_fwd(std::size_t lo, std::size_t hi, std::size_t k,
+                      const EdgeId* off, const Vertex* nbr, const Weight* w,
+                      const Vertex* idx, const double* seed, const double* src,
+                      double* out) {
+    if (k == 1) {
+      scalar_table().csr_fwd(lo, hi, k, off, nbr, w, idx, seed, src, out);
+      return;
+    }
+    for (std::size_t j = lo; j < hi; ++j) {
+      const auto sj = static_cast<std::size_t>(idx[j]);
+      const EdgeId plo = off[j];
+      const EdgeId phi = off[j + 1];
+      std::size_t c0 = 0;
+      for (; c0 + W <= k; c0 += W) {
+        reg acc = V::loadu(seed + sj * k + c0);
+        for (EdgeId p = plo; p < phi; ++p) {
+          const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
+          const reg wp = V::set1(w[static_cast<std::size_t>(p)]);
+          acc = V::add(acc, V::mul(wp, V::loadu(src + t * k + c0)));
+        }
+        V::storeu(out + j * k + c0, acc);
+      }
+      for (; c0 < k; ++c0) {
+        double acc = seed[sj * k + c0];
+        for (EdgeId p = plo; p < phi; ++p) {
+          acc += w[static_cast<std::size_t>(p)] *
+                 src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]) * k + c0];
+        }
+        out[j * k + c0] = acc;
+      }
+    }
+  }
+
+  static void csr_bwd(std::size_t lo, std::size_t hi, std::size_t k,
+                      const EdgeId* off, const Vertex* nbr, const Weight* w,
+                      const double* src, double* out) {
+    if (k == 1) {
+      scalar_table().csr_bwd(lo, hi, k, off, nbr, w, src, out);
+      return;
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      const EdgeId plo = off[i];
+      const EdgeId phi = off[i + 1];
+      std::size_t c0 = 0;
+      for (; c0 + W <= k; c0 += W) {
+        reg acc = V::zero();
+        for (EdgeId p = plo; p < phi; ++p) {
+          const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
+          const reg wp = V::set1(w[static_cast<std::size_t>(p)]);
+          acc = V::sub(acc, V::mul(wp, V::loadu(src + t * k + c0)));
+        }
+        V::storeu(out + i * k + c0, acc);
+      }
+      for (; c0 < k; ++c0) {
+        double acc = 0.0;
+        for (EdgeId p = plo; p < phi; ++p) {
+          acc -= w[static_cast<std::size_t>(p)] *
+                 src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]) * k + c0];
+        }
+        out[i * k + c0] = acc;
+      }
+    }
+  }
+
+  static void dense_rows(std::size_t lo, std::size_t hi, std::size_t k,
+                         std::size_t n, const double* a, const double* in,
+                         double* out) {
+    if (k == 1) {
+      scalar_table().dense_rows(lo, hi, k, n, a, in, out);
+      return;
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double* row = a + i * n;
+      std::size_t c0 = 0;
+      for (; c0 + W <= k; c0 += W) {
+        reg acc = V::zero();
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = V::add(acc, V::mul(V::set1(row[j]), V::loadu(in + j * k + c0)));
+        }
+        V::storeu(out + i * k + c0, acc);
+      }
+      for (; c0 < k; ++c0) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) acc += row[j] * in[j * k + c0];
+        out[i * k + c0] = acc;
+      }
+    }
+  }
+};
+
+/// Builds the tier's KernelTable from the trait instantiation.
+template <class V>
+constexpr KernelTable make_table(SimdLevel level, const char* name) {
+  return KernelTable{
+      level,
+      name,
+      &VecKernels<V>::axpy_cols,
+      &VecKernels<V>::chunk_dots,
+      &VecKernels<V>::gather_rows,
+      &VecKernels<V>::scatter_rows,
+      &VecKernels<V>::csr_jacobi,
+      &VecKernels<V>::csr_fwd,
+      &VecKernels<V>::csr_bwd,
+      &VecKernels<V>::dense_rows,
+  };
+}
+
+}  // namespace parlap::kernels

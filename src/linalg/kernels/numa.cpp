@@ -1,0 +1,91 @@
+#include "linalg/kernels/numa.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "parallel/for_each.hpp"
+
+namespace parlap::kernels {
+
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+NumaPolicy initial_policy() {
+  if (const char* env = std::getenv("PARLAP_NUMA")) {
+    if (const auto parsed = parse_numa_policy(env)) return *parsed;
+  }
+  return NumaPolicy::kLocal;
+}
+
+std::atomic<int>& policy_slot() {
+  static std::atomic<int> slot{static_cast<int>(initial_policy())};
+  return slot;
+}
+
+int count_nodes() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  int nodes = 0;
+  for (const auto& entry : fs::directory_iterator("/sys/devices/system/node", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) == 0 &&
+        name.find_first_not_of("0123456789", 4) == std::string::npos &&
+        name.size() > 4) {
+      ++nodes;
+    }
+  }
+  return nodes > 0 ? nodes : 1;
+}
+
+}  // namespace
+
+const char* numa_policy_name(NumaPolicy policy) noexcept {
+  return policy == NumaPolicy::kInterleave ? "interleave" : "local";
+}
+
+std::optional<NumaPolicy> parse_numa_policy(std::string_view name) noexcept {
+  if (name == "local") return NumaPolicy::kLocal;
+  if (name == "interleave") return NumaPolicy::kInterleave;
+  return std::nullopt;
+}
+
+NumaPolicy active_numa_policy() noexcept {
+  return static_cast<NumaPolicy>(policy_slot().load(std::memory_order_relaxed));
+}
+
+void set_numa_policy(NumaPolicy policy) noexcept {
+  policy_slot().store(static_cast<int>(policy), std::memory_order_relaxed);
+}
+
+int numa_node_count() noexcept {
+  static const int nodes = count_nodes();
+  return nodes;
+}
+
+void first_touch(void* p, std::size_t bytes) {
+  if (bytes == 0) return;
+  if (active_numa_policy() == NumaPolicy::kLocal || numa_node_count() <= 1 ||
+      !parallelism_allowed()) {
+    // One thread touches every page: pages land on the caller's node.
+    std::memset(p, 0, bytes);
+    return;
+  }
+  // Page-granular static schedule: consecutive pages are touched by the
+  // worker team round-robin, striping the buffer across the nodes the
+  // team spans.
+  char* base = static_cast<char*>(p);
+  const std::size_t pages = (bytes + kPage - 1) / kPage;
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t pg = 0; pg < static_cast<std::int64_t>(pages); ++pg) {
+    const std::size_t lo = static_cast<std::size_t>(pg) * kPage;
+    std::memset(base + lo, 0, std::min(kPage, bytes - lo));
+  }
+}
+
+}  // namespace parlap::kernels

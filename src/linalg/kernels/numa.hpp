@@ -1,0 +1,55 @@
+// NUMA placement policy for the apply-side hot arrays.
+//
+// The packed CSR arrays and ApplyWorkspace buffers are allocated with
+// AlignedBuffer (aligned_buffer.hpp), which defers the FIRST TOUCH of
+// every page to an explicit first_touch() call so the kernel's
+// first-touch page placement puts the memory where the policy asks:
+//
+//   kLocal      — the calling thread touches every page, so pages land
+//                 on that thread's node. ApplyChain::finalize and
+//                 prepare_workspace run on the engine worker that will
+//                 traverse the arrays, making "local" the natural
+//                 serving placement.
+//   kInterleave — pages are touched round-robin by the OpenMP worker
+//                 team, striping the arrays across nodes. Useful when
+//                 one chain is shared by solvers on several nodes.
+//
+// No libnuma dependency: placement is entirely first-touch driven, and
+// the node count is read from /sys/devices/system/node. On single-node
+// hosts the two policies behave identically.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace parlap::kernels {
+
+enum class NumaPolicy : int {
+  kLocal = 0,
+  kInterleave = 1,
+};
+
+/// Lower-case policy name ("local" / "interleave").
+[[nodiscard]] const char* numa_policy_name(NumaPolicy policy) noexcept;
+
+/// Parses "local" / "interleave"; unknown names return nullopt.
+[[nodiscard]] std::optional<NumaPolicy> parse_numa_policy(
+    std::string_view name) noexcept;
+
+/// Process-wide placement policy. Initialized on first use from
+/// $PARLAP_NUMA (default kLocal); set via --numa at startup.
+[[nodiscard]] NumaPolicy active_numa_policy() noexcept;
+void set_numa_policy(NumaPolicy policy) noexcept;
+
+/// Number of online NUMA nodes (/sys/devices/system/node); 1 when the
+/// sysfs topology is unavailable.
+[[nodiscard]] int numa_node_count() noexcept;
+
+/// Zero-fills [p, p + bytes) with the page-touch pattern of the active
+/// policy: serially on the calling thread (kLocal) or page-striped
+/// across the OpenMP team (kInterleave). Called by AlignedBuffer when a
+/// reallocation produces untouched pages.
+void first_touch(void* p, std::size_t bytes);
+
+}  // namespace parlap::kernels

@@ -1,11 +1,48 @@
 #include "linalg/panel.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/for_each.hpp"
 #include "support/check.hpp"
 
 namespace parlap {
+
+namespace {
+
+/// Per-column deterministic dots with the exact chunked_sum structure of
+/// vector_ops (kReductionChunk rows per chunk, chunk partials folded in
+/// chunk order, serial below one chunk), so panel_col_dots equals
+/// dot(col, col) bit-for-bit at every dispatch level. Within a chunk the
+/// dispatched kernel accumulates each column in row order (lane =
+/// column).
+void col_dots_chunked(const double* a, const double* b, std::size_t n,
+                      std::size_t k, double* out) {
+  const kernels::KernelTable& kt = kernels::active();
+  constexpr std::size_t kChunk = kernels::kReductionChunk;
+  if (n < kChunk) {
+    kt.chunk_dots(a, b, 0, n, n, k, out);
+    return;
+  }
+  const std::size_t chunks = (n + kChunk - 1) / kChunk;
+  std::vector<double> partial(chunks * k);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+    const std::size_t lo = static_cast<std::size_t>(c) * kChunk;
+    const std::size_t hi = std::min(n, lo + kChunk);
+    kt.chunk_dots(a, b, lo, hi, n, k,
+                  partial.data() + static_cast<std::size_t>(c) * k);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t ch = 0; ch < chunks; ++ch) total += partial[ch * k + c];
+    out[c] = total;
+  }
+}
+
+}  // namespace
 
 void panel_from_vectors(std::span<const Vector> bs, Panel& dst) {
   PARLAP_CHECK(!bs.empty());
@@ -44,23 +81,23 @@ void panel_axpy(double a, const Panel& x, Panel& y,
   const std::size_t k = x.cols();
   const double* xd = x.data();
   double* yd = y.data();
-  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
-    for (std::size_t c = 0; c < k; ++c) {
-      if (!mask.empty() && mask[c] == 0) continue;
-      yd[c * n + i] += a * xd[c * n + i];
-    }
+  const kernels::KernelTable& kt = kernels::active();
+  const unsigned char* m = mask.empty() ? nullptr : mask.data();
+  kernels::for_row_blocks(n, [&](std::size_t lo, std::size_t hi) {
+    kt.axpy_cols(a, xd, yd, lo, hi, n, k, m);
   });
 }
 
 void panel_col_norms(const Panel& p, std::span<double> out) {
   PARLAP_CHECK(out.size() == p.cols());
-  for (std::size_t c = 0; c < p.cols(); ++c) out[c] = norm2(p.col(c));
+  col_dots_chunked(p.data(), p.data(), p.rows(), p.cols(), out.data());
+  for (std::size_t c = 0; c < p.cols(); ++c) out[c] = std::sqrt(out[c]);
 }
 
 void panel_col_dots(const Panel& a, const Panel& b, std::span<double> out) {
   PARLAP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   PARLAP_CHECK(out.size() == a.cols());
-  for (std::size_t c = 0; c < a.cols(); ++c) out[c] = dot(a.col(c), b.col(c));
+  col_dots_chunked(a.data(), b.data(), a.rows(), a.cols(), out.data());
 }
 
 void panel_gather_rows(const Panel& src, std::span<const Vertex> rows,
@@ -71,9 +108,9 @@ void panel_gather_rows(const Panel& src, std::span<const Vertex> rows,
   const std::size_t k = src.cols();
   const double* sd = src.data();
   double* dd = dst.data();
-  parallel_for(std::size_t{0}, m, [&](std::size_t i) {
-    const auto r = static_cast<std::size_t>(rows[i]);
-    for (std::size_t c = 0; c < k; ++c) dd[c * m + i] = sd[c * n + r];
+  const kernels::KernelTable& kt = kernels::active();
+  kernels::for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
+    kt.gather_rows(sd, n, rows.data(), lo, hi, m, k, dd);
   });
 }
 
@@ -85,9 +122,9 @@ void panel_scatter_rows(const Panel& src, std::span<const Vertex> rows,
   const std::size_t k = src.cols();
   const double* sd = src.data();
   double* dd = dst.data();
-  parallel_for(std::size_t{0}, m, [&](std::size_t i) {
-    const auto r = static_cast<std::size_t>(rows[i]);
-    for (std::size_t c = 0; c < k; ++c) dd[c * n + r] = sd[c * m + i];
+  const kernels::KernelTable& kt = kernels::active();
+  kernels::for_row_blocks(m, [&](std::size_t lo, std::size_t hi) {
+    kt.scatter_rows(sd, m, rows.data(), lo, hi, n, k, dd);
   });
 }
 

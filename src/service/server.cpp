@@ -18,6 +18,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/numa.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -228,6 +230,8 @@ SolveServer::SolveServer(ServerOptions options)
   eo.workers = 1;  // the server owns the worker pool; run_one is per-thread
   eo.cache_budget_entries = options_.cache_budget_entries;
   eo.graph_cache_limit = options_.graph_cache_limit;
+  eo.simd = options_.simd;
+  eo.numa = options_.numa;
   engine_ = std::make_unique<SolveEngine>(eo);
   // The wake pipe exists for the object's whole life so request_drain()
   // is safe to call from a signal handler at any time.
@@ -1053,6 +1057,20 @@ std::string SolveServer::stats_response() {
   append_json_number(out, options_.slow_ms);
   out += ",\"event_log\":";
   append_json_string(out, options_.event_log_path);
+  // Kernel dispatch + NUMA placement actually in effect (post-CPUID
+  // clamp), so a dashboard can tell a scalar-forced daemon from an AVX2
+  // host at a glance.
+  out += ",\"simd_detected\":";
+  append_json_string(out,
+                     kernels::simd_level_name(kernels::detected_simd_level()));
+  out += ",\"simd_active\":";
+  append_json_string(out,
+                     kernels::simd_level_name(kernels::active_simd_level()));
+  out += ",\"numa\":";
+  append_json_string(out,
+                     kernels::numa_policy_name(kernels::active_numa_policy()));
+  out += ",\"numa_nodes\":";
+  out += std::to_string(kernels::numa_node_count());
   out += '}';
   // Rolling last-60s view next to the lifetime digests below, so a
   // dashboard can tell "slow now" from "slow once, long ago".

@@ -101,6 +101,13 @@ struct ServerOptions {
   /// documents the schema.
   std::string event_log_path;
   double slow_ms = 0.0;
+  /// SIMD dispatch level ("scalar"|"avx2"|"avx512"|"auto"; "" inherits
+  /// $PARLAP_SIMD, else auto) — forwarded to the engine and echoed in
+  /// stats.config as simd_active next to simd_detected.
+  std::string simd{};
+  /// NUMA placement ("local"|"interleave"; "" inherits $PARLAP_NUMA,
+  /// else local) — forwarded to the engine and echoed in stats.config.
+  std::string numa{};
 };
 
 class SolveServer {

@@ -13,6 +13,8 @@
 #include "api/graph_source.hpp"
 #include "api/rhs.hpp"
 #include "api/solver_registry.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/numa.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/for_each.hpp"
@@ -162,6 +164,24 @@ SolveEngine::SolveEngine(EngineOptions options)
   PARLAP_CHECK_MSG(options_.workers >= 1,
                    "SolveEngine needs at least one worker, got "
                        << options_.workers);
+  // Kernel dispatch and NUMA placement are process-wide (the kernel
+  // table is a global slot); empty strings leave the env-derived
+  // defaults untouched so PARLAP_SIMD/PARLAP_NUMA still work when no
+  // flag is given. Unsupported levels clamp with a stderr note.
+  if (!options_.simd.empty()) {
+    const auto level = kernels::parse_simd_level(options_.simd);
+    PARLAP_CHECK_MSG(level.has_value(),
+                     "unknown SIMD level '" << options_.simd
+                                            << "' (want scalar|avx2|avx512|auto)");
+    kernels::set_simd_level(*level);
+  }
+  if (!options_.numa.empty()) {
+    const auto policy = kernels::parse_numa_policy(options_.numa);
+    PARLAP_CHECK_MSG(policy.has_value(),
+                     "unknown NUMA policy '" << options_.numa
+                                             << "' (want local|interleave)");
+    kernels::set_numa_policy(*policy);
+  }
 }
 
 SolveEngine::~SolveEngine() = default;

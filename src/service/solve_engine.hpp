@@ -86,6 +86,16 @@ struct EngineOptions {
   /// job individually. Per-job solutions are bit-identical at every
   /// width; cache hit/miss counters count panels, not jobs.
   int block_width = 1;
+  /// SIMD dispatch level for the apply kernels: "scalar", "avx2",
+  /// "avx512", or "auto" (CPUID). Empty = inherit the process default
+  /// ($PARLAP_SIMD, else auto). Applied process-wide at construction;
+  /// results are bit-identical at every level (docs/PERFORMANCE.md).
+  std::string simd{};
+  /// NUMA placement for chain arrays and workspaces: "local" (first
+  /// touch on the building worker's node) or "interleave" (page-striped
+  /// across nodes). Empty = inherit the process default ($PARLAP_NUMA,
+  /// else local). Applied process-wide at construction.
+  std::string numa{};
 };
 
 /// Telemetry of one solved panel (every task is recorded, width-1

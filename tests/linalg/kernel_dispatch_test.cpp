@@ -1,0 +1,320 @@
+// Dispatch parity for the SIMD kernel layer (linalg/kernels): every
+// kernel in every AVAILABLE vector table must produce bit-identical
+// output to the scalar reference table — the "lane = column" contract
+// docs/PERFORMANCE.md documents. Coverage is deliberately hostile to
+// vector-width assumptions: panel widths {1, 3, 8, 17} (below, at, and
+// past both AVX2 and AVX-512 lane counts, none a multiple of the
+// other), row ranges starting at unaligned offsets, remainder tails
+// shorter than a vector, misaligned base pointers, and CSR rows of
+// irregular degree including empty ones.
+//
+// Levels the host cannot run are skipped (table_for would hand back the
+// scalar table and the comparison would be vacuous); the test logs what
+// it actually exercised. Under PARLAP_SIMD=scalar the active() table
+// must BE the scalar table — the CI smoke leg asserts that env routing
+// works end to end.
+#include "linalg/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace parlap::kernels {
+namespace {
+
+constexpr std::size_t kRows = 259;  // odd: every width leaves a tail
+const std::size_t kWidths[] = {1, 3, 8, 17};
+
+/// (lo, hi) row ranges: full, off-by-one front, deep unaligned start
+/// with a short tail.
+const std::pair<std::size_t, std::size_t> kRanges[] = {
+    {0, kRows}, {1, kRows - 2}, {7, kRows - 3}, {250, kRows}};
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Rng rng(seed, RngTag::kTest, 19);
+  for (double& x : v) x = rng.next_in(-2.0, 2.0);
+  return v;
+}
+
+/// Vector tables present on this machine (compiled in AND CPUID-backed).
+std::vector<SimdLevel> available_vector_levels() {
+  std::vector<SimdLevel> out;
+  for (SimdLevel lvl : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (simd_level_available(lvl)) out.push_back(lvl);
+  }
+  return out;
+}
+
+/// A deliberately irregular CSR block: degrees cycle 0..6 (empty rows
+/// included), neighbor ids and weights from the seeded stream.
+struct CsrFixture {
+  std::vector<EdgeId> off;
+  std::vector<Vertex> nbr;
+  std::vector<Weight> w;
+
+  CsrFixture(std::size_t rows, std::size_t n_src, std::uint64_t seed) {
+    Rng rng(seed, RngTag::kTest, 23);
+    off.assign(rows + 1, 0);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::size_t deg = i % 7;
+      off[i + 1] = off[i] + static_cast<EdgeId>(deg);
+      for (std::size_t d = 0; d < deg; ++d) {
+        nbr.push_back(static_cast<Vertex>(
+            rng.next_below(static_cast<std::uint64_t>(n_src))));
+        w.push_back(rng.next_in(0.1, 3.0));
+      }
+    }
+  }
+};
+
+/// Misaligned view: a buffer whose data pointer is one double past any
+/// allocator alignment, so vector loads can never assume 16/32/64-byte
+/// alignment of the base.
+struct Misaligned {
+  explicit Misaligned(std::vector<double> v) : store(std::move(v)) {
+    store.insert(store.begin(), 0.5);
+  }
+  [[nodiscard]] const double* data() const { return store.data() + 1; }
+  [[nodiscard]] double* data() { return store.data() + 1; }
+  std::vector<double> store;
+};
+
+void expect_bits_equal(const std::vector<double>& got,
+                       const std::vector<double>& want, const char* kernel,
+                       SimdLevel lvl, std::size_t k, std::size_t lo,
+                       std::size_t hi) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i])
+        << kernel << " diverges from scalar at flat index " << i << " (level "
+        << simd_level_name(lvl) << ", k=" << k << ", rows [" << lo << ", "
+        << hi << "))";
+  }
+}
+
+TEST(KernelDispatch, ReportsCoverage) {
+  const auto levels = available_vector_levels();
+  std::string msg = "scalar";
+  for (SimdLevel lvl : levels) msg += std::string(" ") + simd_level_name(lvl);
+  std::fprintf(stderr, "kernel_dispatch: comparing levels: %s\n", msg.c_str());
+  if (levels.empty()) {
+    GTEST_SKIP() << "no vector ISA available; scalar-only host";
+  }
+}
+
+TEST(KernelDispatch, ActiveTableHonorsEnv) {
+  // The CI smoke leg runs this binary under PARLAP_SIMD=scalar and
+  // PARLAP_SIMD=auto; assert the routing the env var promises.
+  const char* env = std::getenv("PARLAP_SIMD");
+  if (env != nullptr && std::string_view(env) == "scalar") {
+    EXPECT_EQ(active().level, SimdLevel::kScalar);
+  } else if (env == nullptr || std::string_view(env) == "auto") {
+    EXPECT_EQ(active().level, detected_simd_level());
+  }
+  EXPECT_EQ(table_for(active().level).level, active().level);
+}
+
+TEST(KernelDispatch, UnavailableLevelFallsBackToScalar) {
+  // table_for must never hand out a table the CPU cannot execute.
+  for (SimdLevel lvl : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!simd_level_available(lvl)) {
+      EXPECT_EQ(table_for(lvl).level, SimdLevel::kScalar);
+    }
+  }
+}
+
+TEST(KernelDispatch, AxpyColsMatchesScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const std::size_t ld = kRows + 5;  // padded columns
+      const Misaligned x(random_doubles(ld * k, 101));
+      const std::vector<double> y0 = random_doubles(ld * k, 102);
+      std::vector<unsigned char> mask(k, 1);
+      if (k > 1) mask[k / 2] = 0;
+      for (const auto& [lo, hi] : kRanges) {
+        for (const unsigned char* m : {static_cast<const unsigned char*>(
+                                           nullptr),
+                                       static_cast<const unsigned char*>(
+                                           mask.data())}) {
+          std::vector<double> want = y0;
+          std::vector<double> got = y0;
+          ref.axpy_cols(0.37, x.data(), want.data(), lo, hi, ld, k, m);
+          vec.axpy_cols(0.37, x.data(), got.data(), lo, hi, ld, k, m);
+          expect_bits_equal(got, want, "axpy_cols", lvl, k, lo, hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, ChunkDotsMatchesScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const std::size_t ld = kRows + 3;
+      const Misaligned a(random_doubles(ld * k, 201));
+      const Misaligned b(random_doubles(ld * k, 202));
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<double> want(k, -1.0);
+        std::vector<double> got(k, -2.0);
+        ref.chunk_dots(a.data(), b.data(), lo, hi, ld, k, want.data());
+        vec.chunk_dots(a.data(), b.data(), lo, hi, ld, k, got.data());
+        expect_bits_equal(got, want, "chunk_dots", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, GatherScatterRowsMatchScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  // Index list with duplicates (legal for gather) and an irregular
+  // permutation prefix; scatter uses the distinct prefix only.
+  std::vector<Vertex> rows;
+  Rng rng(7, RngTag::kTest, 29);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    rows.push_back(static_cast<Vertex>((i * 97 + 13) % kRows));
+  }
+  rows[5] = rows[4];  // duplicate source rows for gather
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const std::size_t src_ld = kRows + 2;
+      const std::size_t dst_ld = kRows + 9;
+      const Misaligned src(random_doubles(src_ld * k, 301));
+      const std::vector<double> dst0 = random_doubles(dst_ld * k, 302);
+      for (const auto& [lo, hi] : kRanges) {
+        {
+          std::vector<double> want = dst0;
+          std::vector<double> got = dst0;
+          ref.gather_rows(src.data(), src_ld, rows.data(), lo, hi, dst_ld, k,
+                          want.data());
+          vec.gather_rows(src.data(), src_ld, rows.data(), lo, hi, dst_ld, k,
+                          got.data());
+          expect_bits_equal(got, want, "gather_rows", lvl, k, lo, hi);
+        }
+        {
+          // Distinct targets for scatter: (i * 97 + 13) mod kRows is a
+          // bijection (97 coprime to 259), except the duplicate we
+          // planted at 5 — restore it for the scatter run.
+          std::vector<Vertex> distinct = rows;
+          distinct[5] = static_cast<Vertex>((5 * 97 + 13) % kRows);
+          std::vector<double> want = dst0;
+          std::vector<double> got = dst0;
+          ref.scatter_rows(src.data(), src_ld, distinct.data(), lo, hi,
+                           dst_ld, k, want.data());
+          vec.scatter_rows(src.data(), src_ld, distinct.data(), lo, hi,
+                           dst_ld, k, got.data());
+          expect_bits_equal(got, want, "scatter_rows", lvl, k, lo, hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, CsrJacobiMatchesScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  const CsrFixture csr(kRows, kRows, 401);
+  const std::vector<double> inv_x = random_doubles(kRows, 402);
+  const std::vector<double> y_diag = random_doubles(kRows, 403);
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const Misaligned xb(random_doubles(kRows * k, 404));
+      const Misaligned cur(random_doubles(kRows * k, 405));
+      const std::vector<double> tmp0 = random_doubles(kRows * k, 406);
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<double> want = tmp0;
+        std::vector<double> got = tmp0;
+        ref.csr_jacobi(lo, hi, k, csr.off.data(), csr.nbr.data(),
+                       csr.w.data(), inv_x.data(), y_diag.data(), xb.data(),
+                       cur.data(), want.data());
+        vec.csr_jacobi(lo, hi, k, csr.off.data(), csr.nbr.data(),
+                       csr.w.data(), inv_x.data(), y_diag.data(), xb.data(),
+                       cur.data(), got.data());
+        expect_bits_equal(got, want, "csr_jacobi", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, CsrFwdMatchesScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  const std::size_t n_src = 180;
+  const std::size_t n_seed = 300;
+  const CsrFixture csr(kRows, n_src, 501);
+  std::vector<Vertex> idx(kRows);
+  for (std::size_t j = 0; j < kRows; ++j) {
+    idx[j] = static_cast<Vertex>((j * 31 + 7) % n_seed);
+  }
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const Misaligned seed(random_doubles(n_seed * k, 502));
+      const Misaligned src(random_doubles(n_src * k, 503));
+      const std::vector<double> out0 = random_doubles(kRows * k, 504);
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<double> want = out0;
+        std::vector<double> got = out0;
+        ref.csr_fwd(lo, hi, k, csr.off.data(), csr.nbr.data(), csr.w.data(),
+                    idx.data(), seed.data(), src.data(), want.data());
+        vec.csr_fwd(lo, hi, k, csr.off.data(), csr.nbr.data(), csr.w.data(),
+                    idx.data(), seed.data(), src.data(), got.data());
+        expect_bits_equal(got, want, "csr_fwd", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, CsrBwdMatchesScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  const std::size_t n_src = 140;
+  const CsrFixture csr(kRows, n_src, 601);
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const Misaligned src(random_doubles(n_src * k, 602));
+      const std::vector<double> out0 = random_doubles(kRows * k, 603);
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<double> want = out0;
+        std::vector<double> got = out0;
+        ref.csr_bwd(lo, hi, k, csr.off.data(), csr.nbr.data(), csr.w.data(),
+                    src.data(), want.data());
+        vec.csr_bwd(lo, hi, k, csr.off.data(), csr.nbr.data(), csr.w.data(),
+                    src.data(), got.data());
+        expect_bits_equal(got, want, "csr_bwd", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, DenseRowsMatchesScalarBitwise) {
+  const KernelTable& ref = table_for(SimdLevel::kScalar);
+  const std::size_t n = 53;  // dense base blocks are small; odd on purpose
+  const std::vector<double> a = random_doubles(n * n, 701);
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, n}, {1, n - 1}, {n - 5, n}};
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTable& vec = table_for(lvl);
+    for (std::size_t k : kWidths) {
+      const Misaligned in(random_doubles(n * k, 702));
+      const std::vector<double> out0 = random_doubles(n * k, 703);
+      for (const auto& [lo, hi] : ranges) {
+        std::vector<double> want = out0;
+        std::vector<double> got = out0;
+        ref.dense_rows(lo, hi, k, n, a.data(), in.data(), want.data());
+        vec.dense_rows(lo, hi, k, n, a.data(), in.data(), got.data());
+        expect_bits_equal(got, want, "dense_rows", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parlap::kernels

@@ -38,6 +38,8 @@
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
 #include "harness/json_writer.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/numa.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/job_file.hpp"
@@ -824,6 +826,17 @@ int cmd_info(Args& args) {
   table.add_row({std::string("min_weighted_degree"), min_w});
   table.add_row({std::string("max_weighted_degree"), max_w});
   table.add_row({std::string("total_weight"), g.total_weight()});
+  table.add_row({std::string("simd_detected"),
+                 std::string(kernels::simd_level_name(
+                     kernels::detected_simd_level()))});
+  table.add_row({std::string("simd_active"),
+                 std::string(kernels::simd_level_name(
+                     kernels::active_simd_level()))});
+  table.add_row({std::string("numa_policy"),
+                 std::string(kernels::numa_policy_name(
+                     kernels::active_numa_policy()))});
+  table.add_row({std::string("numa_nodes"),
+                 static_cast<std::int64_t>(kernels::numa_node_count())});
   table.print(std::cout);
 
   if (!json_path.empty()) {
@@ -843,6 +856,13 @@ int cmd_info(Args& args) {
     w.member("min_weighted_degree", min_w);
     w.member("max_weighted_degree", max_w);
     w.member("total_weight", g.total_weight());
+    w.member("simd_detected",
+             kernels::simd_level_name(kernels::detected_simd_level()));
+    w.member("simd_active",
+             kernels::simd_level_name(kernels::active_simd_level()));
+    w.member("numa_policy",
+             kernels::numa_policy_name(kernels::active_numa_policy()));
+    w.member("numa_nodes", static_cast<std::int64_t>(kernels::numa_node_count()));
     w.end_object();
     os << '\n';
   }
@@ -972,6 +992,8 @@ void print_usage(std::ostream& os) {
         "  bench   quick scaling sweep of one method\n"
         "  help    this text\n"
         "\n"
+        "global:                [--simd scalar|avx2|avx512|auto]\n"
+        "                       [--numa local|interleave]\n"
         "input (solve, info):   --input PATH | --gen SPEC  [--laplacian]\n"
         "                       [--weights unit|uniform:lo,hi|powerlaw:lo,hi,e]\n"
         "                       [--seed S] [--threads N]\n"
@@ -1005,6 +1027,27 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   Args args(argc, argv, 2);
   try {
+    // Global hardware knobs, honored by every command (kernel dispatch
+    // and NUMA placement are process-wide): --simd scalar|avx2|avx512|
+    // auto, --numa local|interleave. Defaults inherit $PARLAP_SIMD /
+    // $PARLAP_NUMA. Results are bit-identical at every SIMD level
+    // (docs/PERFORMANCE.md); unsupported requests clamp with a note.
+    if (const auto simd = args.take_value("--simd")) {
+      const auto level = kernels::parse_simd_level(*simd);
+      if (!level) {
+        throw UsageError("--simd wants scalar|avx2|avx512|auto, got '" +
+                         *simd + "'");
+      }
+      kernels::set_simd_level(*level);
+    }
+    if (const auto numa = args.take_value("--numa")) {
+      const auto policy = kernels::parse_numa_policy(*numa);
+      if (!policy) {
+        throw UsageError("--numa wants local|interleave, got '" + *numa +
+                         "'");
+      }
+      kernels::set_numa_policy(*policy);
+    }
     if (command == "solve") return cmd_solve(args);
     if (command == "batch") return cmd_batch(args);
     if (command == "info") return cmd_info(args);

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/numa.hpp"
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -48,6 +50,13 @@ Capacity:
   --retry-after-ms T     hint in overloaded responses (default 100)
   --cache-budget E       factorization cache budget in edge entries (0 = off)
   --graph-cache N        loaded-graph LRU bound (default 32)
+
+Hardware:
+  --simd LEVEL           apply-kernel dispatch: scalar|avx2|avx512|auto
+                         (default $PARLAP_SIMD, else auto; results are
+                         bit-identical at every level)
+  --numa POLICY          chain/workspace placement: local|interleave
+                         (default $PARLAP_NUMA, else local)
 
 Observability:
   --trace-out FILE       write a Chrome trace on exit (serve.* spans)
@@ -186,6 +195,8 @@ int run(int argc, char** argv) {
       static_cast<std::size_t>(parse_int_flag(args, "--graph-cache", 32));
   opt.event_log_path = parse_string_flag(args, "--event-log");
   opt.slow_ms = parse_double_flag(args, "--slow-ms", 0.0);
+  opt.simd = parse_string_flag(args, "--simd");
+  opt.numa = parse_string_flag(args, "--numa");
   const std::string trace_path = parse_string_flag(args, "--trace-out");
   const std::string metrics_out = parse_string_flag(args, "--metrics-out");
   const bool metrics = parse_bool_flag(args, "--metrics");
@@ -206,6 +217,14 @@ int run(int argc, char** argv) {
   }
   if (opt.slow_ms < 0) {
     throw std::invalid_argument("--slow-ms must be non-negative");
+  }
+  if (!opt.simd.empty() && !kernels::parse_simd_level(opt.simd)) {
+    throw std::invalid_argument("--simd wants scalar|avx2|avx512|auto, got '" +
+                                opt.simd + "'");
+  }
+  if (!opt.numa.empty() && !kernels::parse_numa_policy(opt.numa)) {
+    throw std::invalid_argument("--numa wants local|interleave, got '" +
+                                opt.numa + "'");
   }
 
   if (!trace_path.empty()) {

@@ -197,10 +197,18 @@ void render(const std::string& line, const TopOptions& opt) {
       draining != nullptr && draining->is_bool() && draining->as_bool();
   std::printf("parlap_top  %s  up %.0fs%s\n", when, uptime,
               is_draining ? "  DRAINING" : "");
+  const service::JsonValue* simd_active = child(config, "simd_active");
+  const service::JsonValue* numa_policy = child(config, "numa");
   std::printf(
-      "workers %d   queue %.0f/%.0f (%.0f bytes)   in-flight %.0f   "
-      "sessions %.0f\n",
+      "workers %d   simd %s   numa %s   queue %.0f/%.0f (%.0f bytes)   "
+      "in-flight %.0f   sessions %.0f\n",
       static_cast<int>(num(child(config, "workers"), 1)),
+      simd_active != nullptr && simd_active->is_string()
+          ? simd_active->as_string().c_str()
+          : "?",
+      numa_policy != nullptr && numa_policy->is_string()
+          ? numa_policy->as_string().c_str()
+          : "?",
       num(doc.find("queue_depth")), num(doc.find("queue_limit")),
       num(doc.find("queued_bytes")), num(doc.find("in_flight")),
       num(doc.find("sessions")));

@@ -19,6 +19,14 @@
 // width >= 8 is the end-to-end evidence for the per-RHS apply-cost
 // acceptance gate (ns/row detail lives in E19). Active-dispatch cases
 // keep their PR-8 names so baselines stay comparable across the change.
+//
+// Since the mixed-precision chain, each width additionally runs against
+// an fp32-storage factorization of the same graph
+// ("<spec>/width:N/precision:fp32" cases, "fp32_speedup" column): the
+// hot loop is bandwidth-bound, so halving the value bytes should
+// approach 2x at the wide widths — E20 owns the full precision study
+// (refinement iterations, achieved residuals); this column is the
+// at-a-glance apply-side ratio next to the SIMD one.
 #include <span>
 #include <string>
 #include <vector>
@@ -53,7 +61,7 @@ int main() {
                   " rhs per graph, widths 1/4/8/16, dispatch " +
                   active_name);
   table.set_header({"graph", "width", "simd", "apply_s_per_rhs", "rhs_per_s",
-                    "speedup_vs_w1", "speedup_vs_scalar"},
+                    "speedup_vs_w1", "speedup_vs_scalar", "fp32_speedup"},
                    6);
 
   for (const std::string& spec : graphs) {
@@ -61,6 +69,9 @@ int main() {
     SolverOptions opts;
     opts.seed = 17;
     const LaplacianSolver solver(g, opts);
+    SolverOptions opts_f32 = opts;
+    opts_f32.precision = Precision::kFp32;
+    const LaplacianSolver solver_f32(g, opts_f32);
     const auto n = static_cast<std::size_t>(g.num_vertices());
 
     std::vector<Vector> rhs;
@@ -83,6 +94,9 @@ int main() {
       const auto run_applies = [&] {
         for (const Panel& p : panels) solver.apply_preconditioner(p, out);
       };
+      const auto run_applies_f32 = [&] {
+        for (const Panel& p : panels) solver_f32.apply_preconditioner(p, out);
+      };
       // Same workload twice: once with dispatch forced to scalar, once
       // at the active level. The scalar run goes first so the active
       // run leaves the process in its configured state.
@@ -103,6 +117,20 @@ int main() {
              {"apply_s_per_rhs", per_rhs_scalar}},
             samples);
       }
+      // fp32-storage chain, same panels, active dispatch.
+      const std::vector<double> samples_f32 =
+          measure(reps, /*warmup=*/1, run_applies_f32);
+      const double per_rhs_f32 =
+          summarize(samples_f32).median / static_cast<double>(total_rhs);
+      reporter().record(
+          spec + "/width:" + std::to_string(width) + "/precision:fp32",
+          {{"n", static_cast<double>(n)},
+           {"width", static_cast<double>(width)},
+           {"rhs", static_cast<double>(total_rhs)},
+           {"simd_level",
+            static_cast<double>(static_cast<int>(active_level))},
+           {"apply_s_per_rhs", per_rhs_f32}},
+          samples_f32);
       const std::vector<double> samples =
           measure(reps, /*warmup=*/1, run_applies);
       const TimingSummary summary = summarize(samples);
@@ -113,9 +141,11 @@ int main() {
       const double vs_scalar =
           per_rhs > 0.0 && per_rhs_scalar > 0.0 ? per_rhs_scalar / per_rhs
                                                 : 0.0;
+      const double fp32_speedup =
+          per_rhs > 0.0 && per_rhs_f32 > 0.0 ? per_rhs / per_rhs_f32 : 0.0;
       table.add_row({spec, static_cast<std::int64_t>(width), active_name,
                      per_rhs, per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, speedup,
-                     vs_scalar});
+                     vs_scalar, fp32_speedup});
       reporter().record(
           spec + "/width:" + std::to_string(width),
           {{"n", static_cast<double>(n)},
@@ -126,7 +156,8 @@ int main() {
            {"apply_s_per_rhs", per_rhs},
            {"rhs_per_second", per_rhs > 0.0 ? 1.0 / per_rhs : 0.0},
            {"speedup_vs_w1", speedup},
-           {"speedup_vs_scalar", vs_scalar}},
+           {"speedup_vs_scalar", vs_scalar},
+           {"speedup_fp32", fp32_speedup}},
           samples);
     }
   }
@@ -154,7 +185,7 @@ int main() {
           summary.median / static_cast<double>(total_rhs);
       table.add_row({spec + " solve", static_cast<std::int64_t>(width),
                      active_name, per_rhs,
-                     per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, 0.0, 0.0});
+                     per_rhs > 0.0 ? 1.0 / per_rhs : 0.0, 0.0, 0.0, 0.0});
       reporter().record(spec + "/solve_many/width:" + std::to_string(width),
                         {{"width", static_cast<double>(width)},
                          {"rhs", static_cast<double>(total_rhs)},

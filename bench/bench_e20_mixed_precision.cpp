@@ -1,0 +1,174 @@
+// E20 — mixed-precision apply chain: fp32 storage under fp64 iterative
+// refinement vs the all-fp64 baseline (docs/PERFORMANCE.md "Precision
+// modes").
+//
+// Two views on the E15/E17 traffic-mix graphs:
+//
+//   * Apply study: preconditioner-apply ns/row at panel widths
+//     1/8/16/32 for both storage modes. The fp32 kernels compute in
+//     native float with twice the SIMD lanes per register, so the
+//     per-row cost should drop substantially once panels are wide
+//     enough to fill the doubled lanes (>= 16 columns on AVX-512) —
+//     this is the acceptance-gate measurement (fp32 >= 1.5x fp64 at
+//     width >= 8 on at least two families).
+//
+//   * Solve study: end-to-end solve_many at width 8, eps 1e-8, both
+//     modes. fp32 trades cheaper applies for extra fp64 refinement
+//     iterations; the study records the iteration counts, escalation
+//     rounds, and the residual each mode actually achieved, so the
+//     table shows the net effect, not just the kernel-side win. Every
+//     fp32 residual must still meet eps — accuracy is contractual, the
+//     speedup is the variable.
+//
+// fp32 results are never bit-compared against fp64 (the contract is
+// eps, not bitwise parity); compare_benches.py keys on meta.precision
+// to keep cross-mode trees apart. This binary itself always measures
+// BOTH modes side by side — $PARLAP_BENCH_PRECISION only tags the
+// report.
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/graph_source.hpp"
+#include "common.hpp"
+#include "core/solver.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/panel.hpp"
+#include "support/precision.hpp"
+
+using namespace parlap;
+using namespace parlap::bench;
+
+int main() {
+  reporter().set_experiment("E20");
+  const Vertex scale = smoke() ? Vertex{24} : Vertex{64};
+  const int reps = smoke() ? 3 : 15;
+  const std::size_t total_rhs = 32;
+  const std::vector<std::size_t> widths = {1, 8, 16, 32};
+  const double eps = 1e-8;
+
+  // The E15/E17 traffic mix, same specs and seed.
+  const std::vector<std::string> graphs = {
+      "ws:" + std::to_string(scale * 8) + ",6,0.1",
+      "grid2d:" + std::to_string(scale),
+      "gnm:" + std::to_string(scale * 4) + "," + std::to_string(scale * 16),
+  };
+
+  const char* active_name =
+      kernels::simd_level_name(kernels::active_simd_level());
+
+  TextTable apply_table("E20 apply ns/row — fp32 vs fp64 storage, dispatch " +
+                        std::string(active_name));
+  apply_table.set_header(
+      {"graph", "width", "fp64_ns_row", "fp32_ns_row", "fp32_speedup"}, 4);
+
+  TextTable solve_table("E20 end-to-end solve_many — width 8, eps 1e-8");
+  solve_table.set_header({"graph", "precision", "solve_s_per_rhs",
+                          "iters_mean", "escalations", "max_residual",
+                          "fp32_speedup"},
+                         4);
+
+  for (const std::string& spec : graphs) {
+    const Multigraph g = make_generated_graph(spec, 17);
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    SolverOptions opts;
+    opts.seed = 17;
+    const LaplacianSolver f64(g, opts);
+    SolverOptions opts_f32 = opts;
+    opts_f32.precision = Precision::kFp32;
+    const LaplacianSolver f32(g, opts_f32);
+
+    std::vector<Vector> rhs;
+    for (std::size_t j = 0; j < total_rhs; ++j) {
+      rhs.push_back(random_rhs(g.num_vertices(),
+                               1000 + static_cast<std::uint64_t>(j)));
+    }
+
+    // -- Apply study ------------------------------------------------------
+    for (const std::size_t width : widths) {
+      std::vector<Panel> panels;
+      for (std::size_t start = 0; start < total_rhs; start += width) {
+        Panel p;
+        panel_from_vectors(
+            std::span<const Vector>(rhs.data() + start, width), p);
+        panels.push_back(std::move(p));
+      }
+      Panel out;
+      const double rows_total =
+          static_cast<double>(n) * static_cast<double>(total_rhs);
+      const auto ns_per_row = [&](const LaplacianSolver& solver,
+                                  std::span<const double> samples) {
+        (void)solver;
+        return summarize(samples).median / rows_total * 1e9;
+      };
+      const std::vector<double> samples64 = measure(reps, /*warmup=*/1, [&] {
+        for (const Panel& p : panels) f64.apply_preconditioner(p, out);
+      });
+      const std::vector<double> samples32 = measure(reps, /*warmup=*/1, [&] {
+        for (const Panel& p : panels) f32.apply_preconditioner(p, out);
+      });
+      const double ns64 = ns_per_row(f64, samples64);
+      const double ns32 = ns_per_row(f32, samples32);
+      const double speedup = ns32 > 0.0 ? ns64 / ns32 : 0.0;
+      apply_table.add_row({spec, static_cast<std::int64_t>(width), ns64, ns32,
+                           speedup});
+      reporter().record(spec + "/apply/width:" + std::to_string(width) +
+                            "/fp64",
+                        {{"n", static_cast<double>(n)},
+                         {"width", static_cast<double>(width)},
+                         {"apply_ns_per_row", ns64}},
+                        samples64);
+      reporter().record(spec + "/apply/width:" + std::to_string(width) +
+                            "/fp32",
+                        {{"n", static_cast<double>(n)},
+                         {"width", static_cast<double>(width)},
+                         {"apply_ns_per_row", ns32},
+                         {"speedup_vs_fp64", speedup}},
+                        samples32);
+    }
+
+    // -- Solve study ------------------------------------------------------
+    double per_rhs_f64 = 0.0;
+    for (const LaplacianSolver* solver : {&f64, &f32}) {
+      const bool is_f32 = solver == &f32;
+      std::vector<Vector> xs(rhs.size());
+      const std::vector<double> samples = measure(reps, /*warmup=*/1, [&] {
+        (void)solver->solve_many(rhs, xs, eps);
+      });
+      // Stats from one untimed run (deterministic, so identical to what
+      // the timed runs saw).
+      const std::vector<SolveStats> stats = solver->solve_many(rhs, xs, eps);
+      double iters_sum = 0.0;
+      double max_residual = 0.0;
+      double escalations = 0.0;
+      for (const SolveStats& st : stats) {
+        iters_sum += st.iterations;
+        max_residual = std::max(max_residual, st.relative_residual);
+        escalations += st.rebuilds;
+      }
+      const double iters_mean = iters_sum / static_cast<double>(stats.size());
+      const double per_rhs =
+          summarize(samples).median / static_cast<double>(total_rhs);
+      if (!is_f32) per_rhs_f64 = per_rhs;
+      const double speedup =
+          is_f32 && per_rhs > 0.0 ? per_rhs_f64 / per_rhs : 0.0;
+      solve_table.add_row({spec, is_f32 ? "fp32" : "fp64", per_rhs,
+                           iters_mean, escalations, max_residual, speedup});
+      reporter().record(spec + "/solve/width:8/" +
+                            std::string(is_f32 ? "fp32" : "fp64"),
+                        {{"n", static_cast<double>(n)},
+                         {"rhs", static_cast<double>(total_rhs)},
+                         {"eps", eps},
+                         {"solve_s_per_rhs", per_rhs},
+                         {"refinement_iters_mean", iters_mean},
+                         {"escalations", escalations},
+                         {"max_relative_residual", max_residual}},
+                        samples);
+    }
+  }
+
+  print_table(apply_table);
+  print_table(solve_table);
+  return 0;
+}

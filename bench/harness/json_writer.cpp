@@ -211,6 +211,7 @@ RunMetadata collect_metadata() {
   }
   md.simd_detected = kernels::simd_level_name(kernels::detected_simd_level());
   md.simd_active = kernels::simd_level_name(kernels::active_simd_level());
+  md.precision = getenv_or("PARLAP_BENCH_PRECISION", "fp64");
   return md;
 }
 
@@ -266,6 +267,7 @@ void BenchReporter::write(std::ostream& out) const {
   w.member("build_type", md.build_type);
   w.member("threads", md.threads);
   w.member("smoke", md.smoke);
+  w.member("precision", md.precision);
   w.key("host");
   w.begin_object();
   w.member("cpu_model", md.cpu_model);

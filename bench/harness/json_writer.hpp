@@ -134,6 +134,12 @@ struct RunMetadata {
   int numa_nodes = 1;
   std::string simd_detected;
   std::string simd_active;
+  // Precision mode the run was configured for ($PARLAP_BENCH_PRECISION,
+  // default "fp64"). Recorded at the top of meta so
+  // scripts/compare_benches.py can refuse to cross-compare an fp32 tree
+  // against an fp64 baseline — the two are different workloads, not a
+  // regression signal.
+  std::string precision;
 };
 
 [[nodiscard]] RunMetadata collect_metadata();

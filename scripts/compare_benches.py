@@ -29,6 +29,9 @@ Notes:
     procedure is documented in bench-baselines/README.md.
   * Files that do not carry schema_version 1 (e.g. the google-benchmark
     E12 output) are skipped.
+  * Trees whose meta.precision disagree for an experiment are never
+    compared (exit 2): fp32 and fp64 runs are different workloads.
+    Files without the field (pre-precision runs) count as fp64.
   * CI runs this with a deliberately loose threshold: shared runners
     have noisy clocks, so the committed baseline gates catastrophic
     slowdowns and pipeline breakage, not single-digit percent drift.
@@ -118,11 +121,21 @@ def main() -> int:
     missing_files = []
     new_files = sorted(set(cur_tree) - set(base_tree))
     new_cases = []
+    precision_mismatches = []
     compared = 0
     rows = []
     for exp, base_doc in sorted(base_tree.items()):
         if exp not in cur_tree:
             missing_files.append(exp)
+            continue
+        # Never cross-compare precision modes: an fp32 run is a different
+        # workload (half the value bytes, refinement iterations), not a
+        # faster/slower version of the fp64 one. Pre-precision files have
+        # no meta.precision; they were fp64 runs.
+        base_prec = (base_doc.get("meta") or {}).get("precision", "fp64")
+        cur_prec = (cur_tree[exp].get("meta") or {}).get("precision", "fp64")
+        if base_prec != cur_prec:
+            precision_mismatches.append((exp, base_prec, cur_prec))
             continue
         base_cases = case_medians(base_doc)
         cur_cases = case_medians(cur_tree[exp])
@@ -184,6 +197,15 @@ def main() -> int:
             print("hint: refresh and commit the baseline "
                   "(bench-baselines/README.md) or pass --allow-new-cases",
                   file=sys.stderr)
+    if precision_mismatches:
+        named = ", ".join(f"{e} ({b} vs {c})"
+                          for e, b, c in precision_mismatches)
+        print(f"error: precision mismatch — refusing to compare: {named}",
+              file=sys.stderr)
+        print("hint: run both trees with the same --precision "
+              "(scripts/run_benches.sh) and keep per-mode baselines apart",
+              file=sys.stderr)
+        return 2
     if regressions:
         print(f"error: {len(regressions)} regression(s) beyond threshold",
               file=sys.stderr)

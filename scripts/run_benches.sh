@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the E1-E19 experiment binaries and collects one machine-readable
+# Runs the E1-E20 experiment binaries and collects one machine-readable
 # BENCH_E<k>.json per experiment (schema: bench/harness/json_writer.hpp),
 # tagged with the current commit, so perf changes can be proven against a
 # recorded trajectory.
@@ -7,23 +7,30 @@
 # Usage:
 #   scripts/run_benches.sh [--smoke] [--build-dir DIR] [--out DIR]
 #                          [--only E1,E5,...] [--keep-going]
+#                          [--precision fp64|fp32|auto]
 #
 #   --smoke       tiny sweeps (PARLAP_SMOKE=1): finishes in ~a minute,
 #                 meant for CI and quick before/after comparisons
 #   --build-dir   CMake build tree holding bench/ binaries (default: build)
 #   --out         output directory for the JSON files
-#                 (default: bench-results/<commit>[-smoke])
+#                 (default: bench-results/<commit>[-smoke][-<precision>])
 #   --only        comma-separated experiment ids, e.g. E1,E3,E12
 #   --keep-going  continue past a failing experiment (default: stop)
+#   --precision   solver storage mode recorded in every report's
+#                 meta.precision (default fp64); non-default modes get
+#                 their own default output directory so fp32 trees never
+#                 mix with fp64 baselines (compare_benches.py refuses to
+#                 cross-compare the two)
 set -u
 
-usage() { sed -n '2,17p' "$0"; exit "${1:-0}"; }
+usage() { sed -n '2,23p' "$0"; exit "${1:-0}"; }
 
 SMOKE=0
 BUILD_DIR=build
 OUT_DIR=""
 ONLY=""
 KEEP_GOING=0
+PRECISION=fp64
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -32,11 +39,18 @@ while [[ $# -gt 0 ]]; do
     --out) OUT_DIR="$2"; shift ;;
     --only) ONLY="$2"; shift ;;
     --keep-going) KEEP_GOING=1 ;;
+    --precision) PRECISION="$2"; shift ;;
     -h|--help) usage 0 ;;
     *) echo "unknown argument: $1" >&2; usage 1 ;;
   esac
   shift
 done
+
+case "$PRECISION" in
+  fp64|fp32|auto) ;;
+  *) echo "error: --precision wants fp64|fp32|auto, got $PRECISION" >&2
+     exit 1 ;;
+esac
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
@@ -56,11 +70,15 @@ fi
 if [[ -z "$OUT_DIR" ]]; then
   OUT_DIR="bench-results/${COMMIT}"
   [[ "$SMOKE" == 1 ]] && OUT_DIR="${OUT_DIR}-smoke"
+  [[ "$PRECISION" != fp64 ]] && OUT_DIR="${OUT_DIR}-${PRECISION}"
 fi
 mkdir -p "$OUT_DIR"
 
 export PARLAP_GIT_COMMIT="$COMMIT"
 [[ "$SMOKE" == 1 ]] && export PARLAP_SMOKE=1
+# Recorded into meta.precision by the harness; experiments that build
+# solvers directly (E20) also read it to pick their configured mode.
+export PARLAP_BENCH_PRECISION="$PRECISION"
 
 # Host CPU metadata, recorded by the harness into every report's
 # meta.host block (bench/harness/json_writer.cpp) so a JSON file says
@@ -107,6 +125,7 @@ EXPERIMENTS=(
   "E17 bench_e17_blocked_apply"
   "E18 bench_e18_obs_overhead"
   "E19 bench_e19_kernel_dispatch"
+  "E20 bench_e20_mixed_precision"
 )
 
 wants() {  # wants E5 -> 0 iff selected by --only (or no filter)

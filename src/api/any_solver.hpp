@@ -18,6 +18,7 @@
 #include "core/build_stats.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/check.hpp"
+#include "support/precision.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -30,6 +31,13 @@ struct SolverConfig {
   /// Edge-split scale (LaplacianSolver / KS16 alpha knob); 0 = default.
   double split_scale = 0.0;
   int max_iterations = 0;  ///< outer-iteration cap; 0 = method default
+  /// Factorization storage precision (paper solver only; baselines
+  /// ignore it). kFp32 halves the chain's value bytes and wraps the
+  /// solve in fp64 iterative refinement; kAuto picks by problem size.
+  /// Callers that key caches on the config (solve_engine) must resolve
+  /// kAuto against the concrete graph first (resolve_precision), so an
+  /// auto job and the explicit mode it resolves to share one entry.
+  Precision precision = Precision::kFp64;
 };
 
 /// Type-erased Laplacian solver: factorized at construction (by a
@@ -92,10 +100,19 @@ class AnySolver {
 
   /// Memory-cost proxy of the resident factorization, in stored matrix
   /// entries (FactorizationInfo::stored_entries for the paper's solver;
-  /// comparable analogues for the baselines). FactorizationCache uses it
-  /// to charge instances against its budget. Never less than 1.
+  /// comparable analogues for the baselines). Never less than 1.
   [[nodiscard]] virtual EdgeId stored_entries() const noexcept {
     return dimension() > 0 ? static_cast<EdgeId>(dimension()) : EdgeId{1};
+  }
+
+  /// Resident value-array bytes of the factorization. The default
+  /// charges 8 bytes (one fp64 value) per stored entry; methods with
+  /// narrower storage (the paper solver's fp32 chains) override with
+  /// their true byte footprint so FactorizationCache — which budgets in
+  /// fp64-equivalent entries, i.e. stored_bytes()/8 — charges an fp32
+  /// factorization half an fp64 one. Never less than 1.
+  [[nodiscard]] virtual std::size_t stored_bytes() const noexcept {
+    return static_cast<std::size_t>(stored_entries()) * sizeof(double);
   }
 
   /// Build-phase telemetry of the factorization (BuildStats recorded by

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/build_stats.hpp"
+#include "support/precision.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -48,6 +49,16 @@ struct RunReport {
   /// that factor through the chain pipeline report it.
   bool has_build_stats = false;
   BuildStats build;
+  /// Factorization storage precision behind this solve (kFp64 for every
+  /// method without a precision knob; never kAuto — the solver resolves
+  /// auto at construction). fp32 solves still meet the requested eps via
+  /// fp64 refinement; only fp64 is bit-reproducible across precisions.
+  Precision precision = Precision::kFp64;
+  /// Refinement/escalation rounds the paper solver spent past the first
+  /// factorization on this solve (0 = first chain converged; for fp32
+  /// mode, > 0 means the solve escalated to an fp64 chain). Always 0
+  /// for methods without the escalation ladder.
+  int escalations = 0;
 };
 
 }  // namespace parlap

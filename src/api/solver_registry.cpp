@@ -48,6 +48,7 @@ class SolverBase : public AnySolver {
     report.components = comps_.count;
     report.setup_seconds = setup_seconds_;
     report.threads = omp_get_max_threads();
+    report.precision = precision_;
     if (const BuildStats* bs = build_stats()) {
       report.has_build_stats = true;
       report.build = *bs;
@@ -55,7 +56,9 @@ class SolverBase : public AnySolver {
 
     fill(x, 0.0);
     WallTimer timer;
-    if (b_norm > 0.0) report.iterations = run(bp, x, eps);
+    if (b_norm > 0.0) {
+      report.iterations = run(bp, x, eps, report.escalations);
+    }
     report.solve_seconds = timer.seconds();
 
     if (b_norm > 0.0) {
@@ -97,6 +100,7 @@ class SolverBase : public AnySolver {
     proto.components = comps_.count;
     proto.setup_seconds = setup_seconds_;
     proto.threads = omp_get_max_threads();
+    proto.precision = precision_;
     proto.panel_width = static_cast<int>(k);
     if (const BuildStats* bs_ptr = build_stats()) {
       proto.has_build_stats = true;
@@ -105,9 +109,10 @@ class SolverBase : public AnySolver {
 
     Panel x(n, k);
     std::vector<int> iterations(k, 0);
+    std::vector<int> escalations(k, 0);
     double apply_seconds = 0.0;
     WallTimer timer;
-    run_panel(bp, x, eps, b_norms, iterations, apply_seconds);
+    run_panel(bp, x, eps, b_norms, iterations, escalations, apply_seconds);
     const double solve_share = timer.seconds() / static_cast<double>(k);
 
     // True per-RHS residuals against the input operator: one blocked
@@ -119,6 +124,7 @@ class SolverBase : public AnySolver {
     for (std::size_t c = 0; c < k; ++c) {
       RunReport& r = reports[c];
       r.iterations = iterations[c];
+      r.escalations = escalations[c];
       r.solve_seconds = solve_share;
       r.apply_seconds = apply_seconds / static_cast<double>(k);
       if (b_norms[c] > 0.0) {
@@ -149,25 +155,34 @@ class SolverBase : public AnySolver {
         op_(g),
         comps_(connected_components(g)) {}
 
+  /// Storage precision stamped into every report (kFp64 unless the
+  /// method has a precision knob). Call from the adapter constructor.
+  void set_precision(Precision p) noexcept { precision_ = p; }
+
   /// Solves L x = b_p (already kernel-projected, nonzero) to eps and
-  /// returns the outer-iteration count. x arrives zero-filled. Must be
-  /// safe for concurrent callers (the AnySolver threading contract).
-  virtual int run(std::span<const double> bp, std::span<double> x,
-                  double eps) const = 0;
+  /// returns the outer-iteration count, recording escalation rounds for
+  /// methods that have them. x arrives zero-filled. Must be safe for
+  /// concurrent callers (the AnySolver threading contract).
+  virtual int run(std::span<const double> bp, std::span<double> x, double eps,
+                  int& escalations) const = 0;
 
   /// Blocked analogue of run(): solves every column of `bp` (already
   /// kernel-projected; columns with b_norms[c] == 0 must be left as the
   /// zero vector) into `x` (arrives zero-filled), recording per-column
-  /// outer-iteration counts and, when the method measures it, the
-  /// panel's total preconditioner-apply seconds. Default: a sequential
-  /// loop of run(), which is the loop fallback every baseline inherits.
+  /// outer-iteration and escalation counts and, when the method measures
+  /// it, the panel's total preconditioner-apply seconds. Default: a
+  /// sequential loop of run(), which is the loop fallback every baseline
+  /// inherits.
   virtual void run_panel(const Panel& bp, Panel& x, double eps,
                          std::span<const double> b_norms,
                          std::span<int> iterations,
+                         std::span<int> escalations,
                          double& apply_seconds) const {
     (void)apply_seconds;
     for (std::size_t c = 0; c < bp.cols(); ++c) {
-      if (b_norms[c] > 0.0) iterations[c] = run(bp.col(c), x.col(c), eps);
+      if (b_norms[c] > 0.0) {
+        iterations[c] = run(bp.col(c), x.col(c), eps, escalations[c]);
+      }
     }
   }
 
@@ -186,6 +201,7 @@ class SolverBase : public AnySolver {
   LaplacianOperator op_;
   Components comps_;
   double setup_seconds_ = 0.0;
+  Precision precision_ = Precision::kFp64;
 };
 
 /// Times the whole factorization (base construction included) and stamps
@@ -212,10 +228,14 @@ class ParlapAdapter final : public SolverBase {
     SolverOptions options;
     options.seed = c.seed;
     options.split = split;
+    options.precision = c.precision;
     if (c.split_scale > 0.0) options.split_scale = c.split_scale;
     if (c.max_iterations > 0)
       options.richardson.max_iterations = c.max_iterations;
     impl_.emplace(g, options);
+    // The solver resolves kAuto at construction; reports carry the
+    // concrete storage precision it picked.
+    set_precision(impl_->info().precision);
   }
 
  public:
@@ -223,14 +243,22 @@ class ParlapAdapter final : public SolverBase {
     return std::max<EdgeId>(1, impl_->info().stored_entries);
   }
 
+  [[nodiscard]] std::size_t stored_bytes() const noexcept override {
+    // True value bytes of the resident chains: fp32 storage reports
+    // half the fp64 footprint of the same structure.
+    return std::max<std::size_t>(1, impl_->info().stored_value_bytes);
+  }
+
   [[nodiscard]] const BuildStats* build_stats() const noexcept override {
     return &impl_->build_stats();
   }
 
  private:
-  int run(std::span<const double> bp, std::span<double> x,
-          double eps) const override {
-    return impl_->solve(bp, x, eps).iterations;
+  int run(std::span<const double> bp, std::span<double> x, double eps,
+          int& escalations) const override {
+    const SolveStats stats = impl_->solve(bp, x, eps);
+    escalations = stats.rebuilds;
+    return stats.iterations;
   }
 
   /// True blocked solve: one chain traversal per preconditioner apply
@@ -239,11 +267,13 @@ class ParlapAdapter final : public SolverBase {
   void run_panel(const Panel& bp, Panel& x, double eps,
                  std::span<const double> b_norms,
                  std::span<int> iterations,
+                 std::span<int> escalations,
                  double& apply_seconds) const override {
     (void)b_norms;
     const std::vector<SolveStats> stats = impl_->solve_panel(bp, x, eps);
     for (std::size_t c = 0; c < stats.size(); ++c) {
       iterations[c] = stats[c].iterations;
+      escalations[c] = stats[c].rebuilds;
       apply_seconds += stats[c].apply_seconds;
     }
   }
@@ -280,8 +310,8 @@ class CgAdapter final : public SolverBase {
   }
 
  private:
-  int run(std::span<const double> bp, std::span<double> x,
-          double eps) const override {
+  int run(std::span<const double> bp, std::span<double> x, double eps,
+          int& /*escalations*/) const override {
     const IterationStats stats =
         precond_ ? preconditioned_cg(op(), precond_, bp, x, eps, cg_options_)
                  : conjugate_gradient(op(), bp, x, eps, cg_options_);
@@ -313,8 +343,8 @@ class Ks16Adapter final : public SolverBase {
   }
 
  private:
-  int run(std::span<const double> bp, std::span<double> x,
-          double eps) const override {
+  int run(std::span<const double> bp, std::span<double> x, double eps,
+          int& /*escalations*/) const override {
     return impl_->solve(bp, x, eps).iterations;
   }
 
@@ -345,8 +375,8 @@ class DenseAdapter final : public SolverBase {
   }
 
  private:
-  int run(std::span<const double> bp, std::span<double> x,
-          double /*eps*/) const override {
+  int run(std::span<const double> bp, std::span<double> x, double /*eps*/,
+          int& /*escalations*/) const override {
     impl_->solve(bp, x);
     return 0;
   }

@@ -24,16 +24,29 @@ constexpr std::size_t kMaxPrefetchBytes = std::size_t{64} * 1024;
 
 void ApplyChain::finalize(std::span<const EliminationLevel> staging,
                           Vertex n0, DenseMatrix base_pinv, Vertex base_n,
-                          int jacobi_terms, std::uint64_t build_id) {
+                          int jacobi_terms, std::uint64_t build_id,
+                          Precision storage) {
   PARLAP_CHECK(levels_.empty());  // finalize() runs once per chain
+  PARLAP_CHECK(storage != Precision::kAuto);  // resolved before building
   n0_ = n0;
+  storage_ = storage;
+  const bool fp32 = storage == Precision::kFp32;
   // The dense base solve is the last persistent apply-path array: copy it
   // out of the (unaligned) DenseMatrix so it shares the packed arrays'
-  // alignment and first-touch placement.
-  base_pinv_.resize(static_cast<std::size_t>(base_n) *
-                    static_cast<std::size_t>(base_n));
-  std::copy(base_pinv.data(), base_pinv.data() + base_pinv_.size(),
-            base_pinv_.data());
+  // alignment and first-touch placement (narrowing to float here when the
+  // chain stores fp32).
+  const std::size_t base_elems =
+      static_cast<std::size_t>(base_n) * static_cast<std::size_t>(base_n);
+  if (fp32) {
+    base_pinv_f_.resize(base_elems);
+    std::transform(base_pinv.data(), base_pinv.data() + base_elems,
+                   base_pinv_f_.data(),
+                   [](double v) { return static_cast<float>(v); });
+  } else {
+    base_pinv_.resize(base_elems);
+    std::copy(base_pinv.data(), base_pinv.data() + base_elems,
+              base_pinv_.data());
+  }
   base_n_ = base_n;
   jacobi_terms_ = jacobi_terms;
   build_id_ = build_id;
@@ -55,12 +68,19 @@ void ApplyChain::finalize(std::span<const EliminationLevel> staging,
   // the chain, so "local" placement lands the arrays on its node.
   f_lists_.resize(nf_total);
   c_lists_.resize(nc_total);
-  inv_x_.resize(nf_total);
-  y_diag_.resize(nf_total);
   off_.resize(off_total);
   nbr_.resize(data_total);
-  w_.resize(data_total);
+  if (fp32) {
+    inv_x_f_.resize(nf_total);
+    y_diag_f_.resize(nf_total);
+    w_f_.resize(data_total);
+  } else {
+    inv_x_.resize(nf_total);
+    y_diag_.resize(nf_total);
+    w_.resize(data_total);
+  }
 
+  const auto narrow = [](double v) { return static_cast<float>(v); };
   std::size_t f_pos = 0;
   std::size_t c_pos = 0;
   std::size_t off_pos = 0;
@@ -73,7 +93,12 @@ void ApplyChain::finalize(std::span<const EliminationLevel> staging,
     }
     off_pos += rows + 1;
     std::copy(blk.nbr.begin(), blk.nbr.end(), nbr_.begin() + data_pos);
-    std::copy(blk.w.begin(), blk.w.end(), w_.begin() + data_pos);
+    if (fp32) {
+      std::transform(blk.w.begin(), blk.w.end(), w_f_.begin() + data_pos,
+                     narrow);
+    } else {
+      std::copy(blk.w.begin(), blk.w.end(), w_.begin() + data_pos);
+    }
     data_pos += blk.nbr.size();
     return base;
   };
@@ -86,8 +111,15 @@ void ApplyChain::finalize(std::span<const EliminationLevel> staging,
     meta.f_base = f_pos;
     meta.c_base = c_pos;
     std::copy(lvl.f_list.begin(), lvl.f_list.end(), f_lists_.begin() + f_pos);
-    std::copy(lvl.inv_x.begin(), lvl.inv_x.end(), inv_x_.begin() + f_pos);
-    std::copy(lvl.y_diag.begin(), lvl.y_diag.end(), y_diag_.begin() + f_pos);
+    if (fp32) {
+      std::transform(lvl.inv_x.begin(), lvl.inv_x.end(),
+                     inv_x_f_.begin() + f_pos, narrow);
+      std::transform(lvl.y_diag.begin(), lvl.y_diag.end(),
+                     y_diag_f_.begin() + f_pos, narrow);
+    } else {
+      std::copy(lvl.inv_x.begin(), lvl.inv_x.end(), inv_x_.begin() + f_pos);
+      std::copy(lvl.y_diag.begin(), lvl.y_diag.end(), y_diag_.begin() + f_pos);
+    }
     f_pos += static_cast<std::size_t>(lvl.nf);
     std::copy(lvl.c_list.begin(), lvl.c_list.end(), c_lists_.begin() + c_pos);
     c_pos += static_cast<std::size_t>(lvl.nc);
@@ -98,36 +130,40 @@ void ApplyChain::finalize(std::span<const EliminationLevel> staging,
   }
 }
 
+template <typename T>
 void ApplyChain::prepare_workspace(ApplyWorkspace& ws,
                                    std::size_t cols) const {
   // Identity check, not a shape check: two chains can agree on depth and
   // n0 yet differ at inner levels (e.g. escalation rounds of the same
   // component), so sizes alone cannot prove the workspace fits — and the
   // block width is part of the identity, so k=1 scratch is never reused
-  // unsized for a wider panel.
+  // unsized for a wider panel. A chain's storage precision is fixed, so
+  // the id also pins which of the two buffer sets was sized.
   if (ws.prepared_for == build_id_ && ws.prepared_cols == cols) return;
+  ApplyBuffers<T>& buf = ws.buffers<T>();
   const std::size_t d = levels_.size();
-  ws.level_vec.resize(d + 1);
-  ws.level_yf.resize(d);
+  buf.level_vec.resize(d + 1);
+  buf.level_yf.resize(d);
   std::size_t max_nf = 1;
   for (std::size_t k = 0; k < d; ++k) {
-    ws.level_vec[k].resize(static_cast<std::size_t>(levels_[k].n) * cols);
-    ws.level_yf[k].resize(static_cast<std::size_t>(levels_[k].nf) * cols);
+    buf.level_vec[k].resize(static_cast<std::size_t>(levels_[k].n) * cols);
+    buf.level_yf[k].resize(static_cast<std::size_t>(levels_[k].nf) * cols);
     max_nf = std::max(max_nf, static_cast<std::size_t>(levels_[k].nf));
   }
-  ws.level_vec[d].resize(static_cast<std::size_t>(base_n_) * cols);
-  ws.jac_b.resize(max_nf * cols);
-  ws.jac_cur.resize(max_nf * cols);
-  ws.jac_tmp.resize(max_nf * cols);
-  ws.scratch_f.resize(max_nf * cols);
-  ws.scratch_f2.resize(max_nf * cols);
-  ws.base_out.resize(static_cast<std::size_t>(base_n_) * cols);
+  buf.level_vec[d].resize(static_cast<std::size_t>(base_n_) * cols);
+  buf.jac_b.resize(max_nf * cols);
+  buf.jac_cur.resize(max_nf * cols);
+  buf.jac_tmp.resize(max_nf * cols);
+  buf.scratch_f.resize(max_nf * cols);
+  buf.scratch_f2.resize(max_nf * cols);
+  buf.base_out.resize(static_cast<std::size_t>(base_n_) * cols);
   ws.prepared_for = build_id_;
   ws.prepared_cols = cols;
 }
 
-void ApplyChain::jacobi_solve(const Level& lvl, const double* b_f,
-                              double* out, std::size_t cols,
+template <typename T>
+void ApplyChain::jacobi_solve(const Level& lvl, const T* b_f,
+                              T* out, std::size_t cols,
                               ApplyWorkspace& ws) const {
   // Z b = sum_{i=0}^{l} X^-1 (-Y X^-1)^i b via the recurrence
   // x^(i) = X^-1 b - X^-1 Y x^(i-1)   (Algorithm 2, Jacobi procedure),
@@ -135,17 +171,20 @@ void ApplyChain::jacobi_solve(const Level& lvl, const double* b_f,
   // (row i's columns contiguous); the sweep itself is the dispatched
   // csr_jacobi kernel.
   const auto nf = static_cast<std::size_t>(lvl.nf);
-  const double* inv_x = inv_x_.data() + lvl.f_base;
-  const double* y_diag = y_diag_.data() + lvl.f_base;
+  const T* inv_x = inv_x_data<T>() + lvl.f_base;
+  const T* y_diag = y_diag_data<T>() + lvl.f_base;
   const EdgeId* off = off_.data() + lvl.ff_off;
-  double* xb = ws.jac_b.data();
-  double* cur = ws.jac_cur.data();
-  double* tmp = ws.jac_tmp.data();
-  const kernels::KernelTable& kt = kernels::active();
+  ApplyBuffers<T>& buf = ws.buffers<T>();
+  T* xb = buf.jac_b.data();
+  T* cur = buf.jac_cur.data();
+  T* tmp = buf.jac_tmp.data();
+  const kernels::KernelTableT<T>& kt = kernels::active_for<T>();
 
   parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
+    // Native-T product: for float this equals the widen-multiply-narrow
+    // sequence bit for bit (a float product rounds once either way).
     for (std::size_t c = 0; c < cols; ++c) {
-      xb[i * cols + c] = inv_x[i] * b_f[i * cols + c];
+      xb[i * cols + c] = static_cast<T>(inv_x[i] * b_f[i * cols + c]);
       cur[i * cols + c] = xb[i * cols + c];
     }
   });
@@ -154,12 +193,12 @@ void ApplyChain::jacobi_solve(const Level& lvl, const double* b_f,
     // column's arithmetic order is the scalar kernel's at every dispatch
     // level (lane = column, no FMA).
     kernels::for_row_blocks(nf, [&](std::size_t lo, std::size_t hi) {
-      kt.csr_jacobi(lo, hi, cols, off, nbr_.data(), w_.data(), inv_x, y_diag,
-                    xb, cur, tmp);
+      kt.csr_jacobi(lo, hi, cols, off, nbr_.data(), w_data<T>(), inv_x,
+                    y_diag, xb, cur, tmp);
     });
     std::swap(cur, tmp);
   }
-  std::memcpy(out, cur, nf * cols * sizeof(double));
+  std::memcpy(out, cur, nf * cols * sizeof(T));
 }
 
 void ApplyChain::apply(std::span<const double> b, std::span<double> y,
@@ -176,6 +215,7 @@ void ApplyChain::apply(const Panel& b, Panel& y, ApplyWorkspace& ws) const {
   apply_cols(b.data(), y.data(), b.cols(), b.rows(), ws);
 }
 
+template <typename T>
 void ApplyChain::prefetch_level(std::size_t k) const {
   const Level& lvl = levels_[k];
   const auto nf = static_cast<std::size_t>(lvl.nf);
@@ -185,8 +225,8 @@ void ApplyChain::prefetch_level(std::size_t k) const {
   };
   kernels::prefetch_bytes(f_lists_.data() + lvl.f_base, cap(nf * sizeof(Vertex)));
   kernels::prefetch_bytes(c_lists_.data() + lvl.c_base, cap(nc * sizeof(Vertex)));
-  kernels::prefetch_bytes(inv_x_.data() + lvl.f_base, cap(nf * sizeof(double)));
-  kernels::prefetch_bytes(y_diag_.data() + lvl.f_base, cap(nf * sizeof(double)));
+  kernels::prefetch_bytes(inv_x_data<T>() + lvl.f_base, cap(nf * sizeof(T)));
+  kernels::prefetch_bytes(y_diag_data<T>() + lvl.f_base, cap(nf * sizeof(T)));
   // The three offset rows are packed consecutively (ff, fc, cf), as is
   // the level's nbr_/w_ data range they delimit.
   const std::size_t off_len = 2 * (nf + 1) + nc + 1;
@@ -195,26 +235,40 @@ void ApplyChain::prefetch_level(std::size_t k) const {
   const auto data_hi = static_cast<std::size_t>(off_[lvl.cf_off + nc]);
   const std::size_t data_len = data_hi - data_lo;
   kernels::prefetch_bytes(nbr_.data() + data_lo, cap(data_len * sizeof(Vertex)));
-  kernels::prefetch_bytes(w_.data() + data_lo, cap(data_len * sizeof(Weight)));
+  kernels::prefetch_bytes(w_data<T>() + data_lo, cap(data_len * sizeof(T)));
 }
 
 void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
                             std::size_t ld, ApplyWorkspace& ws) const {
+  if (storage_ == Precision::kFp32) {
+    apply_cols_t<float>(b, y, cols, ld, ws);
+  } else {
+    apply_cols_t<double>(b, y, cols, ld, ws);
+  }
+}
+
+template <typename T>
+void ApplyChain::apply_cols_t(const double* b, double* y, std::size_t cols,
+                              std::size_t ld, ApplyWorkspace& ws) const {
   PARLAP_TRACE_SPAN_N(apply_span, "chain.apply", "apply");
   apply_span.arg("cols", static_cast<double>(cols));
   apply_span.arg("levels", static_cast<double>(levels_.size()));
   const WallTimer apply_timer;
-  prepare_workspace(ws, cols);
+  prepare_workspace<T>(ws, cols);
+  ApplyBuffers<T>& buf = ws.buffers<T>();
   const std::size_t d = levels_.size();
   const auto n0 = static_cast<std::size_t>(n0_);
-  const kernels::KernelTable& kt = kernels::active();
+  const kernels::KernelTableT<T>& kt = kernels::active_for<T>();
 
   // Panel (column-major, leading dimension ld) -> interleaved workspace.
-  // cols == 1 degenerates to a straight copy.
+  // cols == 1 degenerates to a straight copy (fp32 chains narrow here:
+  // the panel stays double at the API surface).
   {
-    double* v0 = ws.level_vec[0].data();
+    T* v0 = buf.level_vec[0].data();
     parallel_for(std::size_t{0}, n0, [&](std::size_t i) {
-      for (std::size_t c = 0; c < cols; ++c) v0[i * cols + c] = b[c * ld + i];
+      for (std::size_t c = 0; c < cols; ++c) {
+        v0[i * cols + c] = static_cast<T>(b[c * ld + i]);
+      }
     });
   }
 
@@ -226,29 +280,29 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     const Level& lvl = levels_[k];
     const auto nf = static_cast<std::size_t>(lvl.nf);
     const auto nc = static_cast<std::size_t>(lvl.nc);
-    const double* vec = ws.level_vec[k].data();
-    double* yf = ws.level_yf[k].data();
+    const T* vec = buf.level_vec[k].data();
+    T* yf = buf.level_yf[k].data();
     const Vertex* f_list = f_lists_.data() + lvl.f_base;
     const Vertex* c_list = c_lists_.data() + lvl.c_base;
 
     // Pull the NEXT level's packed slices toward the cache while this
     // level's sweeps run out of the current one.
-    if (k + 1 < d) prefetch_level(k + 1);
+    if (k + 1 < d) prefetch_level<T>(k + 1);
 
     // y_F = Z^(k) b_F — gather the F rows (contiguous per row in the
     // interleaved layout), then the Jacobi series.
-    double* bf = ws.scratch_f.data();
+    T* bf = buf.scratch_f.data();
     parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
       const auto fi = static_cast<std::size_t>(f_list[i]);
-      std::memcpy(bf + i * cols, vec + fi * cols, cols * sizeof(double));
+      std::memcpy(bf + i * cols, vec + fi * cols, cols * sizeof(T));
     });
-    jacobi_solve(lvl, bf, yf, cols, ws);
+    jacobi_solve<T>(lvl, bf, yf, cols, ws);
 
     // b^(k+1) = y_C = b_C - L_CF y_F = b_C + sum_{c~f} w * y_F[f]
-    double* next = ws.level_vec[k + 1].data();
+    T* next = buf.level_vec[k + 1].data();
     const EdgeId* cf_off = off_.data() + lvl.cf_off;
     kernels::for_row_blocks(nc, [&](std::size_t lo, std::size_t hi) {
-      kt.csr_fwd(lo, hi, cols, cf_off, nbr_.data(), w_.data(), c_list, vec,
+      kt.csr_fwd(lo, hi, cols, cf_off, nbr_.data(), w_data<T>(), c_list, vec,
                  yf, next);
     });
   }
@@ -257,12 +311,12 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
   // products per column, identical order to DenseMatrix::apply.
   {
     const auto bn = static_cast<std::size_t>(base_n_);
-    const double* in = ws.level_vec[d].data();
-    double* out = ws.base_out.data();
+    const T* in = buf.level_vec[d].data();
+    T* out = buf.base_out.data();
     kernels::for_row_blocks(bn, [&](std::size_t lo, std::size_t hi) {
-      kt.dense_rows(lo, hi, cols, bn, base_pinv_.data(), in, out);
+      kt.dense_rows(lo, hi, cols, bn, base_pinv_data<T>(), in, out);
     });
-    std::memcpy(ws.level_vec[d].data(), out, bn * cols * sizeof(double));
+    std::memcpy(buf.level_vec[d].data(), out, bn * cols * sizeof(T));
   }
 
   // Backward substitution (lines 7-8): x_F = y_F - Z^(k) (L_FC x_C).
@@ -273,40 +327,45 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
     const Level& lvl = levels_[k];
     const auto nf = static_cast<std::size_t>(lvl.nf);
     const auto nc = static_cast<std::size_t>(lvl.nc);
-    const double* xc = ws.level_vec[k + 1].data();
-    double* out = ws.level_vec[k].data();
-    const double* yf = ws.level_yf[k].data();
+    const T* xc = buf.level_vec[k + 1].data();
+    T* out = buf.level_vec[k].data();
+    const T* yf = buf.level_yf[k].data();
     const Vertex* f_list = f_lists_.data() + lvl.f_base;
     const Vertex* c_list = c_lists_.data() + lvl.c_base;
 
     // Walking back up the chain: the PREVIOUS level's slices are next.
-    if (k > 0) prefetch_level(k - 1);
+    if (k > 0) prefetch_level<T>(k - 1);
 
-    double* tf = ws.scratch_f.data();
+    T* tf = buf.scratch_f.data();
     const EdgeId* fc_off = off_.data() + lvl.fc_off;
     kernels::for_row_blocks(nf, [&](std::size_t lo, std::size_t hi) {
-      kt.csr_bwd(lo, hi, cols, fc_off, nbr_.data(), w_.data(), xc, tf);
+      kt.csr_bwd(lo, hi, cols, fc_off, nbr_.data(), w_data<T>(), xc, tf);
     });
-    double* zf = ws.scratch_f2.data();
-    jacobi_solve(lvl, tf, zf, cols, ws);
+    T* zf = buf.scratch_f2.data();
+    jacobi_solve<T>(lvl, tf, zf, cols, ws);
 
     parallel_for(std::size_t{0}, nf, [&](std::size_t i) {
       const auto fi = static_cast<std::size_t>(f_list[i]);
+      // Native-T difference: bit-equal to widen-subtract-narrow.
       for (std::size_t c = 0; c < cols; ++c) {
-        out[fi * cols + c] = yf[i * cols + c] - zf[i * cols + c];
+        out[fi * cols + c] =
+            static_cast<T>(yf[i * cols + c] - zf[i * cols + c]);
       }
     });
     parallel_for(std::size_t{0}, nc, [&](std::size_t j) {
       const auto cj = static_cast<std::size_t>(c_list[j]);
-      std::memcpy(out + cj * cols, xc + j * cols, cols * sizeof(double));
+      std::memcpy(out + cj * cols, xc + j * cols, cols * sizeof(T));
     });
   }
 
-  // Interleaved workspace -> panel (column-major, leading dimension ld).
+  // Interleaved workspace -> panel (column-major, leading dimension ld;
+  // float->double widening is exact, so pack-out never rounds).
   {
-    const double* v0 = ws.level_vec[0].data();
+    const T* v0 = buf.level_vec[0].data();
     parallel_for(std::size_t{0}, n0, [&](std::size_t i) {
-      for (std::size_t c = 0; c < cols; ++c) y[c * ld + i] = v0[i * cols + c];
+      for (std::size_t c = 0; c < cols; ++c) {
+        y[c * ld + i] = static_cast<double>(v0[i * cols + c]);
+      }
     });
   }
 
@@ -320,5 +379,12 @@ void ApplyChain::apply_cols(const double* b, double* y, std::size_t cols,
   apply_hist.record_seconds(apply_timer.seconds());
   applies.add();
 }
+
+template void ApplyChain::apply_cols_t<double>(const double*, double*,
+                                               std::size_t, std::size_t,
+                                               ApplyWorkspace&) const;
+template void ApplyChain::apply_cols_t<float>(const double*, double*,
+                                              std::size_t, std::size_t,
+                                              ApplyWorkspace&) const;
 
 }  // namespace parlap

@@ -12,6 +12,16 @@
 // and the whole operator's index data is as cache-dense as a single CSR
 // matrix. After finalize() the chain never mutates.
 //
+// Storage precision: a chain is packed EITHER fp64 (the default — value
+// arrays double, solves bit-identical to the pre-precision code) OR fp32
+// (value arrays and dense base float; index arrays unchanged). The fp32
+// traversal computes in NATIVE float — half the bytes per value and
+// twice the SIMD lanes per register — so an fp32 chain is the same
+// operator evaluated in float, a constant-quality preconditioner the
+// solver's fp64 outer Richardson loop refines to any requested eps.
+// Build staging is always fp64; the narrowing happens once, inside
+// finalize().
+//
 // apply() serves one vector; apply() on a Panel serves k right-hand
 // sides with ONE chain traversal: every gather list, offset row, and
 // neighbor/weight entry is read once per panel instead of once per RHS.
@@ -27,6 +37,7 @@
 #include "linalg/dense.hpp"
 #include "linalg/kernels/aligned_buffer.hpp"
 #include "linalg/panel.hpp"
+#include "support/precision.hpp"
 #include "support/types.hpp"
 
 namespace parlap {
@@ -54,6 +65,24 @@ struct EliminationLevel {
   SubCsr cf;  ///< C-row -> F-col (L_CF)
 };
 
+/// One storage type's apply scratch (interleaved panels; see
+/// ApplyWorkspace). fp64 chains use the double set, fp32 chains the
+/// float set; a workspace bouncing between chains of both precisions
+/// keeps each set's capacity warm.
+template <typename T>
+struct ApplyBuffers {
+  /// n_k x cols per level, + base level.
+  std::vector<kernels::AlignedBuffer<T>> level_vec;
+  /// nf_k x cols per level.
+  std::vector<kernels::AlignedBuffer<T>> level_yf;
+  /// Jacobi scratch, max_nf x cols each.
+  kernels::AlignedBuffer<T> jac_b, jac_cur, jac_tmp;
+  /// Gather/apply scratch, max_nf x cols each.
+  kernels::AlignedBuffer<T> scratch_f, scratch_f2;
+  /// base_n x cols.
+  kernels::AlignedBuffer<T> base_out;
+};
+
 /// Scratch reused across apply() calls; one per calling thread
 /// (WorkspacePool<ApplyWorkspace> hands them out to concurrent solvers).
 /// A workspace may be reused across chains AND block widths:
@@ -61,7 +90,9 @@ struct EliminationLevel {
 /// does not match the applying chain's process-unique build id and the
 /// panel width, so scratch prepared for k=1 is never reused unsized for
 /// a k=8 panel. (The id is an id, not an address: a chain reallocated at
-/// a dead chain's address can never match stale scratch.)
+/// a dead chain's address can never match stale scratch. A chain's
+/// storage precision is fixed at finalize, so the build id also pins
+/// which of the two buffer sets the chain sized.)
 ///
 /// Buffers hold k-column panels INTERLEAVED — element (i, c) lives at
 /// i*cols + c, so one row's column values are contiguous and the SIMD
@@ -72,19 +103,22 @@ struct EliminationLevel {
 /// NumaPolicy on the preparing (worker) thread.
 class ApplyWorkspace {
  public:
-  /// n_k x cols per level, + base level.
-  std::vector<kernels::AlignedBuffer<double>> level_vec;
-  /// nf_k x cols per level.
-  std::vector<kernels::AlignedBuffer<double>> level_yf;
-  /// Jacobi scratch, max_nf x cols each.
-  kernels::AlignedBuffer<double> jac_b, jac_cur, jac_tmp;
-  /// Gather/apply scratch, max_nf x cols each.
-  kernels::AlignedBuffer<double> scratch_f, scratch_f2;
-  /// base_n x cols.
-  kernels::AlignedBuffer<double> base_out;
+  ApplyBuffers<double> f64;
+  ApplyBuffers<float> f32;
+  template <typename T>
+  [[nodiscard]] ApplyBuffers<T>& buffers() noexcept;
   std::uint64_t prepared_for = 0;  ///< build id the sizes above match
   std::size_t prepared_cols = 0;   ///< block width the sizes above match
 };
+
+template <>
+[[nodiscard]] inline ApplyBuffers<double>& ApplyWorkspace::buffers<double>() noexcept {
+  return f64;
+}
+template <>
+[[nodiscard]] inline ApplyBuffers<float>& ApplyWorkspace::buffers<float>() noexcept {
+  return f32;
+}
 
 /// The packed chain. Default-constructed = empty (dimension 0); filled
 /// exactly once by finalize().
@@ -106,9 +140,13 @@ class ApplyChain {
 
   /// Packs `staging` (consumed by copy; buffers stay with the arena for
   /// recycling) plus the dense base solve into the immutable form.
+  /// `storage` selects the value-array precision (fp64 keeps the staged
+  /// doubles; fp32 narrows every value once, here; kAuto is a caller
+  /// bug — resolve before building).
   void finalize(std::span<const EliminationLevel> staging, Vertex n0,
                 DenseMatrix base_pinv, Vertex base_n, int jacobi_terms,
-                std::uint64_t build_id);
+                std::uint64_t build_id,
+                Precision storage = Precision::kFp64);
 
   [[nodiscard]] Vertex dimension() const noexcept { return n0_; }
   [[nodiscard]] int depth() const noexcept {
@@ -117,12 +155,28 @@ class ApplyChain {
   [[nodiscard]] Vertex base_size() const noexcept { return base_n_; }
   [[nodiscard]] int jacobi_terms() const noexcept { return jacobi_terms_; }
   [[nodiscard]] std::uint64_t build_id() const noexcept { return build_id_; }
+  /// Storage precision of the packed value arrays (kFp64 or kFp32).
+  [[nodiscard]] Precision storage() const noexcept { return storage_; }
   /// Total packed sub-CSR entries (memory proxy for E12).
   [[nodiscard]] EdgeId stored_entries() const noexcept {
     return static_cast<EdgeId>(nbr_.size());
   }
+  /// Value bytes actually held by the packed arrays (weights + Jacobi
+  /// diagonals + dense base): the bytes-aware cache cost proxy — an fp32
+  /// chain reports half an fp64 chain's bytes for the same structure.
+  [[nodiscard]] std::size_t stored_value_bytes() const noexcept {
+    const std::size_t values = (storage_ == Precision::kFp32)
+                                   ? w_f_.size() + inv_x_f_.size() +
+                                         y_diag_f_.size() + base_pinv_f_.size()
+                                   : w_.size() + inv_x_.size() +
+                                         y_diag_.size() + base_pinv_.size();
+    return values * (storage_ == Precision::kFp32 ? sizeof(float)
+                                                  : sizeof(double));
+  }
 
-  // Packed-array views (equivalence tests, diagnostics).
+  // Packed-array views (equivalence tests, diagnostics). The value-array
+  // views are per storage type: the fp64 views are empty on an fp32
+  // chain and vice versa; index views are storage-independent.
   [[nodiscard]] const std::vector<Level>& levels() const noexcept {
     return levels_;
   }
@@ -151,8 +205,22 @@ class ApplyChain {
   [[nodiscard]] std::span<const double> base_pinv() const noexcept {
     return {base_pinv_.data(), base_pinv_.size()};
   }
+  [[nodiscard]] std::span<const float> inv_x_f32() const noexcept {
+    return {inv_x_f_.data(), inv_x_f_.size()};
+  }
+  [[nodiscard]] std::span<const float> y_diag_f32() const noexcept {
+    return {y_diag_f_.data(), y_diag_f_.size()};
+  }
+  [[nodiscard]] std::span<const float> weights_f32() const noexcept {
+    return {w_f_.data(), w_f_.size()};
+  }
+  [[nodiscard]] std::span<const float> base_pinv_f32() const noexcept {
+    return {base_pinv_f_.data(), base_pinv_f_.size()};
+  }
 
-  /// y = W b (Algorithm 2) for one right-hand side.
+  /// y = W b (Algorithm 2) for one right-hand side. Inputs and outputs
+  /// are double regardless of storage(): an fp32 chain narrows b into
+  /// its float workspace on pack-in and widens the result on pack-out.
   void apply(std::span<const double> b, std::span<double> y,
              ApplyWorkspace& ws) const;
 
@@ -162,23 +230,44 @@ class ApplyChain {
 
  private:
   /// Shared k-column core: column c of b/y starts at b + c*ld.
+  /// Dispatches on storage() to the T-typed traversal.
   void apply_cols(const double* b, double* y, std::size_t cols,
                   std::size_t ld, ApplyWorkspace& ws) const;
 
+  template <typename T>
+  void apply_cols_t(const double* b, double* y, std::size_t cols,
+                    std::size_t ld, ApplyWorkspace& ws) const;
+
+  template <typename T>
   void prepare_workspace(ApplyWorkspace& ws, std::size_t cols) const;
 
   /// Truncated Jacobi series Z b over level `lvl` (nf x cols panels).
-  void jacobi_solve(const Level& lvl, const double* b_f, double* out,
+  template <typename T>
+  void jacobi_solve(const Level& lvl, const T* b_f, T* out,
                     std::size_t cols, ApplyWorkspace& ws) const;
 
   /// Prefetches level `k`'s packed slices (all six arrays) so the next
   /// level's index data is in cache before its sweeps start.
+  template <typename T>
   void prefetch_level(std::size_t k) const;
+
+  // Storage-typed views of the value arrays (the fp32 set mirrors the
+  // fp64 one; exactly one set is populated per chain).
+  template <typename T>
+  [[nodiscard]] const T* inv_x_data() const noexcept;
+  template <typename T>
+  [[nodiscard]] const T* y_diag_data() const noexcept;
+  template <typename T>
+  [[nodiscard]] const T* w_data() const noexcept;
+  template <typename T>
+  [[nodiscard]] const T* base_pinv_data() const noexcept;
 
   Vertex n0_ = 0;
   std::vector<Level> levels_;
   // Packed arrays: 64-byte-aligned, first-touched under the active
-  // NumaPolicy by the finalizing (worker) thread.
+  // NumaPolicy by the finalizing (worker) thread. Index arrays are
+  // shared by both storage modes; value arrays exist in exactly one of
+  // the double / float variants, per storage_.
   kernels::AlignedBuffer<Vertex> f_lists_;
   kernels::AlignedBuffer<Vertex> c_lists_;
   kernels::AlignedBuffer<double> inv_x_;
@@ -187,9 +276,54 @@ class ApplyChain {
   kernels::AlignedBuffer<Vertex> nbr_;
   kernels::AlignedBuffer<Weight> w_;
   kernels::AlignedBuffer<double> base_pinv_;  ///< row-major base_n x base_n
+  kernels::AlignedBuffer<float> inv_x_f_;
+  kernels::AlignedBuffer<float> y_diag_f_;
+  kernels::AlignedBuffer<float> w_f_;
+  kernels::AlignedBuffer<float> base_pinv_f_;
   Vertex base_n_ = 0;
   int jacobi_terms_ = 1;
   std::uint64_t build_id_ = 0;
+  Precision storage_ = Precision::kFp64;
 };
+
+template <>
+[[nodiscard]] inline const double* ApplyChain::inv_x_data<double>()
+    const noexcept {
+  return inv_x_.data();
+}
+template <>
+[[nodiscard]] inline const float* ApplyChain::inv_x_data<float>()
+    const noexcept {
+  return inv_x_f_.data();
+}
+template <>
+[[nodiscard]] inline const double* ApplyChain::y_diag_data<double>()
+    const noexcept {
+  return y_diag_.data();
+}
+template <>
+[[nodiscard]] inline const float* ApplyChain::y_diag_data<float>()
+    const noexcept {
+  return y_diag_f_.data();
+}
+template <>
+[[nodiscard]] inline const double* ApplyChain::w_data<double>()
+    const noexcept {
+  return w_.data();
+}
+template <>
+[[nodiscard]] inline const float* ApplyChain::w_data<float>() const noexcept {
+  return w_f_.data();
+}
+template <>
+[[nodiscard]] inline const double* ApplyChain::base_pinv_data<double>()
+    const noexcept {
+  return base_pinv_.data();
+}
+template <>
+[[nodiscard]] inline const float* ApplyChain::base_pinv_data<float>()
+    const noexcept {
+  return base_pinv_f_.data();
+}
 
 }  // namespace parlap

@@ -345,7 +345,8 @@ BlockCholeskyChain BlockCholeskyChain::build_impl(
     chain.chain_.finalize(
         std::span<const EliminationLevel>(arena.level_staging.data(),
                                           static_cast<std::size_t>(level)),
-        n0, std::move(base_pinv), base_n, jacobi_terms, build_id);
+        n0, std::move(base_pinv), base_n, jacobi_terms, build_id,
+        opts.precision);
     chain.build_stats_.pack_seconds = pack_timer.seconds();
   }
 

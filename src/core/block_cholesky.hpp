@@ -58,6 +58,10 @@ struct BlockCholeskyOptions {
   /// Jacobi series length l; 0 = auto (smallest odd l >= log2(6 d), i.e.
   /// eps = 1/2d per Lemma 3.5 / Algorithm 2 line 4).
   int jacobi_terms = 0;
+  /// Storage precision the packed ApplyChain is finalized with (kFp64 or
+  /// kFp32; kAuto must be resolved by the caller before building —
+  /// finalize() checks). The build itself always stages in fp64.
+  Precision precision = Precision::kFp64;
   FiveDdOptions five_dd;
   WalkOptions walks;
 };
@@ -124,6 +128,14 @@ class BlockCholeskyChain {
   /// Total stored sub-CSR entries (memory proxy for E12).
   [[nodiscard]] EdgeId stored_entries() const noexcept {
     return chain_.stored_entries();
+  }
+  /// Storage precision of the packed chain (kFp64 or kFp32).
+  [[nodiscard]] Precision storage() const noexcept {
+    return chain_.storage();
+  }
+  /// Value bytes held by the packed chain (fp32 = half fp64's).
+  [[nodiscard]] std::size_t stored_value_bytes() const noexcept {
+    return chain_.stored_value_bytes();
   }
 
   /// y = W b (Algorithm 2). Symmetric PSD linear operator with

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -87,6 +88,7 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
 
   Vector r(n);
   Vector br(n);
+  double stall_ref = std::numeric_limits<double>::infinity();
   for (int k = 0; k < cap; ++k) {
     a.apply(x, r);
     parallel_for(std::size_t{0}, n,
@@ -98,6 +100,20 @@ IterationStats preconditioned_richardson(const LaplacianOperator& a,
       iteration_counter().add(static_cast<std::uint64_t>(k));
       span.arg("iterations", static_cast<double>(k));
       return stats;
+    }
+    if (opts.stall_window > 0) {
+      // Stalled (or numerically broken) runs stop early so the caller's
+      // escalation path can take over; reached_target stays false.
+      const bool checkpoint = (k + 1) % opts.stall_window == 0;
+      const bool stalled =
+          checkpoint &&
+          stats.relative_residual > stall_ref * opts.stall_improvement;
+      if (!std::isfinite(stats.relative_residual) || stalled) {
+        iteration_counter().add(static_cast<std::uint64_t>(k));
+        span.arg("iterations", static_cast<double>(k));
+        return stats;
+      }
+      if (checkpoint) stall_ref = stats.relative_residual;
     }
     // x^(k) = x^(k-1) + alpha B r   (equivalent to Algorithm 5, line 5)
     precond(r, br);
@@ -178,6 +194,8 @@ std::vector<IterationStats> preconditioned_richardson(
 
   Panel r(n, k);
   Panel br;
+  std::vector<double> stall_ref(
+      k, std::numeric_limits<double>::infinity());
   const double* bd = b.data();
   for (int it = 0; it < cap && n_active > 0; ++it) {
     a.apply(x, r);
@@ -195,6 +213,21 @@ std::vector<IterationStats> preconditioned_richardson(
         stats[c].reached_target = true;
         active[c] = 0;
         --n_active;
+        continue;
+      }
+      if (opts.stall_window > 0) {
+        // Same checkpoints and thresholds as the scalar path, so a
+        // frozen-on-stall column's history still equals its scalar solve.
+        const bool checkpoint = (it + 1) % opts.stall_window == 0;
+        const bool stalled =
+            checkpoint &&
+            stats[c].relative_residual > stall_ref[c] * opts.stall_improvement;
+        if (!std::isfinite(stats[c].relative_residual) || stalled) {
+          active[c] = 0;  // reached_target stays false: caller escalates
+          --n_active;
+          continue;
+        }
+        if (checkpoint) stall_ref[c] = stats[c].relative_residual;
       }
     }
     if (n_active == 0) break;

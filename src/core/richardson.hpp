@@ -43,6 +43,17 @@ struct RichardsonOptions {
   /// > 0: use exactly this step size (callers that cache the power
   /// iteration across solves of one factorization, e.g. LaplacianSolver).
   double fixed_alpha = 0.0;
+  /// > 0 enables stall detection: every stall_window iterations, a run
+  /// (or panel column) whose residual has not shrunk to at least
+  /// stall_improvement x its value at the previous checkpoint stops with
+  /// reached_target = false, and a non-finite residual stops
+  /// immediately. 0 (default) = disabled — iteration behavior is exactly
+  /// the pre-stall-detection code. LaplacianSolver enables this on fp32
+  /// refinement rounds so a stalled (storage-precision-floored) solve
+  /// escalates to the fp64 chain instead of burning the iteration cap.
+  int stall_window = 0;
+  /// Required residual shrink factor per stall_window (see above).
+  double stall_improvement = 0.75;
 };
 
 /// lambda_max of precond∘a (a symmetric-similar PSD product) by power

@@ -66,14 +66,23 @@ LaplacianSolver::LaplacianSolver(const Multigraph& g, SolverOptions opts)
   g.validate();
   info_.n = g.num_vertices();
   info_.m = g.num_edges();
+  // kAuto never survives construction: the resolution is a deterministic
+  // function of n, so the same graph + options always factorizes at the
+  // same storage precision (stable cache keys, reproducible solves).
+  opts_.precision = resolve_precision(opts_.precision, info_.n);
+  info_.precision = opts_.precision;
 
   const Components comps = connected_components(g);
   info_.components = comps.count;
   auto pieces = split_components(g, comps);
 
   comps_.resize(pieces.size());
+  // Slots 0..max_escalation_round(); fp32 mode holds one extra rung (the
+  // fp64 rebuild of round 0). Sized off max_rebuilds directly so the
+  // adaptive flag can't shrink the vector below what round_for checks.
   const auto num_rounds =
-      static_cast<std::size_t>(std::max(0, opts_.max_rebuilds)) + 1;
+      static_cast<std::size_t>(std::max(0, opts_.max_rebuilds)) + 1 +
+      (opts_.precision == Precision::kFp32 ? 1 : 0);
   for (std::size_t c = 0; c < pieces.size(); ++c) {
     ComponentSolver& cs = comps_[c];
     cs.vertices = std::move(pieces[c].first);
@@ -95,6 +104,7 @@ LaplacianSolver::LaplacianSolver(const Multigraph& g, SolverOptions opts)
     info_.depth = std::max(info_.depth, cr.chain.depth());
     info_.jacobi_terms = std::max(info_.jacobi_terms, cr.chain.jacobi_terms());
     info_.stored_entries += cr.chain.stored_entries();
+    info_.stored_value_bytes += cr.chain.stored_value_bytes();
     build_stats_.accumulate(cr.chain.build_stats());
   }
 }
@@ -106,9 +116,20 @@ std::shared_ptr<LaplacianSolver::ChainRound> LaplacianSolver::build_round(
   // per round, the seed shifts per round. Whichever solve first escalates
   // a component to round r therefore builds the same chain any other
   // caller would have built.
+  //
+  // fp32 ladder: round 0 is the fp32 chain; round 1 rebuilds the SAME
+  // split parameters (same seed, same copies) at fp64 storage — the
+  // precision-escape rung — and rounds >= 2 are the usual doubled-copies
+  // rebuilds, all fp64. In fp64 mode every round is the classic ladder.
+  Precision storage = opts_.precision;
+  int param_round = round;
+  if (opts_.precision == Precision::kFp32 && round > 0) {
+    storage = Precision::kFp64;
+    param_round = round - 1;
+  }
   std::int64_t copies = default_split_copies(n, opts_.split_scale);
   std::uint64_t seed = opts_.seed;
-  for (int r = 0; r < round; ++r) {
+  for (int r = 0; r < param_round; ++r) {
     copies = std::max<std::int64_t>(2, copies * 2);
     seed = splitmix64(seed ^ 0x5245425549ull);
   }
@@ -119,15 +140,18 @@ std::shared_ptr<LaplacianSolver::ChainRound> LaplacianSolver::build_round(
     split = split_edges_uniform(comp.graph, copies);
   } else {
     const Vector tau = leverage_overestimates(comp.graph, seed, opts_.leverage);
-    const double alpha = round == 0 ? default_alpha(n, opts_.split_scale)
-                                    : 1.0 / static_cast<double>(copies);
+    const double alpha = param_round == 0
+                             ? default_alpha(n, opts_.split_scale)
+                             : 1.0 / static_cast<double>(copies);
     split = split_edges_by_scores(comp.graph, tau, alpha);
   }
   cr->copies = copies;
   cr->split_edges = split.num_edges();
   // Consume the split graph: build releases its (m * copies)-sized edge
   // arrays as soon as level 0 has been absorbed into the build arena.
-  cr->chain = BlockCholeskyChain::build(std::move(split), seed, opts_.chain);
+  BlockCholeskyOptions chain_opts = opts_.chain;
+  chain_opts.precision = storage;
+  cr->chain = BlockCholeskyChain::build(std::move(split), seed, chain_opts);
   return cr;
 }
 
@@ -275,11 +299,29 @@ std::vector<SolveStats> LaplacianSolver::solve_panel_impl(
             obs::MetricsRegistry::global().counter(
                 "parlap.solve.escalations");
         escalations.add(static_cast<std::uint64_t>(active.size()));
+        if (opts_.precision == Precision::kFp32 && round == 1) {
+          // These columns left the fp32 chain for its fp64 twin: the
+          // refinement floor, not the concentration bound, was the wall.
+          static obs::Counter& precision_escalations =
+              obs::MetricsRegistry::global().counter(
+                  "parlap.solve.precision_escalations");
+          precision_escalations.add(static_cast<std::uint64_t>(active.size()));
+        }
       }
       const std::shared_ptr<ChainRound> cr = round_for(cs, round);
       const BlockCholeskyChain& chain = cr->chain;
       ApplyWorkspace& w = scratch.component_ws(c, comps_.size());
       RichardsonOptions rich = opts_.richardson;
+      if (chain.storage() == Precision::kFp32 && rich.stall_window == 0) {
+        // Refinement rounds on the fp32 chain get stall detection: a
+        // column pinned at its float-storage residual floor escalates to
+        // the fp64 rung instead of burning the iteration cap. Healthy
+        // refinement contracts far faster than 0.75x per 5 iterations,
+        // so this never fires on a converging column. fp64 rounds keep
+        // the exact pre-precision iteration behavior.
+        rich.stall_window = 5;
+        rich.stall_improvement = 0.75;
+      }
       if (rich.auto_step && rich.fixed_alpha <= 0.0) {
         rich.fixed_alpha = step_size_for(cs, *cr, w);
       }
@@ -310,8 +352,7 @@ std::vector<SolveStats> LaplacianSolver::solve_panel_impl(
       for (std::size_t j = 0; j < active.size(); ++j) {
         const std::size_t col = active[j];
         const IterationStats& it = its[j];
-        if (!it.reached_target && opts_.adaptive &&
-            round < opts_.max_rebuilds) {
+        if (!it.reached_target && round < max_escalation_round()) {
           still.push_back(col);  // escalate: next round re-solves it
           continue;
         }

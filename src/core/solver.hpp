@@ -77,6 +77,16 @@ struct SolverOptions {
   /// Escalate to doubled split copies when Richardson stalls.
   bool adaptive = true;
   int max_rebuilds = 2;
+  /// Storage precision of the factorization (support/precision.hpp).
+  /// kFp64 (default): bit-identical to the pre-precision solver. kFp32:
+  /// the chain's value arrays are float and the fp64 outer Richardson
+  /// loop acts as iterative refinement — requested eps is met via extra
+  /// outer iterations, never bitwise parity with fp64; if refinement
+  /// stalls (operator too ill-conditioned for float storage), the solve
+  /// escalates to an fp64 rebuild of the same factorization, then on to
+  /// the usual doubled-copies rounds. kAuto resolves per graph size at
+  /// construction (resolve_precision).
+  Precision precision = Precision::kFp64;
   /// Panel width cap for solve_many(): right-hand sides are solved in
   /// blocks of at most this many columns, each block sharing one chain
   /// traversal per preconditioner application. 1 = sequential solves.
@@ -106,6 +116,12 @@ struct FactorizationInfo {
   int jacobi_terms = 0;
   Vertex components = 0;
   EdgeId stored_entries = 0;  ///< preconditioner memory proxy
+  /// Resolved storage precision of the round-0 chains (kFp64 or kFp32;
+  /// never kAuto — the constructor resolves it).
+  Precision precision = Precision::kFp64;
+  /// Value bytes held by the round-0 chains (fp32 counts half fp64's
+  /// bytes for the same structure; the bytes-aware cache cost proxy).
+  std::size_t stored_value_bytes = 0;
 };
 
 /// The paper's parallel Laplacian solver (Theorems 1.1 / 1.2): edge
@@ -224,6 +240,18 @@ class LaplacianSolver {
   /// gets there first.
   [[nodiscard]] std::shared_ptr<ChainRound> round_for(
       const ComponentSolver& comp, int round) const;
+
+  /// Highest escalation round index a solve may reach. fp64 mode: the
+  /// adaptive doubled-copies rounds (0 when !adaptive). fp32 mode: one
+  /// extra rung — round 1 is the fp64 rebuild of round 0's parameters
+  /// (always available, even with adaptive off: it rescues the precision
+  /// contract, not the concentration bound), and the doubled-copies
+  /// rounds follow.
+  [[nodiscard]] int max_escalation_round() const noexcept {
+    const int adaptive_rounds = opts_.adaptive ? opts_.max_rebuilds : 0;
+    return adaptive_rounds +
+           (opts_.precision == Precision::kFp32 ? 1 : 0);
+  }
 
   /// The cached (or freshly estimated) Richardson step for `cr`,
   /// computed with the caller's workspace.

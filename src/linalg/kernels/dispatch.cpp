@@ -104,6 +104,12 @@ const KernelTable& active() noexcept {
   return *active_slot().load(std::memory_order_relaxed);
 }
 
+const KernelTableF32& active_f32() noexcept {
+  // The fp32 tier follows the fp64 table's level — one atomic slot
+  // selects both tiers, so they can never disagree on the ISA.
+  return table_for_f32(active_slot().load(std::memory_order_relaxed)->level);
+}
+
 const KernelTable& table_for(SimdLevel level) noexcept {
   // Never hand out a table the CPU cannot execute: an unsupported
   // request falls back to scalar (set_simd_level clamps before here, so
@@ -120,6 +126,21 @@ const KernelTable& table_for(SimdLevel level) noexcept {
       break;
   }
   return scalar_table();
+}
+
+const KernelTableF32& table_for_f32(SimdLevel level) noexcept {
+  if (!simd_level_available(level)) return scalar_table_f32();
+  switch (level) {
+    case SimdLevel::kAvx512:
+      if (const KernelTableF32* t = avx512_table_f32()) return *t;
+      break;
+    case SimdLevel::kAvx2:
+      if (const KernelTableF32* t = avx2_table_f32()) return *t;
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return scalar_table_f32();
 }
 
 bool simd_level_available(SimdLevel level) noexcept {

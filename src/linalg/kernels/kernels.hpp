@@ -20,6 +20,18 @@
 // tests/linalg/kernel_dispatch_test.cpp enforces exact equality;
 // docs/PERFORMANCE.md documents the design rule.
 //
+// Precision: the table is templated over the STORED value type T.
+// KernelTableT<double> is the default fp64 path; KernelTableT<float> is
+// the fp32-storage tier behind the mixed-precision apply chain. The
+// fp32 kernels compute in NATIVE float arithmetic — half the bytes per
+// value AND twice the lanes per vector register (__m256 holds 8 floats,
+// __m512 holds 16), which is where the fp32 apply speedup comes from;
+// the fp64 refinement loop above the chain owns the accuracy contract.
+// The bit-identity contract holds PER STORAGE TYPE: fp32-scalar and
+// fp32-SIMD agree bit for bit (both do the same float operations in the
+// same order), just like their fp64 counterparts — fp32 results are
+// never bit-compared against fp64 ones.
+//
 // Kernels are SERIAL over a row range [lo, hi): callers own the
 // parallelization (for_row_blocks below), so OpenMP structure — and with
 // it the deterministic chunking of reductions — is identical at every
@@ -63,70 +75,115 @@ enum class SimdLevel : int {
 /// and returns the clamped value). Call at startup, before solves run.
 SimdLevel set_simd_level(SimdLevel level) noexcept;
 
-/// One ISA tier's kernel set. All row/column counts are element counts;
-/// layouts: "col-major" kernels address element (i, c) at c*ld + i
-/// (Panel layout), "interleaved" kernels at i*k + c (the apply-chain
-/// workspace layout, so a row's k column values are contiguous).
-struct KernelTable {
+/// One ISA tier's kernel set, templated over the stored value type T
+/// (double = fp64 storage, float = fp32 storage with native float
+/// arithmetic). All row/column counts are element counts; layouts:
+/// "col-major" kernels address element (i, c) at c*ld + i (Panel
+/// layout), "interleaved" kernels at i*k + c (the apply-chain workspace
+/// layout, so a row's k column values are contiguous). Scalar
+/// coefficients (axpy's a) and reduction outputs (chunk_dots' out) stay
+/// double in every instantiation's SIGNATURE — the fp32 tier narrows
+/// the coefficient once on entry and widens its accumulators once on
+/// the final store.
+template <typename T>
+struct KernelTableT {
   SimdLevel level = SimdLevel::kScalar;
   const char* name = "scalar";
 
   // --- column-major Panel kernels -----------------------------------------
   /// Rows [lo, hi): y(i, c) += a * x(i, c) for every column with
   /// mask[c] != 0 (mask == nullptr: all k columns).
-  void (*axpy_cols)(double a, const double* x, double* y, std::size_t lo,
+  void (*axpy_cols)(double a, const T* x, T* y, std::size_t lo,
                     std::size_t hi, std::size_t ld, std::size_t k,
                     const unsigned char* mask);
   /// One reduction chunk: out[c] = sum_{i in [lo, hi)} a(i, c) * b(i, c),
   /// accumulated in row order per column (the deterministic-dot order).
-  void (*chunk_dots)(const double* a, const double* b, std::size_t lo,
+  void (*chunk_dots)(const T* a, const T* b, std::size_t lo,
                      std::size_t hi, std::size_t ld, std::size_t k,
                      double* out);
   /// Rows [lo, hi) of the index list: dst(i, c) = src(rows[i], c).
-  void (*gather_rows)(const double* src, std::size_t src_ld,
+  void (*gather_rows)(const T* src, std::size_t src_ld,
                       const Vertex* rows, std::size_t lo, std::size_t hi,
-                      std::size_t dst_ld, std::size_t k, double* dst);
+                      std::size_t dst_ld, std::size_t k, T* dst);
   /// Rows [lo, hi) of the index list: dst(rows[i], c) = src(i, c).
-  void (*scatter_rows)(const double* src, std::size_t src_ld,
+  void (*scatter_rows)(const T* src, std::size_t src_ld,
                        const Vertex* rows, std::size_t lo, std::size_t hi,
-                       std::size_t dst_ld, std::size_t k, double* dst);
+                       std::size_t dst_ld, std::size_t k, T* dst);
 
   // --- interleaved apply-chain kernels ------------------------------------
   /// One Jacobi iteration over rows [lo, hi) (absolute CSR offsets into
   /// nbr/w): tmp(i, :) = xb(i, :) - inv_x[i] * (y_diag[i] * cur(i, :)
   ///                                            - sum_p w[p] * cur(nbr[p], :)).
   void (*csr_jacobi)(std::size_t lo, std::size_t hi, std::size_t k,
-                     const EdgeId* off, const Vertex* nbr, const Weight* w,
-                     const double* inv_x, const double* y_diag,
-                     const double* xb, const double* cur, double* tmp);
+                     const EdgeId* off, const Vertex* nbr, const T* w,
+                     const T* inv_x, const T* y_diag,
+                     const T* xb, const T* cur, T* tmp);
   /// Forward elimination rows [lo, hi):
   /// out(j, :) = seed(idx[j], :) + sum_p w[p] * src(nbr[p], :).
   void (*csr_fwd)(std::size_t lo, std::size_t hi, std::size_t k,
-                  const EdgeId* off, const Vertex* nbr, const Weight* w,
-                  const Vertex* idx, const double* seed, const double* src,
-                  double* out);
+                  const EdgeId* off, const Vertex* nbr, const T* w,
+                  const Vertex* idx, const T* seed, const T* src,
+                  T* out);
   /// Back-substitution rows [lo, hi):
   /// out(i, :) = - sum_p w[p] * src(nbr[p], :).
   void (*csr_bwd)(std::size_t lo, std::size_t hi, std::size_t k,
-                  const EdgeId* off, const Vertex* nbr, const Weight* w,
-                  const double* src, double* out);
+                  const EdgeId* off, const Vertex* nbr, const T* w,
+                  const T* src, T* out);
   /// Dense base solve rows [lo, hi) of an n x n row-major matrix:
   /// out(i, :) = sum_j a[i*n + j] * in(j, :).
   void (*dense_rows)(std::size_t lo, std::size_t hi, std::size_t k,
-                     std::size_t n, const double* a, const double* in,
-                     double* out);
+                     std::size_t n, const T* a, const T* in,
+                     T* out);
 };
+
+/// The fp64 table (Weight == double) every pre-existing caller uses.
+using KernelTable = KernelTableT<double>;
+/// The fp32-storage tier (float arrays, native float arithmetic).
+using KernelTableF32 = KernelTableT<float>;
 
 /// The table for the active dispatch level (one relaxed atomic load).
 [[nodiscard]] const KernelTable& active() noexcept;
+
+/// The fp32-storage table at the active dispatch level (same SimdLevel
+/// selection as active(); the two tiers always dispatch together).
+[[nodiscard]] const KernelTableF32& active_f32() noexcept;
 
 /// The table for an explicit level (microbenchmarks / parity tests).
 /// Levels above detected_simd_level() fall back to the scalar table.
 [[nodiscard]] const KernelTable& table_for(SimdLevel level) noexcept;
 
+/// fp32 analogue of table_for().
+[[nodiscard]] const KernelTableF32& table_for_f32(SimdLevel level) noexcept;
+
 /// Whether `level`'s native table is compiled in AND supported by this
 /// CPU (table_for() returns the real table, not a fallback).
 [[nodiscard]] bool simd_level_available(SimdLevel level) noexcept;
+
+/// Value-type-generic accessors for code templated over the storage
+/// type (ApplyChain's apply path).
+template <typename T>
+[[nodiscard]] const KernelTableT<T>& active_for() noexcept;
+template <>
+[[nodiscard]] inline const KernelTableT<double>& active_for<double>() noexcept {
+  return active();
+}
+template <>
+[[nodiscard]] inline const KernelTableT<float>& active_for<float>() noexcept {
+  return active_f32();
+}
+
+template <typename T>
+[[nodiscard]] const KernelTableT<T>& table_for_type(SimdLevel level) noexcept;
+template <>
+[[nodiscard]] inline const KernelTableT<double>& table_for_type<double>(
+    SimdLevel level) noexcept {
+  return table_for(level);
+}
+template <>
+[[nodiscard]] inline const KernelTableT<float>& table_for_type<float>(
+    SimdLevel level) noexcept {
+  return table_for_f32(level);
+}
 
 /// Reduction chunk length shared with vector_ops' deterministic dot:
 /// per-column chunk partials are accumulated serially and folded in

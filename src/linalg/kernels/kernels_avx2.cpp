@@ -1,5 +1,11 @@
-// AVX2 tier (4 doubles/lane). Compiled with -mavx2 -ffp-contract=off on
-// x86-64; elsewhere the table is absent and dispatch stays scalar.
+// AVX2 tier. Compiled with -mavx2 -ffp-contract=off on x86-64;
+// elsewhere the tables are absent and dispatch stays scalar.
+//
+// Two traits share the kernel bodies: V4 (fp64 storage, 4 double lanes
+// in __m256d) and V8F (fp32 storage, 8 NATIVE float lanes in __m256 —
+// twice the columns per instruction, float lane arithmetic matching the
+// fp32 scalar reference bit for bit; see kernels_vec_impl.hpp for why
+// fp32 computes natively instead of widening to double).
 #include "linalg/kernels/kernels_tables.hpp"
 
 #if defined(__AVX2__)
@@ -14,11 +20,17 @@ namespace {
 
 struct V4 {
   using reg = __m256d;
+  using elem = double;
   static constexpr std::size_t W = 4;
+  /// Narrow-panel (k < W) delegation target: this is the lowest vector
+  /// tier, so it bottoms out at the scalar reference.
+  static const KernelTable& lower() { return scalar_table(); }
   static reg zero() { return _mm256_setzero_pd(); }
   static reg set1(double x) { return _mm256_set1_pd(x); }
   static reg loadu(const double* p) { return _mm256_loadu_pd(p); }
   static void storeu(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  /// Dumps the W double lanes (chunk_dots' reduction outputs stay fp64).
+  static void store_lanes(double* p, reg v) { _mm256_storeu_pd(p, v); }
   static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
   static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
   static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
@@ -42,11 +54,59 @@ struct V4 {
   }
 };
 
+struct V8F {
+  using reg = __m256;
+  using elem = float;
+  static constexpr std::size_t W = 8;
+  /// Narrow-panel (k < W) delegation target: this is the lowest vector
+  /// tier, so it bottoms out at the scalar reference.
+  static const KernelTableF32& lower() { return scalar_table_f32(); }
+  static reg zero() { return _mm256_setzero_ps(); }
+  /// Broadcast coefficients arrive as double; one narrowing per call
+  /// site, mirroring the scalar reference (widened weights round-trip
+  /// losslessly).
+  static reg set1(double x) {
+    return _mm256_set1_ps(static_cast<float>(x));
+  }
+  static reg loadu(const float* p) { return _mm256_loadu_ps(p); }
+  static void storeu(float* p, reg v) { _mm256_storeu_ps(p, v); }
+  /// chunk_dots' reduction outputs stay fp64: widen the 8 float lanes
+  /// on the final store (exact conversion).
+  static void store_lanes(double* p, reg v) {
+    _mm256_storeu_pd(p, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+    _mm256_storeu_pd(p + 4, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+  }
+  static reg add(reg a, reg b) { return _mm256_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_ps(a, b); }
+  static reg gather_cols(const float* p, std::size_t stride) {
+    return _mm256_set_ps(p[7 * stride], p[6 * stride], p[5 * stride],
+                         p[4 * stride], p[3 * stride], p[2 * stride],
+                         p[stride], p[0]);
+  }
+  static reg gather_idx(const float* base, const Vertex* idx) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+    return _mm256_i32gather_ps(base, vi, 4);
+  }
+  /// base[idx[l]] = lane l; AVX2 has no scatter, so stores are scalar.
+  static void scatter_idx(float* base, const Vertex* idx, reg v) {
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, v);
+    for (int l = 0; l < 8; ++l) {
+      base[static_cast<std::size_t>(idx[l])] = lanes[l];
+    }
+  }
+};
+
 constexpr KernelTable kTable = make_table<V4>(SimdLevel::kAvx2, "avx2");
+constexpr KernelTableF32 kTableF32 =
+    make_table<V8F>(SimdLevel::kAvx2, "avx2");
 
 }  // namespace
 
 const KernelTable* avx2_table() noexcept { return &kTable; }
+const KernelTableF32* avx2_table_f32() noexcept { return &kTableF32; }
 
 }  // namespace parlap::kernels
 
@@ -54,6 +114,7 @@ const KernelTable* avx2_table() noexcept { return &kTable; }
 
 namespace parlap::kernels {
 const KernelTable* avx2_table() noexcept { return nullptr; }
+const KernelTableF32* avx2_table_f32() noexcept { return nullptr; }
 }  // namespace parlap::kernels
 
 #endif

@@ -1,6 +1,12 @@
-// AVX-512 tier (8 doubles/lane). Compiled with -mavx512f -mavx512vl
-// -mavx512dq -mavx512bw -ffp-contract=off on x86-64; elsewhere the table
-// is absent and dispatch tops out at AVX2 or scalar.
+// AVX-512 tier. Compiled with -mavx512f -mavx512vl -mavx512dq
+// -mavx512bw -ffp-contract=off on x86-64; elsewhere the tables are
+// absent and dispatch tops out at AVX2 or scalar.
+//
+// Two traits share the kernel bodies: V8 (fp64 storage, 8 double lanes
+// in __m512d) and V16F (fp32 storage, 16 NATIVE float lanes in __m512 —
+// twice the columns per instruction, float lane arithmetic matching the
+// fp32 scalar reference bit for bit; see kernels_vec_impl.hpp for why
+// fp32 computes natively instead of widening to double).
 #include "linalg/kernels/kernels_tables.hpp"
 
 #if defined(__AVX512F__)
@@ -15,11 +21,21 @@ namespace {
 
 struct V8 {
   using reg = __m512d;
+  using elem = double;
   static constexpr std::size_t W = 8;
+  /// Narrow-panel (k < W) delegation target: the AVX2 tier's half-width
+  /// registers (any AVX-512 host runs AVX2; scalar is a build-paranoia
+  /// fallback).
+  static const KernelTable& lower() {
+    const KernelTable* t = avx2_table();
+    return t != nullptr ? *t : scalar_table();
+  }
   static reg zero() { return _mm512_setzero_pd(); }
   static reg set1(double x) { return _mm512_set1_pd(x); }
   static reg loadu(const double* p) { return _mm512_loadu_pd(p); }
   static void storeu(double* p, reg v) { _mm512_storeu_pd(p, v); }
+  /// Dumps the W double lanes (chunk_dots' reduction outputs stay fp64).
+  static void store_lanes(double* p, reg v) { _mm512_storeu_pd(p, v); }
   static reg add(reg a, reg b) { return _mm512_add_pd(a, b); }
   static reg sub(reg a, reg b) { return _mm512_sub_pd(a, b); }
   static reg mul(reg a, reg b) { return _mm512_mul_pd(a, b); }
@@ -43,11 +59,60 @@ struct V8 {
   }
 };
 
+struct V16F {
+  using reg = __m512;
+  using elem = float;
+  static constexpr std::size_t W = 16;
+  /// Narrow-panel (k < W) delegation target: the AVX2 tier's 8-float
+  /// __m256 pass — the common width-8 panel lands exactly there.
+  static const KernelTableF32& lower() {
+    const KernelTableF32* t = avx2_table_f32();
+    return t != nullptr ? *t : scalar_table_f32();
+  }
+  static reg zero() { return _mm512_setzero_ps(); }
+  /// Broadcast coefficients arrive as double; one narrowing per call
+  /// site, mirroring the scalar reference (widened weights round-trip
+  /// losslessly).
+  static reg set1(double x) {
+    return _mm512_set1_ps(static_cast<float>(x));
+  }
+  static reg loadu(const float* p) { return _mm512_loadu_ps(p); }
+  static void storeu(float* p, reg v) { _mm512_storeu_ps(p, v); }
+  /// chunk_dots' reduction outputs stay fp64: widen the 16 float lanes
+  /// on the final store (exact conversion).
+  static void store_lanes(double* p, reg v) {
+    _mm512_storeu_pd(p, _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+    _mm512_storeu_pd(p + 8, _mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1)));
+  }
+  static reg add(reg a, reg b) { return _mm512_add_ps(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_ps(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_ps(a, b); }
+  static reg gather_cols(const float* p, std::size_t stride) {
+    return _mm512_set_ps(p[15 * stride], p[14 * stride], p[13 * stride],
+                         p[12 * stride], p[11 * stride], p[10 * stride],
+                         p[9 * stride], p[8 * stride], p[7 * stride],
+                         p[6 * stride], p[5 * stride], p[4 * stride],
+                         p[3 * stride], p[2 * stride], p[stride], p[0]);
+  }
+  static reg gather_idx(const float* base, const Vertex* idx) {
+    const __m512i vi = _mm512_loadu_si512(idx);
+    return _mm512_i32gather_ps(vi, base, 4);
+  }
+  /// base[idx[l]] = lane l (hardware scatter; row lists are duplicate-free).
+  static void scatter_idx(float* base, const Vertex* idx, reg v) {
+    const __m512i vi = _mm512_loadu_si512(idx);
+    _mm512_i32scatter_ps(base, vi, v, 4);
+  }
+};
+
 constexpr KernelTable kTable = make_table<V8>(SimdLevel::kAvx512, "avx512");
+constexpr KernelTableF32 kTableF32 =
+    make_table<V16F>(SimdLevel::kAvx512, "avx512");
 
 }  // namespace
 
 const KernelTable* avx512_table() noexcept { return &kTable; }
+const KernelTableF32* avx512_table_f32() noexcept { return &kTableF32; }
 
 }  // namespace parlap::kernels
 
@@ -55,6 +120,7 @@ const KernelTable* avx512_table() noexcept { return &kTable; }
 
 namespace parlap::kernels {
 const KernelTable* avx512_table() noexcept { return nullptr; }
+const KernelTableF32* avx512_table_f32() noexcept { return nullptr; }
 }  // namespace parlap::kernels
 
 #endif

@@ -4,6 +4,20 @@
 // chunked dot): CSR sweeps stream each row's entries once per
 // kColChunk-wide column group with per-column accumulators, and k == 1
 // keeps the single-register accumulator of the original hot path.
+//
+// Templated over the stored value type T, and ACCUMULATION IS NATIVE T:
+// the fp64 instantiation computes in double (operation for operation the
+// pre-template code), the fp32 instantiation computes in float. Native
+// fp32 arithmetic is what lets the vector tiers pack twice the lanes per
+// register — widen-on-load designs keep fp64 lane counts and measure at
+// ~1.0x; the accuracy cost is owned by the fp64 refinement loop above
+// the chain (docs/PERFORMANCE.md "Precision modes"). Two scalars cross
+// the type boundary: axpy's coefficient `a` arrives as double and is
+// narrowed ONCE to T before the loop, and chunk_dots' outputs widen
+// T -> double on the final store (exact) — both choices are mirrored by
+// the vector tiers, which is what keeps fp32-scalar the exact reference
+// for the fp32 SIMD tiers.
+//
 // Compiled with the library's baseline flags — no -march, no contraction
 // surprises.
 #include <algorithm>
@@ -21,31 +35,39 @@ namespace {
 constexpr std::size_t kColChunk = 8;
 }  // namespace
 
-void axpy_cols(double a, const double* x, double* y, std::size_t lo,
+template <typename T>
+void axpy_cols(double a, const T* x, T* y, std::size_t lo,
                std::size_t hi, std::size_t ld, std::size_t k,
                const unsigned char* mask) {
+  const T av = static_cast<T>(a);
   for (std::size_t c = 0; c < k; ++c) {
     if (mask != nullptr && mask[c] == 0) continue;
-    const double* xc = x + c * ld;
-    double* yc = y + c * ld;
-    for (std::size_t i = lo; i < hi; ++i) yc[i] += a * xc[i];
+    const T* xc = x + c * ld;
+    T* yc = y + c * ld;
+    for (std::size_t i = lo; i < hi; ++i) {
+      yc[i] = static_cast<T>(yc[i] + av * xc[i]);
+    }
   }
 }
 
-void chunk_dots(const double* a, const double* b, std::size_t lo,
+template <typename T>
+void chunk_dots(const T* a, const T* b, std::size_t lo,
                 std::size_t hi, std::size_t ld, std::size_t k, double* out) {
   for (std::size_t c = 0; c < k; ++c) {
-    const double* ac = a + c * ld;
-    const double* bc = b + c * ld;
-    double s = 0.0;
-    for (std::size_t i = lo; i < hi; ++i) s += ac[i] * bc[i];
-    out[c] = s;
+    const T* ac = a + c * ld;
+    const T* bc = b + c * ld;
+    T s{};
+    for (std::size_t i = lo; i < hi; ++i) {
+      s = static_cast<T>(s + ac[i] * bc[i]);
+    }
+    out[c] = static_cast<double>(s);
   }
 }
 
-void gather_rows(const double* src, std::size_t src_ld, const Vertex* rows,
+template <typename T>
+void gather_rows(const T* src, std::size_t src_ld, const Vertex* rows,
                  std::size_t lo, std::size_t hi, std::size_t dst_ld,
-                 std::size_t k, double* dst) {
+                 std::size_t k, T* dst) {
   for (std::size_t i = lo; i < hi; ++i) {
     const auto r = static_cast<std::size_t>(rows[i]);
     for (std::size_t c = 0; c < k; ++c) {
@@ -54,9 +76,10 @@ void gather_rows(const double* src, std::size_t src_ld, const Vertex* rows,
   }
 }
 
-void scatter_rows(const double* src, std::size_t src_ld, const Vertex* rows,
+template <typename T>
+void scatter_rows(const T* src, std::size_t src_ld, const Vertex* rows,
                   std::size_t lo, std::size_t hi, std::size_t dst_ld,
-                  std::size_t k, double* dst) {
+                  std::size_t k, T* dst) {
   for (std::size_t i = lo; i < hi; ++i) {
     const auto r = static_cast<std::size_t>(rows[i]);
     for (std::size_t c = 0; c < k; ++c) {
@@ -65,20 +88,23 @@ void scatter_rows(const double* src, std::size_t src_ld, const Vertex* rows,
   }
 }
 
+template <typename T>
 void csr_jacobi(std::size_t lo, std::size_t hi, std::size_t k,
-                const EdgeId* off, const Vertex* nbr, const Weight* w,
-                const double* inv_x, const double* y_diag, const double* xb,
-                const double* cur, double* tmp) {
+                const EdgeId* off, const Vertex* nbr, const T* w,
+                const T* inv_x, const T* y_diag, const T* xb,
+                const T* cur, T* tmp) {
   if (k == 1) {
     for (std::size_t i = lo; i < hi; ++i) {
       const EdgeId plo = off[i];
       const EdgeId phi = off[i + 1];
-      double acc = y_diag[i] * cur[i];
+      T acc = static_cast<T>(y_diag[i] * cur[i]);
       for (EdgeId p = plo; p < phi; ++p) {
-        acc -= w[static_cast<std::size_t>(p)] *
-               cur[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])];
+        acc = static_cast<T>(
+            acc -
+            w[static_cast<std::size_t>(p)] *
+                cur[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])]);
       }
-      tmp[i] = xb[i] - inv_x[i] * acc;
+      tmp[i] = static_cast<T>(xb[i] - inv_x[i] * acc);
     }
     return;
   }
@@ -87,35 +113,39 @@ void csr_jacobi(std::size_t lo, std::size_t hi, std::size_t k,
     const EdgeId phi = off[i + 1];
     for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
       const std::size_t cw = std::min(kColChunk, k - c0);
-      double acc[kColChunk];
+      T acc[kColChunk];
       for (std::size_t cc = 0; cc < cw; ++cc) {
-        acc[cc] = y_diag[i] * cur[i * k + c0 + cc];
+        acc[cc] = static_cast<T>(y_diag[i] * cur[i * k + c0 + cc]);
       }
       for (EdgeId p = plo; p < phi; ++p) {
         const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
-        const Weight wp = w[static_cast<std::size_t>(p)];
+        const T wp = w[static_cast<std::size_t>(p)];
         for (std::size_t cc = 0; cc < cw; ++cc) {
-          acc[cc] -= wp * cur[t * k + c0 + cc];
+          acc[cc] = static_cast<T>(acc[cc] - wp * cur[t * k + c0 + cc]);
         }
       }
       for (std::size_t cc = 0; cc < cw; ++cc) {
-        tmp[i * k + c0 + cc] = xb[i * k + c0 + cc] - inv_x[i] * acc[cc];
+        tmp[i * k + c0 + cc] =
+            static_cast<T>(xb[i * k + c0 + cc] - inv_x[i] * acc[cc]);
       }
     }
   }
 }
 
+template <typename T>
 void csr_fwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
-             const Vertex* nbr, const Weight* w, const Vertex* idx,
-             const double* seed, const double* src, double* out) {
+             const Vertex* nbr, const T* w, const Vertex* idx,
+             const T* seed, const T* src, T* out) {
   if (k == 1) {
     for (std::size_t j = lo; j < hi; ++j) {
       const EdgeId plo = off[j];
       const EdgeId phi = off[j + 1];
-      double acc = seed[static_cast<std::size_t>(idx[j])];
+      T acc = seed[static_cast<std::size_t>(idx[j])];
       for (EdgeId p = plo; p < phi; ++p) {
-        acc += w[static_cast<std::size_t>(p)] *
-               src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])];
+        acc = static_cast<T>(
+            acc +
+            w[static_cast<std::size_t>(p)] *
+                src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])]);
       }
       out[j] = acc;
     }
@@ -127,15 +157,15 @@ void csr_fwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
     const EdgeId phi = off[j + 1];
     for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
       const std::size_t cw = std::min(kColChunk, k - c0);
-      double acc[kColChunk];
+      T acc[kColChunk];
       for (std::size_t cc = 0; cc < cw; ++cc) {
         acc[cc] = seed[sj * k + c0 + cc];
       }
       for (EdgeId p = plo; p < phi; ++p) {
         const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
-        const Weight wp = w[static_cast<std::size_t>(p)];
+        const T wp = w[static_cast<std::size_t>(p)];
         for (std::size_t cc = 0; cc < cw; ++cc) {
-          acc[cc] += wp * src[t * k + c0 + cc];
+          acc[cc] = static_cast<T>(acc[cc] + wp * src[t * k + c0 + cc]);
         }
       }
       for (std::size_t cc = 0; cc < cw; ++cc) {
@@ -145,17 +175,19 @@ void csr_fwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
   }
 }
 
+template <typename T>
 void csr_bwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
-             const Vertex* nbr, const Weight* w, const double* src,
-             double* out) {
+             const Vertex* nbr, const T* w, const T* src, T* out) {
   if (k == 1) {
     for (std::size_t i = lo; i < hi; ++i) {
       const EdgeId plo = off[i];
       const EdgeId phi = off[i + 1];
-      double acc = 0.0;
+      T acc{};
       for (EdgeId p = plo; p < phi; ++p) {
-        acc -= w[static_cast<std::size_t>(p)] *
-               src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])];
+        acc = static_cast<T>(
+            acc -
+            w[static_cast<std::size_t>(p)] *
+                src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)])]);
       }
       out[i] = acc;
     }
@@ -166,12 +198,12 @@ void csr_bwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
     const EdgeId phi = off[i + 1];
     for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
       const std::size_t cw = std::min(kColChunk, k - c0);
-      double acc[kColChunk] = {};
+      T acc[kColChunk] = {};
       for (EdgeId p = plo; p < phi; ++p) {
         const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
-        const Weight wp = w[static_cast<std::size_t>(p)];
+        const T wp = w[static_cast<std::size_t>(p)];
         for (std::size_t cc = 0; cc < cw; ++cc) {
-          acc[cc] -= wp * src[t * k + c0 + cc];
+          acc[cc] = static_cast<T>(acc[cc] - wp * src[t * k + c0 + cc]);
         }
       }
       for (std::size_t cc = 0; cc < cw; ++cc) {
@@ -181,26 +213,29 @@ void csr_bwd(std::size_t lo, std::size_t hi, std::size_t k, const EdgeId* off,
   }
 }
 
+template <typename T>
 void dense_rows(std::size_t lo, std::size_t hi, std::size_t k, std::size_t n,
-                const double* a, const double* in, double* out) {
+                const T* a, const T* in, T* out) {
   if (k == 1) {
     for (std::size_t i = lo; i < hi; ++i) {
-      const double* row = a + i * n;
-      double acc = 0.0;
-      for (std::size_t j = 0; j < n; ++j) acc += row[j] * in[j];
+      const T* row = a + i * n;
+      T acc{};
+      for (std::size_t j = 0; j < n; ++j) {
+        acc = static_cast<T>(acc + row[j] * in[j]);
+      }
       out[i] = acc;
     }
     return;
   }
   for (std::size_t i = lo; i < hi; ++i) {
-    const double* row = a + i * n;
+    const T* row = a + i * n;
     for (std::size_t c0 = 0; c0 < k; c0 += kColChunk) {
       const std::size_t cw = std::min(kColChunk, k - c0);
-      double acc[kColChunk] = {};
+      T acc[kColChunk] = {};
       for (std::size_t j = 0; j < n; ++j) {
-        const double aj = row[j];
+        const T aj = row[j];
         for (std::size_t cc = 0; cc < cw; ++cc) {
-          acc[cc] += aj * in[j * k + c0 + cc];
+          acc[cc] = static_cast<T>(acc[cc] + aj * in[j * k + c0 + cc]);
         }
       }
       for (std::size_t cc = 0; cc < cw; ++cc) {
@@ -210,21 +245,32 @@ void dense_rows(std::size_t lo, std::size_t hi, std::size_t k, std::size_t n,
   }
 }
 
+template <typename T>
+constexpr KernelTableT<T> make_scalar_table() {
+  return KernelTableT<T>{
+      SimdLevel::kScalar,
+      "scalar",
+      &axpy_cols<T>,
+      &chunk_dots<T>,
+      &gather_rows<T>,
+      &scatter_rows<T>,
+      &csr_jacobi<T>,
+      &csr_fwd<T>,
+      &csr_bwd<T>,
+      &dense_rows<T>,
+  };
+}
+
 }  // namespace scalar_impl
 
 const KernelTable& scalar_table() noexcept {
-  static constexpr KernelTable table{
-      SimdLevel::kScalar,
-      "scalar",
-      &scalar_impl::axpy_cols,
-      &scalar_impl::chunk_dots,
-      &scalar_impl::gather_rows,
-      &scalar_impl::scatter_rows,
-      &scalar_impl::csr_jacobi,
-      &scalar_impl::csr_fwd,
-      &scalar_impl::csr_bwd,
-      &scalar_impl::dense_rows,
-  };
+  static constexpr KernelTable table = scalar_impl::make_scalar_table<double>();
+  return table;
+}
+
+const KernelTableF32& scalar_table_f32() noexcept {
+  static constexpr KernelTableF32 table =
+      scalar_impl::make_scalar_table<float>();
   return table;
 }
 

@@ -1,6 +1,8 @@
 // Internal: per-tier table accessors wired together by dispatch.cpp.
 // The SIMD accessors return nullptr when the tier was not compiled in
-// (non-x86 target or a toolchain without the -m flags).
+// (non-x86 target or a toolchain without the -m flags). Every tier
+// exports a double (fp64) and a float (fp32-storage) table; the two are
+// built from the same kernel bodies and always ship together.
 #pragma once
 
 #include "linalg/kernels/kernels.hpp"
@@ -8,7 +10,23 @@
 namespace parlap::kernels {
 
 const KernelTable& scalar_table() noexcept;
+const KernelTableF32& scalar_table_f32() noexcept;
 const KernelTable* avx2_table() noexcept;
+const KernelTableF32* avx2_table_f32() noexcept;
 const KernelTable* avx512_table() noexcept;
+const KernelTableF32* avx512_table_f32() noexcept;
+
+/// Storage-type-generic scalar reference (the k == 1 delegation target
+/// of the vector kernels).
+template <typename T>
+const KernelTableT<T>& scalar_table_for() noexcept;
+template <>
+inline const KernelTableT<double>& scalar_table_for<double>() noexcept {
+  return scalar_table();
+}
+template <>
+inline const KernelTableT<float>& scalar_table_for<float>() noexcept {
+  return scalar_table_f32();
+}
 
 }  // namespace parlap::kernels

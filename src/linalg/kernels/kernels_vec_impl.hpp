@@ -1,14 +1,32 @@
 // Shared SIMD kernel bodies, templated over a vector trait V (one per
-// ISA tier: W=4 AVX2 doubles, W=8 AVX-512 doubles). Included ONLY by the
-// per-ISA translation units, which are compiled with the matching -m
-// flags plus -ffp-contract=off.
+// ISA tier and storage type). Included ONLY by the per-ISA translation
+// units, which are compiled with the matching -m flags plus
+// -ffp-contract=off.
+//
+// A trait names its STORED element type (V::elem: double or float) and
+// its NATIVE vector register (V::reg): a double vector for fp64 traits,
+// a float vector for fp32 traits. Lane arithmetic happens in elem
+// precision, so the fp32 tiers pack TWICE the lanes per register
+// (__m256 = 8 floats, __m512 = 16) — that lane doubling, not byte
+// halving, is where the fp32 apply speedup comes from on compute-bound
+// hosts (a widen-to-double design keeps fp64 lane counts and measures
+// at ~1.0x). The accuracy cost of float arithmetic is owned by the fp64
+// refinement loop above the chain.
+//
+// Two scalars cross the type boundary, mirrored exactly by the scalar
+// reference: set1() narrows its double argument once per call site
+// (weights arrive as widened elems, so their round trip is lossless;
+// axpy's genuine double coefficient rounds once, identically to the
+// scalar reference's single narrowing), and chunk_dots widens its elem
+// accumulators to the double* output on the final store (exact).
 //
 // The bit-identity discipline, concretely:
 //   * Interleaved kernels (csr_*, dense_rows) put one COLUMN per vector
 //     lane: a lane performs its column's adds/subs/muls in exactly the
 //     scalar order, and mul/add/sub intrinsics are never fused (no FMA
 //     intrinsics; contraction disabled), so lane results equal the
-//     scalar kernel bit-for-bit.
+//     scalar kernel bit-for-bit — per storage type (fp32 lanes match
+//     the fp32 scalar reference, never the fp64 one).
 //   * Column-major elementwise kernels (axpy_cols, gather/scatter)
 //     vectorize along rows — each element's arithmetic is independent,
 //     so packing cannot reorder anything.
@@ -17,14 +35,19 @@
 //     strided lane loads; the row-major accumulation order per lane is
 //     untouched.
 //   * Remainder columns (k % W) and rows fall back to the scalar
-//     pattern, which is the same arithmetic by construction.
+//     pattern (elem accumulator, same native arithmetic), which is the
+//     same operation sequence by construction.
 //   * Kernels that put one column per LANE (chunk_dots, csr_*,
-//     dense_rows) delegate k == 1 to the scalar reference outright: a
-//     single column fills no lanes, and the scalar table has dedicated
-//     single-column register fast paths the remainder loop here lacks —
-//     E19 measures the vector tail 15-50% slower at width 1. Same bits
-//     either way (scalar IS the reference); this keeps the width-1
-//     latency path as fast under auto dispatch as under --simd=scalar.
+//     dense_rows) delegate k < W to the NEXT LOWER tier (V::lower():
+//     avx512 -> avx2 -> scalar): a panel that fills no lanes here may
+//     exactly fill the half-width register one tier down — the fp32
+//     avx512 tier holds 16 float lanes, so the common width-8 panel
+//     lands on the avx2 tier's single __m256 pass instead of a
+//     per-column remainder loop. The chain bottoms out at the scalar
+//     reference, whose dedicated single-column register fast paths E19
+//     measured 15-50% faster than any vector tail at width 1. Same bits
+//     at every hop (all tiers match the scalar reference per storage
+//     type), so delegation is a pure scheduling choice.
 #pragma once
 
 #include <algorithm>
@@ -38,59 +61,65 @@ namespace parlap::kernels {
 template <class V>
 struct VecKernels {
   using reg = typename V::reg;
+  using elem = typename V::elem;
   static constexpr std::size_t W = V::W;
 
-  static void axpy_cols(double a, const double* x, double* y, std::size_t lo,
+  static void axpy_cols(double a, const elem* x, elem* y, std::size_t lo,
                         std::size_t hi, std::size_t ld, std::size_t k,
                         const unsigned char* mask) {
     const reg av = V::set1(a);
+    const elem ae = static_cast<elem>(a);
     for (std::size_t c = 0; c < k; ++c) {
       if (mask != nullptr && mask[c] == 0) continue;
-      const double* xc = x + c * ld;
-      double* yc = y + c * ld;
+      const elem* xc = x + c * ld;
+      elem* yc = y + c * ld;
       std::size_t i = lo;
       for (; i + W <= hi; i += W) {
         V::storeu(yc + i, V::add(V::loadu(yc + i), V::mul(av, V::loadu(xc + i))));
       }
-      for (; i < hi; ++i) yc[i] += a * xc[i];
+      for (; i < hi; ++i) {
+        yc[i] = static_cast<elem>(yc[i] + ae * xc[i]);
+      }
     }
   }
 
-  static void chunk_dots(const double* a, const double* b, std::size_t lo,
+  static void chunk_dots(const elem* a, const elem* b, std::size_t lo,
                          std::size_t hi, std::size_t ld, std::size_t k,
                          double* out) {
-    if (k == 1) {
-      scalar_table().chunk_dots(a, b, lo, hi, ld, k, out);
+    if (k < W) {
+      V::lower().chunk_dots(a, b, lo, hi, ld, k, out);
       return;
     }
     std::size_t c0 = 0;
     for (; c0 + W <= k; c0 += W) {
-      const double* ac = a + c0 * ld;
-      const double* bc = b + c0 * ld;
+      const elem* ac = a + c0 * ld;
+      const elem* bc = b + c0 * ld;
       reg acc = V::zero();
       for (std::size_t i = lo; i < hi; ++i) {
         acc = V::add(acc, V::mul(V::gather_cols(ac + i, ld),
                                  V::gather_cols(bc + i, ld)));
       }
       double lanes[W];
-      V::storeu(lanes, acc);
+      V::store_lanes(lanes, acc);
       for (std::size_t l = 0; l < W; ++l) out[c0 + l] = lanes[l];
     }
     for (; c0 < k; ++c0) {
-      const double* ac = a + c0 * ld;
-      const double* bc = b + c0 * ld;
-      double s = 0.0;
-      for (std::size_t i = lo; i < hi; ++i) s += ac[i] * bc[i];
-      out[c0] = s;
+      const elem* ac = a + c0 * ld;
+      const elem* bc = b + c0 * ld;
+      elem s{};
+      for (std::size_t i = lo; i < hi; ++i) {
+        s = static_cast<elem>(s + ac[i] * bc[i]);
+      }
+      out[c0] = static_cast<double>(s);
     }
   }
 
-  static void gather_rows(const double* src, std::size_t src_ld,
+  static void gather_rows(const elem* src, std::size_t src_ld,
                           const Vertex* rows, std::size_t lo, std::size_t hi,
-                          std::size_t dst_ld, std::size_t k, double* dst) {
+                          std::size_t dst_ld, std::size_t k, elem* dst) {
     for (std::size_t c = 0; c < k; ++c) {
-      const double* sc = src + c * src_ld;
-      double* dc = dst + c * dst_ld;
+      const elem* sc = src + c * src_ld;
+      elem* dc = dst + c * dst_ld;
       std::size_t i = lo;
       for (; i + W <= hi; i += W) {
         V::storeu(dc + i, V::gather_idx(sc, rows + i));
@@ -99,12 +128,12 @@ struct VecKernels {
     }
   }
 
-  static void scatter_rows(const double* src, std::size_t src_ld,
+  static void scatter_rows(const elem* src, std::size_t src_ld,
                            const Vertex* rows, std::size_t lo, std::size_t hi,
-                           std::size_t dst_ld, std::size_t k, double* dst) {
+                           std::size_t dst_ld, std::size_t k, elem* dst) {
     for (std::size_t c = 0; c < k; ++c) {
-      const double* sc = src + c * src_ld;
-      double* dc = dst + c * dst_ld;
+      const elem* sc = src + c * src_ld;
+      elem* dc = dst + c * dst_ld;
       std::size_t i = lo;
       for (; i + W <= hi; i += W) {
         V::scatter_idx(dc, rows + i, V::loadu(sc + i));
@@ -114,47 +143,52 @@ struct VecKernels {
   }
 
   static void csr_jacobi(std::size_t lo, std::size_t hi, std::size_t k,
-                         const EdgeId* off, const Vertex* nbr, const Weight* w,
-                         const double* inv_x, const double* y_diag,
-                         const double* xb, const double* cur, double* tmp) {
-    if (k == 1) {
-      scalar_table().csr_jacobi(lo, hi, k, off, nbr, w, inv_x, y_diag, xb,
-                                cur, tmp);
+                         const EdgeId* off, const Vertex* nbr, const elem* w,
+                         const elem* inv_x, const elem* y_diag,
+                         const elem* xb, const elem* cur, elem* tmp) {
+    if (k < W) {
+      V::lower().csr_jacobi(lo, hi, k, off, nbr, w, inv_x, y_diag, xb, cur,
+                            tmp);
       return;
     }
     for (std::size_t i = lo; i < hi; ++i) {
       const EdgeId plo = off[i];
       const EdgeId phi = off[i + 1];
-      const reg yd = V::set1(y_diag[i]);
-      const reg xi = V::set1(inv_x[i]);
+      const elem ydi = y_diag[i];
+      const elem xii = inv_x[i];
+      const reg yd = V::set1(static_cast<double>(ydi));
+      const reg xi = V::set1(static_cast<double>(xii));
       std::size_t c0 = 0;
       for (; c0 + W <= k; c0 += W) {
         reg acc = V::mul(yd, V::loadu(cur + i * k + c0));
         for (EdgeId p = plo; p < phi; ++p) {
           const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
-          const reg wp = V::set1(w[static_cast<std::size_t>(p)]);
+          const reg wp = V::set1(static_cast<double>(w[static_cast<std::size_t>(p)]));
           acc = V::sub(acc, V::mul(wp, V::loadu(cur + t * k + c0)));
         }
         V::storeu(tmp + i * k + c0,
                   V::sub(V::loadu(xb + i * k + c0), V::mul(xi, acc)));
       }
       for (; c0 < k; ++c0) {
-        double acc = y_diag[i] * cur[i * k + c0];
+        elem acc = static_cast<elem>(ydi * cur[i * k + c0]);
         for (EdgeId p = plo; p < phi; ++p) {
-          acc -= w[static_cast<std::size_t>(p)] *
-                 cur[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]) * k + c0];
+          acc = static_cast<elem>(
+              acc -
+              w[static_cast<std::size_t>(p)] *
+                  cur[static_cast<std::size_t>(
+                          nbr[static_cast<std::size_t>(p)]) * k + c0]);
         }
-        tmp[i * k + c0] = xb[i * k + c0] - inv_x[i] * acc;
+        tmp[i * k + c0] = static_cast<elem>(xb[i * k + c0] - xii * acc);
       }
     }
   }
 
   static void csr_fwd(std::size_t lo, std::size_t hi, std::size_t k,
-                      const EdgeId* off, const Vertex* nbr, const Weight* w,
-                      const Vertex* idx, const double* seed, const double* src,
-                      double* out) {
-    if (k == 1) {
-      scalar_table().csr_fwd(lo, hi, k, off, nbr, w, idx, seed, src, out);
+                      const EdgeId* off, const Vertex* nbr, const elem* w,
+                      const Vertex* idx, const elem* seed, const elem* src,
+                      elem* out) {
+    if (k < W) {
+      V::lower().csr_fwd(lo, hi, k, off, nbr, w, idx, seed, src, out);
       return;
     }
     for (std::size_t j = lo; j < hi; ++j) {
@@ -166,16 +200,19 @@ struct VecKernels {
         reg acc = V::loadu(seed + sj * k + c0);
         for (EdgeId p = plo; p < phi; ++p) {
           const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
-          const reg wp = V::set1(w[static_cast<std::size_t>(p)]);
+          const reg wp = V::set1(static_cast<double>(w[static_cast<std::size_t>(p)]));
           acc = V::add(acc, V::mul(wp, V::loadu(src + t * k + c0)));
         }
         V::storeu(out + j * k + c0, acc);
       }
       for (; c0 < k; ++c0) {
-        double acc = seed[sj * k + c0];
+        elem acc = seed[sj * k + c0];
         for (EdgeId p = plo; p < phi; ++p) {
-          acc += w[static_cast<std::size_t>(p)] *
-                 src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]) * k + c0];
+          acc = static_cast<elem>(
+              acc +
+              w[static_cast<std::size_t>(p)] *
+                  src[static_cast<std::size_t>(
+                          nbr[static_cast<std::size_t>(p)]) * k + c0]);
         }
         out[j * k + c0] = acc;
       }
@@ -183,10 +220,10 @@ struct VecKernels {
   }
 
   static void csr_bwd(std::size_t lo, std::size_t hi, std::size_t k,
-                      const EdgeId* off, const Vertex* nbr, const Weight* w,
-                      const double* src, double* out) {
-    if (k == 1) {
-      scalar_table().csr_bwd(lo, hi, k, off, nbr, w, src, out);
+                      const EdgeId* off, const Vertex* nbr, const elem* w,
+                      const elem* src, elem* out) {
+    if (k < W) {
+      V::lower().csr_bwd(lo, hi, k, off, nbr, w, src, out);
       return;
     }
     for (std::size_t i = lo; i < hi; ++i) {
@@ -197,16 +234,19 @@ struct VecKernels {
         reg acc = V::zero();
         for (EdgeId p = plo; p < phi; ++p) {
           const auto t = static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]);
-          const reg wp = V::set1(w[static_cast<std::size_t>(p)]);
+          const reg wp = V::set1(static_cast<double>(w[static_cast<std::size_t>(p)]));
           acc = V::sub(acc, V::mul(wp, V::loadu(src + t * k + c0)));
         }
         V::storeu(out + i * k + c0, acc);
       }
       for (; c0 < k; ++c0) {
-        double acc = 0.0;
+        elem acc{};
         for (EdgeId p = plo; p < phi; ++p) {
-          acc -= w[static_cast<std::size_t>(p)] *
-                 src[static_cast<std::size_t>(nbr[static_cast<std::size_t>(p)]) * k + c0];
+          acc = static_cast<elem>(
+              acc -
+              w[static_cast<std::size_t>(p)] *
+                  src[static_cast<std::size_t>(
+                          nbr[static_cast<std::size_t>(p)]) * k + c0]);
         }
         out[i * k + c0] = acc;
       }
@@ -214,35 +254,40 @@ struct VecKernels {
   }
 
   static void dense_rows(std::size_t lo, std::size_t hi, std::size_t k,
-                         std::size_t n, const double* a, const double* in,
-                         double* out) {
-    if (k == 1) {
-      scalar_table().dense_rows(lo, hi, k, n, a, in, out);
+                         std::size_t n, const elem* a, const elem* in,
+                         elem* out) {
+    if (k < W) {
+      V::lower().dense_rows(lo, hi, k, n, a, in, out);
       return;
     }
     for (std::size_t i = lo; i < hi; ++i) {
-      const double* row = a + i * n;
+      const elem* row = a + i * n;
       std::size_t c0 = 0;
       for (; c0 + W <= k; c0 += W) {
         reg acc = V::zero();
         for (std::size_t j = 0; j < n; ++j) {
-          acc = V::add(acc, V::mul(V::set1(row[j]), V::loadu(in + j * k + c0)));
+          acc = V::add(acc, V::mul(V::set1(static_cast<double>(row[j])),
+                                   V::loadu(in + j * k + c0)));
         }
         V::storeu(out + i * k + c0, acc);
       }
       for (; c0 < k; ++c0) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < n; ++j) acc += row[j] * in[j * k + c0];
+        elem acc{};
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = static_cast<elem>(acc + row[j] * in[j * k + c0]);
+        }
         out[i * k + c0] = acc;
       }
     }
   }
 };
 
-/// Builds the tier's KernelTable from the trait instantiation.
+/// Builds a tier's kernel table (fp64 or fp32 storage, per the trait's
+/// elem type) from the trait instantiation.
 template <class V>
-constexpr KernelTable make_table(SimdLevel level, const char* name) {
-  return KernelTable{
+constexpr KernelTableT<typename V::elem> make_table(SimdLevel level,
+                                                    const char* name) {
+  return KernelTableT<typename V::elem>{
       level,
       name,
       &VecKernels<V>::axpy_cols,

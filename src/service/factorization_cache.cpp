@@ -50,6 +50,7 @@ std::size_t FactorizationKeyHash::operator()(
   h = fingerprint_mix(h, std::bit_cast<std::uint64_t>(scale));
   h = fingerprint_mix(h, static_cast<std::uint64_t>(
                              static_cast<std::int64_t>(k.max_iterations)));
+  h = fingerprint_mix(h, static_cast<std::uint64_t>(k.precision));
   return static_cast<std::size_t>(h);
 }
 
@@ -141,7 +142,10 @@ std::pair<std::shared_ptr<AnySolver>, bool> FactorizationCache::get_or_create(
   Entry& e = entries_.at(key);
   e.solver = solver;
   e.building = false;
-  e.cost = std::max<EdgeId>(1, solver->stored_entries());
+  // Budget in fp64-equivalent entries: fp32 storage reports half the
+  // bytes, so it charges half the cost of the same fp64 structure.
+  e.cost = std::max<EdgeId>(
+      1, static_cast<EdgeId>((solver->stored_bytes() + 7) / 8));
   e.last_use = ++tick_;
   {
     const StatsUpdate update(stats_);

@@ -8,9 +8,10 @@
 // the SolverConfig knobs that feed the factory — two jobs naming the same
 // generator spec, or the same file loaded twice, share one entry.
 //
-// The memory budget is expressed in stored matrix entries, charged per
-// instance via AnySolver::stored_entries() (the
-// FactorizationInfo::stored_entries proxy for the paper's solver). When
+// The memory budget is expressed in fp64-equivalent stored entries
+// (8 bytes each), charged per instance via AnySolver::stored_bytes() —
+// so an fp32-storage factorization (half the value bytes of the same
+// structure) counts half an fp64 one against the budget. When
 // an insert pushes the resident total past the budget, least-recently-
 // used entries are dropped — except the most recent one, so a single
 // over-budget factorization still completes and serves its requester
@@ -35,6 +36,7 @@
 
 #include "api/any_solver.hpp"
 #include "graph/fingerprint.hpp"
+#include "support/precision.hpp"
 #include "support/types.hpp"
 
 namespace parlap::service {
@@ -47,6 +49,12 @@ struct FactorizationKey {
   std::uint64_t seed = 42;
   double split_scale = 0.0;
   int max_iterations = 0;
+  /// Storage precision the factory builds with. Part of the identity:
+  /// an fp32 and an fp64 factorization of the same graph are different
+  /// objects and must never collide. Callers resolve kAuto against the
+  /// concrete graph BEFORE keying (resolve_precision), so an auto job
+  /// shares the entry of the explicit mode it resolves to.
+  Precision precision = Precision::kFp64;
 
   bool operator==(const FactorizationKey&) const = default;
 };
@@ -66,7 +74,10 @@ class FactorizationCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;      ///< factorizations performed
     std::uint64_t evictions = 0;   ///< entries dropped for budget
-    EdgeId resident_entries = 0;   ///< sum of stored_entries() resident
+    /// Resident total in fp64-equivalent entries: the sum of
+    /// ceil(stored_bytes() / 8) over cached instances, so fp32
+    /// factorizations count half their fp64 twins.
+    EdgeId resident_entries = 0;
     std::size_t resident_count = 0;
     /// Wall-clock seconds spent inside miss factories (cache-miss cost
     /// attribution: what the batch paid to build rather than to solve).
@@ -81,8 +92,8 @@ class FactorizationCache {
     }
   };
 
-  /// `budget_entries` caps the resident stored_entries total; 0 means
-  /// unlimited.
+  /// `budget_entries` caps the resident total in fp64-equivalent
+  /// entries (see Stats::resident_entries); 0 means unlimited.
   explicit FactorizationCache(EdgeId budget_entries = 0);
 
   FactorizationCache(const FactorizationCache&) = delete;

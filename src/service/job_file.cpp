@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "service/json.hpp"
+#include "support/precision.hpp"
 
 namespace parlap::service {
 
@@ -69,7 +70,7 @@ SolveJob parse_job_object(const JsonValue& doc, const std::string& where,
   static const std::unordered_set<std::string> kKnown = {
       "id",     "graph", "laplacian",   "weights",        "method",
       "rhs",    "eps",   "seed",        "split_scale",    "max_iterations",
-      "project_rhs"};
+      "precision",       "project_rhs"};
   for (const auto& [key, value] : doc.as_object()) {
     if (allow_type_field && key == "type") continue;
     if (kKnown.count(key) == 0) {
@@ -116,6 +117,10 @@ SolveJob parse_job_object(const JsonValue& doc, const std::string& where,
     ctx_error(where, "max_iterations out of range");
   }
   job.max_iterations = static_cast<int>(max_it);
+  job.precision = string_field(doc, "precision", "", where);
+  if (!job.precision.empty() && !parse_precision(job.precision).has_value()) {
+    ctx_error(where, "precision must be one of fp64, fp32, auto");
+  }
   job.project_rhs = bool_field(doc, "project_rhs", false, where);
   return job;
 }

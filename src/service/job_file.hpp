@@ -23,6 +23,8 @@
 //   seed            base seed for generator/factorization/rhs; default 42.
 //   split_scale     SolverConfig knob; default 0 (method default).
 //   max_iterations  SolverConfig knob; default 0 (method default).
+//   precision       "fp64" | "fp32" | "auto"; "" (default) inherits the
+//                   engine's configured precision mode.
 //   project_rhs     bool; accept a per-component-imbalanced rhs and
 //                   solve its least-squares projection (default: such a
 //                   job fails, mirroring `parlap_cli solve`).
@@ -50,6 +52,10 @@ struct SolveJob {
   std::uint64_t seed = 42;
   double split_scale = 0.0;
   int max_iterations = 0;
+  /// "fp64" | "fp32" | "auto" | "" — empty means "use the engine's
+  /// precision mode". Validated at parse time; stored as the spelled
+  /// string so inherit-vs-explicit survives to the engine.
+  std::string precision;
   bool project_rhs = false;
 };
 

@@ -232,6 +232,7 @@ SolveServer::SolveServer(ServerOptions options)
   eo.graph_cache_limit = options_.graph_cache_limit;
   eo.simd = options_.simd;
   eo.numa = options_.numa;
+  eo.precision = options_.precision;
   engine_ = std::make_unique<SolveEngine>(eo);
   // The wake pipe exists for the object's whole life so request_drain()
   // is safe to call from a signal handler at any time.
@@ -425,7 +426,9 @@ void SolveServer::worker_main() {
       line += result.report.converged ? "true" : "false";
       line += ",\"iterations\":";
       line += std::to_string(result.report.iterations);
-      line += ",\"relative_residual\":";
+      line += ",\"precision\":\"";
+      line += precision_name(result.report.precision);
+      line += "\",\"relative_residual\":";
       append_json_number(line, result.report.relative_residual);
       line += ",\"solve_seconds\":";
       append_json_number(line, result.report.solve_seconds);
@@ -441,6 +444,12 @@ void SolveServer::worker_main() {
       append_json_number(line, result.build_seconds * 1e3);
       line += ",\"solve_ms\":";
       append_json_number(line, result.report.solve_seconds * 1e3);
+      // Refinement breakdown: outer fp64 refinement iterations and the
+      // escalation rounds (fp32 -> fp64 rebuilds) this solve needed.
+      line += ",\"refinement_iterations\":";
+      line += std::to_string(result.report.iterations);
+      line += ",\"escalations\":";
+      line += std::to_string(result.report.escalations);
       line += "},\"solution_hash\":\"";
       line += hex_hash(result.solution_hash);
       line += "\"}";
@@ -1071,6 +1080,11 @@ std::string SolveServer::stats_response() {
                      kernels::numa_policy_name(kernels::active_numa_policy()));
   out += ",\"numa_nodes\":";
   out += std::to_string(kernels::numa_node_count());
+  // Default precision mode for requests without their own field ("auto"
+  // is echoed as spelled — it resolves per graph at solve time).
+  out += ",\"precision\":";
+  append_json_string(
+      out, options_.precision.empty() ? "fp64" : options_.precision);
   out += '}';
   // Rolling last-60s view next to the lifetime digests below, so a
   // dashboard can tell "slow now" from "slow once, long ago".

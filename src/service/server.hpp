@@ -108,6 +108,10 @@ struct ServerOptions {
   /// NUMA placement ("local"|"interleave"; "" inherits $PARLAP_NUMA,
   /// else local) — forwarded to the engine and echoed in stats.config.
   std::string numa{};
+  /// Default factorization storage precision ("fp64"|"fp32"|"auto";
+  /// "" = fp64) for requests without their own "precision" field —
+  /// forwarded to the engine and echoed in stats.config.
+  std::string precision{};
 };
 
 class SolveServer {

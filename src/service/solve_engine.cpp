@@ -92,6 +92,13 @@ std::string panel_group_key(const SolveJob& job) {
   key += '\x1f';
   key += std::to_string(job.max_iterations);
   key += '\x1f';
+  // The spelled mode, not the resolved one (resolution needs the loaded
+  // graph): jobs inheriting the engine default share "", and an "auto"
+  // job conservatively never shares a panel with an explicit one even
+  // when both resolve to the same storage (they still share the
+  // factorization cache entry).
+  key += job.precision;
+  key += '\x1f';
   key += std::to_string(std::bit_cast<std::uint64_t>(job.eps));
   return key;
 }
@@ -182,6 +189,13 @@ SolveEngine::SolveEngine(EngineOptions options)
                                              << "' (want local|interleave)");
     kernels::set_numa_policy(*policy);
   }
+  if (!options_.precision.empty()) {
+    const auto mode = parse_precision(options_.precision);
+    PARLAP_CHECK_MSG(mode.has_value(),
+                     "unknown precision '" << options_.precision
+                                           << "' (want fp64|fp32|auto)");
+    default_precision_ = *mode;
+  }
 }
 
 SolveEngine::~SolveEngine() = default;
@@ -238,6 +252,18 @@ std::shared_ptr<const SolveEngine::LoadedGraph> SolveEngine::graph_for(
   return loaded;
 }
 
+Precision SolveEngine::job_precision(const SolveJob& job) const {
+  if (job.precision.empty()) return default_precision_;
+  // parse_job_object validated the spelling; programmatic jobs go
+  // through the same gate here.
+  const auto mode = parse_precision(job.precision);
+  if (!mode.has_value()) {
+    throw std::invalid_argument("job '" + job.id + "': unknown precision '" +
+                                job.precision + "' (want fp64|fp32|auto)");
+  }
+  return *mode;
+}
+
 JobResult SolveEngine::run_job(const SolveJob& job) {
   JobResult result;
   result.id = job.id;
@@ -258,17 +284,24 @@ JobResult SolveEngine::run_job(const SolveJob& job) {
           "projection)");
     }
 
+    // Resolve kAuto against the loaded graph BEFORE keying, so an fp32
+    // and an fp64 factorization of the same graph never collide and an
+    // auto job shares the entry of the mode it resolves to.
+    const Precision precision = resolve_precision(job_precision(job), n);
+
     FactorizationKey key;
     key.graph_hash = loaded->fingerprint;
     key.method = job.method;
     key.seed = job.seed;
     key.split_scale = job.split_scale;
     key.max_iterations = job.max_iterations;
+    key.precision = precision;
 
     SolverConfig config;
     config.seed = job.seed;
     config.split_scale = job.split_scale;
     config.max_iterations = job.max_iterations;
+    config.precision = precision;
     const Multigraph& graph = *loaded->graph;
     const WallTimer factor_timer;
     const auto [solver, hit] = cache_.get_or_create(key, [&] {
@@ -334,16 +367,20 @@ PanelStats SolveEngine::run_panel_task(std::span<const SolveJob> jobs,
   if (!survivors.empty()) {
     const SolveJob& lead = jobs[survivors.front()];
     try {
+      const Precision precision = resolve_precision(
+          job_precision(lead), loaded->graph->num_vertices());
       FactorizationKey key;
       key.graph_hash = loaded->fingerprint;
       key.method = lead.method;
       key.seed = lead.seed;
       key.split_scale = lead.split_scale;
       key.max_iterations = lead.max_iterations;
+      key.precision = precision;
       SolverConfig config;
       config.seed = lead.seed;
       config.split_scale = lead.split_scale;
       config.max_iterations = lead.max_iterations;
+      config.precision = precision;
       const Multigraph& graph = *loaded->graph;
       const WallTimer factor_timer;
       const auto [solver, hit] = cache_.get_or_create(key, [&] {

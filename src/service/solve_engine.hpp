@@ -47,6 +47,7 @@
 #include "linalg/vector_ops.hpp"
 #include "service/factorization_cache.hpp"
 #include "service/job_file.hpp"
+#include "support/precision.hpp"
 
 namespace parlap::service {
 
@@ -96,6 +97,14 @@ struct EngineOptions {
   /// across nodes). Empty = inherit the process default ($PARLAP_NUMA,
   /// else local). Applied process-wide at construction.
   std::string numa{};
+  /// Default factorization storage precision for jobs that do not set
+  /// their own: "fp64", "fp32", or "auto" (empty = fp64). "auto" is
+  /// resolved per graph (resolve_precision) before the factorization
+  /// cache key is formed, so fp32 and fp64 factorizations of the same
+  /// graph never collide and an auto job shares the entry of the mode
+  /// it resolves to. fp64 results are bit-identical to a build without
+  /// the knob; fp32 meets each job's eps via fp64 refinement.
+  std::string precision{};
 };
 
 /// Telemetry of one solved panel (every task is recorded, width-1
@@ -194,6 +203,10 @@ class SolveEngine {
   [[nodiscard]] std::shared_ptr<const LoadedGraph> graph_for(
       const SolveJob& job);
 
+  /// The job's requested precision mode (its own field, else the
+  /// engine default), before per-graph kAuto resolution.
+  [[nodiscard]] Precision job_precision(const SolveJob& job) const;
+
   [[nodiscard]] JobResult run_job(const SolveJob& job);
 
   /// Runs one multi-job panel: shared graph + factorization lookup, one
@@ -205,6 +218,8 @@ class SolveEngine {
                                           std::span<JobResult> results);
 
   EngineOptions options_;
+  /// Parsed EngineOptions::precision (kFp64 when the string is empty).
+  Precision default_precision_ = Precision::kFp64;
   FactorizationCache cache_;
   std::mutex graphs_mutex_;
   std::uint64_t graphs_tick_ = 0;

@@ -17,9 +17,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cfloat>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <iterator>
 #include <vector>
 
+#include "linalg/kernels/aligned_buffer.hpp"
 #include "support/rng.hpp"
 
 namespace parlap::kernels {
@@ -313,6 +319,331 @@ TEST(KernelDispatch, DenseRowsMatchesScalarBitwise) {
         expect_bits_equal(got, want, "dense_rows", lvl, k, lo, hi);
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fp32 tier. The same "lane = column" contract holds per storage type:
+// the float tables accumulate in double registers and narrow once on
+// store, so fp32-scalar and fp32-vector must agree to the bit — even on
+// inputs that stress the float range (denormals that double arithmetic
+// keeps exact, and magnitudes whose double sum overflows the float
+// range so the narrow yields ±inf in every tier alike). Comparisons go
+// through the bit pattern, not operator==, so a NaN produced by both
+// tiers still counts as agreement.
+// ---------------------------------------------------------------------------
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  std::vector<float> v(n);
+  Rng rng(seed, RngTag::kTest, 19);
+  for (float& x : v) x = static_cast<float>(rng.next_in(-2.0, 2.0));
+  return v;
+}
+
+/// Plants fp32 edge-case values at deterministic positions: a denormal,
+/// a negative denormal, ±0, and near-FLT_MAX magnitudes whose products
+/// or sums leave the float range (finite in the double accumulator,
+/// ±inf after the narrowing store).
+void inject_specials(std::vector<float>& v) {
+  if (v.empty()) return;
+  const float specials[] = {1e-42f,    -1e-42f, 0.0f,
+                            -0.0f,     FLT_MAX, -FLT_MAX / 2,
+                            FLT_MIN,   3e38f};
+  const std::size_t n_special = std::size(specials);
+  for (std::size_t i = 0; i < n_special && i * 13 + 3 < v.size(); ++i) {
+    v[i * 13 + 3] = specials[i];
+  }
+}
+
+struct MisalignedF {
+  explicit MisalignedF(std::vector<float> v) : store(std::move(v)) {
+    store.insert(store.begin(), 0.5f);
+  }
+  [[nodiscard]] const float* data() const { return store.data() + 1; }
+  [[nodiscard]] float* data() { return store.data() + 1; }
+  std::vector<float> store;
+};
+
+void expect_bits_equal_f32(const std::vector<float>& got,
+                           const std::vector<float>& want, const char* kernel,
+                           SimdLevel lvl, std::size_t k, std::size_t lo,
+                           std::size_t hi) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    std::uint32_t gb = 0;
+    std::uint32_t wb = 0;
+    std::memcpy(&gb, &got[i], sizeof gb);
+    std::memcpy(&wb, &want[i], sizeof wb);
+    ASSERT_EQ(gb, wb) << kernel << " (fp32) diverges from scalar at flat index "
+                      << i << " (got " << got[i] << ", want " << want[i]
+                      << ", level " << simd_level_name(lvl) << ", k=" << k
+                      << ", rows [" << lo << ", " << hi << "))";
+  }
+}
+
+TEST(KernelDispatchF32, TableFollowsActiveLevel) {
+  // The fp32 table is dispatched off the SAME level slot as fp64: one
+  // --simd / PARLAP_SIMD decision governs both storage types.
+  EXPECT_EQ(active_f32().level, active().level);
+  EXPECT_EQ(table_for_f32(active().level).level, active().level);
+  for (SimdLevel lvl : {SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    if (!simd_level_available(lvl)) {
+      EXPECT_EQ(table_for_f32(lvl).level, SimdLevel::kScalar);
+    }
+  }
+  EXPECT_EQ(&active_for<float>(), &active_f32());
+  EXPECT_EQ(&active_for<double>(), &active());
+  EXPECT_EQ(&table_for_type<float>(SimdLevel::kScalar),
+            &table_for_f32(SimdLevel::kScalar));
+}
+
+TEST(KernelDispatchF32, AxpyColsMatchesScalarBitwise) {
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      const std::size_t ld = kRows + 5;
+      std::vector<float> xv = random_floats(ld * k, 111);
+      inject_specials(xv);
+      const MisalignedF x(std::move(xv));
+      std::vector<float> y0 = random_floats(ld * k, 112);
+      inject_specials(y0);
+      std::vector<unsigned char> mask(k, 1);
+      if (k > 1) mask[k / 2] = 0;
+      for (const auto& [lo, hi] : kRanges) {
+        for (const unsigned char* m : {static_cast<const unsigned char*>(
+                                           nullptr),
+                                       static_cast<const unsigned char*>(
+                                           mask.data())}) {
+          std::vector<float> want = y0;
+          std::vector<float> got = y0;
+          ref.axpy_cols(0.37, x.data(), want.data(), lo, hi, ld, k, m);
+          vec.axpy_cols(0.37, x.data(), got.data(), lo, hi, ld, k, m);
+          expect_bits_equal_f32(got, want, "axpy_cols", lvl, k, lo, hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, ChunkDotsMatchesScalarBitwise) {
+  // Dots reduce fp32 storage into DOUBLE outputs — the accumulator
+  // never narrows, so the result vectors compare as doubles.
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      const std::size_t ld = kRows + 3;
+      std::vector<float> av = random_floats(ld * k, 211);
+      std::vector<float> bv = random_floats(ld * k, 212);
+      inject_specials(av);
+      inject_specials(bv);
+      const MisalignedF a(std::move(av));
+      const MisalignedF b(std::move(bv));
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<double> want(k, -1.0);
+        std::vector<double> got(k, -2.0);
+        ref.chunk_dots(a.data(), b.data(), lo, hi, ld, k, want.data());
+        vec.chunk_dots(a.data(), b.data(), lo, hi, ld, k, got.data());
+        expect_bits_equal(got, want, "chunk_dots(f32)", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, GatherScatterRowsMatchScalarBitwise) {
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  std::vector<Vertex> rows;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    rows.push_back(static_cast<Vertex>((i * 97 + 13) % kRows));
+  }
+  rows[5] = rows[4];  // duplicate source rows for gather
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      const std::size_t src_ld = kRows + 2;
+      const std::size_t dst_ld = kRows + 9;
+      std::vector<float> srcv = random_floats(src_ld * k, 311);
+      inject_specials(srcv);
+      const MisalignedF src(std::move(srcv));
+      const std::vector<float> dst0 = random_floats(dst_ld * k, 312);
+      for (const auto& [lo, hi] : kRanges) {
+        {
+          std::vector<float> want = dst0;
+          std::vector<float> got = dst0;
+          ref.gather_rows(src.data(), src_ld, rows.data(), lo, hi, dst_ld, k,
+                          want.data());
+          vec.gather_rows(src.data(), src_ld, rows.data(), lo, hi, dst_ld, k,
+                          got.data());
+          expect_bits_equal_f32(got, want, "gather_rows", lvl, k, lo, hi);
+        }
+        {
+          std::vector<Vertex> distinct = rows;
+          distinct[5] = static_cast<Vertex>((5 * 97 + 13) % kRows);
+          std::vector<float> want = dst0;
+          std::vector<float> got = dst0;
+          ref.scatter_rows(src.data(), src_ld, distinct.data(), lo, hi,
+                           dst_ld, k, want.data());
+          vec.scatter_rows(src.data(), src_ld, distinct.data(), lo, hi,
+                           dst_ld, k, got.data());
+          expect_bits_equal_f32(got, want, "scatter_rows", lvl, k, lo, hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, CsrJacobiMatchesScalarBitwise) {
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  const CsrFixture csr(kRows, kRows, 411);
+  const std::vector<float> w(csr.w.begin(), csr.w.end());
+  std::vector<float> inv_x = random_floats(kRows, 412);
+  std::vector<float> y_diag = random_floats(kRows, 413);
+  // Denormal scale rows and a float-overflow diagonal: the double
+  // accumulator handles both exactly; the narrow decides the bits.
+  inv_x[3] = 1e-42f;
+  inv_x[17] = FLT_MIN;
+  y_diag[9] = 3e38f;
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      std::vector<float> xbv = random_floats(kRows * k, 414);
+      std::vector<float> curv = random_floats(kRows * k, 415);
+      inject_specials(xbv);
+      inject_specials(curv);
+      const MisalignedF xb(std::move(xbv));
+      const MisalignedF cur(std::move(curv));
+      const std::vector<float> tmp0 = random_floats(kRows * k, 416);
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<float> want = tmp0;
+        std::vector<float> got = tmp0;
+        ref.csr_jacobi(lo, hi, k, csr.off.data(), csr.nbr.data(), w.data(),
+                       inv_x.data(), y_diag.data(), xb.data(), cur.data(),
+                       want.data());
+        vec.csr_jacobi(lo, hi, k, csr.off.data(), csr.nbr.data(), w.data(),
+                       inv_x.data(), y_diag.data(), xb.data(), cur.data(),
+                       got.data());
+        expect_bits_equal_f32(got, want, "csr_jacobi", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, CsrFwdMatchesScalarBitwise) {
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  const std::size_t n_src = 180;
+  const std::size_t n_seed = 300;
+  const CsrFixture csr(kRows, n_src, 511);
+  const std::vector<float> w(csr.w.begin(), csr.w.end());
+  std::vector<Vertex> idx(kRows);
+  for (std::size_t j = 0; j < kRows; ++j) {
+    idx[j] = static_cast<Vertex>((j * 31 + 7) % n_seed);
+  }
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      std::vector<float> seedv = random_floats(n_seed * k, 512);
+      std::vector<float> srcv = random_floats(n_src * k, 513);
+      inject_specials(seedv);
+      inject_specials(srcv);
+      const MisalignedF seed(std::move(seedv));
+      const MisalignedF src(std::move(srcv));
+      const std::vector<float> out0 = random_floats(kRows * k, 514);
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<float> want = out0;
+        std::vector<float> got = out0;
+        ref.csr_fwd(lo, hi, k, csr.off.data(), csr.nbr.data(), w.data(),
+                    idx.data(), seed.data(), src.data(), want.data());
+        vec.csr_fwd(lo, hi, k, csr.off.data(), csr.nbr.data(), w.data(),
+                    idx.data(), seed.data(), src.data(), got.data());
+        expect_bits_equal_f32(got, want, "csr_fwd", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, CsrBwdMatchesScalarBitwise) {
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  const std::size_t n_src = 140;
+  const CsrFixture csr(kRows, n_src, 611);
+  const std::vector<float> w(csr.w.begin(), csr.w.end());
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      std::vector<float> srcv = random_floats(n_src * k, 612);
+      inject_specials(srcv);
+      const MisalignedF src(std::move(srcv));
+      const std::vector<float> out0 = random_floats(kRows * k, 613);
+      for (const auto& [lo, hi] : kRanges) {
+        std::vector<float> want = out0;
+        std::vector<float> got = out0;
+        ref.csr_bwd(lo, hi, k, csr.off.data(), csr.nbr.data(), w.data(),
+                    src.data(), want.data());
+        vec.csr_bwd(lo, hi, k, csr.off.data(), csr.nbr.data(), w.data(),
+                    src.data(), got.data());
+        expect_bits_equal_f32(got, want, "csr_bwd", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, DenseRowsMatchesScalarBitwise) {
+  const KernelTableF32& ref = table_for_f32(SimdLevel::kScalar);
+  const std::size_t n = 53;
+  std::vector<float> a = random_floats(n * n, 711);
+  inject_specials(a);
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, n}, {1, n - 1}, {n - 5, n}};
+  for (SimdLevel lvl : available_vector_levels()) {
+    const KernelTableF32& vec = table_for_f32(lvl);
+    for (std::size_t k : kWidths) {
+      std::vector<float> inv = random_floats(n * k, 712);
+      inject_specials(inv);
+      const MisalignedF in(std::move(inv));
+      const std::vector<float> out0 = random_floats(n * k, 713);
+      for (const auto& [lo, hi] : ranges) {
+        std::vector<float> want = out0;
+        std::vector<float> got = out0;
+        ref.dense_rows(lo, hi, k, n, a.data(), in.data(), want.data());
+        vec.dense_rows(lo, hi, k, n, a.data(), in.data(), got.data());
+        expect_bits_equal_f32(got, want, "dense_rows", lvl, k, lo, hi);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchF32, AlignedBufferReuseAcrossWidths) {
+  // The fp32 apply path reuses one AlignedBuffer<float> as panel scratch
+  // across jobs of different widths (resize does NOT preserve or zero
+  // contents on shrink). A kernel run into the reused, stale-contented
+  // buffer must produce the same bits as a run into a fresh vector.
+  const KernelTableF32& tab = active_f32();
+  const CsrFixture csr(kRows, kRows, 811);
+  const std::vector<float> w(csr.w.begin(), csr.w.end());
+  const std::vector<float> inv_x = random_floats(kRows, 812);
+  const std::vector<float> y_diag = random_floats(kRows, 813);
+  AlignedBuffer<float> reused;
+  // Widths descending then ascending: shrink reuses the allocation
+  // (stale tail), growth reallocates — both paths must not leak stale
+  // values into [lo, hi) output rows.
+  for (std::size_t k : {16u, 8u, 1u, 16u}) {
+    const std::vector<float> xb = random_floats(kRows * k, 820 + k);
+    const std::vector<float> cur = random_floats(kRows * k, 840 + k);
+    reused.resize(kRows * k);
+    ASSERT_EQ(reused.size(), kRows * k);
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(reused.data()) % kBufferAlign,
+              0u);
+    std::vector<float> fresh(kRows * k, -7.0f);
+    std::copy(fresh.begin(), fresh.end(), reused.data());
+    tab.csr_jacobi(0, kRows, k, csr.off.data(), csr.nbr.data(), w.data(),
+                   inv_x.data(), y_diag.data(), xb.data(), cur.data(),
+                   fresh.data());
+    tab.csr_jacobi(0, kRows, k, csr.off.data(), csr.nbr.data(), w.data(),
+                   inv_x.data(), y_diag.data(), xb.data(), cur.data(),
+                   reused.data());
+    const std::vector<float> got(reused.data(), reused.data() + kRows * k);
+    expect_bits_equal_f32(got, fresh, "csr_jacobi(reused buffer)",
+                          tab.level, k, 0, kRows);
   }
 }
 

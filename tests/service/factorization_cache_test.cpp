@@ -18,7 +18,7 @@ namespace parlap::service {
 namespace {
 
 /// A solver stub with a controllable cost; solve() is never called here.
-class StubSolver final : public AnySolver {
+class StubSolver : public AnySolver {
  public:
   explicit StubSolver(EdgeId cost) : cost_(cost) {}
 
@@ -143,6 +143,58 @@ TEST(FactorizationCache, FactoryFailureLeavesCacheUsable) {
   EXPECT_FALSE(hit);
   EXPECT_NE(r, nullptr);
   EXPECT_EQ(cache.stats().resident_count, 1u);
+}
+
+TEST(FactorizationCache, PrecisionIsPartOfTheKey) {
+  // An fp32 factorization must never be served to an fp64 request (or
+  // vice versa): same graph, same method, different precision = two
+  // distinct entries. kAuto is the engine's problem — it resolves the
+  // mode BEFORE keying, so the cache only ever sees fp64/fp32.
+  FactorizationCache cache(0);
+  const auto factory = [] { return std::make_unique<StubSolver>(10); };
+  FactorizationKey f64 = key_for(1);
+  f64.precision = Precision::kFp64;
+  FactorizationKey f32 = key_for(1);
+  f32.precision = Precision::kFp32;
+  (void)cache.get_or_create(f64, factory);
+  const auto [r, hit] = cache.get_or_create(f32, factory);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  const auto [r64, hit64] = cache.get_or_create(f64, factory);
+  EXPECT_TRUE(hit64);
+}
+
+/// Stub whose byte footprint is narrower than 8 bytes/entry — the shape
+/// of an fp32 factorization.
+class NarrowStubSolver final : public StubSolver {
+ public:
+  NarrowStubSolver(EdgeId entries, std::size_t bytes)
+      : StubSolver(entries), bytes_(bytes) {}
+  [[nodiscard]] std::size_t stored_bytes() const noexcept override {
+    return bytes_;
+  }
+
+ private:
+  std::size_t bytes_;
+};
+
+TEST(FactorizationCache, BudgetChargesBytesNotEntries) {
+  // The budget is denominated in fp64-equivalent entries =
+  // ceil(stored_bytes() / 8). A 10-entry solver storing float values
+  // (40 bytes) costs 5, so twice as many fp32 factorizations fit in the
+  // same budget as fp64 ones of equal structure.
+  FactorizationCache cache(/*budget_entries=*/0);
+  (void)cache.get_or_create(key_for(1),
+                            [] { return std::make_unique<StubSolver>(10); });
+  EXPECT_EQ(cache.stats().resident_entries, 10u);  // 80 bytes / 8
+  (void)cache.get_or_create(key_for(2), [] {
+    return std::make_unique<NarrowStubSolver>(10, 40);  // fp32: half
+  });
+  EXPECT_EQ(cache.stats().resident_entries, 15u);
+  (void)cache.get_or_create(key_for(3), [] {
+    return std::make_unique<NarrowStubSolver>(10, 1);  // cost floor is 1
+  });
+  EXPECT_EQ(cache.stats().resident_entries, 16u);
 }
 
 TEST(FactorizationCache, ConcurrentRequestsAreSingleFlight) {

@@ -376,6 +376,14 @@ int cmd_solve(Args& args) {
   config.split_scale = args.take_double("--split-scale", 0.0);
   config.max_iterations =
       static_cast<int>(args.take_int("--max-iterations", 0));
+  const std::string precision_arg =
+      args.take_value("--precision").value_or("fp64");
+  const auto precision_mode = parse_precision(precision_arg);
+  if (!precision_mode.has_value()) {
+    throw UsageError("--precision wants fp64|fp32|auto, got '" +
+                     precision_arg + "'");
+  }
+  config.precision = *precision_mode;
   args.expect_empty();
   if ((rhs_path.empty() ? 0 : 1) + (rhs_demand ? 1 : 0) +
           (rhs_random > 0 ? 1 : 0) >
@@ -481,8 +489,12 @@ int cmd_solve(Args& args) {
     xs.push_back(std::move(x));
   }
 
+  // The storage precision actually used (auto resolved at factor time).
+  const Precision precision_used =
+      reports.empty() ? *precision_mode : reports.front().precision;
   TextTable table("solve: method " + method + ", eps " +
-                  bench::JsonWriter::format_number(eps));
+                  bench::JsonWriter::format_number(eps) + ", precision " +
+                  precision_name(precision_used));
   table.set_header({"rhs", "iterations", "solve_s", "residual", "converged"},
                    6);
   bool all_converged = true;
@@ -521,6 +533,7 @@ int cmd_solve(Args& args) {
     w.end_object();
     w.member("method", method);
     w.member("eps", eps);
+    w.member("precision", precision_name(precision_used));
     w.member("setup_seconds", solver->setup_seconds());
     if (const BuildStats* bs = solver->build_stats()) {
       write_build_stats_json(w, *bs);
@@ -532,6 +545,7 @@ int cmd_solve(Args& args) {
       w.begin_object();
       w.member("rhs", labels[k]);
       w.member("iterations", r.iterations);
+      w.member("escalations", r.escalations);
       w.member("solve_seconds", r.solve_seconds);
       w.member("relative_residual", r.relative_residual);
       w.member("converged", r.converged);
@@ -558,6 +572,11 @@ int cmd_batch(Args& args) {
   const auto workers = args.take_int("--workers", 1);
   const auto cache_budget = args.take_int("--cache-budget", 0);
   const auto block_width = args.take_int("--block-width", 1);
+  const std::string precision = args.take_value("--precision").value_or("");
+  if (!precision.empty() && !parse_precision(precision).has_value()) {
+    throw UsageError("--precision wants fp64|fp32|auto, got '" + precision +
+                     "'");
+  }
   const bool keep_solutions = args.take_flag("--solutions");
   const std::string json_path = args.take_value("--json").value_or("");
   const std::string out_path = args.take_value("--out").value_or("");
@@ -586,6 +605,7 @@ int cmd_batch(Args& args) {
   engine_options.cache_budget_entries = static_cast<EdgeId>(cache_budget);
   engine_options.keep_solutions = keep_solutions;
   engine_options.block_width = static_cast<int>(block_width);
+  engine_options.precision = precision;
   service::SolveEngine engine(engine_options);
 
   std::cerr << "parlap_cli: batch " << jobs_path << ": " << jobs.size()
@@ -639,6 +659,9 @@ int cmd_batch(Args& args) {
     w.member("jobs_file", jobs_path);
     w.member("workers", static_cast<std::int64_t>(workers));
     w.member("block_width", static_cast<std::int64_t>(block_width));
+    // The engine-default precision mode; per-job precision (post-auto
+    // resolution) rides in each job entry below.
+    w.member("precision", precision.empty() ? "fp64" : precision);
     w.key("cache");
     w.begin_object();
     w.member("budget_entries", static_cast<std::int64_t>(cache_budget));
@@ -743,6 +766,8 @@ int cmd_batch(Args& args) {
         w.member("apply_seconds", r.report.apply_seconds);
         w.member("panel_width", static_cast<std::int64_t>(r.report.panel_width));
         w.member("iterations", r.report.iterations);
+        w.member("escalations", static_cast<std::int64_t>(r.report.escalations));
+        w.member("precision", precision_name(r.report.precision));
         w.member("relative_residual", r.report.relative_residual);
         w.member("converged", r.report.converged);
         // Hex so the 64-bit fingerprint survives JSON double precision.
@@ -1000,11 +1025,13 @@ void print_usage(std::ostream& os) {
         "solve:                 [--method NAME] [--eps E] [--rhs FILE |\n"
         "                       --rhs-demand S,T | --rhs-random K]\n"
         "                       [--project-rhs] [--split-scale X]\n"
-        "                       [--max-iterations N] [--out FILE] [--json FILE]\n"
+        "                       [--max-iterations N] [--precision fp64|fp32|auto]\n"
+        "                       [--out FILE] [--json FILE]\n"
         "                       [--build-stats] [--list-methods]\n"
         "                       [--trace-out FILE] [--metrics]\n"
         "batch:                 --jobs FILE.jsonl [--workers N]\n"
         "                       [--block-width K] [--cache-budget ENTRIES]\n"
+        "                       [--precision fp64|fp32|auto]\n"
         "                       [--json FILE] [--solutions --out DIR]\n"
         "                       [--trace-out FILE] [--metrics]\n"
         "info:                  [--json FILE]\n"

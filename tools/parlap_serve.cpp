@@ -57,6 +57,10 @@ Hardware:
                          bit-identical at every level)
   --numa POLICY          chain/workspace placement: local|interleave
                          (default $PARLAP_NUMA, else local)
+  --precision MODE       default factorization storage: fp64|fp32|auto
+                         (default fp64; requests may override per job.
+                         fp32 halves chain bytes and meets each job's
+                         eps via fp64 iterative refinement)
 
 Observability:
   --trace-out FILE       write a Chrome trace on exit (serve.* spans)
@@ -197,6 +201,7 @@ int run(int argc, char** argv) {
   opt.slow_ms = parse_double_flag(args, "--slow-ms", 0.0);
   opt.simd = parse_string_flag(args, "--simd");
   opt.numa = parse_string_flag(args, "--numa");
+  opt.precision = parse_string_flag(args, "--precision");
   const std::string trace_path = parse_string_flag(args, "--trace-out");
   const std::string metrics_out = parse_string_flag(args, "--metrics-out");
   const bool metrics = parse_bool_flag(args, "--metrics");
@@ -226,6 +231,10 @@ int run(int argc, char** argv) {
     throw std::invalid_argument("--numa wants local|interleave, got '" +
                                 opt.numa + "'");
   }
+  if (!opt.precision.empty() && !parse_precision(opt.precision)) {
+    throw std::invalid_argument("--precision wants fp64|fp32|auto, got '" +
+                                opt.precision + "'");
+  }
 
   if (!trace_path.empty()) {
     obs::Tracer::instance().clear();
@@ -254,7 +263,8 @@ int run(int argc, char** argv) {
               << " tcp port " << server.bound_tcp_port();
   }
   std::cerr << ", " << opt.workers << " worker(s), queue limit "
-            << opt.max_queue_depth << "\n"
+            << opt.max_queue_depth << ", precision "
+            << (opt.precision.empty() ? "fp64" : opt.precision) << "\n"
             << std::flush;
 
   server.serve();
